@@ -1,0 +1,33 @@
+//! Ablation: cache-aiding threshold L (Sec. VI-B). Larger L means more of
+//! each path is derived from the conflict-agnostic cache with waits,
+//! trading optimality for planning speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell_with, DEFAULT_SEED};
+use eatp_core::EatpConfig;
+use std::time::Duration;
+use tprw_warehouse::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    let mut group = c.benchmark_group("ablation_cache_l");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for l in [0u64, 25, 50, 100] {
+        let mut config = EatpConfig::default();
+        config.cache_threshold = l;
+        let report = run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config);
+        eprintln!(
+            "ablation_L[{l}] M={} PTC={:.4}s spliced={}",
+            report.makespan, report.ptc_s, report.planner_stats.cache_spliced
+        );
+        group.bench_with_input(BenchmarkId::new("EATP_L", l), &l, |b, &l| {
+            let mut config = EatpConfig::default();
+            config.cache_threshold = l;
+            b.iter(|| run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config).ptc_s)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

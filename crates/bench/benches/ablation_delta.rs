@@ -1,0 +1,33 @@
+//! Ablation: bootstrap degree δ (Sec. V-D observes δ < 0.4 trains
+//! effectively). Prints makespans across δ and benches a representative run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell_with, DEFAULT_SEED};
+use eatp_core::EatpConfig;
+use std::time::Duration;
+use tprw_warehouse::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    let mut group = c.benchmark_group("ablation_delta");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for delta in [0.0, 0.2, 0.4, 0.8] {
+        let mut config = EatpConfig::default();
+        config.rl.delta = delta;
+        let report = run_cell_with(Dataset::SynA, "ATP", scale, DEFAULT_SEED, &config);
+        eprintln!("ablation_delta[{delta}] M={}", report.makespan);
+        group.bench_with_input(
+            BenchmarkId::new("ATP_delta", format!("{delta}")),
+            &delta,
+            |b, &delta| {
+                let mut config = EatpConfig::default();
+                config.rl.delta = delta;
+                b.iter(|| run_cell_with(Dataset::SynA, "ATP", scale, DEFAULT_SEED, &config).makespan)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: flip-side K (Sec. VI-A). Benches both the static index build
+//! and the end-to-end EATP run across K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell_with, DEFAULT_SEED};
+use eatp_core::EatpConfig;
+use std::time::Duration;
+use tprw_pathfinding::KNearestRacks;
+use tprw_warehouse::{Dataset, GridPos};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    let instance = Dataset::SynA.spec(0.02, 11).build().expect("builds");
+    let homes: Vec<GridPos> = instance.racks.iter().map(|r| r.home).collect();
+
+    let mut group = c.benchmark_group("ablation_knn_k");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for k in [1usize, 4, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("index_build", k), &k, |b, &k| {
+            b.iter(|| KNearestRacks::build(&instance.grid, &homes, k))
+        });
+        let mut config = EatpConfig::default();
+        config.k_nearest = k;
+        let report = run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config);
+        eprintln!("ablation_K[{k}] M={} STC={:.4}s", report.makespan, report.stc_s);
+        group.bench_with_input(BenchmarkId::new("EATP_K", k), &k, |b, &k| {
+            let mut config = EatpConfig::default();
+            config.k_nearest = k;
+            b.iter(|| run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

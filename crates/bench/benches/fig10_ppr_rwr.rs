@@ -1,0 +1,33 @@
+//! Fig. 10: PPR and RWR series.
+//!
+//! The series are produced by the same simulation as Table III; this bench
+//! measures the end-to-end run that yields them on the surge dataset (where
+//! adaptivity matters) and prints the final PPR/RWR per planner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell, DEFAULT_SEED};
+use std::time::Duration;
+use tprw_warehouse::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    let mut group = c.benchmark_group("fig10_ppr_rwr");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for name in ["NTP", "ATP", "EATP"] {
+        let report = run_cell(Dataset::RealNorm, name, scale, DEFAULT_SEED);
+        eprintln!(
+            "fig10[Real-Norm@{scale}][{name}] PPR={:.3} RWR={:.3}",
+            report.ppr, report.rwr
+        );
+        group.bench_with_input(BenchmarkId::new("RealNorm", name), &name, |b, &name| {
+            b.iter(|| {
+                let r = run_cell(Dataset::RealNorm, name, scale, DEFAULT_SEED);
+                (r.ppr, r.rwr)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

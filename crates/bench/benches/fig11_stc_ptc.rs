@@ -1,0 +1,54 @@
+//! Fig. 11: selection (STC) and planning (PTC) time consumption.
+//!
+//! This measures the planner's *per-timestamp* `plan()` latency directly —
+//! the quantity whose cumulative sum the figure plots — on a mid-size world
+//! snapshot with every rack pending and the whole fleet idle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_core::{planner_by_name, EatpConfig, WorldView, PLANNER_NAMES};
+use std::time::Duration;
+use tprw_warehouse::{Dataset, ItemId, RackId, RobotId};
+
+fn bench(c: &mut Criterion) {
+    let mut instance = Dataset::SynA.spec(0.02, 11).build().expect("builds");
+    // Load every rack with one pending item so selection has full input.
+    for (i, rack) in instance.racks.iter_mut().enumerate() {
+        rack.pending.push(ItemId::new(i));
+        rack.pending_time = 30;
+    }
+    let idle: Vec<RobotId> = instance.robots.iter().map(|r| r.id).collect();
+    let selectable: Vec<RackId> = instance.racks.iter().map(|r| r.id).collect();
+
+    let mut group = c.benchmark_group("fig11_plan_latency");
+    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    for name in PLANNER_NAMES {
+        group.bench_with_input(BenchmarkId::new("plan", name), &name, |b, &name| {
+            // Fresh planner per iteration batch: reservations accumulate
+            // inside plan(), so rebuild to keep iterations comparable.
+            b.iter_batched(
+                || {
+                    let mut planner =
+                        planner_by_name(name, &EatpConfig::default()).expect("known");
+                    planner.init(&instance);
+                    planner
+                },
+                |mut planner| {
+                    let world = WorldView {
+                        t: 0,
+                        racks: &instance.racks,
+                        pickers: &instance.pickers,
+                        robots: &instance.robots,
+                        idle_robots: &idle,
+                        selectable_racks: &selectable,
+                    };
+                    planner.plan(&world).len()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 12: memory consumption.
+//!
+//! Prints the peak logical memory (MC) per planner from one simulation and
+//! benches the reservation-structure accounting itself (the hot query the
+//! engine issues at every checkpoint).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell, DEFAULT_SEED};
+use eatp_core::PLANNER_NAMES;
+use std::time::Duration;
+use tprw_pathfinding::{
+    ConflictDetectionTable, MemoryFootprint, Path, ReservationSystem, SpatioTemporalGraph,
+};
+use tprw_warehouse::{Dataset, GridPos, RobotId};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    for name in PLANNER_NAMES {
+        let report = run_cell(Dataset::SynA, name, scale, DEFAULT_SEED);
+        eprintln!(
+            "fig12[Syn-A@{scale}][{name}] peakMC={} KiB",
+            report.peak_memory_bytes / 1024
+        );
+    }
+
+    // Populate both structures with the same 200 reserved paths.
+    let mut stg = SpatioTemporalGraph::new(120, 100);
+    let mut cdt = ConflictDetectionTable::new(120, 100);
+    for i in 0..200u64 {
+        let row = (i % 100) as u16;
+        let path = Path {
+            start: i,
+            cells: (0..60).map(|x| GridPos::new(x, row)).collect(),
+        };
+        stg.reserve_path(RobotId::new(i as usize), &path, false);
+        cdt.reserve_path(RobotId::new(i as usize), &path, false);
+    }
+    let mut group = c.benchmark_group("fig12_memory_accounting");
+    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::new("memory_bytes", "STG"), &(), |b, _| {
+        b.iter(|| stg.memory_bytes())
+    });
+    group.bench_with_input(BenchmarkId::new("memory_bytes", "CDT"), &(), |b, _| {
+        b.iter(|| cdt.memory_bytes())
+    });
+    eprintln!(
+        "fig12[micro] same load: STG={} KiB, CDT={} KiB",
+        stg.memory_bytes() / 1024,
+        cdt.memory_bytes() / 1024
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 13: bottleneck variation over time (case study).
+//!
+//! Runs ATP on the surge dataset and prints the dominant fulfilment stage
+//! per bucket; benches the full case-study simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell, DEFAULT_SEED};
+use std::time::Duration;
+use tprw_warehouse::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    let report = run_cell(Dataset::RealNorm, "ATP", scale, DEFAULT_SEED);
+    let stages: Vec<&str> = report.bottleneck.iter().map(|b| b.dominant()).collect();
+    eprintln!("fig13[Real-Norm@{scale}] dominant stages: {stages:?}");
+    eprintln!(
+        "fig13 batching: {:.2} items/trip over {} trips",
+        report.batch_factor, report.rack_trips
+    );
+
+    let mut group = c.benchmark_group("fig13_bottleneck");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("case_study_sim", |b| {
+        b.iter(|| run_cell(Dataset::RealNorm, "ATP", scale, DEFAULT_SEED).bottleneck.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmark: spatiotemporal A* with and without cache-aided splicing
+//! (Sec. VI-B). The cached variant should expand far fewer states on long
+//! queries whose tail is unobstructed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tprw_pathfinding::astar::{plan_path, PlanOptions};
+use tprw_pathfinding::{ConflictDetectionTable, Path, PathCache, ReservationSystem};
+use tprw_warehouse::{CellKind, GridMap, GridPos, RobotId};
+
+fn setup() -> (GridMap, ConflictDetectionTable) {
+    let grid = GridMap::filled(120, 80, CellKind::Aisle);
+    let mut resv = ConflictDetectionTable::new(120, 80);
+    // Crossing traffic: 40 robots sweeping vertically.
+    for i in 0..40u16 {
+        let x = 3 * i;
+        let cells: Vec<GridPos> = (0..79u16).map(|y| GridPos::new(x, y)).collect();
+        resv.reserve_path(
+            RobotId::new(i as usize + 1),
+            &Path {
+                start: (i as u64) % 10,
+                cells,
+            },
+            false,
+        );
+    }
+    (grid, resv)
+}
+
+fn bench(c: &mut Criterion) {
+    let (grid, resv) = setup();
+    let me = RobotId::new(0);
+    let from = GridPos::new(1, 40);
+    let to = GridPos::new(110, 42);
+    let opts = PlanOptions {
+        park_at_goal: false,
+        ..PlanOptions::default()
+    };
+
+    let mut group = c.benchmark_group("micro_astar");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function(BenchmarkId::new("plan", "no_cache"), |b| {
+        b.iter(|| {
+            plan_path(&grid, &resv, me, from, 100, to, None, &opts)
+                .expect("path exists")
+                .expansions
+        })
+    });
+    for l in [25u64, 50, 100, 200] {
+        group.bench_with_input(BenchmarkId::new("plan_cached_L", l), &l, |b, &l| {
+            // Warm cache shared across iterations: steady-state behaviour.
+            let mut cache = PathCache::new(&grid, l);
+            b.iter(|| {
+                plan_path(&grid, &resv, me, from, 100, to, Some(&mut cache), &opts)
+                    .expect("path exists")
+                    .expansions
+            })
+        });
+    }
+    // Print the expansion counts once for EXPERIMENTS.md.
+    let no_cache = plan_path(&grid, &resv, me, from, 100, to, None, &opts).unwrap();
+    let mut cache = PathCache::new(&grid, 200);
+    let cached = plan_path(&grid, &resv, me, from, 100, to, Some(&mut cache), &opts).unwrap();
+    eprintln!(
+        "micro_astar expansions: no_cache={} cached(L=200)={} (spliced={})",
+        no_cache.expansions, cached.expansions, cached.used_cache
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Microbenchmark: spatiotemporal graph vs conflict detection table
+//! (Sec. VI-B). Measures reservation insert, conflict queries and the
+//! periodic `update`/GC on identical synthetic loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tprw_pathfinding::{
+    ConflictDetectionTable, Path, ReservationSystem, SpatioTemporalGraph,
+};
+use tprw_warehouse::{GridPos, RobotId};
+
+const W: u16 = 120;
+const H: u16 = 100;
+
+fn paths(n: usize) -> Vec<(RobotId, Path)> {
+    (0..n)
+        .map(|i| {
+            let row = (i % H as usize) as u16;
+            let start = (i as u64) % 50;
+            let cells: Vec<GridPos> = (0..80u16).map(|x| GridPos::new(x, row)).collect();
+            (RobotId::new(i), Path { start, cells })
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let load = paths(100);
+    let mut group = c.benchmark_group("micro_reservation");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("reserve", "STG"), |b| {
+        b.iter(|| {
+            let mut stg = SpatioTemporalGraph::new(W, H);
+            for (r, p) in &load {
+                stg.reserve_path(*r, p, false);
+            }
+            stg.reservation_count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("reserve", "CDT"), |b| {
+        b.iter(|| {
+            let mut cdt = ConflictDetectionTable::new(W, H);
+            for (r, p) in &load {
+                cdt.reserve_path(*r, p, false);
+            }
+            cdt.reservation_count()
+        })
+    });
+
+    // Query benches against pre-populated structures.
+    let mut stg = SpatioTemporalGraph::new(W, H);
+    let mut cdt = ConflictDetectionTable::new(W, H);
+    for (r, p) in &load {
+        stg.reserve_path(*r, p, false);
+        cdt.reserve_path(*r, p, false);
+    }
+    let probe = RobotId::new(9999);
+    group.bench_function(BenchmarkId::new("can_move", "STG"), |b| {
+        b.iter(|| {
+            let mut free = 0u32;
+            for t in 0..64u64 {
+                for x in 0..32u16 {
+                    if stg.can_move(probe, GridPos::new(x, 10), GridPos::new(x + 1, 10), t) {
+                        free += 1;
+                    }
+                }
+            }
+            free
+        })
+    });
+    group.bench_function(BenchmarkId::new("can_move", "CDT"), |b| {
+        b.iter(|| {
+            let mut free = 0u32;
+            for t in 0..64u64 {
+                for x in 0..32u16 {
+                    if cdt.can_move(probe, GridPos::new(x, 10), GridPos::new(x + 1, 10), t) {
+                        free += 1;
+                    }
+                }
+            }
+            free
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("gc", "STG"), |b| {
+        b.iter_batched(
+            || stg.clone(),
+            |mut s| {
+                s.release_before(60);
+                s.reservation_count()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("gc", "CDT"), |b| {
+        b.iter_batched(
+            || cdt.clone(),
+            |mut s| {
+                s.release_before(60);
+                s.reservation_count()
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

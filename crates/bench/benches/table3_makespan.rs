@@ -1,0 +1,29 @@
+//! Table III: end-to-end makespan per planner.
+//!
+//! Criterion measures the full simulation wall time per planner on Syn-A;
+//! the makespans themselves (the table's content) are printed once per
+//! planner at setup. Run `repro -- table3` for the full dataset grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eatp_bench::{bench_scale_from_env, run_cell, DEFAULT_SEED};
+use eatp_core::PLANNER_NAMES;
+use std::time::Duration;
+use tprw_warehouse::Dataset;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale_from_env();
+    let mut group = c.benchmark_group("table3_makespan");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for name in PLANNER_NAMES {
+        // Print the Table III cell once.
+        let report = run_cell(Dataset::SynA, name, scale, DEFAULT_SEED);
+        eprintln!("table3[Syn-A@{scale}][{name}] M={}", report.makespan);
+        group.bench_with_input(BenchmarkId::new("SynA", name), &name, |b, &name| {
+            b.iter(|| run_cell(Dataset::SynA, name, scale, DEFAULT_SEED).makespan)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

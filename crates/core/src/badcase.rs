@@ -1,0 +1,226 @@
+//! The Sec. III-B adversarial instance: why naive greedy planning is Ω(k)
+//! from optimal.
+//!
+//! Two pickers share one robot. Picker `p1` has a single rack `r` on which
+//! `k` items emerge one by one, spaced exactly one full fulfilment cycle
+//! `D + ξ` apart — so the greedy planner shuttles `r` back and forth `k`
+//! times. Picker `p2` has `k` racks whose items emerge in a quick burst.
+//! The optimal schedule serves `p2` first and batches all of `p1`'s items
+//! into one trip; the naive schedule pays `k·(D + ξ)` for `p1` alone. The
+//! competitive ratio grows linearly in `k` (Fig. 4).
+
+use tprw_warehouse::{
+    CellKind, Duration, GridMap, GridPos, Instance, Item, ItemId, Picker, PickerId, Rack, RackId,
+    Robot, RobotId, Tick,
+};
+
+/// Parameters of the constructed bad case.
+#[derive(Debug, Clone, Copy)]
+pub struct BadCaseParams {
+    /// Number of items per picker (the `k` of Sec. III-B).
+    pub k: usize,
+    /// Per-item processing time ξ.
+    pub xi: Duration,
+}
+
+impl Default for BadCaseParams {
+    fn default() -> Self {
+        Self { k: 6, xi: 25 }
+    }
+}
+
+/// The constructed instance plus the quantities used in the Sec. III-B
+/// analysis.
+#[derive(Debug, Clone)]
+pub struct BadCase {
+    /// The simulatable instance.
+    pub instance: Instance,
+    /// `D`: pickup + delivery + return time between rack `r` and `p1`.
+    pub d_cycle: Duration,
+    /// `M`: travel between `p1`'s rack and `p2`'s first rack.
+    pub m_cross: Duration,
+    /// `Σ_j D_j`: total transport for `p2`'s racks.
+    pub d_sum: Duration,
+    /// Parameters used.
+    pub params: BadCaseParams,
+}
+
+/// Build the Sec. III-B instance.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or too large for the fixed floor (k ≤ 24).
+pub fn build(params: BadCaseParams) -> BadCase {
+    let BadCaseParams { k, xi } = params;
+    assert!(k >= 1 && k <= 24, "k must be in 1..=24");
+    assert!(xi >= 1, "processing time must be positive");
+
+    let width: u16 = 40;
+    let height: u16 = 10;
+    let mut grid = GridMap::filled(width, height, CellKind::Aisle);
+
+    // Stations on the bottom row: p1 left, p2 right.
+    let p1_pos = GridPos::new(2, height - 1);
+    let p2_pos = GridPos::new(30, height - 1);
+    grid.set_kind(p1_pos, CellKind::Station);
+    grid.set_kind(p2_pos, CellKind::Station);
+
+    // Rack r of p1 at the far end of the floor: the paper's ratio argument
+    // needs "sufficiently large D", i.e. transport dominating processing.
+    let r_home = GridPos::new(width - 2, 2);
+    grid.set_kind(r_home, CellKind::Storage);
+    // The k racks of p2 in a row near its station.
+    let mut p2_homes = Vec::with_capacity(k);
+    for j in 0..k {
+        let pos = GridPos::new(24 + (j as u16 % 12), 2 + (j as u16 / 12));
+        grid.set_kind(pos, CellKind::Storage);
+        p2_homes.push(pos);
+    }
+
+    let pickers = vec![
+        Picker::new(PickerId::new(0), p1_pos),
+        Picker::new(PickerId::new(1), p2_pos),
+    ];
+    let mut racks = vec![Rack::new(RackId::new(0), r_home, PickerId::new(0))];
+    for (j, &home) in p2_homes.iter().enumerate() {
+        racks.push(Rack::new(RackId::new(j + 1), home, PickerId::new(1)));
+    }
+    // One robot, initially right next to rack r (as in the paper's example).
+    let robots = vec![Robot::new(RobotId::new(0), GridPos::new(width - 3, 2))];
+
+    // D = pickup(≈0, robot starts at the rack) + delivery + return.
+    let d_deliver = r_home.manhattan(p1_pos);
+    let d_cycle = 2 * d_deliver;
+    let m_cross = r_home.manhattan(p2_homes[0]);
+    let d_sum: Duration = p2_homes
+        .iter()
+        .map(|h| 2 * h.manhattan(p2_pos))
+        .sum();
+
+    // Item stream: o_i on rack r at i·(D+ξ); v_j in a quick burst starting
+    // just after o_1 (span 1 « every D_j).
+    let mut items = Vec::with_capacity(2 * k);
+    for i in 0..k {
+        items.push(Item {
+            id: ItemId::new(0), // re-indexed below
+            rack: RackId::new(0),
+            arrival: (i as Tick) * (d_cycle + xi),
+            processing: xi,
+        });
+    }
+    for j in 0..k {
+        items.push(Item {
+            id: ItemId::new(0),
+            rack: RackId::new(j + 1),
+            arrival: 2 + j as Tick,
+            processing: xi,
+        });
+    }
+    items.sort_by_key(|i| i.arrival);
+    for (idx, item) in items.iter_mut().enumerate() {
+        item.id = ItemId::new(idx);
+    }
+
+    let instance = Instance {
+        name: format!("badcase-k{k}"),
+        grid,
+        racks,
+        pickers,
+        robots,
+        items,
+    };
+    BadCase {
+        instance,
+        d_cycle,
+        m_cross,
+        d_sum,
+        params,
+    }
+}
+
+impl BadCase {
+    /// The Sec. III-B naive makespan estimate:
+    /// `k(D + ξ) + M + Σ_v D_v + kξ`.
+    pub fn analytic_naive_makespan(&self) -> u64 {
+        let k = self.params.k as u64;
+        let xi = self.params.xi;
+        k * (self.d_cycle + xi) + self.m_cross + self.d_sum + k * xi
+    }
+
+    /// The Sec. III-B optimal makespan estimate:
+    /// `D + kξ + 2M + Σ_v D_v + kξ`.
+    pub fn analytic_optimal_makespan(&self) -> u64 {
+        let k = self.params.k as u64;
+        let xi = self.params.xi;
+        self.d_cycle + k * xi + 2 * self.m_cross + self.d_sum + k * xi
+    }
+
+    /// The competitive-ratio estimate naive/optimal.
+    pub fn analytic_ratio(&self) -> f64 {
+        self.analytic_naive_makespan() as f64 / self.analytic_optimal_makespan() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_is_valid() {
+        let case = build(BadCaseParams::default());
+        case.instance.validate().unwrap();
+        assert_eq!(case.instance.pickers.len(), 2);
+        assert_eq!(case.instance.racks.len(), 7);
+        assert_eq!(case.instance.robots.len(), 1);
+        assert_eq!(case.instance.items.len(), 12);
+    }
+
+    #[test]
+    fn p1_items_spaced_one_cycle_apart() {
+        let case = build(BadCaseParams { k: 4, xi: 20 });
+        let mut p1_arrivals: Vec<Tick> = case
+            .instance
+            .items
+            .iter()
+            .filter(|i| i.rack == RackId::new(0))
+            .map(|i| i.arrival)
+            .collect();
+        p1_arrivals.sort_unstable();
+        for w in p1_arrivals.windows(2) {
+            assert_eq!(w[1] - w[0], case.d_cycle + 20);
+        }
+    }
+
+    #[test]
+    fn p2_items_burst_quickly() {
+        let case = build(BadCaseParams { k: 4, xi: 20 });
+        let p2_arrivals: Vec<Tick> = case
+            .instance
+            .items
+            .iter()
+            .filter(|i| i.rack != RackId::new(0))
+            .map(|i| i.arrival)
+            .collect();
+        let span = p2_arrivals.iter().max().unwrap() - p2_arrivals.iter().min().unwrap();
+        assert!(span < case.d_cycle, "burst must be faster than a cycle");
+    }
+
+    #[test]
+    fn ratio_grows_with_k() {
+        let small = build(BadCaseParams { k: 2, xi: 25 });
+        let large = build(BadCaseParams { k: 20, xi: 25 });
+        assert!(
+            large.analytic_ratio() > small.analytic_ratio(),
+            "Ω(k): {} vs {}",
+            large.analytic_ratio(),
+            small.analytic_ratio()
+        );
+        assert!(large.analytic_ratio() > 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_k_rejected() {
+        let _ = build(BadCaseParams { k: 0, xi: 10 });
+    }
+}

@@ -1,0 +1,287 @@
+//! Shared planner machinery: reservation ownership, distance oracle, timed
+//! path-finding, and the STC/PTC/MC instrumentation.
+//!
+//! Every concrete planner owns a [`PlannerBase`] parameterized by its
+//! reservation structure — the spatiotemporal graph for the baselines and
+//! ATP, the conflict detection table for EATP — plus optional path cache and
+//! K-nearest-rack index. This mirrors the paper's architecture: selection
+//! strategies differ, the path-finding layer is shared.
+
+use crate::config::EatpConfig;
+use crate::planner::PlannerStats;
+use std::time::Instant;
+use tprw_pathfinding::astar::{plan_path, PlanOptions};
+use tprw_pathfinding::bfs::DistanceOracle;
+use tprw_pathfinding::{
+    ConflictDetectionTable, KNearestRacks, MemoryFootprint, Path, PathCache, ReservationSystem,
+    SpatioTemporalGraph,
+};
+use tprw_warehouse::{GridMap, GridPos, Instance, RobotId, Tick};
+
+/// Marker constructors so `PlannerBase` can build its reservation structure
+/// from grid dimensions.
+pub trait ReservationBackend: ReservationSystem + MemoryFootprint {
+    /// Construct an empty structure for a `width`×`height` grid.
+    fn create(width: u16, height: u16) -> Self;
+    /// Short display name for diagnostics.
+    fn backend_name() -> &'static str;
+}
+
+impl ReservationBackend for SpatioTemporalGraph {
+    fn create(width: u16, height: u16) -> Self {
+        SpatioTemporalGraph::new(width, height)
+    }
+    fn backend_name() -> &'static str {
+        "STG"
+    }
+}
+
+impl ReservationBackend for ConflictDetectionTable {
+    fn create(width: u16, height: u16) -> Self {
+        ConflictDetectionTable::new(width, height)
+    }
+    fn backend_name() -> &'static str {
+        "CDT"
+    }
+}
+
+/// Shared planner state (built at [`crate::planner::Planner::init`] time).
+pub struct PlannerBase<R: ReservationBackend> {
+    /// The cell map.
+    pub grid: GridMap,
+    /// Conflict-avoidance structure.
+    pub resv: R,
+    /// Uncongested distances `d(·,·)`.
+    pub oracle: DistanceOracle,
+    /// Cache-aided path finding (EATP; `None` elsewhere).
+    pub cache: Option<PathCache>,
+    /// K-nearest-rack index (EATP; `None` elsewhere).
+    pub knn: Option<KNearestRacks>,
+    /// Planner configuration.
+    pub config: EatpConfig,
+    /// Cumulative counters.
+    pub stats: PlannerStats,
+    last_gc: Tick,
+}
+
+impl<R: ReservationBackend> PlannerBase<R> {
+    /// Build from an instance. `with_cache`/`with_knn` enable the Sec. VI
+    /// optimizations.
+    pub fn new(instance: &Instance, config: EatpConfig, with_cache: bool, with_knn: bool) -> Self {
+        let grid = instance.grid.clone();
+        let mut resv = R::create(grid.width(), grid.height());
+        for robot in &instance.robots {
+            resv.park(robot.id, robot.pos, 0);
+        }
+        let cache = (with_cache && config.cache_threshold > 0)
+            .then(|| PathCache::new(&grid, config.cache_threshold));
+        let knn = with_knn.then(|| {
+            let homes: Vec<GridPos> = instance.racks.iter().map(|r| r.home).collect();
+            KNearestRacks::build(&grid, &homes, config.k_nearest)
+        });
+        Self {
+            oracle: DistanceOracle::new(&grid),
+            resv,
+            cache,
+            knn,
+            config,
+            stats: PlannerStats::default(),
+            grid,
+            last_gc: 0,
+        }
+    }
+
+    /// Uncongested distance `d(a, b)`.
+    #[inline]
+    pub fn dist(&mut self, a: GridPos, b: GridPos) -> u64 {
+        self.oracle.dist(a, b)
+    }
+
+    /// Time a closure into the *selection* bucket (STC).
+    pub fn timed_selection<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(self);
+        self.stats.selection_ns += t0.elapsed().as_nanos() as u64;
+        out
+    }
+
+    /// Plan and reserve a conflict-free leg; timed into the *planning*
+    /// bucket (PTC). Returns `None` when blocked (caller retries later).
+    pub fn plan_and_reserve(
+        &mut self,
+        robot: RobotId,
+        from: GridPos,
+        to: GridPos,
+        start: Tick,
+        park_at_goal: bool,
+    ) -> Option<Path> {
+        let t0 = Instant::now();
+        let opts = PlanOptions {
+            max_expansions: self.config.max_expansions,
+            horizon_slack: self.config.horizon_slack,
+            park_at_goal,
+            ..PlanOptions::default()
+        };
+        let outcome = plan_path(
+            &self.grid,
+            &self.resv,
+            robot,
+            from,
+            start,
+            to,
+            self.cache.as_mut(),
+            &opts,
+        );
+        self.stats.planning_ns += t0.elapsed().as_nanos() as u64;
+        match outcome {
+            Some(out) => {
+                self.stats.expansions += out.expansions as u64;
+                self.stats.paths_planned += 1;
+                if out.used_cache {
+                    self.stats.cache_spliced += 1;
+                }
+                self.resv.reserve_path(robot, &out.path, park_at_goal);
+                Some(out.path)
+            }
+            None => {
+                self.stats.paths_failed += 1;
+                None
+            }
+        }
+    }
+
+    /// Reservation GC, self-gated on the configured period.
+    pub fn housekeeping(&mut self, t: Tick) {
+        if t >= self.last_gc + self.config.gc_period {
+            self.resv.release_before(t);
+            self.last_gc = t;
+        }
+    }
+
+    /// Remove the parked entry of a robot that docked into a station bay.
+    pub fn on_dock(&mut self, robot: RobotId) {
+        self.resv.unpark(robot);
+    }
+
+    /// Snapshot stats with the current memory footprint filled in.
+    pub fn stats_snapshot(&self, extra_bytes: usize) -> PlannerStats {
+        let mut s = self.stats.clone();
+        s.memory_bytes = self.resv.memory_bytes()
+            + self.cache.as_ref().map_or(0, |c| c.memory_bytes())
+            + self.knn.as_ref().map_or(0, |k| k.memory_bytes())
+            + extra_bytes;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tprw_warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+    fn instance() -> Instance {
+        ScenarioSpec {
+            name: "base-test".into(),
+            layout: LayoutConfig::sized(30, 20),
+            n_racks: 20,
+            n_robots: 5,
+            n_pickers: 2,
+            workload: WorkloadConfig::poisson(50, 1.0),
+            seed: 5,
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_parks_robots() {
+        let inst = instance();
+        let base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        for robot in &inst.robots {
+            assert_eq!(
+                base.resv.parked_at(robot.pos),
+                Some((robot.id, 0)),
+                "robot {} must be parked at spawn",
+                robot.id
+            );
+        }
+        assert!(base.cache.is_none());
+        assert!(base.knn.is_none());
+    }
+
+    #[test]
+    fn optional_structures_enabled() {
+        let inst = instance();
+        let base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), true, true);
+        assert!(base.cache.is_some());
+        assert!(base.knn.is_some());
+        let stats = base.stats_snapshot(0);
+        assert!(stats.memory_bytes > 0);
+    }
+
+    #[test]
+    fn plan_and_reserve_counts() {
+        let inst = instance();
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let robot = inst.robots[0].id;
+        let from = inst.robots[0].pos;
+        let to = inst.racks[0].home;
+        let path = base.plan_and_reserve(robot, from, to, 0, true).unwrap();
+        assert_eq!(path.first(), from);
+        assert_eq!(path.last(), to);
+        assert_eq!(base.stats.paths_planned, 1);
+        assert!(base.stats.planning_ns > 0);
+        // Robot is now parked at the rack home.
+        assert_eq!(base.resv.parked_at(to), Some((robot, path.end() + 1)));
+    }
+
+    #[test]
+    fn failed_plan_counts() {
+        let inst = instance();
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        // Goal occupied by another parked robot → immediate failure.
+        let blocker_pos = inst.robots[1].pos;
+        let robot = inst.robots[0].id;
+        let from = inst.robots[0].pos;
+        let out = base.plan_and_reserve(robot, from, blocker_pos, 0, true);
+        assert!(out.is_none());
+        assert_eq!(base.stats.paths_failed, 1);
+    }
+
+    #[test]
+    fn timed_selection_accumulates() {
+        let inst = instance();
+        let mut base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let v = base.timed_selection(|_| 42);
+        assert_eq!(v, 42);
+        assert!(base.stats.selection_ns > 0);
+    }
+
+    #[test]
+    fn housekeeping_gates_on_period() {
+        let inst = instance();
+        let mut base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let robot = inst.robots[0].id;
+        let from = inst.robots[0].pos;
+        let to = inst.racks[0].home;
+        let path = base.plan_and_reserve(robot, from, to, 0, true).unwrap();
+        let live = base.resv.reservation_count();
+        assert!(live > 0);
+        base.housekeeping(1); // within period: no-op (last_gc = 0, period 64)
+        assert_eq!(base.resv.reservation_count(), live);
+        base.housekeeping(path.end() + 65);
+        assert_eq!(base.resv.reservation_count(), 0, "past entries collected");
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(SpatioTemporalGraph::backend_name(), "STG");
+        assert_eq!(ConflictDetectionTable::backend_name(), "CDT");
+    }
+}

@@ -1,0 +1,322 @@
+//! Efficient Adaptive Task Planning (Algorithm 3, Sec. VI).
+//!
+//! ATP plus the three efficiency optimizations:
+//!
+//! 1. **Flip requesting side** (Sec. VI-A): instead of ranking every rack,
+//!    iterate idle *robots* and consult the static per-cell K-nearest-rack
+//!    index; each robot ε-greedily adopts the first of its K closest
+//!    selectable racks whose Q-action says "request". Selection drops from
+//!    `O(R log R)` to `O(|A|·K)`.
+//! 2. **Conflict detection table** (Sec. VI-B): path finding reserves into
+//!    the `O(HW + live)` CDT instead of the dense spatiotemporal graph.
+//! 3. **Cache-aided path finding** (Sec. VI-B): near-goal tails (within
+//!    Manhattan distance `L`) are spliced from a conflict-agnostic shortest-
+//!    path cache with waits instead of expanding the open set.
+
+use crate::atp::greedy_bootstrap_select;
+use crate::base::PlannerBase;
+use crate::config::EatpConfig;
+use crate::planner::{AssignmentPlan, Planner, PlannerStats};
+use crate::qlearning::QTable;
+use crate::world::WorldView;
+use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
+use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+
+/// Algorithm 3: flip-side Q-selection + CDT + cache-aided A*.
+pub struct EfficientAdaptiveTaskPlanner {
+    config: EatpConfig,
+    q: QTable,
+    base: Option<PlannerBase<ConflictDetectionTable>>,
+}
+
+impl EfficientAdaptiveTaskPlanner {
+    /// Build an (uninitialized) planner; call [`Planner::init`] before use.
+    pub fn new(config: EatpConfig) -> Self {
+        let q = QTable::new(config.rl.clone());
+        Self {
+            config,
+            q,
+            base: None,
+        }
+    }
+
+    /// Read access to the value function (diagnostics, ablations).
+    pub fn q_table(&self) -> &QTable {
+        &self.q
+    }
+
+    /// Flip-side selection (Alg. 3 lines 10–13): per idle robot, ε-greedy
+    /// over its K nearest selectable racks; stop at the first adopted rack.
+    fn flip_side_select(
+        q: &mut QTable,
+        base: &mut PlannerBase<ConflictDetectionTable>,
+        world: &WorldView<'_>,
+    ) -> Vec<(RackId, RobotId)> {
+        // Membership bitmap for `selectable` (selection must stay O(|A|·K)).
+        let mut selectable = vec![false; world.racks.len()];
+        for &rid in world.selectable_racks {
+            selectable[rid.index()] = true;
+        }
+        let mut pairs = Vec::new();
+        for &aid in world.idle_robots {
+            let pos = world.robot(aid).pos;
+            let knn = base.knn.as_ref().expect("EATP builds the KNN index");
+            // Collect candidates first: the q/base borrows below must not
+            // overlap the index borrow.
+            let candidates: Vec<RackId> = knn
+                .nearest(pos)
+                .iter()
+                .copied()
+                .filter(|r| selectable[r.index()])
+                .collect();
+            for rid in candidates {
+                let rack = world.rack(rid);
+                let picker = world.picker_of(rack);
+                let s = q.state(picker.accum_processing, rack.accum_processing);
+                let action = q.epsilon_greedy(s);
+                if action == 1 {
+                    let delivery = base.dist(rack.home, picker.pos);
+                    let reward =
+                        QTable::reward(picker.finish_time(), delivery, rack.pending_time);
+                    q.update(
+                        picker.accum_processing,
+                        rack.accum_processing,
+                        1,
+                        reward,
+                        rack.pending_time,
+                    );
+                    selectable[rid.index()] = false;
+                    pairs.push((rid, aid));
+                    break; // Alg. 3 line 13: one rack per robot
+                } else {
+                    let hold = QTable::hold_reward(rack.pending.len());
+                    q.update(picker.accum_processing, rack.accum_processing, 0, hold, 0);
+                }
+            }
+        }
+        pairs
+    }
+}
+
+impl Planner for EfficientAdaptiveTaskPlanner {
+    fn name(&self) -> &'static str {
+        "EATP"
+    }
+
+    fn init(&mut self, instance: &Instance) {
+        self.base = Some(PlannerBase::new(instance, self.config.clone(), true, true));
+    }
+
+    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+        let base = self.base.as_mut().expect("init() must be called first");
+        if !world.has_work() {
+            return Vec::new();
+        }
+        let q = &mut self.q;
+        // Selection step (timed as STC).
+        let pairs: Vec<(RackId, RobotId)> = base.timed_selection(|base| {
+            if q.sample_bootstrap() {
+                // Approximate arm: greedy selection; robots matched below.
+                greedy_bootstrap_select(q, base, world, world.idle_robots.len())
+                    .into_iter()
+                    .map(|rid| (rid, RobotId::new(u32::MAX as usize)))
+                    .collect()
+            } else {
+                Self::flip_side_select(q, base, world)
+            }
+        });
+
+        // Planning step (timed as PTC inside plan_and_reserve).
+        let mut used = vec![false; world.robots.len()];
+        let mut plans = Vec::new();
+        for (rack_id, robot_hint) in pairs {
+            let rack = world.rack(rack_id);
+            let robot = if robot_hint.0 == u32::MAX {
+                // Greedy arm: closest unused idle robot (parked-home rule).
+                match crate::assignment::pick_robot(base, world, rack_id, &used) {
+                    Some(r) => r,
+                    None => continue,
+                }
+            } else {
+                // Flip-side arm already paired a robot; honour the
+                // parked-home rule.
+                match base.resv.parked_at(rack.home) {
+                    Some((p, _)) if p != robot_hint => continue,
+                    _ => robot_hint,
+                }
+            };
+            if used[robot.index()] {
+                continue;
+            }
+            let from = world.robot(robot).pos;
+            if let Some(path) = base.plan_and_reserve(robot, from, rack.home, world.t, true) {
+                used[robot.index()] = true;
+                plans.push(AssignmentPlan {
+                    robot,
+                    rack: rack_id,
+                    path,
+                });
+            }
+        }
+        plans
+    }
+
+    fn plan_leg(
+        &mut self,
+        robot: RobotId,
+        from: GridPos,
+        to: GridPos,
+        start: Tick,
+        park: bool,
+    ) -> Option<Path> {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .plan_and_reserve(robot, from, to, start, park)
+    }
+
+    fn on_dock(&mut self, robot: RobotId) {
+        self.base.as_mut().expect("initialized").on_dock(robot);
+    }
+
+    fn housekeeping(&mut self, t: Tick) {
+        self.base.as_mut().expect("initialized").housekeeping(t);
+    }
+
+    fn stats(&self) -> PlannerStats {
+        let mut s = self
+            .base
+            .as_ref()
+            .map(|b| b.stats_snapshot(self.q.memory_bytes()))
+            .unwrap_or_default();
+        s.q_states = self.q.state_count();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tprw_warehouse::{ItemId, LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+    fn instance() -> Instance {
+        ScenarioSpec {
+            name: "eatp-test".into(),
+            layout: LayoutConfig::sized(30, 20),
+            n_racks: 12,
+            n_robots: 4,
+            n_pickers: 2,
+            workload: WorkloadConfig::poisson(40, 1.0),
+            seed: 23,
+        }
+        .build()
+        .unwrap()
+    }
+
+    fn add_pending(inst: &mut Instance, rack_idx: usize, work: u64) {
+        inst.racks[rack_idx].pending.push(ItemId::new(rack_idx));
+        inst.racks[rack_idx].pending_time = work;
+    }
+
+    fn world_of<'a>(
+        inst: &'a Instance,
+        idle: &'a [RobotId],
+        selectable: &'a [RackId],
+    ) -> WorldView<'a> {
+        WorldView {
+            t: 0,
+            racks: &inst.racks,
+            pickers: &inst.pickers,
+            robots: &inst.robots,
+            idle_robots: idle,
+            selectable_racks: selectable,
+        }
+    }
+
+    #[test]
+    fn init_builds_cache_and_knn() {
+        let inst = instance();
+        let mut planner = EfficientAdaptiveTaskPlanner::new(EatpConfig::default());
+        planner.init(&inst);
+        let base = planner.base.as_ref().unwrap();
+        assert!(base.cache.is_some());
+        assert!(base.knn.is_some());
+    }
+
+    #[test]
+    fn flip_side_assigns_nearby_racks() {
+        let mut inst = instance();
+        for i in 0..6 {
+            add_pending(&mut inst, i, 30);
+        }
+        let mut config = EatpConfig::default();
+        config.rl.delta = 0.0; // always flip-side
+        config.rl.epsilon = 0.0;
+        let mut planner = EfficientAdaptiveTaskPlanner::new(config);
+        planner.init(&inst);
+        let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
+        let selectable: Vec<RackId> = (0..6).map(RackId::new).collect();
+        let world = world_of(&inst, &idle, &selectable);
+        let plans = planner.plan(&world);
+        assert!(!plans.is_empty());
+        // Every assignment's rack must be within the robot's K-nearest list.
+        let base = planner.base.as_ref().unwrap();
+        let knn = base.knn.as_ref().unwrap();
+        for p in &plans {
+            let robot_pos = inst.robots[p.robot.index()].pos;
+            assert!(
+                knn.nearest(robot_pos).contains(&p.rack),
+                "rack {} not in robot {}'s K-nearest",
+                p.rack,
+                p.robot
+            );
+        }
+    }
+
+    #[test]
+    fn one_rack_per_robot() {
+        let mut inst = instance();
+        for i in 0..10 {
+            add_pending(&mut inst, i, 30);
+        }
+        let mut planner = EfficientAdaptiveTaskPlanner::new(EatpConfig::default());
+        planner.init(&inst);
+        let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
+        let selectable: Vec<RackId> = (0..10).map(RackId::new).collect();
+        let world = world_of(&inst, &idle, &selectable);
+        let plans = planner.plan(&world);
+        let mut robots: Vec<_> = plans.iter().map(|p| p.robot).collect();
+        robots.sort();
+        robots.dedup();
+        assert_eq!(robots.len(), plans.len());
+        let mut racks: Vec<_> = plans.iter().map(|p| p.rack).collect();
+        racks.sort();
+        racks.dedup();
+        assert_eq!(racks.len(), plans.len());
+    }
+
+    #[test]
+    fn stats_report_cdt_and_cache() {
+        let mut inst = instance();
+        add_pending(&mut inst, 0, 30);
+        let mut planner = EfficientAdaptiveTaskPlanner::new(EatpConfig::default());
+        planner.init(&inst);
+        let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
+        let selectable = vec![inst.racks[0].id];
+        let world = world_of(&inst, &idle, &selectable);
+        let _ = planner.plan(&world);
+        let stats = planner.stats();
+        assert!(stats.memory_bytes > 0);
+        assert!(stats.selection_ns > 0);
+    }
+
+    #[test]
+    fn zero_cache_threshold_disables_cache() {
+        let inst = instance();
+        let mut config = EatpConfig::default();
+        config.cache_threshold = 0;
+        let mut planner = EfficientAdaptiveTaskPlanner::new(config);
+        planner.init(&inst);
+        assert!(planner.base.as_ref().unwrap().cache.is_none());
+    }
+}

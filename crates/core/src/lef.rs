@@ -1,0 +1,206 @@
+//! Least Expiration First planning (baseline \[17\]).
+//!
+//! A spatiotemporal task-selection strategy from spatial crowdsourcing:
+//! tasks closest to expiring are served first. TPRW items never expire, so —
+//! following the paper's adaptation — *"by assuming all items with the same
+//! degree of tolerance of delay, this algorithm will select racks whose
+//! items emerged earliest"*.
+
+use crate::assignment::match_and_plan;
+use crate::base::PlannerBase;
+use crate::config::EatpConfig;
+use crate::planner::{AssignmentPlan, Planner, PlannerStats};
+use crate::world::WorldView;
+use tprw_pathfinding::{Path, SpatioTemporalGraph};
+use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+
+/// Baseline: earliest-emerged-item-first selection.
+pub struct LeastExpirationFirst {
+    config: EatpConfig,
+    base: Option<PlannerBase<SpatioTemporalGraph>>,
+    /// Arrival tick per item id (from the instance's item stream), used to
+    /// find each rack's oldest pending item.
+    arrivals: Vec<Tick>,
+}
+
+impl LeastExpirationFirst {
+    /// Build an (uninitialized) planner; call [`Planner::init`] before use.
+    pub fn new(config: EatpConfig) -> Self {
+        Self {
+            config,
+            base: None,
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// Emergence tick of a rack's oldest pending item. Pending lists are
+    /// append-ordered by arrival, so the front is the oldest. (Selection
+    /// inlines this for borrow-splitting; kept public-in-crate for tests.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn oldest_pending(&self, world: &WorldView<'_>, rack: RackId) -> Tick {
+        world
+            .rack(rack)
+            .pending
+            .first()
+            .map(|item| self.arrivals[item.index()])
+            .unwrap_or(Tick::MAX)
+    }
+}
+
+impl Planner for LeastExpirationFirst {
+    fn name(&self) -> &'static str {
+        "LEF"
+    }
+
+    fn init(&mut self, instance: &Instance) {
+        self.arrivals = instance.items.iter().map(|i| i.arrival).collect();
+        self.base = Some(PlannerBase::new(
+            instance,
+            self.config.clone(),
+            false,
+            false,
+        ));
+    }
+
+    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+        if !world.has_work() {
+            return Vec::new();
+        }
+        let cap = world.idle_robots.len() * 2;
+        // Split borrows: selection needs &self.arrivals, planning needs
+        // &mut base.
+        let mut selected: Vec<RackId> = Vec::new();
+        {
+            let arrivals = &self.arrivals;
+            let base = self.base.as_mut().expect("init() must be called first");
+            base.timed_selection(|_| {
+                let mut ranked: Vec<(Tick, RackId)> = world
+                    .selectable_racks
+                    .iter()
+                    .map(|&rid| {
+                        let oldest = world
+                            .rack(rid)
+                            .pending
+                            .first()
+                            .map(|item| arrivals[item.index()])
+                            .unwrap_or(Tick::MAX);
+                        (oldest, rid)
+                    })
+                    .collect();
+                ranked.sort_unstable();
+                selected = ranked.into_iter().take(cap).map(|(_, r)| r).collect();
+            });
+        }
+        let base = self.base.as_mut().expect("initialized");
+        match_and_plan(base, world, &selected)
+    }
+
+    fn plan_leg(
+        &mut self,
+        robot: RobotId,
+        from: GridPos,
+        to: GridPos,
+        start: Tick,
+        park: bool,
+    ) -> Option<Path> {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .plan_and_reserve(robot, from, to, start, park)
+    }
+
+    fn on_dock(&mut self, robot: RobotId) {
+        self.base.as_mut().expect("initialized").on_dock(robot);
+    }
+
+    fn housekeeping(&mut self, t: Tick) {
+        self.base.as_mut().expect("initialized").housekeeping(t);
+    }
+
+    fn stats(&self) -> PlannerStats {
+        self.base
+            .as_ref()
+            .map(|b| b.stats_snapshot(self.arrivals.len() * std::mem::size_of::<Tick>()))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tprw_warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+    fn instance() -> Instance {
+        ScenarioSpec {
+            name: "lef-test".into(),
+            layout: LayoutConfig::sized(30, 20),
+            n_racks: 10,
+            n_robots: 3,
+            n_pickers: 2,
+            workload: WorkloadConfig::poisson(40, 1.0),
+            seed: 9,
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn earliest_item_rack_first() {
+        let mut inst = instance();
+        // Give rack 0 a *later* item than rack 1.
+        // Items are sorted by arrival; use the actual item stream.
+        let late_item = inst.items.last().unwrap().clone();
+        let early_item = inst.items.first().unwrap().clone();
+        inst.racks[0].pending.push(late_item.id);
+        inst.racks[0].pending_time = late_item.processing;
+        inst.racks[1].pending.push(early_item.id);
+        inst.racks[1].pending_time = early_item.processing;
+
+        let mut planner = LeastExpirationFirst::new(EatpConfig::default());
+        planner.init(&inst);
+        let idle: Vec<RobotId> = vec![inst.robots[0].id];
+        let selectable = vec![inst.racks[0].id, inst.racks[1].id];
+        let world = WorldView {
+            t: late_item.arrival + 1,
+            racks: &inst.racks,
+            pickers: &inst.pickers,
+            robots: &inst.robots,
+            idle_robots: &idle,
+            selectable_racks: &selectable,
+        };
+        let plans = planner.plan(&world);
+        assert_eq!(plans.len(), 1, "single idle robot");
+        assert_eq!(
+            plans[0].rack,
+            inst.racks[1].id,
+            "rack with the earliest item wins"
+        );
+    }
+
+    #[test]
+    fn oldest_pending_empty_is_max() {
+        let inst = instance();
+        let planner = {
+            let mut p = LeastExpirationFirst::new(EatpConfig::default());
+            p.init(&inst);
+            p
+        };
+        let world = WorldView {
+            t: 0,
+            racks: &inst.racks,
+            pickers: &inst.pickers,
+            robots: &inst.robots,
+            idle_robots: &[],
+            selectable_racks: &[],
+        };
+        assert_eq!(planner.oldest_pending(&world, inst.racks[0].id), Tick::MAX);
+    }
+
+    #[test]
+    fn stats_include_arrival_table() {
+        let inst = instance();
+        let mut planner = LeastExpirationFirst::new(EatpConfig::default());
+        planner.init(&inst);
+        assert!(planner.stats().memory_bytes >= inst.items.len() * 8);
+    }
+}

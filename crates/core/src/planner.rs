@@ -1,0 +1,110 @@
+//! The planner abstraction driven by the validation system.
+//!
+//! A [`Planner`] is called once per timestamp with a
+//! [`crate::world::WorldView`] and returns pickup assignments (`U_t` of
+//! Definition 5, restricted to newly assigned robots). As robots progress
+//! through the fulfilment cycle the engine requests the remaining legs
+//! (delivery, return) via [`Planner::plan_leg`]. All returned paths are
+//! already reserved in the planner's conflict-avoidance structure.
+
+use crate::world::WorldView;
+use tprw_pathfinding::Path;
+use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+
+/// One pickup assignment: `robot` travels `path` to fetch `rack`.
+#[derive(Debug, Clone)]
+pub struct AssignmentPlan {
+    /// The assigned robot.
+    pub robot: RobotId,
+    /// The selected rack.
+    pub rack: RackId,
+    /// Conflict-free pickup path (already reserved by the planner).
+    pub path: Path,
+}
+
+/// Cumulative efficiency counters (the STC/PTC/MC metrics of Sec. VII-A).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlannerStats {
+    /// Nanoseconds spent in rack selection (STC).
+    pub selection_ns: u64,
+    /// Nanoseconds spent in path finding (PTC).
+    pub planning_ns: u64,
+    /// Current memory of reservation/cache/learning structures (MC).
+    pub memory_bytes: usize,
+    /// Total A* state expansions.
+    pub expansions: u64,
+    /// Successful path queries.
+    pub paths_planned: u64,
+    /// Failed path queries (retried by the engine on later ticks).
+    pub paths_failed: u64,
+    /// Paths whose tail came from the path cache (EATP only).
+    pub cache_spliced: u64,
+    /// Distinct explored Q-states (ATP/EATP only).
+    pub q_states: usize,
+}
+
+/// A task planner for the TPRW problem.
+pub trait Planner {
+    /// Paper-facing name (`"NTP"`, `"LEF"`, `"ILP"`, `"ATP"`, `"EATP"`).
+    fn name(&self) -> &'static str;
+
+    /// Bind to a problem instance: builds the reservation structure, the
+    /// distance oracle and (planner-specific) indexes; parks the initial
+    /// robot fleet.
+    fn init(&mut self, instance: &Instance);
+
+    /// The per-timestamp planning step: select racks, match idle robots,
+    /// plan and reserve conflict-free pickup paths.
+    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan>;
+
+    /// Plan and reserve a delivery (`park = false`; the robot docks into the
+    /// station bay on arrival) or return (`park = true`) leg starting at
+    /// `start` tick. `None` means "blocked — retry at a later tick".
+    fn plan_leg(
+        &mut self,
+        robot: RobotId,
+        from: GridPos,
+        to: GridPos,
+        start: Tick,
+        park: bool,
+    ) -> Option<Path>;
+
+    /// Notification that `robot` docked at a station and left the grid.
+    fn on_dock(&mut self, robot: RobotId);
+
+    /// Periodic maintenance: reservation garbage collection (the paper's
+    /// `update` operation). Called every tick; implementations self-gate on
+    /// their configured period.
+    fn housekeeping(&mut self, t: Tick);
+
+    /// Current cumulative statistics.
+    fn stats(&self) -> PlannerStats;
+}
+
+/// Convenience: does this planner learn (ATP/EATP)? Used by benches to
+/// decide warm-up episodes.
+pub fn is_learning(name: &str) -> bool {
+    matches!(name, "ATP" | "EATP")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learning_classification() {
+        assert!(is_learning("ATP"));
+        assert!(is_learning("EATP"));
+        assert!(!is_learning("NTP"));
+        assert!(!is_learning("LEF"));
+        assert!(!is_learning("ILP"));
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = PlannerStats::default();
+        assert_eq!(s.selection_ns, 0);
+        assert_eq!(s.paths_planned, 0);
+        assert_eq!(s.memory_bytes, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Uncongested shortest distances `d(·,·)` on the grid.
+//!
+//! The makespan formulas (Eq. 2) and all selection heuristics use the path
+//! length between two locations ignoring other robots. On obstacle-free
+//! layouts (the default: robots drive under racks) this is exactly the
+//! Manhattan distance; with blocked cells we fall back to memoized BFS.
+
+use std::collections::{HashMap, VecDeque};
+use tprw_warehouse::{CellKind, GridMap, GridPos};
+
+/// Distance field from one source over passable cells.
+#[derive(Debug, Clone)]
+pub struct DistanceGrid {
+    width: u16,
+    dist: Vec<u32>,
+}
+
+/// Marker for unreachable cells.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl DistanceGrid {
+    /// Distance from the BFS source to `p` (`UNREACHABLE` if cut off).
+    #[inline]
+    pub fn get(&self, p: GridPos) -> u32 {
+        self.dist[p.to_index(self.width)]
+    }
+}
+
+/// BFS over passable cells from `source`.
+pub fn bfs_distances(grid: &GridMap, source: GridPos) -> DistanceGrid {
+    let mut dist = vec![UNREACHABLE; grid.cell_count()];
+    let mut queue = VecDeque::new();
+    if grid.passable(source) {
+        dist[source.to_index(grid.width())] = 0;
+        queue.push_back(source);
+    }
+    while let Some(p) = queue.pop_front() {
+        let d = dist[p.to_index(grid.width())];
+        for q in grid.passable_neighbors(p) {
+            let slot = &mut dist[q.to_index(grid.width())];
+            if *slot == UNREACHABLE {
+                *slot = d + 1;
+                queue.push_back(q);
+            }
+        }
+    }
+    DistanceGrid {
+        width: grid.width(),
+        dist,
+    }
+}
+
+/// Shared distance oracle: exact Manhattan on obstacle-free grids, memoized
+/// BFS fields otherwise.
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    grid: GridMap,
+    obstacle_free: bool,
+    fields: HashMap<GridPos, DistanceGrid>,
+}
+
+impl DistanceOracle {
+    /// Build an oracle over (a clone of) the grid.
+    pub fn new(grid: &GridMap) -> Self {
+        let obstacle_free = grid.count_kind(CellKind::Blocked) == 0;
+        Self {
+            grid: grid.clone(),
+            obstacle_free,
+            fields: HashMap::new(),
+        }
+    }
+
+    /// Whether Manhattan distance is exact on this grid.
+    #[inline]
+    pub fn obstacle_free(&self) -> bool {
+        self.obstacle_free
+    }
+
+    /// `d(a, b)`: uncongested travel delay between two cells.
+    pub fn dist(&mut self, a: GridPos, b: GridPos) -> u64 {
+        if self.obstacle_free {
+            return a.manhattan(b);
+        }
+        let field = self
+            .fields
+            .entry(a)
+            .or_insert_with(|| bfs_distances(&self.grid, a));
+        let d = field.get(b);
+        if d == UNREACHABLE {
+            u64::MAX
+        } else {
+            d as u64
+        }
+    }
+
+    /// Read-only distance when possible without memoizing (Manhattan case).
+    pub fn dist_fast(&self, a: GridPos, b: GridPos) -> Option<u64> {
+        if self.obstacle_free {
+            Some(a.manhattan(b))
+        } else {
+            self.fields.get(&a).map(|f| {
+                let d = f.get(b);
+                if d == UNREACHABLE {
+                    u64::MAX
+                } else {
+                    d as u64
+                }
+            })
+        }
+    }
+
+    /// Number of memoized BFS fields (diagnostics).
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tprw_warehouse::CellKind;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    #[test]
+    fn open_grid_matches_manhattan() {
+        let grid = GridMap::filled(10, 10, CellKind::Aisle);
+        let field = bfs_distances(&grid, p(0, 0));
+        assert_eq!(field.get(p(3, 4)), 7);
+        assert_eq!(field.get(p(9, 9)), 18);
+        assert_eq!(field.get(p(0, 0)), 0);
+    }
+
+    #[test]
+    fn wall_forces_detour() {
+        // Vertical wall at x=2 with a gap at y=4.
+        let mut grid = GridMap::filled(6, 6, CellKind::Aisle);
+        for y in 0..6 {
+            if y != 4 {
+                grid.set_kind(p(2, y), CellKind::Blocked);
+            }
+        }
+        let field = bfs_distances(&grid, p(0, 0));
+        // Straight line would be 4; must detour via (2,4).
+        assert_eq!(field.get(p(4, 0)), 12);
+        assert_eq!(field.get(p(2, 0)), UNREACHABLE, "wall cell itself");
+    }
+
+    #[test]
+    fn unreachable_pocket() {
+        let mut grid = GridMap::filled(5, 5, CellKind::Aisle);
+        // Box in the corner cell (4,4).
+        grid.set_kind(p(3, 4), CellKind::Blocked);
+        grid.set_kind(p(4, 3), CellKind::Blocked);
+        grid.set_kind(p(3, 3), CellKind::Blocked);
+        let field = bfs_distances(&grid, p(0, 0));
+        assert_eq!(field.get(p(4, 4)), UNREACHABLE);
+    }
+
+    #[test]
+    fn oracle_uses_manhattan_when_free() {
+        let grid = GridMap::filled(8, 8, CellKind::Aisle);
+        let mut oracle = DistanceOracle::new(&grid);
+        assert!(oracle.obstacle_free());
+        assert_eq!(oracle.dist(p(1, 1), p(4, 5)), 7);
+        assert_eq!(oracle.field_count(), 0, "no BFS fields needed");
+    }
+
+    #[test]
+    fn oracle_memoizes_with_obstacles() {
+        let mut grid = GridMap::filled(8, 8, CellKind::Aisle);
+        grid.set_kind(p(4, 4), CellKind::Blocked);
+        let mut oracle = DistanceOracle::new(&grid);
+        assert!(!oracle.obstacle_free());
+        let d1 = oracle.dist(p(0, 0), p(7, 7));
+        assert_eq!(oracle.field_count(), 1);
+        let d2 = oracle.dist(p(0, 0), p(7, 0));
+        assert_eq!(oracle.field_count(), 1, "same source reuses the field");
+        assert_eq!(d1, 14);
+        assert_eq!(d2, 7);
+    }
+
+    proptest! {
+        /// On obstacle-free grids BFS must equal Manhattan everywhere.
+        #[test]
+        fn bfs_equals_manhattan_on_open_grid(
+            sx in 0u16..12, sy in 0u16..12, tx in 0u16..12, ty in 0u16..12
+        ) {
+            let grid = GridMap::filled(12, 12, CellKind::Aisle);
+            let field = bfs_distances(&grid, p(sx, sy));
+            prop_assert_eq!(
+                field.get(p(tx, ty)) as u64,
+                p(sx, sy).manhattan(p(tx, ty))
+            );
+        }
+
+        /// BFS distances satisfy the triangle inequality through any cell.
+        #[test]
+        fn bfs_triangle(
+            sx in 0u16..8, sy in 0u16..8,
+            mx in 0u16..8, my in 0u16..8,
+            tx in 0u16..8, ty in 0u16..8,
+        ) {
+            let mut grid = GridMap::filled(8, 8, CellKind::Aisle);
+            grid.set_kind(p(3, 3), CellKind::Blocked);
+            prop_assume!(p(sx, sy) != p(3, 3) && p(mx, my) != p(3, 3) && p(tx, ty) != p(3, 3));
+            let from_s = bfs_distances(&grid, p(sx, sy));
+            let from_m = bfs_distances(&grid, p(mx, my));
+            let (a, b, c) = (
+                from_s.get(p(tx, ty)),
+                from_s.get(p(mx, my)),
+                from_m.get(p(tx, ty)),
+            );
+            if b != UNREACHABLE && c != UNREACHABLE {
+                prop_assert!(a <= b + c);
+            }
+        }
+    }
+}

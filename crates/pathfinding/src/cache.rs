@@ -1,0 +1,262 @@
+//! Cache-aided path finding (Sec. VI-B).
+//!
+//! The cache stores conflict-*agnostic* shortest paths between cell pairs
+//! within Manhattan distance `L` of each other. During A*, once the search
+//! pops a vertex within `L` of the destination, the cached spatial path is
+//! spliced in and the robot simply *waits* whenever the next step would
+//! conflict — "directly moving along the shortest path with some wait",
+//! which shrinks the open set dramatically near the goal.
+//!
+//! Paths are materialized lazily and memoized (the cache warms up as the
+//! same approach corridors are reused). On obstacle-free grids the spatial
+//! shortest path is an L-shaped Manhattan walk; otherwise we fall back to a
+//! BFS parent trace.
+
+use crate::footprint::{MemoryFootprint, HASH_ENTRY_OVERHEAD};
+use std::collections::{HashMap, VecDeque};
+use tprw_warehouse::{CellKind, GridMap, GridPos};
+
+/// Memoized conflict-agnostic shortest paths for near-goal splicing.
+#[derive(Debug)]
+pub struct PathCache {
+    grid: GridMap,
+    obstacle_free: bool,
+    threshold: u64,
+    map: HashMap<(GridPos, GridPos), Box<[GridPos]>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PathCache {
+    /// Create a cache over (a clone of) `grid` with splice threshold `L`.
+    pub fn new(grid: &GridMap, threshold: u64) -> Self {
+        Self {
+            obstacle_free: grid.count_kind(CellKind::Blocked) == 0,
+            grid: grid.clone(),
+            threshold,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The splice threshold `L`.
+    #[inline]
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Whether `(from, to)` qualifies for cache splicing (within `L`).
+    #[inline]
+    pub fn within_threshold(&self, from: GridPos, to: GridPos) -> bool {
+        from.manhattan(to) <= self.threshold
+    }
+
+    /// The spatial shortest path `from → to` (inclusive of both endpoints),
+    /// memoized. Returns `None` when unreachable or outside the threshold.
+    pub fn shortest(&mut self, from: GridPos, to: GridPos) -> Option<&[GridPos]> {
+        if !self.within_threshold(from, to) {
+            return None;
+        }
+        // Entry API would borrow `self.map` while we may need `self.grid`;
+        // use contains_key + insert to keep borrows disjoint.
+        if !self.map.contains_key(&(from, to)) {
+            self.misses += 1;
+            let path = if self.obstacle_free {
+                Some(l_shaped_walk(from, to))
+            } else {
+                bfs_path(&self.grid, from, to)
+            };
+            let path = path?;
+            debug_assert_eq!(path.first(), Some(&from));
+            debug_assert_eq!(path.last(), Some(&to));
+            self.map.insert((from, to), path.into_boxed_slice());
+        } else {
+            self.hits += 1;
+        }
+        self.map.get(&(from, to)).map(|b| &b[..])
+    }
+
+    /// `(hits, misses)` counters (diagnostics).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl MemoryFootprint for PathCache {
+    fn memory_bytes(&self) -> usize {
+        let key = std::mem::size_of::<(GridPos, GridPos)>();
+        let val = std::mem::size_of::<Box<[GridPos]>>();
+        let entries: usize = self
+            .map
+            .values()
+            .map(|v| v.len() * std::mem::size_of::<GridPos>())
+            .sum();
+        self.map.len() * (key + val + HASH_ENTRY_OVERHEAD) + entries
+    }
+}
+
+/// Manhattan walk moving along x first, then y (both endpoints included).
+fn l_shaped_walk(from: GridPos, to: GridPos) -> Vec<GridPos> {
+    let mut path = Vec::with_capacity(from.manhattan(to) as usize + 1);
+    let mut cur = from;
+    path.push(cur);
+    while cur.x != to.x {
+        cur.x = if to.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+        path.push(cur);
+    }
+    while cur.y != to.y {
+        cur.y = if to.y > cur.y { cur.y + 1 } else { cur.y - 1 };
+        path.push(cur);
+    }
+    path
+}
+
+/// BFS shortest path on passable cells (both endpoints included).
+fn bfs_path(grid: &GridMap, from: GridPos, to: GridPos) -> Option<Vec<GridPos>> {
+    if !grid.passable(from) || !grid.passable(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: HashMap<GridPos, GridPos> = HashMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    parent.insert(from, from);
+    while let Some(p) = queue.pop_front() {
+        for q in grid.passable_neighbors(p) {
+            if parent.contains_key(&q) {
+                continue;
+            }
+            parent.insert(q, p);
+            if q == to {
+                let mut path = vec![q];
+                let mut cur = q;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(q);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    fn open_grid() -> GridMap {
+        GridMap::filled(12, 12, CellKind::Aisle)
+    }
+
+    #[test]
+    fn l_shape_on_open_grid() {
+        let mut cache = PathCache::new(&open_grid(), 50);
+        let path = cache.shortest(p(1, 1), p(4, 3)).unwrap().to_vec();
+        assert_eq!(path.len(), 6, "manhattan 5 + 1 endpoints");
+        assert_eq!(path[0], p(1, 1));
+        assert_eq!(*path.last().unwrap(), p(4, 3));
+        for w in path.windows(2) {
+            assert!(w[0].is_adjacent(w[1]));
+        }
+    }
+
+    #[test]
+    fn memoization_counts_hits() {
+        let mut cache = PathCache::new(&open_grid(), 50);
+        cache.shortest(p(0, 0), p(3, 3));
+        cache.shortest(p(0, 0), p(3, 3));
+        cache.shortest(p(0, 0), p(3, 3));
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn outside_threshold_rejected() {
+        let mut cache = PathCache::new(&open_grid(), 3);
+        assert!(cache.shortest(p(0, 0), p(5, 5)).is_none());
+        assert!(cache.shortest(p(0, 0), p(2, 1)).is_some());
+    }
+
+    #[test]
+    fn bfs_route_around_wall() {
+        let mut grid = open_grid();
+        for y in 0..11 {
+            grid.set_kind(p(5, y), CellKind::Blocked);
+        }
+        let mut cache = PathCache::new(&grid, 64);
+        let path = cache.shortest(p(3, 0), p(7, 0)).unwrap();
+        assert_eq!(path[0], p(3, 0));
+        assert_eq!(*path.last().unwrap(), p(7, 0));
+        // Must descend to row 11 to cross.
+        assert!(path.iter().any(|c| c.y == 11));
+        for w in path.windows(2).collect::<Vec<_>>() {
+            assert!(w[0].is_adjacent(w[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut grid = open_grid();
+        // Wall off the target completely.
+        grid.set_kind(p(10, 11), CellKind::Blocked);
+        grid.set_kind(p(11, 10), CellKind::Blocked);
+        let mut cache = PathCache::new(&grid, 64);
+        assert!(cache.shortest(p(0, 0), p(11, 11)).is_none());
+    }
+
+    #[test]
+    fn same_cell_single_step() {
+        let mut cache = PathCache::new(&open_grid(), 10);
+        let path = cache.shortest(p(4, 4), p(4, 4)).unwrap();
+        assert_eq!(path, &[p(4, 4)]);
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let mut cache = PathCache::new(&open_grid(), 50);
+        let before = cache.memory_bytes();
+        cache.shortest(p(0, 0), p(9, 9));
+        assert!(cache.memory_bytes() > before);
+    }
+
+    proptest! {
+        /// Cached paths on open grids are exactly Manhattan-length shortest
+        /// and connected.
+        #[test]
+        fn cached_paths_are_shortest(
+            ax in 0u16..12, ay in 0u16..12, bx in 0u16..12, by in 0u16..12
+        ) {
+            let mut cache = PathCache::new(&open_grid(), 64);
+            let a = p(ax, ay);
+            let b = p(bx, by);
+            let path = cache.shortest(a, b).unwrap();
+            prop_assert_eq!(path.len() as u64, a.manhattan(b) + 1);
+            for w in path.windows(2) {
+                prop_assert!(w[0].is_adjacent(w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Logical memory accounting.
+//!
+//! The paper's Fig. 12 compares the *memory consumption* of planners, whose
+//! dominant component is the reservation structure (spatiotemporal graph vs
+//! conflict detection table). JVM MiB numbers are not portable, so we account
+//! the live size of exactly those structures: every reservation/caching type
+//! reports its current heap usage in bytes, computed from element counts and
+//! `size_of` (see DESIGN.md §3). The `repro` binary additionally reports
+//! allocator-level numbers via a counting global allocator.
+
+/// Types that can report their (approximate) live heap size.
+pub trait MemoryFootprint {
+    /// Approximate number of heap bytes currently held.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Approximate per-entry overhead of a `BTreeMap` node slot, in bytes.
+/// B-tree nodes hold up to 11 entries (B=6) plus node headers; amortized
+/// bookkeeping is roughly two words per entry on top of key+value storage.
+pub const BTREE_ENTRY_OVERHEAD: usize = 16;
+
+/// Approximate per-entry overhead of a `HashMap` slot (SwissTable control
+/// byte + load-factor slack ≈ 1/0.875 occupancy), rounded up to a word.
+pub const HASH_ENTRY_OVERHEAD: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(usize);
+    impl MemoryFootprint for Fixed {
+        fn memory_bytes(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let boxed: Box<dyn MemoryFootprint> = Box::new(Fixed(123));
+        assert_eq!(boxed.memory_bytes(), 123);
+    }
+
+    #[test]
+    fn overheads_are_nonzero() {
+        assert!(BTREE_ENTRY_OVERHEAD > 0);
+        assert!(HASH_ENTRY_OVERHEAD > 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-cell K-nearest-rack index (Sec. VI-A, "flip requesting side").
+//!
+//! *"Since all racks' locations in the storage area are fixed, recording the
+//! closest K racks of different grids is static and easy to maintain."* —
+//! EATP traverses robots instead of racks and looks up the K racks closest
+//! to each robot's cell in O(1).
+//!
+//! Built with a multi-source BFS seeded at every rack home, so "closest"
+//! means true passable-grid distance; each cell keeps the first `K` racks
+//! that reach it (ties broken by rack id, deterministically).
+
+use crate::footprint::MemoryFootprint;
+use std::collections::VecDeque;
+use tprw_warehouse::{GridMap, GridPos, RackId};
+
+/// Static per-cell index of the K nearest racks.
+#[derive(Debug, Clone)]
+pub struct KNearestRacks {
+    width: u16,
+    k: usize,
+    /// `lists[cell]` holds up to `k` rack ids, nearest first.
+    lists: Vec<Vec<RackId>>,
+}
+
+impl KNearestRacks {
+    /// Build the index for `rack_homes` over `grid`.
+    ///
+    /// Complexity `O(HW·K)`: every cell is enqueued at most `K` times.
+    pub fn build(grid: &GridMap, rack_homes: &[GridPos], k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        let n = grid.cell_count();
+        let mut lists: Vec<Vec<RackId>> = vec![Vec::new(); n];
+        // Frontier of (cell, origin rack); BFS level order guarantees
+        // non-decreasing distance. Seed in rack-id order for deterministic
+        // tie-breaking.
+        let mut queue: VecDeque<(GridPos, RackId)> = VecDeque::new();
+        for (i, &home) in rack_homes.iter().enumerate() {
+            if grid.passable(home) {
+                queue.push_back((home, RackId::new(i)));
+            }
+        }
+        while let Some((pos, rack)) = queue.pop_front() {
+            let list = &mut lists[pos.to_index(grid.width())];
+            if list.len() >= k || list.contains(&rack) {
+                continue;
+            }
+            list.push(rack);
+            if list.len() <= k {
+                for next in grid.passable_neighbors(pos) {
+                    let nlist = &lists[next.to_index(grid.width())];
+                    if nlist.len() < k && !nlist.contains(&rack) {
+                        queue.push_back((next, rack));
+                    }
+                }
+            }
+        }
+        Self {
+            width: grid.width(),
+            k,
+            lists,
+        }
+    }
+
+    /// The up-to-K racks nearest to `pos`, nearest first.
+    #[inline]
+    pub fn nearest(&self, pos: GridPos) -> &[RackId] {
+        &self.lists[pos.to_index(self.width)]
+    }
+
+    /// The configured K.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl MemoryFootprint for KNearestRacks {
+    fn memory_bytes(&self) -> usize {
+        let headers = self.lists.len() * std::mem::size_of::<Vec<RackId>>();
+        let entries: usize = self
+            .lists
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<RackId>())
+            .sum();
+        headers + entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tprw_warehouse::CellKind;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    fn open_grid(w: u16, h: u16) -> GridMap {
+        GridMap::filled(w, h, CellKind::Aisle)
+    }
+
+    #[test]
+    fn single_rack_everywhere() {
+        let grid = open_grid(6, 6);
+        let idx = KNearestRacks::build(&grid, &[p(3, 3)], 2);
+        for y in 0..6 {
+            for x in 0..6 {
+                assert_eq!(idx.nearest(p(x, y)), &[RackId::new(0)]);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_first_ordering() {
+        let grid = open_grid(10, 3);
+        // Racks at x = 0 and x = 9 on the middle row.
+        let idx = KNearestRacks::build(&grid, &[p(0, 1), p(9, 1)], 2);
+        assert_eq!(idx.nearest(p(1, 1))[0], RackId::new(0));
+        assert_eq!(idx.nearest(p(8, 1))[0], RackId::new(1));
+        assert_eq!(idx.nearest(p(1, 1)).len(), 2);
+    }
+
+    #[test]
+    fn k_limits_list_length() {
+        let grid = open_grid(8, 8);
+        let homes: Vec<GridPos> = (0..6).map(|i| p(i, 0)).collect();
+        let idx = KNearestRacks::build(&grid, &homes, 3);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert!(idx.nearest(p(x, y)).len() <= 3);
+                assert_eq!(idx.nearest(p(x, y)).len(), 3, "enough racks exist");
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_by_rack_id() {
+        let grid = open_grid(5, 1);
+        // Two racks equidistant from the center cell.
+        let idx = KNearestRacks::build(&grid, &[p(0, 0), p(4, 0)], 1);
+        assert_eq!(idx.nearest(p(2, 0)), &[RackId::new(0)], "lower id wins tie");
+    }
+
+    #[test]
+    fn respects_walls() {
+        let mut grid = open_grid(5, 3);
+        // Wall separating left and right halves except via the bottom row.
+        grid.set_kind(p(2, 0), CellKind::Blocked);
+        grid.set_kind(p(2, 1), CellKind::Blocked);
+        let idx = KNearestRacks::build(&grid, &[p(0, 0), p(4, 0)], 1);
+        // Cell (3,0) is 1 from rack 1, but rack 0 requires the detour.
+        assert_eq!(idx.nearest(p(3, 0)), &[RackId::new(1)]);
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_k() {
+        let grid = open_grid(20, 20);
+        let homes: Vec<GridPos> = (0..10).map(|i| p(i, 10)).collect();
+        let small = KNearestRacks::build(&grid, &homes, 1);
+        let large = KNearestRacks::build(&grid, &homes, 8);
+        assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    proptest! {
+        /// The first entry of each list is a true nearest rack (Manhattan,
+        /// since the test grid is open).
+        #[test]
+        fn first_entry_is_nearest(
+            homes in proptest::collection::hash_set((0u16..10, 0u16..10), 1..8),
+            qx in 0u16..10, qy in 0u16..10,
+        ) {
+            let grid = open_grid(10, 10);
+            let homes: Vec<GridPos> =
+                homes.into_iter().map(|(x, y)| p(x, y)).collect();
+            let idx = KNearestRacks::build(&grid, &homes, 3);
+            let q = p(qx, qy);
+            let reported = idx.nearest(q)[0];
+            let best = homes
+                .iter()
+                .map(|h| h.manhattan(q))
+                .min()
+                .expect("non-empty");
+            prop_assert_eq!(homes[reported.index()].manhattan(q), best);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Conflict-free multi-agent path-finding substrate for TPRW.
+//!
+//! The planners of the paper search **time-expanded** paths: a vertex is a
+//! `(cell, tick)` pair and edges connect spatio-temporally adjacent vertices
+//! (Fig. 7). Two reservation systems implement conflict avoidance:
+//!
+//! * [`stg::SpatioTemporalGraph`] — the textbook structure: the spatial grid
+//!   duplicated per tick. Space `O(HW · T)`; used by ATP and the baselines.
+//! * [`cdt::ConflictDetectionTable`] — the paper's Sec. VI-B optimization:
+//!   one entry per cell holding the set of reserved passing times, space
+//!   `O(HW + reservations)`, with periodic garbage collection (`update`).
+//!
+//! Both implement [`reservation::ReservationSystem`], so every planner is
+//! generic over the structure — exactly the ATP/EATP split of the paper.
+//!
+//! [`astar`] implements spatiotemporal A* with optional **cache-aided
+//! splicing** ([`cache::PathCache`], Sec. VI-B): when the search pops a
+//! vertex within Manhattan distance `L` of the goal, it follows the cached
+//! conflict-agnostic shortest path, inserting waits until each step is
+//! conflict-free.
+//!
+//! [`knn::KNearestRacks`] provides the per-cell K-closest-rack index backing
+//! the "flip requesting side" optimization (Sec. VI-A).
+
+pub mod astar;
+pub mod bfs;
+pub mod cache;
+pub mod cdt;
+pub mod conflict;
+pub mod footprint;
+pub mod knn;
+pub mod path;
+mod proptests;
+pub mod reservation;
+pub mod stg;
+
+pub use astar::{plan_path, PlanOptions};
+pub use cache::PathCache;
+pub use cdt::ConflictDetectionTable;
+pub use conflict::{find_conflicts, Conflict};
+pub use footprint::MemoryFootprint;
+pub use knn::KNearestRacks;
+pub use path::Path;
+pub use reservation::ReservationSystem;
+pub use stg::SpatioTemporalGraph;

@@ -1,0 +1,106 @@
+//! Cross-module property tests: optimality on open grids and safety of
+//! cache-assisted planning against arbitrary reservation sets.
+
+#![cfg(test)]
+
+use crate::astar::{plan_path, PlanOptions};
+use crate::cache::PathCache;
+use crate::cdt::ConflictDetectionTable;
+use crate::conflict::find_conflicts;
+use crate::path::Path;
+use crate::reservation::ReservationSystem;
+use proptest::prelude::*;
+use tprw_warehouse::{CellKind, GridMap, GridPos, RobotId};
+
+fn open_grid(w: u16, h: u16) -> GridMap {
+    GridMap::filled(w, h, CellKind::Aisle)
+}
+
+proptest! {
+    /// With no reservations, A* is exactly Manhattan-optimal.
+    #[test]
+    fn astar_optimal_on_empty_grid(
+        sx in 0u16..15, sy in 0u16..15, gx in 0u16..15, gy in 0u16..15,
+        start_tick in 0u64..50,
+    ) {
+        let grid = open_grid(15, 15);
+        let resv = ConflictDetectionTable::new(15, 15);
+        let s = GridPos::new(sx, sy);
+        let g = GridPos::new(gx, gy);
+        let out = plan_path(
+            &grid, &resv, RobotId::new(0), s, start_tick, g, None,
+            &PlanOptions::default(),
+        ).expect("empty grid always solvable");
+        prop_assert_eq!(out.path.end() - out.path.start, s.manhattan(g));
+        prop_assert!(out.path.is_connected());
+        prop_assert_eq!(out.path.first(), s);
+        prop_assert_eq!(out.path.last(), g);
+    }
+
+    /// Cache-assisted planning yields conflict-free paths against random
+    /// pre-reserved traffic (the Sec. VI-B optimization must not lose the
+    /// Definition 5 guarantee).
+    #[test]
+    fn cached_plans_are_conflict_free(
+        blockers in proptest::collection::vec((0u16..10, 0u64..5), 1..5),
+        gx in 0u16..10, gy in 1u16..10,
+    ) {
+        let grid = open_grid(10, 10);
+        let mut resv = ConflictDetectionTable::new(10, 10);
+        let mut reserved: Vec<(RobotId, Path)> = Vec::new();
+        for (i, &(_x, start)) in blockers.iter().enumerate() {
+            // Vertical sweeps on distinct even columns (disjoint paths).
+            let col = 2 * i as u16;
+            let cells: Vec<GridPos> = (0..10u16).map(|y| GridPos::new(col, y)).collect();
+            let path = Path { start, cells };
+            let robot = RobotId::new(i + 1);
+            resv.reserve_path(robot, &path, false);
+            reserved.push((robot, path));
+        }
+        let me = RobotId::new(0);
+        let start = GridPos::new(9, 0); // column 9 is never a blocker lane
+        let goal = GridPos::new(gx, gy);
+        let mut cache = PathCache::new(&grid, 50);
+        let opts = PlanOptions { park_at_goal: false, ..PlanOptions::default() };
+        if let Some(out) = plan_path(&grid, &resv, me, start, 0, goal, Some(&mut cache), &opts) {
+            prop_assert!(out.path.is_connected());
+            prop_assert_eq!(out.path.last(), goal);
+            // Check against the *moving window* of each blocker: blockers
+            // were reserved without parking, so compare only while both are
+            // within their timed spans (the simulator removes docked robots
+            // from the grid, which find_conflicts cannot know).
+            for (robot, path) in &reserved {
+                let horizon = out.path.end().min(path.end());
+                let window_start = out.path.start.max(path.start);
+                if window_start <= horizon {
+                    let conflicts = find_conflicts(
+                        &[(me, &out.path), (*robot, path)],
+                        window_start,
+                        horizon,
+                    );
+                    prop_assert!(conflicts.is_empty(), "{:?}", conflicts);
+                }
+            }
+        }
+    }
+
+    /// Horizon slack bounds path length: any returned path fits within the
+    /// configured budget.
+    #[test]
+    fn paths_respect_horizon(
+        gx in 0u16..12, gy in 0u16..12, slack in 8u64..64,
+    ) {
+        let grid = open_grid(12, 12);
+        let resv = ConflictDetectionTable::new(12, 12);
+        let s = GridPos::new(0, 0);
+        let g = GridPos::new(gx, gy);
+        let opts = PlanOptions {
+            horizon_slack: slack,
+            park_at_goal: false,
+            ..PlanOptions::default()
+        };
+        if let Some(out) = plan_path(&grid, &resv, RobotId::new(0), s, 0, g, None, &opts) {
+            prop_assert!(out.path.end() <= s.manhattan(g) + slack);
+        }
+    }
+}

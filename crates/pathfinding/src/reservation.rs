@@ -1,0 +1,204 @@
+//! The reservation-system abstraction shared by all planners.
+//!
+//! A reservation system answers "who occupies cell `p` at tick `t`?" for
+//! both *timed* path reservations and *parked* robots (idle robots occupy
+//! their cell indefinitely until reassigned). Planners are generic over this
+//! trait: ATP plugs in the [`crate::stg::SpatioTemporalGraph`], EATP the
+//! [`crate::cdt::ConflictDetectionTable`] — the exact split evaluated in
+//! Figs. 11–12 of the paper.
+
+use crate::footprint::HASH_ENTRY_OVERHEAD;
+use crate::path::Path;
+use std::collections::HashMap;
+use tprw_warehouse::{GridPos, RobotId, Tick};
+
+/// Conflict-avoidance bookkeeping for timed paths and parked robots.
+pub trait ReservationSystem {
+    /// The robot reserving `pos` at tick `t`, if any (path step or parked).
+    fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId>;
+
+    /// Whether `robot` may *wait on or move to* `to` at tick `t+1` coming
+    /// from `from` at tick `t` without a single-grid or inter-grid conflict
+    /// (Definition 5). A robot never conflicts with its own reservations.
+    fn can_move(&self, robot: RobotId, from: GridPos, to: GridPos, t: Tick) -> bool {
+        if self.occupant(to, t + 1).is_some_and(|x| x != robot) {
+            return false; // single-grid conflict
+        }
+        if from != to {
+            // inter-grid (swap) conflict: someone sits on `to` now and will
+            // be on `from` next tick.
+            let there_now = self.occupant(to, t);
+            let here_next = self.occupant(from, t + 1);
+            if let (Some(x), Some(y)) = (there_now, here_next) {
+                if x == y && x != robot {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Reserve every timed step of `path` for `robot`. With `park_at_end`
+    /// the robot additionally occupies the final cell from the path's end
+    /// onward (pickup/return legs end with the robot standing on the floor);
+    /// delivery legs end at a station where the robot docks into the bay and
+    /// leaves the grid, so they do not park.
+    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool);
+
+    /// The latest *timed* reservation on `pos` by any robot other than
+    /// `robot`, if one exists. Used to accept parking goals: a robot may only
+    /// park on a cell after every already-planned traversal of it.
+    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick>;
+
+    /// The parked occupant of `pos`, with the tick its parking starts.
+    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)>;
+
+    /// Park `robot` at `pos` from tick `from` onward (occupies the cell at
+    /// every `t >= from` until [`ReservationSystem::unpark`]).
+    fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick);
+
+    /// Remove `robot`'s parked reservation (it is about to move or has left
+    /// the grid into a station bay).
+    fn unpark(&mut self, robot: RobotId);
+
+    /// Garbage-collect timed reservations strictly before tick `t` (the
+    /// paper's periodic `update` operation).
+    fn release_before(&mut self, t: Tick);
+
+    /// Number of live timed reservations (diagnostics).
+    fn reservation_count(&self) -> usize;
+}
+
+/// Shared bookkeeping for parked (indefinitely stationary) robots, used by
+/// both reservation-system implementations.
+#[derive(Debug, Default, Clone)]
+pub struct ParkingBoard {
+    by_cell: HashMap<GridPos, (RobotId, Tick)>,
+    by_robot: HashMap<RobotId, GridPos>,
+}
+
+impl ParkingBoard {
+    /// Empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The robot parked on `pos` at tick `t`, if any.
+    #[inline]
+    pub fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
+        match self.by_cell.get(&pos) {
+            Some(&(robot, from)) if t >= from => Some(robot),
+            _ => None,
+        }
+    }
+
+    /// The parked occupant of `pos` regardless of start tick.
+    #[inline]
+    pub fn entry(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
+        self.by_cell.get(&pos).copied()
+    }
+
+    /// Park `robot` at `pos` from `from` onward, replacing any previous
+    /// parking spot of the same robot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a *different* robot is already parked on `pos` — that would
+    /// be a planner bug leading to a guaranteed vertex conflict.
+    pub fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {
+        if let Some(&(other, _)) = self.by_cell.get(&pos) {
+            assert_eq!(
+                other, robot,
+                "cell {pos} already holds parked robot {other}, cannot park {robot}"
+            );
+        }
+        if let Some(old) = self.by_robot.insert(robot, pos) {
+            if old != pos {
+                self.by_cell.remove(&old);
+            }
+        }
+        self.by_cell.insert(pos, (robot, from));
+    }
+
+    /// Remove `robot`'s parking reservation, if any.
+    pub fn unpark(&mut self, robot: RobotId) {
+        if let Some(pos) = self.by_robot.remove(&robot) {
+            self.by_cell.remove(&pos);
+        }
+    }
+
+    /// Number of parked robots.
+    pub fn len(&self) -> usize {
+        self.by_cell.len()
+    }
+
+    /// Whether no robot is parked.
+    pub fn is_empty(&self) -> bool {
+        self.by_cell.is_empty()
+    }
+
+    /// Approximate heap bytes held.
+    pub fn memory_bytes(&self) -> usize {
+        let cell_entry = std::mem::size_of::<(GridPos, (RobotId, Tick))>() + HASH_ENTRY_OVERHEAD;
+        let robot_entry = std::mem::size_of::<(RobotId, GridPos)>() + HASH_ENTRY_OVERHEAD;
+        self.by_cell.len() * cell_entry + self.by_robot.len() * robot_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    #[test]
+    fn park_and_query() {
+        let mut b = ParkingBoard::new();
+        b.park(RobotId::new(1), p(2, 2), 10);
+        assert_eq!(b.occupant(p(2, 2), 10), Some(RobotId::new(1)));
+        assert_eq!(b.occupant(p(2, 2), 9), None, "not yet parked");
+        assert_eq!(b.occupant(p(2, 3), 10), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn repark_moves_robot() {
+        let mut b = ParkingBoard::new();
+        b.park(RobotId::new(1), p(0, 0), 0);
+        b.park(RobotId::new(1), p(5, 5), 20);
+        assert_eq!(b.occupant(p(0, 0), 30), None, "old spot released");
+        assert_eq!(b.occupant(p(5, 5), 25), Some(RobotId::new(1)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn unpark_clears() {
+        let mut b = ParkingBoard::new();
+        b.park(RobotId::new(3), p(1, 1), 0);
+        b.unpark(RobotId::new(3));
+        assert!(b.is_empty());
+        assert_eq!(b.occupant(p(1, 1), 5), None);
+        // Unparking an unknown robot is a no-op.
+        b.unpark(RobotId::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds parked robot")]
+    fn double_park_different_robot_panics() {
+        let mut b = ParkingBoard::new();
+        b.park(RobotId::new(1), p(1, 1), 0);
+        b.park(RobotId::new(2), p(1, 1), 0);
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let mut b = ParkingBoard::new();
+        let empty = b.memory_bytes();
+        for i in 0..10 {
+            b.park(RobotId::new(i), p(i as u16, 0), 0);
+        }
+        assert!(b.memory_bytes() > empty);
+    }
+}

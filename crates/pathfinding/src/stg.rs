@@ -1,0 +1,251 @@
+//! The spatiotemporal graph (Fig. 7): the spatial grid duplicated per tick.
+//!
+//! This is the reservation structure used by ATP and the baseline planners.
+//! Each *time layer* is a dense `H·W` occupancy array, so worst-case space is
+//! `O(HW · T)` — the cost the paper's Sec. VI-B replaces with the
+//! [`crate::cdt::ConflictDetectionTable`]. Passed layers are released
+//! periodically (`release_before`), matching the paper's note that all
+//! planners "eliminate passed spatiotemporal graph … timely"; the structure
+//! is nonetheless much larger than the CDT because live layers materialize
+//! every cell.
+
+use crate::footprint::MemoryFootprint;
+use crate::path::Path;
+use crate::reservation::{ParkingBoard, ReservationSystem};
+use std::collections::VecDeque;
+use tprw_warehouse::{GridPos, RobotId, Tick};
+
+/// Dense per-tick occupancy layers over an `H·W` grid.
+#[derive(Debug, Clone)]
+pub struct SpatioTemporalGraph {
+    width: u16,
+    cells_per_layer: usize,
+    /// Tick of `layers\[0\]`.
+    base: Tick,
+    layers: VecDeque<Box<[Option<RobotId>]>>,
+    parked: ParkingBoard,
+    reservations: usize,
+}
+
+impl SpatioTemporalGraph {
+    /// Create an empty graph for a `width`×`height` grid.
+    pub fn new(width: u16, height: u16) -> Self {
+        Self {
+            width,
+            cells_per_layer: width as usize * height as usize,
+            base: 0,
+            layers: VecDeque::new(),
+            parked: ParkingBoard::new(),
+            reservations: 0,
+        }
+    }
+
+    fn layer_index(&self, t: Tick) -> Option<usize> {
+        if t < self.base {
+            return None;
+        }
+        let i = (t - self.base) as usize;
+        (i < self.layers.len()).then_some(i)
+    }
+
+    fn ensure_layer(&mut self, t: Tick) -> &mut [Option<RobotId>] {
+        if self.layers.is_empty() {
+            self.base = t;
+        }
+        // Reservations may arrive out of tick order; extend backwards too.
+        while t < self.base {
+            self.layers
+                .push_front(vec![None; self.cells_per_layer].into_boxed_slice());
+            self.base -= 1;
+        }
+        let need = (t - self.base) as usize + 1;
+        while self.layers.len() < need {
+            self.layers
+                .push_back(vec![None; self.cells_per_layer].into_boxed_slice());
+        }
+        let i = (t - self.base) as usize;
+        &mut self.layers[i]
+    }
+
+    /// Number of live time layers (diagnostics / memory tests).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl ReservationSystem for SpatioTemporalGraph {
+    fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
+        if let Some(i) = self.layer_index(t) {
+            if let Some(r) = self.layers[i][pos.to_index(self.width)] {
+                return Some(r);
+            }
+        }
+        self.parked.occupant(pos, t)
+    }
+
+    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
+        self.parked.unpark(robot);
+        let width = self.width;
+        let mut added = 0usize;
+        for (t, cell) in path.iter_timed() {
+            let layer = self.ensure_layer(t);
+            let slot = &mut layer[cell.to_index(width)];
+            debug_assert!(
+                slot.is_none() || *slot == Some(robot),
+                "double reservation at {cell}@{t}"
+            );
+            if slot.is_none() {
+                added += 1;
+            }
+            *slot = Some(robot);
+        }
+        self.reservations += added;
+        if park_at_end {
+            self.parked.park(robot, path.last(), path.end() + 1);
+        }
+    }
+
+    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
+        let idx = pos.to_index(self.width);
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            match layer[idx] {
+                Some(r) if r != robot => return Some(self.base + i as Tick),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
+        self.parked.entry(pos)
+    }
+
+    fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {
+        self.parked.park(robot, pos, from);
+    }
+
+    fn unpark(&mut self, robot: RobotId) {
+        self.parked.unpark(robot);
+    }
+
+    fn release_before(&mut self, t: Tick) {
+        while self.base < t && !self.layers.is_empty() {
+            let layer = self.layers.pop_front().expect("non-empty checked");
+            self.reservations -= layer.iter().filter(|s| s.is_some()).count();
+            self.base += 1;
+        }
+        if self.layers.is_empty() {
+            self.base = t;
+        }
+    }
+
+    fn reservation_count(&self) -> usize {
+        self.reservations
+    }
+}
+
+impl MemoryFootprint for SpatioTemporalGraph {
+    fn memory_bytes(&self) -> usize {
+        let layer_bytes = self.cells_per_layer * std::mem::size_of::<Option<RobotId>>();
+        self.layers.len() * layer_bytes + self.parked.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    fn path(start: Tick, cells: &[(u16, u16)]) -> Path {
+        Path {
+            start,
+            cells: cells.iter().map(|&(x, y)| p(x, y)).collect(),
+        }
+    }
+
+    #[test]
+    fn reserve_and_query() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        let r = RobotId::new(1);
+        g.reserve_path(r, &path(3, &[(0, 0), (1, 0), (2, 0)]), true);
+        assert_eq!(g.occupant(p(0, 0), 3), Some(r));
+        assert_eq!(g.occupant(p(1, 0), 4), Some(r));
+        assert_eq!(g.occupant(p(2, 0), 5), Some(r));
+        assert_eq!(g.occupant(p(1, 0), 3), None);
+        assert_eq!(g.reservation_count(), 3);
+        // Parks on final cell afterwards.
+        assert_eq!(g.occupant(p(2, 0), 100), Some(r));
+    }
+
+    #[test]
+    fn can_move_vertex_blocked() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        g.reserve_path(RobotId::new(1), &path(0, &[(0, 0), (1, 0)]), true);
+        let me = RobotId::new(2);
+        assert!(!g.can_move(me, p(1, 1), p(1, 0), 0), "cell taken at t=1");
+        assert!(g.can_move(me, p(2, 0), p(2, 1), 0), "free cell ok");
+        // A robot never conflicts with itself.
+        assert!(g.can_move(RobotId::new(1), p(0, 0), p(1, 0), 0));
+    }
+
+    #[test]
+    fn can_move_swap_blocked() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        // Robot 1 moves (1,0) -> (0,0) during [0,1].
+        g.reserve_path(RobotId::new(1), &path(0, &[(1, 0), (0, 0)]), true);
+        let me = RobotId::new(2);
+        assert!(
+            !g.can_move(me, p(0, 0), p(1, 0), 0),
+            "swapping against robot 1 must be rejected"
+        );
+    }
+
+    #[test]
+    fn release_before_frees_layers() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        g.reserve_path(RobotId::new(1), &path(0, &[(0, 0), (1, 0), (2, 0)]), true);
+        assert_eq!(g.layer_count(), 3);
+        let before = g.memory_bytes();
+        g.release_before(2);
+        assert_eq!(g.layer_count(), 1);
+        assert!(g.memory_bytes() < before);
+        assert_eq!(g.occupant(p(0, 0), 0), None, "past layer released");
+        assert_eq!(g.occupant(p(2, 0), 2), Some(RobotId::new(1)));
+    }
+
+    #[test]
+    fn memory_grows_with_horizon() {
+        let mut g = SpatioTemporalGraph::new(16, 16);
+        let empty = g.memory_bytes();
+        g.reserve_path(
+            RobotId::new(0),
+            &Path {
+                start: 0,
+                cells: (0..15).map(|x| p(x, 0)).collect(),
+            },
+            true,
+        );
+        assert!(g.memory_bytes() >= empty + 15 * 16 * 16 * 8 / 2);
+    }
+
+    #[test]
+    fn unpark_after_reserve() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        let r = RobotId::new(1);
+        g.reserve_path(r, &path(0, &[(0, 0), (1, 0)]), true);
+        g.unpark(r);
+        assert_eq!(g.occupant(p(1, 0), 50), None, "no longer parked");
+        assert_eq!(g.occupant(p(1, 0), 1), Some(r), "timed step kept");
+    }
+
+    #[test]
+    fn park_before_start_invisible() {
+        let mut g = SpatioTemporalGraph::new(4, 4);
+        g.park(RobotId::new(0), p(2, 2), 10);
+        assert_eq!(g.occupant(p(2, 2), 9), None);
+        assert_eq!(g.occupant(p(2, 2), 10), Some(RobotId::new(0)));
+    }
+}

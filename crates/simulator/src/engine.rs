@@ -1,0 +1,539 @@
+//! The discrete-time simulation engine.
+//!
+//! Each tick executes the full fulfilment cycle of Fig. 2:
+//!
+//! 1. **arrivals** — items emerge on their racks;
+//! 2. **picking** — pickers serve their FIFO queues; finished racks free
+//!    their robots for the return leg;
+//! 3. **leg transitions** — robots that completed a leg get their next one
+//!    (pickup → delivery → dock/queue; processed → return; returned → idle);
+//! 4. **planning** — the planner observes the world and assigns idle robots
+//!    to selected racks (the paper's per-timestamp `U_t`);
+//! 5. **movement** — robots advance along reserved paths; positions are
+//!    re-validated for conflicts;
+//! 6. **bookkeeping** — metrics, checkpoints, reservation GC.
+//!
+//! Stations are modelled with a handoff cell plus an off-grid bay: a robot
+//! *docks* (leaves the grid) when its delivery path reaches the station cell
+//! and *undocks* when its return path is planned. This matches the paper's
+//! time-based queuing model (Eq. 2) without inventing queue-lane geometry —
+//! queue capacity is unbounded, order is FIFO (Definition 2).
+
+use crate::metrics::{Checkpoint, MetricsCollector};
+use crate::report::SimulationReport;
+use crate::validate::TrajectoryValidator;
+use eatp_core::planner::Planner;
+use eatp_core::world::WorldView;
+use tprw_pathfinding::Path;
+use tprw_warehouse::{
+    Duration, Instance, Picker, QueueEntry, Rack, RackId, Robot, RobotId, RobotPhase, Tick,
+};
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Hard tick budget; `0` derives `128 × (last arrival + HW)` — generous
+    /// enough for every planner yet finite on livelock.
+    pub max_ticks: Tick,
+    /// Re-validate executed positions every tick (O(robots) per tick).
+    pub validate: bool,
+    /// Number of item-progress checkpoints to sample (paper plots 10).
+    pub checkpoints: usize,
+    /// Bottleneck trace bucket width in ticks; `0` derives 1/40 of the
+    /// expected horizon.
+    pub bottleneck_bucket: Tick,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_ticks: 0,
+            validate: true,
+            checkpoints: 10,
+            bottleneck_bucket: 0,
+        }
+    }
+}
+
+/// Execute `planner` on `instance` until all items are fulfilled (or the
+/// tick budget runs out).
+pub fn run_simulation(
+    instance: &Instance,
+    planner: &mut dyn Planner,
+    config: &EngineConfig,
+) -> SimulationReport {
+    Engine::new(instance, config).run(planner)
+}
+
+struct Engine<'a> {
+    instance: &'a Instance,
+    config: EngineConfig,
+    racks: Vec<Rack>,
+    pickers: Vec<Picker>,
+    robots: Vec<Robot>,
+    /// Active timed path per robot.
+    paths: Vec<Option<Path>>,
+    /// Work batched on the carried rack, per robot.
+    carried_work: Vec<Duration>,
+    /// Items batched on the carried rack, per robot.
+    carried_items: Vec<u32>,
+    /// Entry currently being served per picker.
+    serving: Vec<Option<QueueEntry>>,
+    /// Robots whose rack finished processing, awaiting a return path.
+    needs_return: Vec<RobotId>,
+    /// Robots parked at a rack home waiting for a delivery path.
+    needs_delivery: Vec<RobotId>,
+    next_item: usize,
+    items_processed: usize,
+    rack_trips: usize,
+    metrics: MetricsCollector,
+    validator: TrajectoryValidator,
+    last_return: Tick,
+    max_ticks: Tick,
+    peak_memory: usize,
+    next_checkpoint: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(instance: &'a Instance, config: &EngineConfig) -> Self {
+        let horizon_guess = instance.last_arrival()
+            + (instance.grid.width() as Tick + instance.grid.height() as Tick) * 8
+            + instance.total_work() / (instance.pickers.len().max(1) as Tick)
+            + 1_000;
+        let max_ticks = if config.max_ticks > 0 {
+            config.max_ticks
+        } else {
+            horizon_guess * 128
+        };
+        let bucket = if config.bottleneck_bucket > 0 {
+            config.bottleneck_bucket
+        } else {
+            (horizon_guess / 40).max(1)
+        };
+        Self {
+            racks: instance.racks.clone(),
+            pickers: instance.pickers.clone(),
+            robots: instance.robots.clone(),
+            paths: vec![None; instance.robots.len()],
+            carried_work: vec![0; instance.robots.len()],
+            carried_items: vec![0; instance.robots.len()],
+            serving: vec![None; instance.pickers.len()],
+            needs_return: Vec::new(),
+            needs_delivery: Vec::new(),
+            next_item: 0,
+            items_processed: 0,
+            rack_trips: 0,
+            metrics: MetricsCollector::new(instance.pickers.len(), instance.robots.len(), bucket),
+            validator: TrajectoryValidator::new(),
+            last_return: 0,
+            max_ticks,
+            peak_memory: 0,
+            next_checkpoint: 1,
+            instance,
+            config: config.clone(),
+        }
+    }
+
+    fn run(mut self, planner: &mut dyn Planner) -> SimulationReport {
+        planner.init(self.instance);
+        let total_items = self.instance.items.len();
+        let mut t: Tick = 0;
+        let mut completed = false;
+
+        loop {
+            self.step_arrivals(t);
+            self.step_picking(t, planner);
+            self.step_transitions(t, planner);
+            self.step_planning(t, planner);
+            self.step_movement(t);
+            self.step_bookkeeping(t, planner, total_items);
+
+            if self.is_done() {
+                completed = true;
+                break;
+            }
+            if t >= self.max_ticks {
+                break;
+            }
+            t += 1;
+        }
+
+        let makespan = if completed { self.last_return } else { t };
+        let stats = planner.stats();
+        let picker_busy: Duration = self.pickers.iter().map(|p| p.busy_ticks).sum();
+        let horizon = makespan.max(1);
+        SimulationReport {
+            scenario: self.instance.name.clone(),
+            planner: planner.name().to_string(),
+            makespan,
+            completed,
+            items_processed: self.items_processed,
+            rack_trips: self.rack_trips,
+            batch_factor: if self.rack_trips > 0 {
+                self.items_processed as f64 / self.rack_trips as f64
+            } else {
+                0.0
+            },
+            ppr: self.metrics.ppr(picker_busy, horizon),
+            rwr: self.metrics.rwr(horizon),
+            robot_busy_rate: self.metrics.robot_busy_rate(horizon),
+            stc_s: stats.selection_ns as f64 / 1e9,
+            ptc_s: stats.planning_ns as f64 / 1e9,
+            peak_memory_bytes: self.peak_memory.max(stats.memory_bytes),
+            checkpoints: std::mem::take(&mut self.metrics.checkpoints),
+            bottleneck: std::mem::take(&mut self.metrics.bottleneck),
+            executed_conflicts: self.validator.conflict_count(),
+            planner_stats: stats,
+        }
+    }
+
+    /// Phase 1: items emerging at tick `t` land on their racks.
+    fn step_arrivals(&mut self, t: Tick) {
+        while self.next_item < self.instance.items.len() {
+            let item = &self.instance.items[self.next_item];
+            if item.arrival > t {
+                break;
+            }
+            self.racks[item.rack.index()].push_item(item);
+            self.next_item += 1;
+        }
+    }
+
+    /// Phase 2: pickers serve their queues one tick.
+    fn step_picking(&mut self, _t: Tick, _planner: &mut dyn Planner) {
+        for pi in 0..self.pickers.len() {
+            // Start the next rack if idle.
+            if self.serving[pi].is_none() {
+                if let Some(entry) = self.pickers[pi].start_next() {
+                    let robot = entry.robot.index();
+                    self.robots[robot].phase = RobotPhase::Processing { rack: entry.rack };
+                    self.serving[pi] = Some(entry);
+                }
+            }
+            // Process one tick.
+            if let Some(entry) = self.serving[pi] {
+                let finished = self.pickers[pi].tick();
+                self.racks[entry.rack.index()].accum_processing += 1;
+                if finished {
+                    self.items_processed += self.carried_items[entry.robot.index()] as usize;
+                    self.carried_items[entry.robot.index()] = 0;
+                    self.needs_return.push(entry.robot);
+                    self.serving[pi] = None;
+                }
+            }
+        }
+    }
+
+    /// Phase 3: robots that completed a leg receive the next one.
+    fn step_transitions(&mut self, t: Tick, planner: &mut dyn Planner) {
+        // 3a. Pickup arrivals -> join the delivery-pending pool.
+        for ai in 0..self.robots.len() {
+            let arrived = self.paths[ai]
+                .as_ref()
+                .is_some_and(|p| p.end() <= t);
+            if !arrived {
+                continue;
+            }
+            // Transitions run before this tick's movement phase, so sync the
+            // position to the path's final cell — that is where the robot's
+            // reservation says it stands at tick `t` (paths end with
+            // `end() == t` here). Leaving the previous tick's position in
+            // place would desynchronize the physical robot from its parked
+            // reservation by one cell.
+            let arrival_pos = self.paths[ai].as_ref().map(|p| p.last());
+            match self.robots[ai].phase {
+                RobotPhase::ToRack { .. } => {
+                    self.robots[ai].pos = arrival_pos.expect("checked above");
+                    let id = self.robots[ai].id;
+                    if !self.needs_delivery.contains(&id) {
+                        self.needs_delivery.push(id);
+                    }
+                }
+                RobotPhase::ToStation { rack } => {
+                    // Dock: leave the grid, enqueue at the picker.
+                    self.robots[ai].pos = arrival_pos.expect("checked above");
+                    let robot_id = self.robots[ai].id;
+                    planner.on_dock(robot_id);
+                    let picker = self.racks[rack.index()].picker;
+                    self.pickers[picker.index()].enqueue(QueueEntry {
+                        rack,
+                        robot: robot_id,
+                        work: self.carried_work[ai],
+                    });
+                    self.carried_work[ai] = 0;
+                    self.robots[ai].phase = RobotPhase::Queuing { rack };
+                    self.paths[ai] = None;
+                }
+                RobotPhase::Returning { rack } => {
+                    // Rack home again: fulfilment cycle complete.
+                    self.robots[ai].pos = arrival_pos.expect("checked above");
+                    self.racks[rack.index()].in_flight = false;
+                    self.robots[ai].phase = RobotPhase::Idle;
+                    self.paths[ai] = None;
+                    self.last_return = self.last_return.max(t);
+                    self.rack_trips += 1;
+                }
+                _ => {}
+            }
+        }
+
+        // 3b. Delivery legs for robots waiting at rack homes.
+        self.needs_delivery.retain(|&robot_id| {
+            let ai = robot_id.index();
+            let RobotPhase::ToRack { rack } = self.robots[ai].phase else {
+                return false; // stale entry
+            };
+            let rack_idx = rack.index();
+            let home = self.racks[rack_idx].home;
+            let station = self.pickers[self.racks[rack_idx].picker.index()].pos;
+            match planner.plan_leg(robot_id, home, station, t, false) {
+                Some(path) => {
+                    self.robots[ai].phase = RobotPhase::ToStation { rack };
+                    self.paths[ai] = Some(path);
+                    false
+                }
+                None => true, // retry next tick
+            }
+        });
+
+        // 3c. Return legs for robots whose rack finished processing. One
+        // undock per station per tick keeps handoff cells unambiguous.
+        let mut used_stations: Vec<bool> = vec![false; self.pickers.len()];
+        self.needs_return.retain(|&robot_id| {
+            let ai = robot_id.index();
+            let rack = match self.robots[ai].phase {
+                RobotPhase::Processing { rack } | RobotPhase::Queuing { rack } => rack,
+                _ => return false, // stale
+            };
+            let picker = self.racks[rack.index()].picker;
+            if used_stations[picker.index()] {
+                return true; // another robot undocked here this tick
+            }
+            let station = self.pickers[picker.index()].pos;
+            let home = self.racks[rack.index()].home;
+            match planner.plan_leg(robot_id, station, home, t, true) {
+                Some(path) => {
+                    used_stations[picker.index()] = true;
+                    self.robots[ai].phase = RobotPhase::Returning { rack };
+                    self.robots[ai].pos = station;
+                    self.paths[ai] = Some(path);
+                    false
+                }
+                None => true,
+            }
+        });
+    }
+
+    /// Phase 4: the planner's per-timestamp selection + assignment.
+    fn step_planning(&mut self, t: Tick, planner: &mut dyn Planner) {
+        let idle: Vec<RobotId> = self
+            .robots
+            .iter()
+            .filter(|r| r.is_idle())
+            .map(|r| r.id)
+            .collect();
+        let selectable: Vec<RackId> = self
+            .racks
+            .iter()
+            .filter(|r| r.selectable())
+            .map(|r| r.id)
+            .collect();
+        if idle.is_empty() || selectable.is_empty() {
+            return;
+        }
+        let world = WorldView {
+            t,
+            racks: &self.racks,
+            pickers: &self.pickers,
+            robots: &self.robots,
+            idle_robots: &idle,
+            selectable_racks: &selectable,
+        };
+        let plans = planner.plan(&world);
+        for plan in plans {
+            let ai = plan.robot.index();
+            debug_assert!(self.robots[ai].is_idle(), "planner assigned a busy robot");
+            debug_assert!(
+                self.racks[plan.rack.index()].selectable(),
+                "planner selected an unavailable rack"
+            );
+            // The batch is fixed at selection time `t_k` (Eq. 2's Σ_{i∈τ_r}
+            // is the pending set when the rack is selected): items that
+            // emerge while the rack is in flight wait for the next cycle.
+            let (items, work) = self.racks[plan.rack.index()].take_pending();
+            self.carried_work[ai] = work;
+            self.carried_items[ai] = items.len() as u32;
+            self.robots[ai].phase = RobotPhase::ToRack { rack: plan.rack };
+            self.racks[plan.rack.index()].in_flight = true;
+            self.paths[ai] = Some(plan.path);
+        }
+    }
+
+    /// Phase 5: advance robots along their paths; validate positions.
+    fn step_movement(&mut self, t: Tick) {
+        let mut on_grid: Vec<(RobotId, tprw_warehouse::GridPos)> =
+            Vec::with_capacity(self.robots.len());
+        for ai in 0..self.robots.len() {
+            if let Some(path) = &self.paths[ai] {
+                self.robots[ai].pos = path.at(t);
+            }
+            let phase = self.robots[ai].phase;
+            if phase.is_busy() {
+                self.robots[ai].busy_ticks += 1;
+                self.metrics.robot_busy_ticks[ai] += 1;
+                if matches!(phase, RobotPhase::Processing { .. }) {
+                    self.metrics.robot_processing_ticks[ai] += 1;
+                }
+            }
+            // Docked robots (queuing/processing) are in the station bay.
+            let docked = matches!(
+                phase,
+                RobotPhase::Queuing { .. } | RobotPhase::Processing { .. }
+            );
+            if !docked && self.config.validate {
+                on_grid.push((self.robots[ai].id, self.robots[ai].pos));
+            }
+        }
+        if self.config.validate {
+            self.validator.check_tick(t, &on_grid);
+        }
+    }
+
+    /// Phase 6: metrics, checkpoints, reservation GC.
+    fn step_bookkeeping(&mut self, t: Tick, planner: &mut dyn Planner, total_items: usize) {
+        let mut transport = 0u64;
+        let mut queuing = 0u64;
+        let mut processing = 0u64;
+        for r in &self.robots {
+            match r.phase {
+                RobotPhase::ToRack { .. }
+                | RobotPhase::ToStation { .. }
+                | RobotPhase::Returning { .. } => transport += 1,
+                RobotPhase::Queuing { .. } => queuing += 1,
+                RobotPhase::Processing { .. } => processing += 1,
+                RobotPhase::Idle => {}
+            }
+        }
+        self.metrics.record_bottleneck(t, transport, queuing, processing);
+
+        // Item-progress checkpoints (the x-axes of Figs. 10-12).
+        let n = self.config.checkpoints.max(1);
+        let threshold = (self.next_checkpoint * total_items) / n;
+        if self.next_checkpoint <= n && self.items_processed >= threshold && threshold > 0 {
+            let stats = planner.stats();
+            self.peak_memory = self.peak_memory.max(stats.memory_bytes);
+            let picker_busy: Duration = self.pickers.iter().map(|p| p.busy_ticks).sum();
+            let horizon = t.max(1);
+            self.metrics.checkpoints.push(Checkpoint {
+                items_processed: self.items_processed,
+                t,
+                ppr: self.metrics.ppr(picker_busy, horizon),
+                rwr: self.metrics.rwr(horizon),
+                stc_s: stats.selection_ns as f64 / 1e9,
+                ptc_s: stats.planning_ns as f64 / 1e9,
+                memory_bytes: stats.memory_bytes,
+            });
+            while self.next_checkpoint <= n
+                && self.items_processed >= (self.next_checkpoint * total_items) / n
+            {
+                self.next_checkpoint += 1;
+            }
+        }
+
+        planner.housekeeping(t);
+    }
+
+    /// All items arrived, fulfilled, and every robot idle again.
+    fn is_done(&self) -> bool {
+        self.next_item == self.instance.items.len()
+            && self.racks.iter().all(|r| !r.in_flight && !r.has_pending())
+            && self.robots.iter().all(|r| r.is_idle())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eatp_core::{EatpConfig, NaiveTaskPlanner};
+    use tprw_warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+    fn small_instance(n_items: usize, seed: u64) -> Instance {
+        ScenarioSpec {
+            name: "engine-test".into(),
+            layout: LayoutConfig::sized(24, 16),
+            n_racks: 10,
+            n_robots: 4,
+            n_pickers: 2,
+            workload: WorkloadConfig::poisson(n_items, 0.5),
+            seed,
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn ntp_completes_small_run() {
+        let inst = small_instance(20, 42);
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let report = run_simulation(&inst, &mut planner, &EngineConfig::default());
+        assert!(report.completed, "small run must finish");
+        assert_eq!(report.items_processed, 20);
+        assert_eq!(report.executed_conflicts, 0, "no conflicts ever");
+        assert!(report.makespan > 0);
+        assert!(report.rack_trips > 0);
+        assert!(report.ppr > 0.0 && report.ppr <= 1.0);
+        assert!(report.rwr > 0.0 && report.rwr <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = small_instance(15, 7);
+        let mut p1 = NaiveTaskPlanner::new(EatpConfig::default());
+        let mut p2 = NaiveTaskPlanner::new(EatpConfig::default());
+        let r1 = run_simulation(&inst, &mut p1, &EngineConfig::default());
+        let r2 = run_simulation(&inst, &mut p2, &EngineConfig::default());
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.rack_trips, r2.rack_trips);
+    }
+
+    #[test]
+    fn checkpoints_are_monotone() {
+        let inst = small_instance(30, 13);
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let report = run_simulation(&inst, &mut planner, &EngineConfig::default());
+        assert!(!report.checkpoints.is_empty());
+        for w in report.checkpoints.windows(2) {
+            assert!(w[0].t <= w[1].t);
+            assert!(w[0].items_processed <= w[1].items_processed);
+            assert!(w[0].stc_s <= w[1].stc_s, "STC is cumulative");
+            assert!(w[0].ptc_s <= w[1].ptc_s, "PTC is cumulative");
+        }
+    }
+
+    #[test]
+    fn tick_budget_guards_livelock() {
+        let inst = small_instance(20, 42);
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let config = EngineConfig {
+            max_ticks: 3, // absurdly small
+            ..EngineConfig::default()
+        };
+        let report = run_simulation(&inst, &mut planner, &config);
+        assert!(!report.completed);
+        assert!(report.items_processed < 20);
+    }
+
+    #[test]
+    fn bottleneck_trace_covers_run() {
+        let inst = small_instance(25, 99);
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let report = run_simulation(&inst, &mut planner, &EngineConfig::default());
+        assert!(!report.bottleneck.is_empty());
+        let total: u64 = report
+            .bottleneck
+            .iter()
+            .map(|b| b.transport + b.queuing + b.processing)
+            .sum();
+        assert!(total > 0, "robots did spend time in the cycle");
+    }
+}

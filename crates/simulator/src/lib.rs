@@ -1,0 +1,28 @@
+//! The validation system of Sec. VII-A.
+//!
+//! *"We build a virtual warehouse which simulates the movement of robots and
+//! the processing of pickers. At each timestamp, it collects all idle robots
+//! and racks containing remaining items as well as pickers' working status,
+//! then executes the algorithm for path planning. Then it converts the path
+//! planning scheme to instructions on robots' motion. It also records the
+//! performance of task planning algorithms in terms of effectiveness and
+//! efficiency."*
+//!
+//! * [`engine`] — the discrete-time loop executing a
+//!   [`eatp_core::planner::Planner`] over an instance, driving the full
+//!   fulfilment cycle (pickup → delivery → queuing → processing → return);
+//! * [`metrics`] — makespan (M), Picker Processing Rate (PPR), Robot Working
+//!   Rate (RWR), Selection/Planning Time Consumption (STC/PTC), Memory
+//!   Consumption (MC) and the Fig. 13 bottleneck decomposition;
+//! * [`report`] — structured result types with text-table rendering;
+//! * [`validate`] — independent per-tick re-validation that executed robot
+//!   trajectories are conflict-free (Definition 5).
+
+pub mod engine;
+pub mod metrics;
+pub mod report;
+pub mod validate;
+
+pub use engine::{run_simulation, EngineConfig};
+pub use metrics::{BottleneckSample, Checkpoint};
+pub use report::SimulationReport;

@@ -1,0 +1,177 @@
+//! Simulation results and text rendering.
+
+use crate::metrics::{BottleneckSample, Checkpoint};
+use eatp_core::planner::PlannerStats;
+use serde::{Deserialize, Serialize};
+use tprw_warehouse::Tick;
+
+/// Outcome of one full simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Planner name (`"NTP"`, …, `"EATP"`).
+    pub planner: String,
+    /// End-to-end makespan `M` (Eq. 1): tick at which the last rack
+    /// returned.
+    pub makespan: Tick,
+    /// Whether all items were fulfilled within the tick budget.
+    pub completed: bool,
+    /// Items processed.
+    pub items_processed: usize,
+    /// Total fulfilment cycles (rack trips).
+    pub rack_trips: usize,
+    /// Mean items batched per rack trip (the Sec. III-B batching signal).
+    pub batch_factor: f64,
+    /// Final Picker's Processing Rate (Eq. 6).
+    pub ppr: f64,
+    /// Final Robot's Working Rate (Eq. 7).
+    pub rwr: f64,
+    /// Any-busy robot fraction (diagnostics; not the paper's RWR).
+    pub robot_busy_rate: f64,
+    /// Total selection time (seconds) — STC.
+    pub stc_s: f64,
+    /// Total planning time (seconds) — PTC.
+    pub ptc_s: f64,
+    /// Peak observed planner memory (bytes) — MC.
+    pub peak_memory_bytes: usize,
+    /// Progress series (Figs. 10–12).
+    pub checkpoints: Vec<Checkpoint>,
+    /// Bottleneck decomposition (Fig. 13).
+    pub bottleneck: Vec<BottleneckSample>,
+    /// Conflicts observed by the independent validator (must be 0).
+    pub executed_conflicts: usize,
+    /// Final cumulative planner statistics.
+    #[serde(skip)]
+    pub planner_stats: PlannerStats,
+}
+
+impl SimulationReport {
+    /// One-line summary (Table III style).
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:<10} {:<12} M={:<8} PPR={:.3} RWR={:.3} STC={:.3}s PTC={:.3}s MC={}KiB trips={} batch={:.2}{}",
+            self.planner,
+            self.scenario,
+            self.makespan,
+            self.ppr,
+            self.rwr,
+            self.stc_s,
+            self.ptc_s,
+            self.peak_memory_bytes / 1024,
+            self.rack_trips,
+            self.batch_factor,
+            if self.completed { "" } else { "  [INCOMPLETE]" },
+        )
+    }
+
+    /// Render the checkpoint series as an aligned text table.
+    pub fn series_table(&self) -> String {
+        let mut out = String::from(
+            "  #items      t       PPR     RWR     STC(s)   PTC(s)   MC(KiB)\n",
+        );
+        for c in &self.checkpoints {
+            out.push_str(&format!(
+                "  {:<10} {:<7} {:.3}   {:.3}   {:<8.3} {:<8.3} {}\n",
+                c.items_processed,
+                c.t,
+                c.ppr,
+                c.rwr,
+                c.stc_s,
+                c.ptc_s,
+                c.memory_bytes / 1024,
+            ));
+        }
+        out
+    }
+
+    /// Render the bottleneck series (Fig. 13) as an aligned text table.
+    pub fn bottleneck_table(&self) -> String {
+        let mut out = String::from("  t        transport  queuing   processing  dominant\n");
+        for b in &self.bottleneck {
+            out.push_str(&format!(
+                "  {:<8} {:<10} {:<9} {:<11} {}\n",
+                b.t,
+                b.transport,
+                b.queuing,
+                b.processing,
+                b.dominant(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            scenario: "Syn-A".into(),
+            planner: "EATP".into(),
+            makespan: 1234,
+            completed: true,
+            items_processed: 100,
+            rack_trips: 40,
+            batch_factor: 2.5,
+            ppr: 0.8,
+            rwr: 0.12,
+            robot_busy_rate: 0.7,
+            stc_s: 0.5,
+            ptc_s: 1.5,
+            peak_memory_bytes: 2048 * 1024,
+            checkpoints: vec![Checkpoint {
+                items_processed: 50,
+                t: 600,
+                ppr: 0.75,
+                rwr: 0.11,
+                stc_s: 0.2,
+                ptc_s: 0.7,
+                memory_bytes: 1024 * 1024,
+            }],
+            bottleneck: vec![BottleneckSample {
+                t: 0,
+                transport: 100,
+                queuing: 20,
+                processing: 30,
+            }],
+            executed_conflicts: 0,
+            planner_stats: PlannerStats::default(),
+        }
+    }
+
+    #[test]
+    fn summary_contains_key_figures() {
+        let s = report().summary_row();
+        assert!(s.contains("EATP"));
+        assert!(s.contains("M=1234"));
+        assert!(s.contains("PPR=0.800"));
+        assert!(!s.contains("INCOMPLETE"));
+    }
+
+    #[test]
+    fn incomplete_flagged() {
+        let mut r = report();
+        r.completed = false;
+        assert!(r.summary_row().contains("INCOMPLETE"));
+    }
+
+    #[test]
+    fn tables_render_rows() {
+        let r = report();
+        assert_eq!(r.series_table().lines().count(), 2);
+        assert!(r.series_table().contains("PPR"));
+        assert_eq!(r.bottleneck_table().lines().count(), 2);
+        assert!(r.bottleneck_table().contains("transport"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimulationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.makespan, 1234);
+        assert_eq!(back.checkpoints.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Independent runtime validation of executed trajectories.
+//!
+//! Planners promise conflict-freedom (Definition 5); the engine re-checks it
+//! on every executed tick, independently of the reservation structures. A
+//! violation is a planner bug, never workload-dependent behaviour, so the
+//! engine surfaces it loudly in the report.
+
+use std::collections::HashMap;
+use tprw_warehouse::{GridPos, RobotId, Tick};
+
+/// A conflict observed during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutedConflict {
+    /// Two robots occupied the same cell at the same tick.
+    Vertex {
+        /// The shared cell.
+        pos: GridPos,
+        /// When.
+        t: Tick,
+        /// Robots involved.
+        a: RobotId,
+        /// Second robot.
+        b: RobotId,
+    },
+    /// Two robots swapped cells across consecutive ticks.
+    Edge {
+        /// Where the first robot came from.
+        from: GridPos,
+        /// Where it went (and the other came from).
+        to: GridPos,
+        /// Tick the swap started.
+        t: Tick,
+        /// Robots involved.
+        a: RobotId,
+        /// Second robot.
+        b: RobotId,
+    },
+}
+
+/// Sliding-window conflict checker fed one tick of on-grid robot positions
+/// at a time.
+#[derive(Debug, Default)]
+pub struct TrajectoryValidator {
+    prev: HashMap<RobotId, GridPos>,
+    prev_t: Option<Tick>,
+    /// All conflicts observed so far.
+    pub conflicts: Vec<ExecutedConflict>,
+}
+
+impl TrajectoryValidator {
+    /// Fresh validator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check one tick of positions (only robots physically on the grid).
+    pub fn check_tick(&mut self, t: Tick, positions: &[(RobotId, GridPos)]) {
+        // Vertex conflicts: any shared cell.
+        let mut by_cell: HashMap<GridPos, RobotId> = HashMap::with_capacity(positions.len());
+        for &(robot, pos) in positions {
+            if let Some(&other) = by_cell.get(&pos) {
+                self.conflicts.push(ExecutedConflict::Vertex {
+                    pos,
+                    t,
+                    a: other,
+                    b: robot,
+                });
+            } else {
+                by_cell.insert(pos, robot);
+            }
+        }
+        // Edge (swap) conflicts against the previous tick.
+        if self.prev_t == Some(t.wrapping_sub(1)) {
+            for &(robot, pos) in positions {
+                let Some(&was) = self.prev.get(&robot) else {
+                    continue;
+                };
+                if was == pos {
+                    continue;
+                }
+                // Someone who was at `pos` and is now at `was` swapped with us.
+                if let Some(&other) = by_cell.get(&was) {
+                    if other != robot && self.prev.get(&other) == Some(&pos) {
+                        // Record once (ordered pair).
+                        if robot < other {
+                            self.conflicts.push(ExecutedConflict::Edge {
+                                from: was,
+                                to: pos,
+                                t: t - 1,
+                                a: robot,
+                                b: other,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.prev = positions.iter().copied().collect();
+        self.prev_t = Some(t);
+    }
+
+    /// Number of conflicts observed.
+    pub fn conflict_count(&self) -> usize {
+        self.conflicts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    fn id(i: usize) -> RobotId {
+        RobotId::new(i)
+    }
+
+    #[test]
+    fn clean_run_no_conflicts() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick(0, &[(id(0), p(0, 0)), (id(1), p(5, 5))]);
+        v.check_tick(1, &[(id(0), p(1, 0)), (id(1), p(5, 6))]);
+        assert_eq!(v.conflict_count(), 0);
+    }
+
+    #[test]
+    fn vertex_conflict_detected() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick(3, &[(id(0), p(2, 2)), (id(1), p(2, 2))]);
+        assert_eq!(v.conflict_count(), 1);
+        assert!(matches!(
+            v.conflicts[0],
+            ExecutedConflict::Vertex { t: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn swap_conflict_detected() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick(0, &[(id(0), p(0, 0)), (id(1), p(1, 0))]);
+        v.check_tick(1, &[(id(0), p(1, 0)), (id(1), p(0, 0))]);
+        assert_eq!(v.conflict_count(), 1);
+        assert!(matches!(v.conflicts[0], ExecutedConflict::Edge { t: 0, .. }));
+    }
+
+    #[test]
+    fn follow_through_is_clean() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick(0, &[(id(0), p(1, 0)), (id(1), p(0, 0))]);
+        v.check_tick(1, &[(id(0), p(2, 0)), (id(1), p(1, 0))]);
+        assert_eq!(v.conflict_count(), 0, "following is not swapping");
+    }
+
+    #[test]
+    fn gap_in_ticks_resets_edge_check() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick(0, &[(id(0), p(0, 0)), (id(1), p(1, 0))]);
+        // Tick 5 (not consecutive): swap-looking positions are NOT an edge
+        // conflict across a gap.
+        v.check_tick(5, &[(id(0), p(1, 0)), (id(1), p(0, 0))]);
+        assert_eq!(v.conflict_count(), 0);
+    }
+
+    #[test]
+    fn robot_leaving_grid_is_fine() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick(0, &[(id(0), p(0, 0)), (id(1), p(1, 0))]);
+        // Robot 1 docked (absent); robot 0 moves into its old cell.
+        v.check_tick(1, &[(id(0), p(1, 0))]);
+        assert_eq!(v.conflict_count(), 0);
+    }
+}

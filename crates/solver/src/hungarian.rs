@@ -1,0 +1,275 @@
+//! Kuhn–Munkres (Hungarian) algorithm, `O(n³)` with row/column potentials
+//! and shortest augmenting paths.
+//!
+//! Solves min-cost perfect assignment on square matrices; rectangular inputs
+//! are padded with zero-cost dummy rows/columns, so with more columns than
+//! rows every row is matched, and with more rows than columns the cheapest
+//! subset of rows is matched (the rest map to `None`).
+
+/// Result of an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// For each row, the assigned column (or `None` if left unmatched).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Total cost over matched `(row, col)` pairs.
+    pub total_cost: i64,
+}
+
+/// Minimum-cost assignment of `costs[r][c]` (row-major, `rows × cols`).
+///
+/// # Panics
+///
+/// Panics if the matrix is ragged or costs are large enough to overflow
+/// `i64` arithmetic (callers use travel/processing times, far below the
+/// guard threshold of `i64::MAX / 4`).
+pub fn assign_min_cost(costs: &[Vec<i64>]) -> Assignment {
+    let rows = costs.len();
+    if rows == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            total_cost: 0,
+        };
+    }
+    let cols = costs[0].len();
+    assert!(
+        costs.iter().all(|r| r.len() == cols),
+        "cost matrix must be rectangular"
+    );
+    if cols == 0 {
+        return Assignment {
+            row_to_col: vec![None; rows],
+            total_cost: 0,
+        };
+    }
+    let guard = i64::MAX / 4;
+    assert!(
+        costs.iter().flatten().all(|&c| c.abs() < guard),
+        "costs too large"
+    );
+
+    // Pad to square with zero-cost dummies.
+    let n = rows.max(cols);
+    let at = |i: usize, j: usize| -> i64 {
+        if i < rows && j < cols {
+            costs[i][j]
+        } else {
+            0
+        }
+    };
+
+    const INF: i64 = i64::MAX / 2;
+    // 1-based arrays per the classical formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; rows];
+    let mut total_cost = 0i64;
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= cols {
+            row_to_col[i - 1] = Some(j - 1);
+            total_cost += costs[i - 1][j - 1];
+        }
+    }
+    Assignment {
+        row_to_col,
+        total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exhaustive minimum over all row→column injections.
+    fn brute_force(costs: &[Vec<i64>]) -> i64 {
+        let rows = costs.len();
+        let cols = costs[0].len();
+        let k = rows.min(cols);
+        // Permute column subsets.
+        fn rec(
+            costs: &[Vec<i64>],
+            row: usize,
+            used: &mut Vec<bool>,
+            k: usize,
+            assigned: usize,
+        ) -> i64 {
+            let rows = costs.len();
+            if assigned == k || row == rows {
+                return if assigned == k { 0 } else { i64::MAX / 2 };
+            }
+            let remaining_rows = rows - row;
+            let needed = k - assigned;
+            let mut best = if remaining_rows > needed {
+                // Skip this row entirely.
+                rec(costs, row + 1, used, k, assigned)
+            } else {
+                i64::MAX / 2
+            };
+            for c in 0..costs[0].len() {
+                if !used[c] {
+                    used[c] = true;
+                    let sub = rec(costs, row + 1, used, k, assigned + 1);
+                    used[c] = false;
+                    if sub < i64::MAX / 4 {
+                        best = best.min(costs[row][c] + sub);
+                    }
+                }
+            }
+            best
+        }
+        let mut used = vec![false; cols];
+        rec(costs, 0, &mut used, k, 0)
+    }
+
+    #[test]
+    fn known_3x3() {
+        let costs = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+        let a = assign_min_cost(&costs);
+        assert_eq!(a.total_cost, 5); // 1 + 2 + 2
+        let cols: Vec<usize> = a.row_to_col.iter().map(|c| c.unwrap()).collect();
+        let mut sorted = cols.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "perfect matching");
+    }
+
+    #[test]
+    fn identity_preference() {
+        // Strong diagonal: optimal picks the diagonal.
+        let costs = vec![vec![0, 9, 9], vec![9, 0, 9], vec![9, 9, 0]];
+        let a = assign_min_cost(&costs);
+        assert_eq!(a.total_cost, 0);
+        assert_eq!(a.row_to_col, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        // 2 racks, 4 robots: both racks matched to their cheap robots.
+        let costs = vec![vec![10, 2, 8, 7], vec![3, 9, 1, 6]];
+        let a = assign_min_cost(&costs);
+        assert_eq!(a.total_cost, 3); // 2 + 1
+        assert_eq!(a.row_to_col, vec![Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        // 3 racks, 1 robot: only the cheapest rack is served.
+        let costs = vec![vec![5], vec![2], vec![9]];
+        let a = assign_min_cost(&costs);
+        assert_eq!(a.total_cost, 2);
+        assert_eq!(a.row_to_col, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = assign_min_cost(&[]);
+        assert_eq!(a.total_cost, 0);
+        assert!(a.row_to_col.is_empty());
+    }
+
+    #[test]
+    fn single_cell() {
+        let a = assign_min_cost(&[vec![7]]);
+        assert_eq!(a.total_cost, 7);
+        assert_eq!(a.row_to_col, vec![Some(0)]);
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        let costs = vec![vec![-5, 3], vec![2, -4]];
+        let a = assign_min_cost(&costs);
+        assert_eq!(a.total_cost, -9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_matrix_panics() {
+        let _ = assign_min_cost(&[vec![1, 2], vec![3]]);
+    }
+
+    proptest! {
+        /// Hungarian equals brute force on small random square matrices.
+        #[test]
+        fn matches_brute_force_square(
+            n in 1usize..6,
+            seed in proptest::collection::vec(0i64..100, 36),
+        ) {
+            let costs: Vec<Vec<i64>> = (0..n)
+                .map(|i| (0..n).map(|j| seed[i * 6 + j]).collect())
+                .collect();
+            let a = assign_min_cost(&costs);
+            prop_assert_eq!(a.total_cost, brute_force(&costs));
+            // Matching is injective.
+            let mut seen = std::collections::HashSet::new();
+            for c in a.row_to_col.iter().flatten() {
+                prop_assert!(seen.insert(*c));
+            }
+        }
+
+        /// Hungarian equals brute force on rectangular matrices.
+        #[test]
+        fn matches_brute_force_rect(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in proptest::collection::vec(0i64..50, 25),
+        ) {
+            let costs: Vec<Vec<i64>> = (0..rows)
+                .map(|i| (0..cols).map(|j| seed[i * 5 + j]).collect())
+                .collect();
+            let a = assign_min_cost(&costs);
+            prop_assert_eq!(a.total_cost, brute_force(&costs));
+            let matched = a.row_to_col.iter().flatten().count();
+            prop_assert_eq!(matched, rows.min(cols));
+        }
+    }
+}

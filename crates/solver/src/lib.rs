@@ -1,0 +1,21 @@
+//! Optimization solver substrate for the ILP baseline planner \[12\].
+//!
+//! The paper compares against an integer-linear-programming task-selection
+//! baseline (Boysen et al., EJOR 2017, extended with picker status). Rather
+//! than bind to an external solver, this crate implements the needed stack
+//! from scratch:
+//!
+//! * [`hungarian`] — exact `O(n³)` min-cost assignment (Kuhn–Munkres with
+//!   potentials), used for pure rack↔robot matching and as a warm-start
+//!   incumbent for the ILP;
+//! * [`simplex`] — dense primal simplex for LP relaxations;
+//! * [`bb`] — 0/1 branch-and-bound ILP with LP bounding, node limits and
+//!   incumbent seeding.
+
+pub mod bb;
+pub mod hungarian;
+pub mod simplex;
+
+pub use bb::{solve_binary_min, IlpLimits, IlpProblem, IlpSolution};
+pub use hungarian::{assign_min_cost, Assignment};
+pub use simplex::{maximize, LpOutcome};

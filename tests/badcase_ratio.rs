@@ -1,0 +1,62 @@
+//! The Sec. III-B competitive-ratio construction behaves as the paper
+//! argues: the analytic naive/optimal gap grows with k, and the simulated
+//! naive planner pays it.
+
+use eatp::core::badcase::{build, BadCaseParams};
+use eatp::core::{planner_by_name, EatpConfig};
+use eatp::simulator::{run_simulation, EngineConfig};
+
+#[test]
+fn analytic_ratio_grows_linearly() {
+    let mut last = 0.0;
+    for k in [2usize, 6, 12, 20] {
+        let case = build(BadCaseParams { k, xi: 25 });
+        let ratio = case.analytic_ratio();
+        assert!(ratio > last, "ratio must grow with k: {ratio} after {last}");
+        last = ratio;
+    }
+    assert!(last > 1.8, "at k=20 the gap must be near 2x, got {last}");
+}
+
+#[test]
+fn simulated_naive_pays_the_shuttle_cost() {
+    let case = build(BadCaseParams { k: 12, xi: 25 });
+    let mut results = std::collections::HashMap::new();
+    for name in ["NTP", "ATP"] {
+        let mut planner = planner_by_name(name, &EatpConfig::default()).unwrap();
+        let report = run_simulation(&case.instance, &mut *planner, &EngineConfig::default());
+        assert!(report.completed, "{name} must finish");
+        assert_eq!(report.executed_conflicts, 0);
+        results.insert(name, report);
+    }
+    // The adaptive planner must not do worse than naive here, and must need
+    // no more rack trips (batching picker 1's rack).
+    assert!(
+        results["ATP"].rack_trips <= results["NTP"].rack_trips,
+        "ATP trips {} > NTP trips {}",
+        results["ATP"].rack_trips,
+        results["NTP"].rack_trips
+    );
+    assert!(
+        results["ATP"].makespan as f64 <= results["NTP"].makespan as f64 * 1.02,
+        "ATP {} vs NTP {}",
+        results["ATP"].makespan,
+        results["NTP"].makespan
+    );
+}
+
+#[test]
+fn naive_makespan_tracks_analytic_model() {
+    // The measured naive makespan should be in the ballpark of the Sec.
+    // III-B estimate (same order, within 2x: the model ignores queuing at
+    // p2 and robot congestion).
+    let case = build(BadCaseParams { k: 8, xi: 25 });
+    let mut planner = planner_by_name("NTP", &EatpConfig::default()).unwrap();
+    let report = run_simulation(&case.instance, &mut *planner, &EngineConfig::default());
+    let analytic = case.analytic_naive_makespan() as f64;
+    let measured = report.makespan as f64;
+    assert!(
+        measured > analytic * 0.5 && measured < analytic * 2.0,
+        "measured {measured} vs analytic {analytic}"
+    );
+}

@@ -1,0 +1,96 @@
+//! The core safety property of Definition 5: every planner, on every
+//! scenario shape, executes with zero single-grid and inter-grid conflicts,
+//! as re-validated independently of the reservation structures.
+
+use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::simulator::{run_simulation, EngineConfig};
+use eatp::warehouse::{ArrivalProfile, LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+fn run_all(spec: &ScenarioSpec) {
+    let inst = spec.build().unwrap();
+    for name in PLANNER_NAMES {
+        let mut planner = planner_by_name(name, &EatpConfig::default()).unwrap();
+        let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+        assert!(
+            report.completed,
+            "{name} on {} did not complete: {}",
+            spec.name,
+            report.summary_row()
+        );
+        assert_eq!(
+            report.executed_conflicts, 0,
+            "{name} on {} conflicted",
+            spec.name
+        );
+        assert_eq!(
+            report.items_processed,
+            inst.items.len(),
+            "{name} on {} lost items",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn poisson_scenario_is_safe() {
+    run_all(&ScenarioSpec {
+        name: "poisson".into(),
+        layout: LayoutConfig::sized(30, 20),
+        n_racks: 16,
+        n_robots: 5,
+        n_pickers: 3,
+        workload: WorkloadConfig::poisson(50, 0.6),
+        seed: 101,
+    });
+}
+
+#[test]
+fn surge_scenario_is_safe() {
+    run_all(&ScenarioSpec {
+        name: "surge".into(),
+        layout: LayoutConfig::sized(36, 24),
+        n_racks: 24,
+        n_robots: 6,
+        n_pickers: 3,
+        workload: WorkloadConfig {
+            n_items: 60,
+            profile: ArrivalProfile::Surge {
+                base_rate: 0.5,
+                multipliers: vec![0.2, 4.0, 0.5],
+                phase_len: 60,
+            },
+            processing_min: 20,
+            processing_max: 40,
+            rack_skew: 1.0,
+            skew_cap: 8.0,
+        },
+        seed: 202,
+    });
+}
+
+#[test]
+fn dense_fleet_is_safe() {
+    // Many robots in a small floor: maximum interaction pressure.
+    run_all(&ScenarioSpec {
+        name: "dense".into(),
+        layout: LayoutConfig::sized(24, 18),
+        n_racks: 12,
+        n_robots: 14,
+        n_pickers: 3,
+        workload: WorkloadConfig::poisson(40, 1.5),
+        seed: 303,
+    });
+}
+
+#[test]
+fn single_robot_is_safe() {
+    run_all(&ScenarioSpec {
+        name: "single-robot".into(),
+        layout: LayoutConfig::sized(24, 18),
+        n_racks: 8,
+        n_robots: 1,
+        n_pickers: 2,
+        workload: WorkloadConfig::poisson(15, 0.3),
+        seed: 404,
+    });
+}

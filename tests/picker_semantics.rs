@@ -1,0 +1,124 @@
+//! End-to-end semantics of the fulfilment cycle: FIFO picker service,
+//! conservation of work, and the end-to-end makespan accounting.
+
+use eatp::core::{planner_by_name, EatpConfig};
+use eatp::simulator::{run_simulation, EngineConfig};
+use eatp::warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+fn spec(items: usize, rate: f64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "semantics".into(),
+        layout: LayoutConfig::sized(28, 20),
+        n_racks: 12,
+        n_robots: 4,
+        n_pickers: 2,
+        workload: WorkloadConfig::poisson(items, rate),
+        seed,
+    }
+}
+
+#[test]
+fn makespan_bounds_hold() {
+    // M must be at least: the last arrival, and the serial processing floor
+    // work/(pickers·1.0); and at most the engine's livelock cap.
+    let inst = spec(60, 0.5, 12).build().unwrap();
+    let work = inst.total_work();
+    let mut planner = planner_by_name("NTP", &EatpConfig::default()).unwrap();
+    let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+    assert!(report.completed);
+    assert!(
+        report.makespan >= inst.last_arrival(),
+        "cannot finish before the last item emerges"
+    );
+    assert!(
+        report.makespan >= work / inst.pickers.len() as u64,
+        "cannot beat aggregate picker capacity"
+    );
+}
+
+#[test]
+fn ppr_and_rwr_are_rates() {
+    for seed in [1u64, 2, 3] {
+        let inst = spec(40, 0.8, seed).build().unwrap();
+        let mut planner = planner_by_name("EATP", &EatpConfig::default()).unwrap();
+        let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+        assert!(report.completed);
+        assert!(report.ppr > 0.0 && report.ppr <= 1.0, "PPR={}", report.ppr);
+        assert!(report.rwr > 0.0 && report.rwr <= 1.0, "RWR={}", report.rwr);
+        assert!(
+            report.rwr <= report.robot_busy_rate,
+            "picking time is a subset of busy time"
+        );
+    }
+}
+
+#[test]
+fn processing_conservation() {
+    // Total picker busy time equals total item processing time: FIFO
+    // service is work-conserving and nothing is processed twice.
+    let inst = spec(50, 0.7, 9).build().unwrap();
+    let work = inst.total_work();
+    let mut planner = planner_by_name("ATP", &EatpConfig::default()).unwrap();
+    let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+    assert!(report.completed);
+    // ppr = total_busy / (P * M)  =>  total_busy = ppr * P * M
+    let total_busy = report.ppr * inst.pickers.len() as f64 * report.makespan as f64;
+    let diff = (total_busy - work as f64).abs();
+    assert!(
+        diff < 1.0,
+        "picker busy {total_busy} != total work {work} (diff {diff})"
+    );
+}
+
+#[test]
+fn batch_factor_definition() {
+    let inst = spec(45, 0.6, 4).build().unwrap();
+    let mut planner = planner_by_name("NTP", &EatpConfig::default()).unwrap();
+    let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+    assert!(report.completed);
+    let expected = report.items_processed as f64 / report.rack_trips as f64;
+    assert!((report.batch_factor - expected).abs() < 1e-9);
+    assert!(report.batch_factor >= 1.0, "every trip carries >= 1 item");
+}
+
+#[test]
+fn bottleneck_accounts_all_busy_robot_time() {
+    let inst = spec(40, 0.6, 6).build().unwrap();
+    let mut planner = planner_by_name("NTP", &EatpConfig::default()).unwrap();
+    let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+    assert!(report.completed);
+    let bucketed: u64 = report
+        .bottleneck
+        .iter()
+        .map(|b| b.transport + b.queuing + b.processing)
+        .sum();
+    // Bottleneck samples record per-tick busy counts; the total must equal
+    // the aggregate busy robot-ticks implied by robot_busy_rate.
+    let busy_ticks =
+        report.robot_busy_rate * inst.robots.len() as f64 * report.makespan as f64;
+    let diff = (bucketed as f64 - busy_ticks).abs();
+    assert!(
+        diff <= inst.robots.len() as f64 + 1.0,
+        "bucketed {bucketed} vs busy {busy_ticks}"
+    );
+}
+
+#[test]
+fn checkpoint_count_matches_config() {
+    let inst = spec(40, 0.6, 8).build().unwrap();
+    let mut planner = planner_by_name("NTP", &EatpConfig::default()).unwrap();
+    let config = EngineConfig {
+        checkpoints: 5,
+        ..EngineConfig::default()
+    };
+    let report = run_simulation(&inst, &mut *planner, &config);
+    assert!(report.completed);
+    assert!(
+        report.checkpoints.len() <= 5,
+        "got {} checkpoints",
+        report.checkpoints.len()
+    );
+    assert!(!report.checkpoints.is_empty());
+    let last = report.checkpoints.last().unwrap();
+    assert_eq!(last.items_processed, 40, "final checkpoint sees all items");
+}

@@ -1,0 +1,69 @@
+//! The four Table II datasets build, validate and run end-to-end at reduced
+//! scale (full scale is exercised by the `repro` binary / benches).
+
+use eatp::core::{planner_by_name, EatpConfig};
+use eatp::simulator::{run_simulation, EngineConfig};
+use eatp::warehouse::Dataset;
+
+#[test]
+fn all_datasets_build_across_scales() {
+    for d in Dataset::ALL {
+        for scale in [0.003, 0.01, 0.05] {
+            let inst = d
+                .spec(scale, 5)
+                .build()
+                .unwrap_or_else(|e| panic!("{} @ {scale}: {e}", d.name()));
+            inst.validate()
+                .unwrap_or_else(|e| panic!("{} @ {scale} invalid: {e}", d.name()));
+        }
+    }
+}
+
+#[test]
+fn eatp_completes_every_dataset_tiny() {
+    for d in Dataset::ALL {
+        let inst = d.spec(0.003, 5).build().unwrap();
+        let mut planner = planner_by_name("EATP", &EatpConfig::default()).unwrap();
+        let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+        assert!(report.completed, "{}: {}", d.name(), report.summary_row());
+        assert_eq!(report.executed_conflicts, 0, "{} conflicted", d.name());
+        assert_eq!(report.items_processed, inst.items.len());
+    }
+}
+
+#[test]
+fn surge_datasets_have_time_varying_throughput() {
+    // The real-dataset stand-ins must show strong arrival-rate variation —
+    // the property driving the paper's bottleneck case study.
+    for d in [Dataset::RealNorm, Dataset::RealLarge] {
+        let inst = d.spec(0.01, 5).build().unwrap();
+        let horizon = inst.last_arrival() + 1;
+        let bucket = (horizon / 8).max(1);
+        let mut counts = vec![0usize; 9];
+        for item in &inst.items {
+            counts[(item.arrival / bucket) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let nonzero_min = counts
+            .iter()
+            .copied()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap()
+            .max(1) as f64;
+        assert!(
+            max / nonzero_min >= 3.0,
+            "{}: arrival buckets too flat: {counts:?}",
+            d.name()
+        );
+    }
+}
+
+#[test]
+fn picker_fleet_scales_with_floor() {
+    let small = Dataset::SynA.spec(0.01, 5).build().unwrap();
+    let large = Dataset::SynA.spec(0.08, 5).build().unwrap();
+    assert!(large.pickers.len() > small.pickers.len());
+    assert!(large.robots.len() > small.robots.len());
+    assert!(large.grid.cell_count() > small.grid.cell_count());
+}

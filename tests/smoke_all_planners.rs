@@ -1,0 +1,30 @@
+//! End-to-end smoke: every planner completes a small scenario with zero
+//! executed conflicts and full item fulfilment.
+
+use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::simulator::{run_simulation, EngineConfig};
+use eatp::warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+#[test]
+fn all_planners_complete_small_scenario() {
+    let inst = ScenarioSpec {
+        name: "smoke".into(),
+        layout: LayoutConfig::sized(30, 20),
+        n_racks: 15,
+        n_robots: 5,
+        n_pickers: 3,
+        workload: WorkloadConfig::poisson(40, 0.5),
+        seed: 77,
+    }
+    .build()
+    .unwrap();
+
+    for name in PLANNER_NAMES {
+        let mut planner = planner_by_name(name, &EatpConfig::default()).unwrap();
+        let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
+        assert!(report.completed, "{name} did not complete: {}", report.summary_row());
+        assert_eq!(report.items_processed, 40, "{name} lost items");
+        assert_eq!(report.executed_conflicts, 0, "{name} caused conflicts");
+        println!("{}", report.summary_row());
+    }
+}
