@@ -11,18 +11,24 @@ use tprw_warehouse::Dataset;
 fn bench(c: &mut Criterion) {
     let scale = bench_scale_from_env();
     let mut group = c.benchmark_group("ablation_cache_l");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for l in [0u64, 25, 50, 100] {
-        let mut config = EatpConfig::default();
-        config.cache_threshold = l;
+        let config = EatpConfig {
+            cache_threshold: l,
+            ..EatpConfig::default()
+        };
         let report = run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config);
         eprintln!(
             "ablation_L[{l}] M={} PTC={:.4}s spliced={}",
             report.makespan, report.ptc_s, report.planner_stats.cache_spliced
         );
         group.bench_with_input(BenchmarkId::new("EATP_L", l), &l, |b, &l| {
-            let mut config = EatpConfig::default();
-            config.cache_threshold = l;
+            let config = EatpConfig {
+                cache_threshold: l,
+                ..EatpConfig::default()
+            };
             b.iter(|| run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config).ptc_s)
         });
     }

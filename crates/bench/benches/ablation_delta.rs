@@ -10,7 +10,9 @@ use tprw_warehouse::Dataset;
 fn bench(c: &mut Criterion) {
     let scale = bench_scale_from_env();
     let mut group = c.benchmark_group("ablation_delta");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for delta in [0.0, 0.2, 0.4, 0.8] {
         let mut config = EatpConfig::default();
         config.rl.delta = delta;
@@ -22,7 +24,9 @@ fn bench(c: &mut Criterion) {
             |b, &delta| {
                 let mut config = EatpConfig::default();
                 config.rl.delta = delta;
-                b.iter(|| run_cell_with(Dataset::SynA, "ATP", scale, DEFAULT_SEED, &config).makespan)
+                b.iter(|| {
+                    run_cell_with(Dataset::SynA, "ATP", scale, DEFAULT_SEED, &config).makespan
+                })
             },
         );
     }

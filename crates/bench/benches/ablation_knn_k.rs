@@ -14,18 +14,27 @@ fn bench(c: &mut Criterion) {
     let homes: Vec<GridPos> = instance.racks.iter().map(|r| r.home).collect();
 
     let mut group = c.benchmark_group("ablation_knn_k");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for k in [1usize, 4, 16, 32] {
         group.bench_with_input(BenchmarkId::new("index_build", k), &k, |b, &k| {
             b.iter(|| KNearestRacks::build(&instance.grid, &homes, k))
         });
-        let mut config = EatpConfig::default();
-        config.k_nearest = k;
+        let config = EatpConfig {
+            k_nearest: k,
+            ..EatpConfig::default()
+        };
         let report = run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config);
-        eprintln!("ablation_K[{k}] M={} STC={:.4}s", report.makespan, report.stc_s);
+        eprintln!(
+            "ablation_K[{k}] M={} STC={:.4}s",
+            report.makespan, report.stc_s
+        );
         group.bench_with_input(BenchmarkId::new("EATP_K", k), &k, |b, &k| {
-            let mut config = EatpConfig::default();
-            config.k_nearest = k;
+            let config = EatpConfig {
+                k_nearest: k,
+                ..EatpConfig::default()
+            };
             b.iter(|| run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config).makespan)
         });
     }

@@ -12,7 +12,9 @@ use tprw_warehouse::Dataset;
 fn bench(c: &mut Criterion) {
     let scale = bench_scale_from_env();
     let mut group = c.benchmark_group("fig10_ppr_rwr");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for name in ["NTP", "ATP", "EATP"] {
         let report = run_cell(Dataset::RealNorm, name, scale, DEFAULT_SEED);
         eprintln!(

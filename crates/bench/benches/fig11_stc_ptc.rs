@@ -20,15 +20,16 @@ fn bench(c: &mut Criterion) {
     let selectable: Vec<RackId> = instance.racks.iter().map(|r| r.id).collect();
 
     let mut group = c.benchmark_group("fig11_plan_latency");
-    group.sample_size(20).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4));
     for name in PLANNER_NAMES {
         group.bench_with_input(BenchmarkId::new("plan", name), &name, |b, &name| {
             // Fresh planner per iteration batch: reservations accumulate
             // inside plan(), so rebuild to keep iterations comparable.
             b.iter_batched(
                 || {
-                    let mut planner =
-                        planner_by_name(name, &EatpConfig::default()).expect("known");
+                    let mut planner = planner_by_name(name, &EatpConfig::default()).expect("known");
                     planner.init(&instance);
                     planner
                 },

@@ -18,8 +18,9 @@ fn bench(c: &mut Criterion) {
     for name in PLANNER_NAMES {
         let report = run_cell(Dataset::SynA, name, scale, DEFAULT_SEED);
         eprintln!(
-            "fig12[Syn-A@{scale}][{name}] peakMC={} KiB",
-            report.peak_memory_bytes / 1024
+            "fig12[Syn-A@{scale}][{name}] peakMC={} KiB (+{} KiB shared search arena)",
+            report.peak_memory_bytes / 1024,
+            report.peak_scratch_bytes / 1024
         );
     }
 
@@ -36,7 +37,9 @@ fn bench(c: &mut Criterion) {
         cdt.reserve_path(RobotId::new(i as usize), &path, false);
     }
     let mut group = c.benchmark_group("fig12_memory_accounting");
-    group.sample_size(30).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
     group.bench_with_input(BenchmarkId::new("memory_bytes", "STG"), &(), |b, _| {
         b.iter(|| stg.memory_bytes())
     });

@@ -19,9 +19,15 @@ fn bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fig13_bottleneck");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("case_study_sim", |b| {
-        b.iter(|| run_cell(Dataset::RealNorm, "ATP", scale, DEFAULT_SEED).bottleneck.len())
+        b.iter(|| {
+            run_cell(Dataset::RealNorm, "ATP", scale, DEFAULT_SEED)
+                .bottleneck
+                .len()
+        })
     });
     group.finish();
 }

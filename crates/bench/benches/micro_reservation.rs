@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use tprw_pathfinding::{
-    ConflictDetectionTable, Path, ReservationSystem, SpatioTemporalGraph,
-};
+use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem, SpatioTemporalGraph};
 use tprw_warehouse::{GridPos, RobotId};
 
 const W: u16 = 120;
@@ -26,7 +24,9 @@ fn paths(n: usize) -> Vec<(RobotId, Path)> {
 fn bench(c: &mut Criterion) {
     let load = paths(100);
     let mut group = c.benchmark_group("micro_reservation");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function(BenchmarkId::new("reserve", "STG"), |b| {
         b.iter(|| {

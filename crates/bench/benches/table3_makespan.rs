@@ -13,7 +13,9 @@ use tprw_warehouse::Dataset;
 fn bench(c: &mut Criterion) {
     let scale = bench_scale_from_env();
     let mut group = c.benchmark_group("table3_makespan");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for name in PLANNER_NAMES {
         // Print the Table III cell once.
         let report = run_cell(Dataset::SynA, name, scale, DEFAULT_SEED);

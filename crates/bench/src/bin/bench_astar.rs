@@ -1,0 +1,124 @@
+//! Perf-trajectory harness: median ns/query of the spatiotemporal A* hot
+//! path, seed reference vs arena-optimized, on the `micro_astar`
+//! congested-grid case. Emits `BENCH_astar.json` (path overridable via
+//! `BENCH_ASTAR_OUT`) so each PR can record where the hot path stands.
+//!
+//! Run with: `cargo run --release -p eatp-bench --bin bench_astar`
+//! (`BENCH_ASTAR_ITERS` overrides the per-variant iteration count.)
+
+use serde::Serialize;
+use std::time::Instant;
+use tprw_pathfinding::astar::{plan_path_with, PlanOptions};
+use tprw_pathfinding::reference::plan_path_reference;
+use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem, SearchScratch};
+use tprw_warehouse::{CellKind, GridMap, GridPos, RobotId};
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    case: String,
+    iterations: usize,
+    reference_median_ns: u64,
+    arena_median_ns: u64,
+    speedup: f64,
+    reference_expansions: usize,
+    arena_expansions: usize,
+    arrival_tick_reference: u64,
+    arrival_tick_arena: u64,
+}
+
+/// The congested-grid case shared with `micro_astar` and the no-alloc test:
+/// 40 robots sweep vertical columns while the query crosses them all.
+fn setup() -> (GridMap, ConflictDetectionTable) {
+    let grid = GridMap::filled(120, 80, CellKind::Aisle);
+    let mut resv = ConflictDetectionTable::new(120, 80);
+    for i in 0..40u16 {
+        let x = 3 * i;
+        let cells: Vec<GridPos> = (0..79u16).map(|y| GridPos::new(x, y)).collect();
+        resv.reserve_path(
+            RobotId::new(i as usize + 1),
+            &Path {
+                start: (i as u64) % 10,
+                cells,
+            },
+            false,
+        );
+    }
+    (grid, resv)
+}
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let iters: usize = std::env::var("BENCH_ASTAR_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(60);
+    let out_path =
+        std::env::var("BENCH_ASTAR_OUT").unwrap_or_else(|_| "BENCH_astar.json".to_string());
+
+    let (grid, resv) = setup();
+    let me = RobotId::new(0);
+    let from = GridPos::new(1, 40);
+    let to = GridPos::new(110, 42);
+    let opts = PlanOptions {
+        park_at_goal: false,
+        ..PlanOptions::default()
+    };
+
+    // Reference (seed HashMap/BinaryHeap implementation).
+    let ref_out = plan_path_reference(&grid, &resv, me, from, 100, to, None, &opts)
+        .expect("reference finds a path");
+    let mut ref_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = plan_path_reference(&grid, &resv, me, from, 100, to, None, &opts)
+            .expect("reference finds a path");
+        ref_samples.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(out.path.end(), ref_out.path.end());
+    }
+
+    // Arena-optimized, steady state (scratch warmed by the first query).
+    let mut scratch = SearchScratch::new();
+    let arena_out = plan_path_with(&mut scratch, &grid, &resv, me, from, 100, to, None, &opts)
+        .expect("arena finds a path");
+    assert_eq!(
+        arena_out.path.end(),
+        ref_out.path.end(),
+        "both implementations must find equally good paths"
+    );
+    let mut arena_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = plan_path_with(&mut scratch, &grid, &resv, me, from, 100, to, None, &opts)
+            .expect("arena finds a path");
+        arena_samples.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(out.path.end(), arena_out.path.end());
+    }
+
+    let reference_median_ns = median_ns(&mut ref_samples);
+    let arena_median_ns = median_ns(&mut arena_samples);
+    let report = BenchReport {
+        case: "congested-grid 120x80, 40 sweepers, 109-cell crossing".to_string(),
+        iterations: iters,
+        reference_median_ns,
+        arena_median_ns,
+        speedup: reference_median_ns as f64 / arena_median_ns.max(1) as f64,
+        reference_expansions: ref_out.expansions,
+        arena_expansions: arena_out.expansions,
+        arrival_tick_reference: ref_out.path.end(),
+        arrival_tick_arena: arena_out.path.end(),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write BENCH_astar.json");
+    println!("{json}");
+    println!(
+        "\nreference {reference_median_ns} ns/query -> arena {arena_median_ns} ns/query \
+         ({:.2}x speedup), written to {out_path}",
+        report.speedup
+    );
+}

@@ -170,9 +170,7 @@ fn fig10(reports: &[SimulationReport]) {
                 let series: Vec<String> = r
                     .checkpoints
                     .iter()
-                    .map(|c| {
-                        format!("{:.3}", if metric == "PPR" { c.ppr } else { c.rwr })
-                    })
+                    .map(|c| format!("{:.3}", if metric == "PPR" { c.ppr } else { c.rwr }))
                     .collect();
                 println!("    {:<5} [{}]", r.planner, series.join(", "));
             }
@@ -192,9 +190,7 @@ fn fig11(reports: &[SimulationReport]) {
                 let series: Vec<String> = r
                     .checkpoints
                     .iter()
-                    .map(|c| {
-                        format!("{:.3}", if metric == "STC" { c.stc_s } else { c.ptc_s })
-                    })
+                    .map(|c| format!("{:.3}", if metric == "STC" { c.stc_s } else { c.ptc_s }))
                     .collect();
                 println!("    {:<5} [{}]", r.planner, series.join(", "));
             }
@@ -228,6 +224,10 @@ fn fig12(reports: &[SimulationReport]) {
         if let (Some(eatp), Some(other)) = (eatp, max_other) {
             let cut = 100.0 * (other as f64 - eatp.peak_memory_bytes as f64) / other as f64;
             println!("    EATP peak-memory reduction vs worst baseline: {cut:.1}%");
+            println!(
+                "    (search arena, same for all planners, excluded from MC: peak {} KiB)",
+                eatp.peak_scratch_bytes / 1024
+            );
         }
     }
     write_json("fig12", &reports.to_vec());
@@ -278,8 +278,7 @@ fn badcase() {
         let mut rows = Vec::new();
         for name in ["NTP", "ATP"] {
             let mut planner = planner_by_name(name, &EatpConfig::default()).expect("known");
-            let report =
-                run_simulation(&case.instance, &mut *planner, &EngineConfig::default());
+            let report = run_simulation(&case.instance, &mut *planner, &EngineConfig::default());
             rows.push((name, report.makespan, report.rack_trips));
         }
         println!(
@@ -313,8 +312,10 @@ fn ablation_delta(scale: f64) {
 fn ablation_l(scale: f64) {
     println!("== Ablation: cache threshold L (Sec. VI-B cache-aided path finding) ==");
     for l in [0u64, 10, 25, 50, 100] {
-        let mut config = EatpConfig::default();
-        config.cache_threshold = l;
+        let config = EatpConfig {
+            cache_threshold: l,
+            ..EatpConfig::default()
+        };
         let report = run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config);
         println!(
             "  L={l:<4} M={:<8} PTC={:.3}s spliced={} of {} paths",
@@ -330,8 +331,10 @@ fn ablation_l(scale: f64) {
 fn ablation_k(scale: f64) {
     println!("== Ablation: flip-side K (Sec. VI-A K-nearest racks per robot) ==");
     for k in [1usize, 2, 4, 8, 16, 32] {
-        let mut config = EatpConfig::default();
-        config.k_nearest = k;
+        let config = EatpConfig {
+            k_nearest: k,
+            ..EatpConfig::default()
+        };
         let report = run_cell_with(Dataset::SynA, "EATP", scale, DEFAULT_SEED, &config);
         println!(
             "  K={k:<4} M={:<8} STC={:.3}s batch={:.2}",

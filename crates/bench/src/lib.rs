@@ -103,7 +103,10 @@ mod tests {
     #[test]
     fn scale_env_parsing_defaults() {
         // No env manipulation (tests run in parallel): defaults only.
-        assert!(DEFAULT_SCALE > 0.0 && DEFAULT_SCALE <= 1.0);
+        let s = scale_from_env();
+        assert!(s > 0.0 && s <= 1.0);
+        let b = bench_scale_from_env();
+        assert!(b > 0.0 && b <= 1.0);
     }
 
     #[test]

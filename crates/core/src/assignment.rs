@@ -32,9 +32,7 @@ pub fn match_and_plan<R: ReservationBackend>(
             continue;
         };
         let robot = world.robot(robot_id);
-        if let Some(path) =
-            base.plan_and_reserve(robot_id, robot.pos, rack.home, world.t, true)
-        {
+        if let Some(path) = base.plan_and_reserve(robot_id, robot.pos, rack.home, world.t, true) {
             used[robot_id.index()] = true;
             plans.push(AssignmentPlan {
                 robot: robot_id,
@@ -74,9 +72,7 @@ mod tests {
     use super::*;
     use crate::config::EatpConfig;
     use tprw_pathfinding::{ConflictDetectionTable, ReservationSystem};
-    use tprw_warehouse::{
-        Instance, ItemId, LayoutConfig, ScenarioSpec, WorkloadConfig,
-    };
+    use tprw_warehouse::{Instance, ItemId, LayoutConfig, ScenarioSpec, WorkloadConfig};
 
     fn instance() -> Instance {
         ScenarioSpec {

@@ -74,7 +74,11 @@ pub fn q_select_rack_side<R: crate::base::ReservationBackend>(
             (q.q(s, 0), rid)
         })
         .collect();
-    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite q-values").then(a.1.cmp(&b.1)));
+    ranked.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite q-values")
+            .then(a.1.cmp(&b.1))
+    });
 
     let mut selected = Vec::new();
     for (_, rid) in ranked {

@@ -52,7 +52,7 @@ pub struct BadCase {
 /// Panics if `k` is zero or too large for the fixed floor (k ≤ 24).
 pub fn build(params: BadCaseParams) -> BadCase {
     let BadCaseParams { k, xi } = params;
-    assert!(k >= 1 && k <= 24, "k must be in 1..=24");
+    assert!((1..=24).contains(&k), "k must be in 1..=24");
     assert!(xi >= 1, "processing time must be positive");
 
     let width: u16 = 40;
@@ -92,10 +92,7 @@ pub fn build(params: BadCaseParams) -> BadCase {
     let d_deliver = r_home.manhattan(p1_pos);
     let d_cycle = 2 * d_deliver;
     let m_cross = r_home.manhattan(p2_homes[0]);
-    let d_sum: Duration = p2_homes
-        .iter()
-        .map(|h| 2 * h.manhattan(p2_pos))
-        .sum();
+    let d_sum: Duration = p2_homes.iter().map(|h| 2 * h.manhattan(p2_pos)).sum();
 
     // Item stream: o_i on rack r at i·(D+ξ); v_j in a quick burst starting
     // just after o_1 (span 1 « every D_j).

@@ -10,11 +10,11 @@
 use crate::config::EatpConfig;
 use crate::planner::PlannerStats;
 use std::time::Instant;
-use tprw_pathfinding::astar::{plan_path, PlanOptions};
+use tprw_pathfinding::astar::{plan_path_with, PlanOptions};
 use tprw_pathfinding::bfs::DistanceOracle;
 use tprw_pathfinding::{
     ConflictDetectionTable, KNearestRacks, MemoryFootprint, Path, PathCache, ReservationSystem,
-    SpatioTemporalGraph,
+    SearchScratch, SpatioTemporalGraph,
 };
 use tprw_warehouse::{GridMap, GridPos, Instance, RobotId, Tick};
 
@@ -61,6 +61,10 @@ pub struct PlannerBase<R: ReservationBackend> {
     pub config: EatpConfig,
     /// Cumulative counters.
     pub stats: PlannerStats,
+    /// Reusable A* arena shared by every leg this planner plans: after the
+    /// first few queries warm it up, path finding is allocation-free except
+    /// for the returned [`Path`] itself.
+    pub scratch: SearchScratch,
     last_gc: Tick,
 }
 
@@ -86,6 +90,7 @@ impl<R: ReservationBackend> PlannerBase<R> {
             knn,
             config,
             stats: PlannerStats::default(),
+            scratch: SearchScratch::new(),
             grid,
             last_gc: 0,
         }
@@ -122,7 +127,8 @@ impl<R: ReservationBackend> PlannerBase<R> {
             park_at_goal,
             ..PlanOptions::default()
         };
-        let outcome = plan_path(
+        let outcome = plan_path_with(
+            &mut self.scratch,
             &self.grid,
             &self.resv,
             robot,
@@ -170,6 +176,10 @@ impl<R: ReservationBackend> PlannerBase<R> {
             + self.cache.as_ref().map_or(0, |c| c.memory_bytes())
             + self.knn.as_ref().map_or(0, |k| k.memory_bytes())
             + extra_bytes;
+        // The search arena is identical machinery for every planner, so it is
+        // reported separately and not folded into the Fig. 12 MC comparison
+        // of reservation structures.
+        s.scratch_bytes = self.scratch.memory_bytes();
         s
     }
 }

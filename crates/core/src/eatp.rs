@@ -76,8 +76,7 @@ impl EfficientAdaptiveTaskPlanner {
                 let action = q.epsilon_greedy(s);
                 if action == 1 {
                     let delivery = base.dist(rack.home, picker.pos);
-                    let reward =
-                        QTable::reward(picker.finish_time(), delivery, rack.pending_time);
+                    let reward = QTable::reward(picker.finish_time(), delivery, rack.pending_time);
                     q.update(
                         picker.accum_processing,
                         rack.accum_processing,
@@ -313,8 +312,10 @@ mod tests {
     #[test]
     fn zero_cache_threshold_disables_cache() {
         let inst = instance();
-        let mut config = EatpConfig::default();
-        config.cache_threshold = 0;
+        let config = EatpConfig {
+            cache_threshold: 0,
+            ..EatpConfig::default()
+        };
         let mut planner = EfficientAdaptiveTaskPlanner::new(config);
         planner.init(&inst);
         assert!(planner.base.as_ref().unwrap().cache.is_none());

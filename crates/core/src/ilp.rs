@@ -25,8 +25,8 @@ use crate::ntp::most_slack_picker_selection;
 use crate::planner::{AssignmentPlan, Planner, PlannerStats};
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, ReservationSystem, SpatioTemporalGraph};
-use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
 use tprw_solver::{assign_min_cost, solve_binary_min, IlpLimits, IlpProblem};
+use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
 
 /// Maximum racks (and robots) per ILP block.
 pub const BLOCK: usize = 20;
@@ -88,10 +88,7 @@ impl IlpPlanner {
                 }
                 let pickup = base.dist(world.robot(aid).pos, rack.home);
                 let travel = pickup + delivery;
-                let c = (travel
-                    + queuing_delay(fp, travel)
-                    + rack.pending_time
-                    + delivery) as f64;
+                let c = (travel + queuing_delay(fp, travel) + rack.pending_time + delivery) as f64;
                 costs[i][j] = c;
                 int_costs[i][j] = c as i64;
             }
@@ -129,13 +126,11 @@ impl IlpPlanner {
             costs: Vec::with_capacity(nr * na),
             constraints: Vec::new(),
         };
-        for i in 0..nr {
-            for j in 0..na {
-                problem.costs.push(if costs[i][j] >= FORBIDDEN {
-                    FORBIDDEN
-                } else {
-                    costs[i][j] - bonus
-                });
+        for row in costs.iter().take(nr) {
+            for &c in row.iter().take(na) {
+                problem
+                    .costs
+                    .push(if c >= FORBIDDEN { FORBIDDEN } else { c - bonus });
             }
         }
         for i in 0..nr {
@@ -161,13 +156,7 @@ impl IlpPlanner {
             }
         }
 
-        let solution = solve_binary_min(
-            &problem,
-            IlpLimits {
-                max_nodes,
-            },
-            Some(incumbent),
-        );
+        let solution = solve_binary_min(&problem, IlpLimits { max_nodes }, Some(incumbent));
         let Some(solution) = solution else {
             return (Vec::new(), 0);
         };
@@ -209,8 +198,7 @@ impl Planner for IlpPlanner {
         // order, consuming idle robots until none remain.
         let mut total_nodes = 0u64;
         let pairs: Vec<(RackId, RobotId)> = base.timed_selection(|base| {
-            let priority =
-                most_slack_picker_selection(world, world.idle_robots.len() * 2);
+            let priority = most_slack_picker_selection(world, world.idle_robots.len() * 2);
             let mut remaining_robots: Vec<RobotId> = world.idle_robots.to_vec();
             let mut all_pairs = Vec::new();
             for chunk in priority.chunks(BLOCK) {
@@ -219,19 +207,11 @@ impl Planner for IlpPlanner {
                 }
                 // Closest robots to the chunk's first rack home.
                 let anchor = world.rack(chunk[0]).home;
-                remaining_robots
-                    .sort_by_key(|&r| (world.robot(r).pos.manhattan(anchor), r));
+                remaining_robots.sort_by_key(|&r| (world.robot(r).pos.manhattan(anchor), r));
                 let take = remaining_robots.len().min(BLOCK);
-                let block_robots: Vec<RobotId> =
-                    remaining_robots[..take].to_vec();
-                let (pairs, nodes) = Self::solve_block(
-                    base,
-                    world,
-                    chunk,
-                    &block_robots,
-                    max_nodes,
-                    capacity,
-                );
+                let block_robots: Vec<RobotId> = remaining_robots[..take].to_vec();
+                let (pairs, nodes) =
+                    Self::solve_block(base, world, chunk, &block_robots, max_nodes, capacity);
                 total_nodes += nodes;
                 for &(rack, robot) in &pairs {
                     remaining_robots.retain(|&r| r != robot);
@@ -358,13 +338,14 @@ mod tests {
         for &i in &p0_racks {
             add_pending(&mut inst, i, 30);
         }
-        let mut config = EatpConfig::default();
-        config.ilp_picker_capacity = 1;
+        let config = EatpConfig {
+            ilp_picker_capacity: 1,
+            ..EatpConfig::default()
+        };
         let mut planner = IlpPlanner::new(config);
         planner.init(&inst);
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
-        let selectable: Vec<RackId> =
-            p0_racks.iter().map(|&i| inst.racks[i].id).collect();
+        let selectable: Vec<RackId> = p0_racks.iter().map(|&i| inst.racks[i].id).collect();
         let world = world_of(&inst, 0, &idle, &selectable);
         let plans = planner.plan(&world);
         assert!(

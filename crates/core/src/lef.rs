@@ -149,8 +149,8 @@ mod tests {
         let mut inst = instance();
         // Give rack 0 a *later* item than rack 1.
         // Items are sorted by arrival; use the actual item stream.
-        let late_item = inst.items.last().unwrap().clone();
-        let early_item = inst.items.first().unwrap().clone();
+        let late_item = *inst.items.last().unwrap();
+        let early_item = *inst.items.first().unwrap();
         inst.racks[0].pending.push(late_item.id);
         inst.racks[0].pending_time = late_item.processing;
         inst.racks[1].pending.push(early_item.id);
@@ -171,8 +171,7 @@ mod tests {
         let plans = planner.plan(&world);
         assert_eq!(plans.len(), 1, "single idle robot");
         assert_eq!(
-            plans[0].rack,
-            inst.racks[1].id,
+            plans[0].rack, inst.racks[1].id,
             "rack with the earliest item wins"
         );
     }

@@ -66,8 +66,8 @@ mod tests {
     fn planner_factory_knows_all_names() {
         let config = EatpConfig::default();
         for name in PLANNER_NAMES {
-            let p = planner_by_name(name, &config)
-                .unwrap_or_else(|| panic!("missing planner {name}"));
+            let p =
+                planner_by_name(name, &config).unwrap_or_else(|| panic!("missing planner {name}"));
             assert_eq!(p.name(), name);
         }
         assert!(planner_by_name("nope", &config).is_none());

@@ -102,7 +102,7 @@ mod tests {
             processing: 60,
             return_trip: 20,
         });
-        assert_eq!(f, 1000 + 10 + 20 + 0 + 60 + 20);
+        assert_eq!(f, (1000 + 10 + 20) + 60 + 20);
     }
 
     #[test]

@@ -170,8 +170,7 @@ mod tests {
         };
         let selected = most_slack_picker_selection(&world, 10);
         assert_eq!(
-            selected[0],
-            inst.racks[rack_p1].id,
+            selected[0], inst.racks[rack_p1].id,
             "slack picker 1 must come first"
         );
     }

@@ -31,6 +31,10 @@ pub struct PlannerStats {
     pub planning_ns: u64,
     /// Current memory of reservation/cache/learning structures (MC).
     pub memory_bytes: usize,
+    /// Memory of the reusable A* search arena (reported separately from MC:
+    /// the arena is identical machinery for every planner, so folding it
+    /// into `memory_bytes` would wash out the STG-vs-CDT comparison).
+    pub scratch_bytes: usize,
     /// Total A* state expansions.
     pub expansions: u64,
     /// Successful path queries.

@@ -141,8 +141,7 @@ impl QTable {
 
     /// Approximate heap bytes (for the MC metric).
     pub fn memory_bytes(&self) -> usize {
-        self.table.len()
-            * (std::mem::size_of::<QState>() + std::mem::size_of::<[f64; 2]>() + 8)
+        self.table.len() * (std::mem::size_of::<QState>() + std::mem::size_of::<[f64; 2]>() + 8)
     }
 }
 
@@ -204,8 +203,10 @@ mod tests {
 
     #[test]
     fn epsilon_greedy_prefers_better_action() {
-        let mut config = RlConfig::default();
-        config.epsilon = 0.0; // pure exploitation
+        let config = RlConfig {
+            epsilon: 0.0, // pure exploitation
+            ..RlConfig::default()
+        };
         let mut q = QTable::new(config);
         // Make action 0 better in state s.
         for _ in 0..50 {
@@ -218,19 +219,23 @@ mod tests {
 
     #[test]
     fn epsilon_one_explores_uniformly() {
-        let mut config = RlConfig::default();
-        config.epsilon = 1.0;
+        let config = RlConfig {
+            epsilon: 1.0,
+            ..RlConfig::default()
+        };
         let mut q = QTable::new(config);
         let s = q.state(0, 0);
         let picks: Vec<usize> = (0..100).map(|_| q.epsilon_greedy(s)).collect();
-        assert!(picks.iter().any(|&a| a == 0));
-        assert!(picks.iter().any(|&a| a == 1));
+        assert!(picks.contains(&0));
+        assert!(picks.contains(&1));
     }
 
     #[test]
     fn bootstrap_rate_approximates_delta() {
-        let mut config = RlConfig::default();
-        config.delta = 0.3;
+        let config = RlConfig {
+            delta: 0.3,
+            ..RlConfig::default()
+        };
         let mut q = QTable::new(config);
         let n = 10_000;
         let hits = (0..n).filter(|_| q.sample_bootstrap()).count();
@@ -240,8 +245,10 @@ mod tests {
 
     #[test]
     fn unexplored_state_requests_by_default() {
-        let mut config = RlConfig::default();
-        config.epsilon = 0.0;
+        let config = RlConfig {
+            epsilon: 0.0,
+            ..RlConfig::default()
+        };
         let mut q = QTable::new(config);
         let s = q.state(999, 999);
         assert_eq!(q.epsilon_greedy(s), 1, "ties favour requesting");

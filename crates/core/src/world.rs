@@ -81,7 +81,10 @@ mod tests {
         };
         assert_eq!(view.rack(RackId::new(0)).home, GridPos::new(2, 2));
         assert_eq!(view.robot(RobotId::new(0)).pos, GridPos::new(1, 1));
-        assert_eq!(view.picker_of(view.rack(RackId::new(0))).id, PickerId::new(0));
+        assert_eq!(
+            view.picker_of(view.rack(RackId::new(0))).id,
+            PickerId::new(0)
+        );
         assert!(view.has_work());
     }
 

@@ -1,5 +1,5 @@
 //! Spatiotemporal A* (Sec. V-C) with optional cache-aided splicing
-//! (Sec. VI-B).
+//! (Sec. VI-B), flattened around a reusable arena.
 //!
 //! The search runs on the time-expanded graph: a state is a `(cell, tick)`
 //! pair, moves cost one tick, waiting in place costs one tick, and the
@@ -7,6 +7,37 @@
 //! grids). Conflict constraints come from a [`ReservationSystem`]: a move is
 //! expanded only if [`ReservationSystem::can_move`] allows it, which encodes
 //! both single-grid and inter-grid conflicts of Definition 5.
+//!
+//! # Hot-path design (see also [`crate::scratch`])
+//!
+//! The seed implementation routed every expansion through `HashMap`
+//! probes (`parents`/`closed`) and a `BinaryHeap` of packed tuples whose
+//! `(t << 24) | cell_index` key silently aliased states on grids with
+//! ≥ 2²⁴ cells. This implementation replaces all of that:
+//!
+//! * **States are dense slots.** Each query computes a *search region* — the
+//!   bounding box of `start`/`goal` inflated by `horizon_slack / 2 + 1`
+//!   (plus twice the cache threshold when splicing is enabled; see
+//!   [`Region::compute`]) — outside of which no cell can contribute to any
+//!   completion of the query (for any on-path cell `c`,
+//!   `d(start,c) + d(c,goal) ≤ d(start,goal) + slack`). A state keys the
+//!   flat tables of a [`SearchScratch`] as `region_cell * window + dt`,
+//!   stamped by query generation so buffers are reused without clearing.
+//! * **The open list is a dial.** Unit edge costs make f-values monotone
+//!   with increments in `{0, 1, 2}`, so a bucket array indexed by `f - h0`
+//!   with a monotone head pointer replaces the binary heap. Buckets pop
+//!   LIFO, preferring the most recently discovered state of equal `f` — a
+//!   depth-greedy tie-break similar in spirit to (not identical with) the
+//!   seed's `(f, h, …)` ordering; equal `f` means equal final cost, so
+//!   only expansion order differs.
+//! * **Parents are 3-bit actions**, not pointers: a state's predecessor is
+//!   recomputed from the stored reach-action during path reconstruction.
+//! * **No closed set.** Every path into `(cell, dt)` has cost exactly `dt`,
+//!   so the first discovery is optimal and stamping at discovery dedupes.
+//!
+//! Queries whose dense table would exceed [`DENSE_TABLE_CAP`] slots fall
+//! back to a hash-keyed search with a collision-free `dt * cells + cell`
+//! key (see [`SearchScratch`] docs); behaviour is identical, only slower.
 //!
 //! When a [`PathCache`] is supplied and the popped vertex lies within the
 //! cache threshold `L` of the destination, the planner follows the cached
@@ -17,9 +48,15 @@
 use crate::cache::PathCache;
 use crate::path::Path;
 use crate::reservation::ReservationSystem;
+use crate::scratch::{SearchScratch, ACTION_MOVE_BASE, ACTION_ROOT, ACTION_WAIT};
+use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use tprw_warehouse::{GridMap, GridPos, RobotId, Tick};
+use tprw_warehouse::{Direction, GridMap, GridPos, RobotId, Tick};
+
+/// Upper bound on dense arena slots per query (≈ 640 MiB of stamps at the
+/// cap); larger queries take the sparse fallback. Far above every workload
+/// in the paper's datasets.
+pub const DENSE_TABLE_CAP: usize = 1 << 27;
 
 /// Tuning knobs for a single path query.
 #[derive(Debug, Clone)]
@@ -64,22 +101,110 @@ pub struct PlanOutcome {
     pub used_cache: bool,
 }
 
+/// Statistics of a successful [`plan_path_into`] query (the path itself is
+/// written into the caller's buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanStats {
+    /// States expanded by the A* loop.
+    pub expansions: usize,
+    /// Whether the tail was derived from the path cache.
+    pub used_cache: bool,
+}
+
+/// The per-query search region: the `start`/`goal` bounding box inflated by
+/// `horizon_slack / 2 + 1`, clamped to the grid.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    x0: u16,
+    y0: u16,
+    w: u32,
+    h: u32,
+    /// Number of `dt` values per cell (`horizon - start_tick + 1`).
+    window: u64,
+}
+
+impl Region {
+    /// `splice_reach` is the path cache's threshold `L` (0 without a cache):
+    /// cache splicing can complete a path from any popped state within `L`
+    /// of the goal, and the spatial splice tail is *not* horizon-bounded, so
+    /// splice-eligible states live beyond the pure-search ellipse. A state
+    /// `c` reachable in the search phase satisfies `d(s,w) + d(w,c) ≤
+    /// window-1` for every cell `w` en route, and `d(s,g) ≤ d(s,c) + L`,
+    /// which bounds every such cell within `slack/2 + 3L/2` of the
+    /// start/goal box; `2L` over-approximates `3L/2` for a round margin.
+    fn compute(
+        grid: &GridMap,
+        start: GridPos,
+        goal: GridPos,
+        slack: u64,
+        splice_reach: u64,
+    ) -> Region {
+        let margin = (slack / 2 + 1 + 2 * splice_reach).min(u16::MAX as u64) as u16;
+        let x0 = start.x.min(goal.x).saturating_sub(margin);
+        let y0 = start.y.min(goal.y).saturating_sub(margin);
+        let x1 = start
+            .x
+            .max(goal.x)
+            .saturating_add(margin)
+            .min(grid.width() - 1);
+        let y1 = start
+            .y
+            .max(goal.y)
+            .saturating_add(margin)
+            .min(grid.height() - 1);
+        Region {
+            x0,
+            y0,
+            w: (x1 - x0) as u32 + 1,
+            h: (y1 - y0) as u32 + 1,
+            window: start.manhattan(goal) + slack + 1,
+        }
+    }
+
+    /// Dense slots needed (`None` on overflow — forces the sparse fallback).
+    fn slots(&self) -> Option<usize> {
+        (self.w as usize * self.h as usize).checked_mul(usize::try_from(self.window).ok()?)
+    }
+
+    #[inline]
+    fn contains(&self, p: GridPos) -> bool {
+        let dx = p.x.wrapping_sub(self.x0) as u32;
+        let dy = p.y.wrapping_sub(self.y0) as u32;
+        dx < self.w && dy < self.h
+    }
+
+    /// Dense table slot of `(p, dt)`; `p` must be inside the region.
+    #[inline]
+    fn slot(&self, p: GridPos, dt: u64) -> usize {
+        debug_assert!(self.contains(p) && dt < self.window);
+        let cell = (p.y - self.y0) as usize * self.w as usize + (p.x - self.x0) as usize;
+        cell * self.window as usize + dt as usize
+    }
+}
+
 /// Plan a conflict-free timed path for `robot` from `start` (occupied at
-/// `start_tick`) to `goal`.
+/// `start_tick`) to `goal`, using a caller-provided scratch arena and
+/// writing the path into `out` (whose buffer is reused).
 ///
 /// Returns `None` when no path exists within the expansion/horizon budget —
 /// callers treat that as "retry on a later tick". The returned path is *not*
 /// yet reserved; call [`ReservationSystem::reserve_path`] to commit it.
-pub fn plan_path<R: ReservationSystem>(
+///
+/// After the scratch has warmed up to the workload's largest query, this
+/// function performs **no heap allocations** on the cache-less path.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_path_into<R: ReservationSystem>(
+    scratch: &mut SearchScratch,
     grid: &GridMap,
     resv: &R,
     robot: RobotId,
     start: GridPos,
     start_tick: Tick,
     goal: GridPos,
-    mut cache: Option<&mut PathCache>,
+    cache: Option<&mut PathCache>,
     opts: &PlanOptions,
-) -> Option<PlanOutcome> {
+    out: &mut Path,
+) -> Option<PlanStats> {
     debug_assert!(grid.passable(start) && grid.passable(goal));
 
     // The start vertex must be ours: a robot undocking from a station bay
@@ -95,6 +220,29 @@ pub fn plan_path<R: ReservationSystem>(
             return None;
         }
     }
+
+    plan_path_checked(
+        scratch, grid, resv, robot, start, start_tick, goal, cache, opts, out, false,
+    )
+}
+
+/// Post-precondition dispatch between the dense arena and the sparse
+/// fallback. `force_sparse` exists for tests that pin the two
+/// implementations against each other.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_path_checked<R: ReservationSystem>(
+    scratch: &mut SearchScratch,
+    grid: &GridMap,
+    resv: &R,
+    robot: RobotId,
+    start: GridPos,
+    start_tick: Tick,
+    goal: GridPos,
+    mut cache: Option<&mut PathCache>,
+    opts: &PlanOptions,
+    out: &mut Path,
+    force_sparse: bool,
+) -> Option<PlanStats> {
     // Earliest tick at which a parking goal may be occupied forever.
     let park_clearance = if opts.park_at_goal {
         resv.last_reservation_excluding(goal, robot)
@@ -104,137 +252,470 @@ pub fn plan_path<R: ReservationSystem>(
         0
     };
 
-    let horizon = start_tick + start.manhattan(goal) + opts.horizon_slack;
-    let width = grid.width();
-    let key = |pos: GridPos, t: Tick| -> u64 { (t << 24) | pos.to_index(width) as u64 };
+    let splice_reach = cache.as_ref().map_or(0, |c| c.threshold());
+    let region = Region::compute(grid, start, goal, opts.horizon_slack, splice_reach);
+    match region.slots() {
+        Some(slots) if slots <= DENSE_TABLE_CAP && !force_sparse => plan_dense(
+            scratch,
+            region,
+            grid,
+            resv,
+            robot,
+            start,
+            start_tick,
+            goal,
+            cache.as_deref_mut(),
+            park_clearance,
+            opts,
+            out,
+        ),
+        _ => plan_sparse(
+            scratch,
+            grid,
+            resv,
+            robot,
+            start,
+            start_tick,
+            goal,
+            cache,
+            park_clearance,
+            opts,
+            out,
+        ),
+    }
+}
 
-    let mut open: BinaryHeap<Reverse<(u64, u64, u32, Tick)>> = BinaryHeap::new();
-    // parent[state] = predecessor state
-    let mut parents: HashMap<u64, u64> = HashMap::new();
-    let mut closed: HashMap<u64, ()> = HashMap::new();
+/// [`plan_path_into`] with an owned result path.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_path_with<R: ReservationSystem>(
+    scratch: &mut SearchScratch,
+    grid: &GridMap,
+    resv: &R,
+    robot: RobotId,
+    start: GridPos,
+    start_tick: Tick,
+    goal: GridPos,
+    cache: Option<&mut PathCache>,
+    opts: &PlanOptions,
+) -> Option<PlanOutcome> {
+    let mut path = Path {
+        start: start_tick,
+        cells: Vec::new(),
+    };
+    let stats = plan_path_into(
+        scratch, grid, resv, robot, start, start_tick, goal, cache, opts, &mut path,
+    )?;
+    Some(PlanOutcome {
+        path,
+        expansions: stats.expansions,
+        used_cache: stats.used_cache,
+    })
+}
 
+thread_local! {
+    /// Arena for the scratch-less compatibility entry point: call sites that
+    /// do not manage a [`SearchScratch`] still get steady-state buffer reuse.
+    static LOCAL_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
+
+/// Per-thread cap on retained dense-table slots for the scratch-less
+/// wrapper (≈ 20 MiB of stamps+actions); larger tables are dropped after
+/// the query instead of pinning the thread-local high water forever.
+const LOCAL_SCRATCH_MAX_SLOTS: usize = 1 << 22;
+
+/// Plan a conflict-free timed path using a thread-local scratch arena.
+///
+/// Prefer [`plan_path_into`]/[`plan_path_with`] with an explicitly owned
+/// [`SearchScratch`] in planner hot paths; this wrapper exists for tests and
+/// one-shot callers. Retained thread-local buffers are capped at
+/// [`LOCAL_SCRATCH_MAX_SLOTS`] dense slots — oversized tables are released
+/// after the query.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_path<R: ReservationSystem>(
+    grid: &GridMap,
+    resv: &R,
+    robot: RobotId,
+    start: GridPos,
+    start_tick: Tick,
+    goal: GridPos,
+    cache: Option<&mut PathCache>,
+    opts: &PlanOptions,
+) -> Option<PlanOutcome> {
+    LOCAL_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let out = plan_path_with(
+            &mut scratch,
+            grid,
+            resv,
+            robot,
+            start,
+            start_tick,
+            goal,
+            cache,
+            opts,
+        );
+        scratch.trim(LOCAL_SCRATCH_MAX_SLOTS);
+        out
+    })
+}
+
+/// Dense-arena search core.
+#[allow(clippy::too_many_arguments)]
+fn plan_dense<R: ReservationSystem>(
+    scratch: &mut SearchScratch,
+    region: Region,
+    grid: &GridMap,
+    resv: &R,
+    robot: RobotId,
+    start: GridPos,
+    start_tick: Tick,
+    goal: GridPos,
+    mut cache: Option<&mut PathCache>,
+    park_clearance: Tick,
+    opts: &PlanOptions,
+    out: &mut Path,
+) -> Option<PlanStats> {
+    let horizon = start_tick + region.window - 1;
     let h0 = start.manhattan(goal);
-    open.push(Reverse((start_tick + h0, h0, start.to_index(width) as u32, start_tick)));
-    parents.insert(key(start, start_tick), key(start, start_tick));
+    let width = grid.width();
+    let height = grid.height();
+    let generation = scratch.begin_dense(region.slots().expect("checked by caller"));
 
+    // Seed the root.
+    {
+        let slot = region.slot(start, 0);
+        scratch.stamp[slot] = generation;
+        scratch.action[slot] = ACTION_ROOT;
+        scratch.ensure_bucket(0);
+        scratch.buckets[0].push((start.to_index(width) as u32, 0));
+    }
+    let mut dirty_hi = 0usize; // highest bucket touched this query
+    let mut head = 0usize; // monotone dial pointer
     let mut expansions = 0usize;
     let mut splice_attempts = 0u32;
+    let mut result: Option<PlanStats> = None;
 
-    while let Some(Reverse((_f, _h, pos_idx, t))) = open.pop() {
-        let pos = GridPos::from_index(pos_idx as usize, width);
-        let state = key(pos, t);
-        if closed.contains_key(&state) {
-            continue;
+    'search: loop {
+        while head <= dirty_hi && scratch.buckets[head].is_empty() {
+            head += 1;
         }
-        closed.insert(state, ());
+        if head > dirty_hi {
+            break; // open list exhausted
+        }
+        let (pos_idx, dt) = scratch.buckets[head].pop().expect("non-empty bucket");
+        let pos = GridPos::from_index(pos_idx as usize, width);
+        let dt = dt as u64;
+        let t = start_tick + dt;
         expansions += 1;
 
         // Goal test: arrived, and — for parking goals — cleared of all
         // future reservations by other robots.
         if pos == goal && t >= park_clearance {
-            let path = reconstruct(&parents, state, start_tick, t, width);
-            return Some(PlanOutcome {
-                path,
+            reconstruct_dense(&scratch.action, &region, pos, dt, width, height, out);
+            out.start = start_tick;
+            result = Some(PlanStats {
+                expansions,
+                used_cache: false,
+            });
+            break;
+        }
+
+        // Cache-aided tail: follow the conflict-agnostic shortest path with
+        // waits (Sec. VI-B).
+        if splice_completes(
+            resv,
+            robot,
+            pos,
+            t,
+            goal,
+            &mut cache,
+            &mut splice_attempts,
+            park_clearance,
+            opts,
+            &mut scratch.splice_buf,
+        ) {
+            reconstruct_dense(&scratch.action, &region, pos, dt, width, height, out);
+            out.start = start_tick;
+            out.cells.extend_from_slice(&scratch.splice_buf[1..]);
+            result = Some(PlanStats {
+                expansions,
+                used_cache: true,
+            });
+            break 'search;
+        }
+
+        if expansions >= opts.max_expansions || t >= horizon {
+            continue; // stop growing this branch; other buckets may finish
+        }
+
+        // Expand: wait + the four moves. Cells outside the region cannot lie
+        // on any path meeting the horizon, so they are pruned at generation.
+        let ndt = dt + 1;
+        if resv.can_move(robot, pos, pos, t) {
+            push_dense(
+                scratch,
+                &region,
+                goal,
+                h0,
+                pos,
+                ndt,
+                ACTION_WAIT,
+                width,
+                &mut dirty_hi,
+            );
+        }
+        for (i, dir) in Direction::ALL.into_iter().enumerate() {
+            if let Some(next) = pos.step(dir, width, height) {
+                if region.contains(next)
+                    && grid.passable(next)
+                    && resv.can_move(robot, pos, next, t)
+                {
+                    push_dense(
+                        scratch,
+                        &region,
+                        goal,
+                        h0,
+                        next,
+                        ndt,
+                        ACTION_MOVE_BASE + i as u8,
+                        width,
+                        &mut dirty_hi,
+                    );
+                }
+            }
+        }
+    }
+
+    // Recycle the dial: lengths reset, capacities kept for the next query.
+    for bucket in &mut scratch.buckets[..=dirty_hi] {
+        bucket.clear();
+    }
+    result
+}
+
+/// Stamp-dedupe and enqueue `(to, ndt)` reached via `action`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn push_dense(
+    scratch: &mut SearchScratch,
+    region: &Region,
+    goal: GridPos,
+    h0: u64,
+    to: GridPos,
+    ndt: u64,
+    action: u8,
+    width: u16,
+    dirty_hi: &mut usize,
+) {
+    let slot = region.slot(to, ndt);
+    if scratch.stamp[slot] == scratch.generation {
+        return; // already discovered — first discovery has equal cost
+    }
+    scratch.stamp[slot] = scratch.generation;
+    scratch.action[slot] = action;
+    let f = ndt + to.manhattan(goal);
+    debug_assert!(f >= h0, "Manhattan heuristic must be consistent");
+    let bucket = (f - h0) as usize;
+    scratch.ensure_bucket(bucket);
+    scratch.buckets[bucket].push((to.to_index(width) as u32, ndt as u32));
+    if bucket > *dirty_hi {
+        *dirty_hi = bucket;
+    }
+}
+
+/// Walk reach-actions back from `(pos, dt)` to the root, writing the cell
+/// sequence into `out.cells` (reused buffer; reversed in place).
+#[allow(clippy::too_many_arguments)]
+fn reconstruct_dense(
+    action: &[u8],
+    region: &Region,
+    mut pos: GridPos,
+    mut dt: u64,
+    width: u16,
+    height: u16,
+    out: &mut Path,
+) {
+    out.cells.clear();
+    out.cells.reserve(dt as usize + 1);
+    loop {
+        out.cells.push(pos);
+        match action[region.slot(pos, dt)] {
+            ACTION_ROOT => break,
+            ACTION_WAIT => {}
+            a => {
+                let dir = Direction::ALL[(a - ACTION_MOVE_BASE) as usize];
+                pos = pos
+                    .step(dir.opposite(), width, height)
+                    .expect("parent of a reached state is on the grid");
+            }
+        }
+        dt -= 1;
+    }
+    out.cells.reverse();
+}
+
+/// Sparse fallback for queries whose dense table would exceed
+/// [`DENSE_TABLE_CAP`]: the seed's hash-based search with a collision-free
+/// `dt * cell_count + cell_index` key and recycled buffers.
+#[allow(clippy::too_many_arguments)]
+fn plan_sparse<R: ReservationSystem>(
+    scratch: &mut SearchScratch,
+    grid: &GridMap,
+    resv: &R,
+    robot: RobotId,
+    start: GridPos,
+    start_tick: Tick,
+    goal: GridPos,
+    mut cache: Option<&mut PathCache>,
+    park_clearance: Tick,
+    opts: &PlanOptions,
+    out: &mut Path,
+) -> Option<PlanStats> {
+    let horizon = start_tick + start.manhattan(goal) + opts.horizon_slack;
+    let width = grid.width();
+    let n_cells = grid.cell_count() as u64;
+    let key = |pos: GridPos, dt: u64| -> u64 { dt * n_cells + pos.to_index(width) as u64 };
+
+    let parents = &mut scratch.sparse_parent;
+    let open = &mut scratch.sparse_open;
+    parents.clear();
+    open.clear();
+
+    let h0 = start.manhattan(goal);
+    open.push(Reverse((h0, h0, start.to_index(width) as u32, 0)));
+    parents.insert(key(start, 0), key(start, 0));
+
+    let mut expansions = 0usize;
+    let mut splice_attempts = 0u32;
+
+    while let Some(Reverse((_f, _h, pos_idx, dt))) = open.pop() {
+        let pos = GridPos::from_index(pos_idx as usize, width);
+        let t = start_tick + dt;
+        expansions += 1;
+
+        if pos == goal && t >= park_clearance {
+            reconstruct_sparse(parents, key(pos, dt), n_cells, width, out);
+            out.start = start_tick;
+            return Some(PlanStats {
                 expansions,
                 used_cache: false,
             });
         }
 
-        // Cache-aided tail: follow the conflict-agnostic shortest path with
-        // waits (Sec. VI-B).
-        if pos != goal {
-            if let Some(cache_ref) = cache.as_deref_mut() {
-                if cache_ref.within_threshold(pos, goal)
-                    && splice_attempts < opts.max_splice_attempts
-                {
-                    splice_attempts += 1;
-                    if let Some(tail) =
-                        try_splice(resv, robot, pos, t, goal, cache_ref, park_clearance, opts)
-                    {
-                        let mut path = reconstruct(&parents, state, start_tick, t, width);
-                        path.extend_with(&tail);
-                        return Some(PlanOutcome {
-                            path,
-                            expansions,
-                            used_cache: true,
-                        });
-                    }
-                }
-            }
+        if splice_completes(
+            resv,
+            robot,
+            pos,
+            t,
+            goal,
+            &mut cache,
+            &mut splice_attempts,
+            park_clearance,
+            opts,
+            &mut scratch.splice_buf,
+        ) {
+            reconstruct_sparse(parents, key(pos, dt), n_cells, width, out);
+            out.start = start_tick;
+            out.cells.extend_from_slice(&scratch.splice_buf[1..]);
+            return Some(PlanStats {
+                expansions,
+                used_cache: true,
+            });
         }
 
         if expansions >= opts.max_expansions || t >= horizon {
-            continue; // stop growing this branch; heap may hold better ones
+            continue;
         }
 
-        // Expand: wait + the four moves.
-        let wait_ok = resv.can_move(robot, pos, pos, t);
-        if wait_ok {
-            push_state(&mut open, &mut parents, &closed, pos, pos, t, goal, width, state);
+        let ndt = dt + 1;
+        if resv.can_move(robot, pos, pos, t) {
+            let nkey = key(pos, ndt);
+            if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(nkey) {
+                e.insert(key(pos, dt));
+                let h = pos.manhattan(goal);
+                open.push(Reverse((ndt + h, h, pos_idx, ndt)));
+            }
         }
         for next in grid.passable_neighbors(pos) {
             if resv.can_move(robot, pos, next, t) {
-                push_state(&mut open, &mut parents, &closed, pos, next, t, goal, width, state);
+                let nkey = key(next, ndt);
+                if let std::collections::hash_map::Entry::Vacant(e) = parents.entry(nkey) {
+                    e.insert(key(pos, dt));
+                    let h = next.manhattan(goal);
+                    open.push(Reverse((ndt + h, h, next.to_index(width) as u32, ndt)));
+                }
             }
         }
     }
     None
 }
 
-#[allow(clippy::too_many_arguments)]
-#[inline]
-fn push_state(
-    open: &mut BinaryHeap<Reverse<(u64, u64, u32, Tick)>>,
-    parents: &mut HashMap<u64, u64>,
-    closed: &HashMap<u64, ()>,
-    _from: GridPos,
-    to: GridPos,
-    t: Tick,
-    goal: GridPos,
-    width: u16,
-    parent_state: u64,
-) {
-    let nt = t + 1;
-    let nstate = (nt << 24) | to.to_index(width) as u64;
-    if closed.contains_key(&nstate) || parents.contains_key(&nstate) {
-        return;
-    }
-    parents.insert(nstate, parent_state);
-    let h = to.manhattan(goal);
-    open.push(Reverse((nt + h, h, to.to_index(width) as u32, nt)));
-}
-
-fn reconstruct(
-    parents: &HashMap<u64, u64>,
+fn reconstruct_sparse(
+    parents: &std::collections::HashMap<u64, u64>,
     mut state: u64,
-    start_tick: Tick,
-    end_tick: Tick,
+    n_cells: u64,
     width: u16,
-) -> Path {
-    let mut cells = Vec::with_capacity((end_tick - start_tick + 1) as usize);
+    out: &mut Path,
+) {
+    out.cells.clear();
     loop {
-        let pos = GridPos::from_index((state & 0xFF_FFFF) as usize, width);
-        cells.push(pos);
+        out.cells
+            .push(GridPos::from_index((state % n_cells) as usize, width));
         let parent = parents[&state];
         if parent == state {
             break;
         }
         state = parent;
     }
-    cells.reverse();
-    debug_assert_eq!(cells.len() as u64, end_tick - start_tick + 1);
-    Path {
-        start: start_tick,
-        cells,
+    out.cells.reverse();
+}
+
+/// Shared splice gating for both search cores (dense and sparse): whether
+/// the popped state `(pos, t)` completes the query via the cache. Bundles
+/// the threshold check, the per-query attempt budget and the wait-splice
+/// itself so the two cores cannot drift semantically.
+#[allow(clippy::too_many_arguments)]
+fn splice_completes<R: ReservationSystem>(
+    resv: &R,
+    robot: RobotId,
+    pos: GridPos,
+    t: Tick,
+    goal: GridPos,
+    cache: &mut Option<&mut PathCache>,
+    splice_attempts: &mut u32,
+    park_clearance: Tick,
+    opts: &PlanOptions,
+    buf: &mut Vec<GridPos>,
+) -> bool {
+    if pos == goal {
+        return false;
     }
+    let Some(cache_ref) = cache.as_deref_mut() else {
+        return false;
+    };
+    if !cache_ref.within_threshold(pos, goal) || *splice_attempts >= opts.max_splice_attempts {
+        return false;
+    }
+    *splice_attempts += 1;
+    try_splice_into(
+        resv,
+        robot,
+        pos,
+        t,
+        goal,
+        cache_ref,
+        park_clearance,
+        opts,
+        buf,
+    )
 }
 
 /// Follow the cached spatial path from `(from, t0)` to `goal`, waiting when
-/// the next step is blocked. Returns the timed tail (starting at `(from,
-/// t0)`) or `None` if a wait budget is exceeded or the path cannot be
-/// completed.
+/// the next step is blocked. On success, `buf` holds the timed tail starting
+/// at `(from, t0)`; returns `false` if a wait budget is exceeded or the path
+/// cannot be completed.
 #[allow(clippy::too_many_arguments)]
-fn try_splice<R: ReservationSystem>(
+fn try_splice_into<R: ReservationSystem>(
     resv: &R,
     robot: RobotId,
     from: GridPos,
@@ -243,22 +724,26 @@ fn try_splice<R: ReservationSystem>(
     cache: &mut PathCache,
     park_clearance: Tick,
     opts: &PlanOptions,
-) -> Option<Path> {
-    let spatial: Vec<GridPos> = cache.shortest(from, goal)?.to_vec();
-    let mut cells = vec![from];
+    buf: &mut Vec<GridPos>,
+) -> bool {
+    let Some(spatial) = cache.shortest(from, goal) else {
+        return false;
+    };
+    buf.clear();
+    buf.push(from);
     let mut t = t0;
     let mut cur = from;
-    for &next in &spatial[1..] {
+    for &next in spatial.iter().skip(1) {
         let mut waited = 0;
         while !resv.can_move(robot, cur, next, t) {
             if waited >= opts.max_splice_wait || !resv.can_move(robot, cur, cur, t) {
-                return None;
+                return false;
             }
-            cells.push(cur); // wait in place
+            buf.push(cur); // wait in place
             t += 1;
             waited += 1;
         }
-        cells.push(next);
+        buf.push(next);
         t += 1;
         cur = next;
     }
@@ -266,13 +751,13 @@ fn try_splice<R: ReservationSystem>(
     let mut waited = 0;
     while t < park_clearance {
         if waited >= opts.max_splice_wait || !resv.can_move(robot, cur, cur, t) {
-            return None;
+            return false;
         }
-        cells.push(cur);
+        buf.push(cur);
         t += 1;
         waited += 1;
     }
-    Some(Path { start: t0, cells })
+    true
 }
 
 #[cfg(test)]
@@ -558,10 +1043,270 @@ mod tests {
         let mut b = SpatioTemporalGraph::new(10, 10);
         a.reserve_path(RobotId::new(9), &blocker, true);
         b.reserve_path(RobotId::new(9), &blocker, true);
-        let oa = plan_path(&grid, &a, RobotId::new(0), p(0, 0), 0, p(9, 0), None, &opts());
-        let ob = plan_path(&grid, &b, RobotId::new(0), p(0, 0), 0, p(9, 0), None, &opts());
+        let oa = plan_path(
+            &grid,
+            &a,
+            RobotId::new(0),
+            p(0, 0),
+            0,
+            p(9, 0),
+            None,
+            &opts(),
+        );
+        let ob = plan_path(
+            &grid,
+            &b,
+            RobotId::new(0),
+            p(0, 0),
+            0,
+            p(9, 0),
+            None,
+            &opts(),
+        );
         let (oa, ob) = (oa.unwrap(), ob.unwrap());
         assert_eq!(oa.path.end(), ob.path.end(), "same optimal arrival");
+    }
+
+    #[test]
+    fn scratch_reuse_is_correct_across_queries() {
+        // The same scratch must serve queries of different shapes without
+        // any state leaking between them (generation stamps at work).
+        let grid = open_grid(16, 16);
+        let resv = ConflictDetectionTable::new(16, 16);
+        let mut scratch = SearchScratch::new();
+        let cases = [
+            (p(0, 0), p(15, 15)),
+            (p(3, 3), p(3, 3)),
+            (p(15, 0), p(0, 15)),
+            (p(2, 9), p(11, 1)),
+            (p(0, 0), p(15, 15)), // repeat of the first
+        ];
+        for (s, g) in cases {
+            let out = plan_path_with(
+                &mut scratch,
+                &grid,
+                &resv,
+                RobotId::new(0),
+                s,
+                7,
+                g,
+                None,
+                &opts(),
+            )
+            .unwrap();
+            assert_eq!(out.path.end() - out.path.start, s.manhattan(g));
+            assert!(out.path.is_connected());
+            assert_eq!(out.path.first(), s);
+            assert_eq!(out.path.last(), g);
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_the_out_buffer() {
+        let grid = open_grid(12, 12);
+        let resv = ConflictDetectionTable::new(12, 12);
+        let mut scratch = SearchScratch::new();
+        let mut path = Path {
+            start: 0,
+            cells: Vec::new(),
+        };
+        let stats = plan_path_into(
+            &mut scratch,
+            &grid,
+            &resv,
+            RobotId::new(0),
+            p(0, 0),
+            3,
+            p(9, 4),
+            None,
+            &opts(),
+            &mut path,
+        )
+        .unwrap();
+        assert_eq!(path.start, 3);
+        assert_eq!(path.end(), 3 + 13);
+        assert!(stats.expansions > 0);
+        let cap = path.cells.capacity();
+        // Re-plan a shorter leg into the same buffer: no regrowth.
+        plan_path_into(
+            &mut scratch,
+            &grid,
+            &resv,
+            RobotId::new(0),
+            p(2, 2),
+            0,
+            p(4, 2),
+            None,
+            &opts(),
+            &mut path,
+        )
+        .unwrap();
+        assert_eq!(path.cells.capacity(), cap, "buffer reused, not reallocated");
+        assert_eq!(path.last(), p(4, 2));
+    }
+
+    #[test]
+    fn dense_region_prunes_nothing_reachable() {
+        // Tight slack: the region shrinks around the corridor, but every
+        // within-horizon path stays representable.
+        let grid = open_grid(30, 30);
+        let mut resv = ConflictDetectionTable::new(30, 30);
+        resv.park(RobotId::new(1), p(15, 10), 0);
+        let out = plan_path(
+            &grid,
+            &resv,
+            RobotId::new(0),
+            p(10, 10),
+            0,
+            p(20, 10),
+            None,
+            &PlanOptions {
+                horizon_slack: 6,
+                ..opts()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.path.end(), 12, "two-cell detour around the blocker");
+        assert!(out.path.is_connected());
+    }
+
+    #[test]
+    fn splice_reaches_states_beyond_the_pure_search_region() {
+        // A tight slack shrinks the pure-search region to rows 12..=18, but
+        // a wall of parked robots blocks every crossing inside it; the only
+        // way through is a detour to row 25 — outside the slack-only region,
+        // yet splice-eligible (within L of the goal, and the spatial splice
+        // tail is not horizon-bounded). The region must therefore be
+        // inflated by the cache threshold, or this query would return None
+        // while the reference implementation succeeds.
+        let grid = open_grid(40, 30);
+        let mut resv = ConflictDetectionTable::new(40, 30);
+        for y in 12..=18u16 {
+            resv.park(RobotId::new(100 + y as usize), p(5, y), 0);
+        }
+        let opts = PlanOptions {
+            horizon_slack: 4,
+            max_splice_attempts: 1000,
+            park_at_goal: false,
+            ..PlanOptions::default()
+        };
+        let mut cache = PathCache::new(&grid, 60);
+        let mut scratch = SearchScratch::new();
+        let dense = plan_path_with(
+            &mut scratch,
+            &grid,
+            &resv,
+            RobotId::new(0),
+            p(0, 15),
+            0,
+            p(30, 15),
+            Some(&mut cache),
+            &opts,
+        );
+        let mut ref_cache = PathCache::new(&grid, 60);
+        let reference = crate::reference::plan_path_reference(
+            &grid,
+            &resv,
+            RobotId::new(0),
+            p(0, 15),
+            0,
+            p(30, 15),
+            Some(&mut ref_cache),
+            &opts,
+        );
+        assert!(
+            reference.is_some(),
+            "the reference finds the spliced detour"
+        );
+        let dense = dense.expect("the arena search must match reference feasibility");
+        assert!(dense.used_cache, "only a splice can complete this query");
+        assert!(dense.path.is_connected());
+        assert_eq!(dense.path.last(), p(30, 15));
+        assert!(
+            dense
+                .path
+                .iter_timed()
+                .all(|(_, c)| c.x != 5 || !(12..=18).contains(&c.y)),
+            "must not pass through the parked wall"
+        );
+    }
+
+    #[test]
+    fn sparse_fallback_matches_dense() {
+        // Pin the two search cores against each other on a congested grid:
+        // identical feasibility and identical arrival ticks.
+        let grid = open_grid(16, 16);
+        let mut resv = ConflictDetectionTable::new(16, 16);
+        for i in 0..5u16 {
+            let col = 3 * i + 1;
+            let cells: Vec<GridPos> = (0..16u16).map(|y| p(col, y)).collect();
+            resv.reserve_path(
+                RobotId::new(i as usize + 1),
+                &Path {
+                    start: i as u64,
+                    cells,
+                },
+                false,
+            );
+        }
+        let opts = PlanOptions {
+            park_at_goal: false,
+            ..PlanOptions::default()
+        };
+        let mut scratch = SearchScratch::new();
+        for (s, g) in [
+            (p(0, 0), p(15, 15)),
+            (p(0, 8), p(15, 8)),
+            (p(2, 2), p(2, 14)),
+        ] {
+            let mut dense_path = Path {
+                start: 0,
+                cells: Vec::new(),
+            };
+            let mut sparse_path = Path {
+                start: 0,
+                cells: Vec::new(),
+            };
+            let dense = crate::astar::plan_path_checked(
+                &mut scratch,
+                &grid,
+                &resv,
+                RobotId::new(0),
+                s,
+                3,
+                g,
+                None,
+                &opts,
+                &mut dense_path,
+                false,
+            );
+            let sparse = crate::astar::plan_path_checked(
+                &mut scratch,
+                &grid,
+                &resv,
+                RobotId::new(0),
+                s,
+                3,
+                g,
+                None,
+                &opts,
+                &mut sparse_path,
+                true,
+            );
+            assert_eq!(
+                dense.is_some(),
+                sparse.is_some(),
+                "feasibility for {s}->{g}"
+            );
+            if dense.is_some() {
+                assert_eq!(
+                    dense_path.end(),
+                    sparse_path.end(),
+                    "arrival ticks for {s}->{g}"
+                );
+                assert!(sparse_path.is_connected());
+            }
+        }
     }
 
     proptest! {

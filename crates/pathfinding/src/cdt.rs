@@ -1,23 +1,42 @@
 //! The conflict detection table (Sec. VI-B).
 //!
 //! *"An array is built for all grids, and each entry contains a set
-//! recording the passing time."* — one sorted time→robot map per cell,
-//! supporting `O(log k)` conflict checks, insertion of planned paths and a
-//! periodic `update` operation that deletes passed timestamps. Space is
+//! recording the passing time."* — one per-cell **sorted tick window**
+//! holding `(tick, robot)` reservations in ascending tick order. Space is
 //! `O(HW + live reservations)` instead of the spatiotemporal graph's
 //! `O(HW · T)`.
+//!
+//! # Hot-path design
+//!
+//! The seed kept a `BTreeMap<Tick, RobotId>` per cell; every `occupant`
+//! probe chased B-tree nodes. Per-cell windows are short (a cell is crossed
+//! by few robots within a GC period), so a flat sorted `Vec` wins on every
+//! operation:
+//!
+//! * `occupant` — one `partition_point` binary search over a contiguous
+//!   array (branch-light, cache-resident for the common 0–8 entry case);
+//! * `can_move` — specialized here to find the `t`/`t+1` pair with a
+//!   *single* binary search, since consecutive ticks are adjacent in the
+//!   window (the trait default would issue three separate probes);
+//! * `reserve_path` — steps of a path arrive in ascending tick order, so
+//!   insertion is usually an append (`partition_point` from the back);
+//! * `release_before` (the paper's `update`) — one `drain` of the sorted
+//!   prefix per cell, keeping each window's capacity for reuse.
+//!
+//! Invariants: each window is strictly sorted by tick (at most one robot
+//! reserves a cell-tick), and `reservations` equals the sum of window
+//! lengths.
 
-use crate::footprint::{MemoryFootprint, BTREE_ENTRY_OVERHEAD};
+use crate::footprint::MemoryFootprint;
 use crate::path::Path;
 use crate::reservation::{ParkingBoard, ReservationSystem};
-use std::collections::BTreeMap;
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
-/// Per-cell sorted reservation sets.
+/// Per-cell sorted reservation windows.
 #[derive(Debug, Clone)]
 pub struct ConflictDetectionTable {
     width: u16,
-    cells: Vec<BTreeMap<Tick, RobotId>>,
+    cells: Vec<Vec<(Tick, RobotId)>>,
     parked: ParkingBoard,
     reservations: usize,
 }
@@ -27,8 +46,8 @@ impl ConflictDetectionTable {
     pub fn new(width: u16, height: u16) -> Self {
         Self {
             width,
-            cells: vec![BTreeMap::new(); width as usize * height as usize],
-            parked: ParkingBoard::new(),
+            cells: vec![Vec::new(); width as usize * height as usize],
+            parked: ParkingBoard::new(width, height),
             reservations: 0,
         }
     }
@@ -36,8 +55,8 @@ impl ConflictDetectionTable {
     /// Insert a single timed reservation (used by tests; planners insert
     /// whole paths via [`ReservationSystem::reserve_path`]).
     pub fn insert(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
-        let slot = &mut self.cells[pos.to_index(self.width)];
-        if slot.insert(t, robot).is_none() {
+        let window = &mut self.cells[pos.to_index(self.width)];
+        if insert_sorted(window, t, robot) {
             self.reservations += 1;
         }
     }
@@ -47,26 +66,82 @@ impl ConflictDetectionTable {
     pub fn update(&mut self, t: Tick) {
         self.release_before(t);
     }
+
+    /// The timed occupant of `pos` at `t` (ignoring parked robots).
+    #[inline]
+    fn timed_occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
+        let window = &self.cells[pos.to_index(self.width)];
+        let i = window.partition_point(|e| e.0 < t);
+        (i < window.len() && window[i].0 == t).then(|| window[i].1)
+    }
+}
+
+/// Insert `(t, robot)` keeping `window` sorted; returns whether a new entry
+/// was added. Path steps arrive in ascending tick order, so probe the tail
+/// first: the common case is a straight append.
+#[inline]
+fn insert_sorted(window: &mut Vec<(Tick, RobotId)>, t: Tick, robot: RobotId) -> bool {
+    if let Some(&(last, _)) = window.last() {
+        if t > last {
+            window.push((t, robot));
+            return true;
+        }
+    } else {
+        window.push((t, robot));
+        return true;
+    }
+    let i = window.partition_point(|e| e.0 < t);
+    if i < window.len() && window[i].0 == t {
+        debug_assert!(
+            window[i].1 == robot,
+            "double reservation at tick {t} by {} vs {robot}",
+            window[i].1
+        );
+        return false;
+    }
+    window.insert(i, (t, robot));
+    true
 }
 
 impl ReservationSystem for ConflictDetectionTable {
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
-        if let Some(&r) = self.cells[pos.to_index(self.width)].get(&t) {
-            return Some(r);
+        self.timed_occupant(pos, t)
+            .or_else(|| self.parked.occupant(pos, t))
+    }
+
+    /// Specialization of the trait default: the `t`/`t+1` occupants of `to`
+    /// share one binary search because consecutive ticks are adjacent in the
+    /// sorted window.
+    fn can_move(&self, robot: RobotId, from: GridPos, to: GridPos, t: Tick) -> bool {
+        let window = &self.cells[to.to_index(self.width)];
+        let i = window.partition_point(|e| e.0 < t);
+        let to_now_timed = (i < window.len() && window[i].0 == t).then(|| window[i].1);
+        let j = i + usize::from(to_now_timed.is_some());
+        let to_next_timed = (j < window.len() && window[j].0 == t + 1).then(|| window[j].1);
+
+        let to_next = to_next_timed.or_else(|| self.parked.occupant(to, t + 1));
+        if to_next.is_some_and(|x| x != robot) {
+            return false; // single-grid conflict
         }
-        self.parked.occupant(pos, t)
+        if from != to {
+            // inter-grid (swap) conflict: someone sits on `to` now and will
+            // be on `from` next tick.
+            let there_now = to_now_timed.or_else(|| self.parked.occupant(to, t));
+            let here_next = self.occupant(from, t + 1);
+            if let (Some(x), Some(y)) = (there_now, here_next) {
+                if x == y && x != robot {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
         self.parked.unpark(robot);
         for (t, cell) in path.iter_timed() {
-            let slot = &mut self.cells[cell.to_index(self.width)];
-            let prev = slot.insert(t, robot);
-            debug_assert!(
-                prev.is_none() || prev == Some(robot),
-                "double reservation at {cell}@{t}"
-            );
-            if prev.is_none() {
+            let window = &mut self.cells[cell.to_index(self.width)];
+            if insert_sorted(window, t, robot) {
                 self.reservations += 1;
             }
         }
@@ -79,8 +154,8 @@ impl ReservationSystem for ConflictDetectionTable {
         self.cells[pos.to_index(self.width)]
             .iter()
             .rev()
-            .find(|&(_, &r)| r != robot)
-            .map(|(&t, _)| t)
+            .find(|&&(_, r)| r != robot)
+            .map(|&(t, _)| t)
     }
 
     fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
@@ -96,14 +171,24 @@ impl ReservationSystem for ConflictDetectionTable {
     }
 
     fn release_before(&mut self, t: Tick) {
-        for cell in &mut self.cells {
-            if cell.is_empty() {
+        for window in &mut self.cells {
+            if window.is_empty() {
                 continue;
             }
             // Keep [t, ..); drop (.., t).
-            let keep = cell.split_off(&t);
-            self.reservations -= cell.len();
-            *cell = keep;
+            let cut = window.partition_point(|e| e.0 < t);
+            if cut > 0 {
+                window.drain(..cut);
+                self.reservations -= cut;
+            }
+            // Amortized compaction: GC is the only shrink point. Windows
+            // sitting far above their live tail return the memory (keeps
+            // the Fig. 12 numbers honest on sparse loads); windows near
+            // their high water keep capacity for allocation-free reuse.
+            let target = (window.len() * 2).max(4);
+            if window.capacity() > target * 2 {
+                window.shrink_to(target);
+            }
         }
     }
 
@@ -114,9 +199,10 @@ impl ReservationSystem for ConflictDetectionTable {
 
 impl MemoryFootprint for ConflictDetectionTable {
     fn memory_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<(Tick, RobotId)>() + BTREE_ENTRY_OVERHEAD;
-        let base = self.cells.len() * std::mem::size_of::<BTreeMap<Tick, RobotId>>();
-        base + self.reservations * entry + self.parked.memory_bytes()
+        let entry = std::mem::size_of::<(Tick, RobotId)>();
+        let base = self.cells.len() * std::mem::size_of::<Vec<(Tick, RobotId)>>();
+        let windows: usize = self.cells.iter().map(|w| w.capacity() * entry).sum();
+        base + windows + self.parked.memory_bytes()
     }
 }
 
@@ -152,7 +238,11 @@ mod tests {
     #[test]
     fn update_deletes_passed_timestamps() {
         let mut c = ConflictDetectionTable::new(8, 8);
-        c.reserve_path(RobotId::new(0), &path(0, &[(0, 0), (1, 0), (2, 0), (3, 0)]), true);
+        c.reserve_path(
+            RobotId::new(0),
+            &path(0, &[(0, 0), (1, 0), (2, 0), (3, 0)]),
+            true,
+        );
         assert_eq!(c.reservation_count(), 4);
         c.update(2);
         assert_eq!(c.reservation_count(), 2);
@@ -167,6 +257,22 @@ mod tests {
         assert!(!c.can_move(RobotId::new(2), p(0, 0), p(1, 0), 0));
         // Moving elsewhere is fine.
         assert!(c.can_move(RobotId::new(2), p(0, 0), p(0, 1), 0));
+    }
+
+    #[test]
+    fn out_of_order_inserts_stay_sorted() {
+        let mut c = ConflictDetectionTable::new(4, 4);
+        c.insert(RobotId::new(1), p(2, 2), 9);
+        c.insert(RobotId::new(2), p(2, 2), 3);
+        c.insert(RobotId::new(3), p(2, 2), 6);
+        assert_eq!(c.occupant(p(2, 2), 3), Some(RobotId::new(2)));
+        assert_eq!(c.occupant(p(2, 2), 6), Some(RobotId::new(3)));
+        assert_eq!(c.occupant(p(2, 2), 9), Some(RobotId::new(1)));
+        assert_eq!(c.occupant(p(2, 2), 5), None);
+        assert_eq!(c.reservation_count(), 3);
+        // Windows stay strictly sorted for the binary probes.
+        let window = &c.cells[p(2, 2).to_index(4)];
+        assert!(window.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]
@@ -200,6 +306,31 @@ mod tests {
         assert_eq!(c.reservation_count(), 1);
     }
 
+    #[test]
+    fn release_compacts_oversized_windows() {
+        let mut c = ConflictDetectionTable::new(4, 4);
+        for t in 0..64 {
+            c.insert(RobotId::new(0), p(1, 1), t);
+        }
+        let bytes_full = c.memory_bytes();
+        // Partial GC leaving most of the window: capacity retained.
+        c.release_before(8);
+        assert_eq!(c.reservation_count(), 56);
+        assert_eq!(
+            c.memory_bytes(),
+            bytes_full,
+            "near-high-water windows keep capacity (steady-state reuse)"
+        );
+        // Full GC: the now-empty window gives its buffer back.
+        c.release_before(64);
+        assert_eq!(c.reservation_count(), 0);
+        assert!(
+            c.memory_bytes() < bytes_full,
+            "emptied windows must compact ({} vs {bytes_full})",
+            c.memory_bytes()
+        );
+    }
+
     proptest! {
         /// CDT and STG must agree on every occupancy query for any set of
         /// reserved paths — they are interchangeable reservation systems.
@@ -230,6 +361,34 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+
+        /// The specialized `can_move` must match the trait-default
+        /// three-probe logic exactly (STG still uses the default).
+        #[test]
+        fn specialized_can_move_matches_default(
+            starts in proptest::collection::vec((0u64..10, 0u16..8, 0u16..8), 1..6),
+            qx in 0u16..8, qy in 0u16..7, qt in 0u64..20,
+        ) {
+            let mut cdt = ConflictDetectionTable::new(8, 8);
+            let mut stg = SpatioTemporalGraph::new(8, 8);
+            for (i, &(start, x, _)) in starts.iter().enumerate() {
+                let row = i as u16;
+                let cells: Vec<GridPos> =
+                    (0..4u16).map(|d| p((x + d).min(7), row)).collect();
+                let path = Path { start, cells };
+                cdt.reserve_path(RobotId::new(i), &path, true);
+                stg.reserve_path(RobotId::new(i), &path, true);
+            }
+            let probe = RobotId::new(99);
+            let from = p(qx, qy);
+            for to in [p(qx, qy), p(qx, qy + 1)] {
+                prop_assert_eq!(
+                    cdt.can_move(probe, from, to, qt),
+                    stg.can_move(probe, from, to, qt),
+                    "disagree for {} -> {} @ {}", from, to, qt
+                );
             }
         }
     }

@@ -51,12 +51,7 @@ pub fn find_conflicts(
                 let pa_t = pa.at(t);
                 let pb_t = pb.at(t);
                 if pa_t == pb_t {
-                    conflicts.push(Conflict::Vertex {
-                        pos: pa_t,
-                        t,
-                        a,
-                        b,
-                    });
+                    conflicts.push(Conflict::Vertex { pos: pa_t, t, a, b });
                 }
                 if t < window_end {
                     let pa_n = pa.at(t + 1);
@@ -152,8 +147,7 @@ mod tests {
         };
         let c = find_conflicts(&[(id(0), &a), (id(1), &b)], 5, 6);
         assert!(
-            c.iter()
-                .any(|k| matches!(k, Conflict::Vertex { t: 6, .. })),
+            c.iter().any(|k| matches!(k, Conflict::Vertex { t: 6, .. })),
             "driving onto a parked robot is a vertex conflict"
         );
     }

@@ -17,7 +17,11 @@
 //! splicing** ([`cache::PathCache`], Sec. VI-B): when the search pops a
 //! vertex within Manhattan distance `L` of the goal, it follows the cached
 //! conflict-agnostic shortest path, inserting waits until each step is
-//! conflict-free.
+//! conflict-free. The search core runs on a reusable [`scratch::SearchScratch`]
+//! arena — dense generation-stamped state tables plus a dial (bucket) open
+//! list — so a warmed-up planner plans with **zero per-query heap
+//! allocations**; [`reference`] preserves the seed HashMap/BinaryHeap
+//! implementation as the measured baseline (see `BENCH_astar.json`).
 //!
 //! [`knn::KNearestRacks`] provides the per-cell K-closest-rack index backing
 //! the "flip requesting side" optimization (Sec. VI-A).
@@ -31,10 +35,12 @@ pub mod footprint;
 pub mod knn;
 pub mod path;
 mod proptests;
+pub mod reference;
 pub mod reservation;
+pub mod scratch;
 pub mod stg;
 
-pub use astar::{plan_path, PlanOptions};
+pub use astar::{plan_path, plan_path_into, plan_path_with, PlanOptions, PlanStats};
 pub use cache::PathCache;
 pub use cdt::ConflictDetectionTable;
 pub use conflict::{find_conflicts, Conflict};
@@ -42,4 +48,5 @@ pub use footprint::MemoryFootprint;
 pub use knn::KNearestRacks;
 pub use path::Path;
 pub use reservation::ReservationSystem;
+pub use scratch::SearchScratch;
 pub use stg::SpatioTemporalGraph;

@@ -1,14 +1,19 @@
-//! Cross-module property tests: optimality on open grids and safety of
-//! cache-assisted planning against arbitrary reservation sets.
+//! Cross-module property tests: optimality on open grids, safety of
+//! cache-assisted planning against arbitrary reservation sets, and
+//! cost-equivalence of the arena-optimized search against the seed
+//! (HashMap/BinaryHeap) reference implementation.
 
 #![cfg(test)]
 
-use crate::astar::{plan_path, PlanOptions};
+use crate::astar::{plan_path, plan_path_with, PlanOptions};
 use crate::cache::PathCache;
 use crate::cdt::ConflictDetectionTable;
 use crate::conflict::find_conflicts;
 use crate::path::Path;
+use crate::reference::plan_path_reference;
 use crate::reservation::ReservationSystem;
+use crate::scratch::SearchScratch;
+use crate::stg::SpatioTemporalGraph;
 use proptest::prelude::*;
 use tprw_warehouse::{CellKind, GridMap, GridPos, RobotId};
 
@@ -101,6 +106,183 @@ proptest! {
         };
         if let Some(out) = plan_path(&grid, &resv, RobotId::new(0), s, 0, g, None, &opts) {
             prop_assert!(out.path.end() <= s.manhattan(g) + slack);
+        }
+    }
+}
+
+/// Build a congested reservation table: robots sweep disjoint columns with
+/// staggered starts, then a few more park at random cells.
+fn congested_table(
+    w: u16,
+    h: u16,
+    sweeps: &[(u16, u64)],
+    parked: &[(u16, u16)],
+) -> ConflictDetectionTable {
+    let mut resv = ConflictDetectionTable::new(w, h);
+    let mut used_cols: Vec<u16> = Vec::new();
+    for (i, &(col, start)) in sweeps.iter().enumerate() {
+        // One sweep per column: reservations must be mutually disjoint.
+        let col = col % w;
+        if used_cols.contains(&col) {
+            continue;
+        }
+        used_cols.push(col);
+        let cells: Vec<GridPos> = (0..h).map(|y| GridPos::new(col, y)).collect();
+        resv.reserve_path(RobotId::new(i + 1), &Path { start, cells }, false);
+    }
+    for (i, &(x, y)) in parked.iter().enumerate() {
+        let pos = GridPos::new(x % w, y % h);
+        if resv.parked_at(pos).is_none() {
+            resv.park(RobotId::new(100 + i), pos, 0);
+        }
+    }
+    resv
+}
+
+proptest! {
+    /// The arena-optimized search and the seed reference implementation must
+    /// agree on feasibility and on the *cost* of the returned path for every
+    /// randomized congested scenario, and both results must be conflict-free
+    /// valid paths. (Exact routes may differ: both searches are optimal, so
+    /// only arrival ticks are comparable.)
+    #[test]
+    fn optimized_matches_reference_cost(
+        sweeps in proptest::collection::vec((0u16..14, 0u64..6), 1..6),
+        parked in proptest::collection::vec((0u16..14, 0u16..12), 0..4),
+        sx in 0u16..14, sy in 0u16..12,
+        gx in 0u16..14, gy in 0u16..12,
+        start_tick in 0u64..8,
+    ) {
+        let (w, h) = (14u16, 12u16);
+        let grid = open_grid(w, h);
+        let resv = congested_table(w, h, &sweeps, &parked);
+        let start = GridPos::new(sx, sy);
+        let goal = GridPos::new(gx, gy);
+        prop_assume!(resv.parked_at(start).is_none());
+        let opts = PlanOptions { park_at_goal: false, ..PlanOptions::default() };
+
+        let mut scratch = SearchScratch::new();
+        let new = plan_path_with(
+            &mut scratch, &grid, &resv, RobotId::new(0), start, start_tick, goal, None, &opts,
+        );
+        let old = plan_path_reference(
+            &grid, &resv, RobotId::new(0), start, start_tick, goal, None, &opts,
+        );
+
+        match (&new, &old) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(
+                    a.path.end(), b.path.end(),
+                    "optimized arrival {} != reference arrival {}",
+                    a.path.end(), b.path.end()
+                );
+                for out in [a, b] {
+                    prop_assert!(out.path.is_connected());
+                    prop_assert_eq!(out.path.first(), start);
+                    prop_assert_eq!(out.path.last(), goal);
+                    prop_assert_eq!(out.path.start, start_tick);
+                    // Every step respects the reservation table.
+                    let mut cur = start;
+                    for (t, cell) in out.path.iter_timed().skip(1) {
+                        prop_assert!(
+                            resv.can_move(RobotId::new(0), cur, cell, t - 1),
+                            "step to {} at {} conflicts", cell, t
+                        );
+                        cur = cell;
+                    }
+                }
+            }
+            (None, None) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "feasibility disagreement: optimized={} reference={}",
+                    a.is_some(), b.is_some()
+                )));
+            }
+        }
+    }
+
+    /// Same equivalence with parking goals enabled: the park-clearance logic
+    /// of both implementations must line up.
+    #[test]
+    fn optimized_matches_reference_cost_with_parking(
+        sweeps in proptest::collection::vec((0u16..10, 0u64..5), 1..4),
+        sx in 0u16..10, sy in 0u16..10,
+        gx in 0u16..10, gy in 0u16..10,
+    ) {
+        let (w, h) = (10u16, 10u16);
+        let grid = open_grid(w, h);
+        let resv = congested_table(w, h, &sweeps, &[]);
+        let start = GridPos::new(sx, sy);
+        let goal = GridPos::new(gx, gy);
+        let opts = PlanOptions::default();
+
+        let mut scratch = SearchScratch::new();
+        let new = plan_path_with(
+            &mut scratch, &grid, &resv, RobotId::new(0), start, 0, goal, None, &opts,
+        );
+        let old = plan_path_reference(&grid, &resv, RobotId::new(0), start, 0, goal, None, &opts);
+
+        match (&new, &old) {
+            (Some(a), Some(b)) => prop_assert_eq!(a.path.end(), b.path.end()),
+            (None, None) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "feasibility disagreement: optimized={} reference={}",
+                    a.is_some(), b.is_some()
+                )));
+            }
+        }
+    }
+
+    /// STG and CDT still agree on `occupant` and `can_move` after the
+    /// ring-buffer/sorted-window rewrite, under randomized reservations,
+    /// parking and garbage collection.
+    #[test]
+    fn stg_and_cdt_agree_after_rewrite(
+        sweeps in proptest::collection::vec((0u64..10, 0u16..9, 0u16..9), 1..6),
+        parked in proptest::collection::vec((0u16..9, 0u16..9), 0..3),
+        gc_at in 0u64..15,
+    ) {
+        let (w, h) = (9u16, 9u16);
+        let mut cdt = ConflictDetectionTable::new(w, h);
+        let mut stg = SpatioTemporalGraph::new(w, h);
+        for (i, &(start, x, _)) in sweeps.iter().enumerate() {
+            let row = i as u16;
+            let cells: Vec<GridPos> = (0..5u16).map(|d| GridPos::new((x + d).min(8), row)).collect();
+            let path = Path { start, cells };
+            cdt.reserve_path(RobotId::new(i), &path, true);
+            stg.reserve_path(RobotId::new(i), &path, true);
+        }
+        for (i, &(x, y)) in parked.iter().enumerate() {
+            let pos = GridPos::new(x, y);
+            if cdt.parked_at(pos).is_none() && stg.parked_at(pos).is_none() {
+                cdt.park(RobotId::new(50 + i), pos, 2);
+                stg.park(RobotId::new(50 + i), pos, 2);
+            }
+        }
+        cdt.release_before(gc_at);
+        stg.release_before(gc_at);
+        prop_assert_eq!(cdt.reservation_count(), stg.reservation_count());
+        let probe = RobotId::new(99);
+        for t in gc_at..gc_at + 20 {
+            for x in 0..w {
+                for y in 0..h {
+                    let pos = GridPos::new(x, y);
+                    prop_assert_eq!(
+                        cdt.occupant(pos, t), stg.occupant(pos, t),
+                        "occupant disagrees at {}@{}", pos, t
+                    );
+                    if y + 1 < h {
+                        let to = GridPos::new(x, y + 1);
+                        prop_assert_eq!(
+                            cdt.can_move(probe, pos, to, t),
+                            stg.can_move(probe, pos, to, t),
+                            "can_move disagrees for {}->{}@{}", pos, to, t
+                        );
+                    }
+                }
+            }
         }
     }
 }

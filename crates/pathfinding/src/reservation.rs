@@ -6,6 +6,12 @@
 //! trait: ATP plugs in the [`crate::stg::SpatioTemporalGraph`], EATP the
 //! [`crate::cdt::ConflictDetectionTable`] — the exact split evaluated in
 //! Figs. 11–12 of the paper.
+//!
+//! [`ParkingBoard`] is the shared parked-robot index. Because `occupant` is
+//! probed on every A* expansion (the `can_move` fallthrough), it stores
+//! parked robots in **dense per-cell arrays** (`u32::MAX` = empty) rather
+//! than a `HashMap`: the hot read is a bounds-checked array load. The
+//! rarely-used robot→cell side stays a small `HashMap`.
 
 use crate::footprint::HASH_ENTRY_OVERHEAD;
 use crate::path::Path;
@@ -69,33 +75,53 @@ pub trait ReservationSystem {
     fn reservation_count(&self) -> usize;
 }
 
+/// Sentinel for "no robot" in the dense cell array.
+const EMPTY: u32 = u32::MAX;
+
 /// Shared bookkeeping for parked (indefinitely stationary) robots, used by
-/// both reservation-system implementations.
-#[derive(Debug, Default, Clone)]
+/// both reservation-system implementations. Cell-indexed dense arrays make
+/// the per-expansion `occupant` probe branch-light.
+#[derive(Debug, Clone)]
 pub struct ParkingBoard {
-    by_cell: HashMap<GridPos, (RobotId, Tick)>,
+    width: u16,
+    /// Parked robot per cell (`EMPTY` = none).
+    robot: Vec<u32>,
+    /// Tick the parking starts (valid only where `robot` is set).
+    from: Vec<Tick>,
+    /// Reverse index for `unpark`/re-`park` (rare operations).
     by_robot: HashMap<RobotId, GridPos>,
 }
 
 impl ParkingBoard {
-    /// Empty board.
-    pub fn new() -> Self {
-        Self::default()
+    /// Empty board over a `width`×`height` grid.
+    pub fn new(width: u16, height: u16) -> Self {
+        let cells = width as usize * height as usize;
+        Self {
+            width,
+            robot: vec![EMPTY; cells],
+            from: vec![0; cells],
+            by_robot: HashMap::new(),
+        }
     }
 
     /// The robot parked on `pos` at tick `t`, if any.
     #[inline]
     pub fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
-        match self.by_cell.get(&pos) {
-            Some(&(robot, from)) if t >= from => Some(robot),
-            _ => None,
+        let i = pos.to_index(self.width);
+        let r = self.robot[i];
+        if r != EMPTY && t >= self.from[i] {
+            Some(RobotId::from(r))
+        } else {
+            None
         }
     }
 
     /// The parked occupant of `pos` regardless of start tick.
     #[inline]
     pub fn entry(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
-        self.by_cell.get(&pos).copied()
+        let i = pos.to_index(self.width);
+        let r = self.robot[i];
+        (r != EMPTY).then(|| (RobotId::from(r), self.from[i]))
     }
 
     /// Park `robot` at `pos` from `from` onward, replacing any previous
@@ -106,7 +132,9 @@ impl ParkingBoard {
     /// Panics if a *different* robot is already parked on `pos` — that would
     /// be a planner bug leading to a guaranteed vertex conflict.
     pub fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {
-        if let Some(&(other, _)) = self.by_cell.get(&pos) {
+        let i = pos.to_index(self.width);
+        if self.robot[i] != EMPTY {
+            let other = RobotId::from(self.robot[i]);
             assert_eq!(
                 other, robot,
                 "cell {pos} already holds parked robot {other}, cannot park {robot}"
@@ -114,34 +142,40 @@ impl ParkingBoard {
         }
         if let Some(old) = self.by_robot.insert(robot, pos) {
             if old != pos {
-                self.by_cell.remove(&old);
+                self.robot[old.to_index(self.width)] = EMPTY;
             }
         }
-        self.by_cell.insert(pos, (robot, from));
+        debug_assert!(
+            (robot.index() as u32) < EMPTY,
+            "robot id reserved as sentinel"
+        );
+        self.robot[i] = robot.index() as u32;
+        self.from[i] = from;
     }
 
     /// Remove `robot`'s parking reservation, if any.
     pub fn unpark(&mut self, robot: RobotId) {
         if let Some(pos) = self.by_robot.remove(&robot) {
-            self.by_cell.remove(&pos);
+            self.robot[pos.to_index(self.width)] = EMPTY;
         }
     }
 
     /// Number of parked robots.
     pub fn len(&self) -> usize {
-        self.by_cell.len()
+        self.by_robot.len()
     }
 
     /// Whether no robot is parked.
     pub fn is_empty(&self) -> bool {
-        self.by_cell.is_empty()
+        self.by_robot.is_empty()
     }
 
-    /// Approximate heap bytes held.
+    /// Approximate heap bytes held: the dense arrays plus the reverse index.
     pub fn memory_bytes(&self) -> usize {
-        let cell_entry = std::mem::size_of::<(GridPos, (RobotId, Tick))>() + HASH_ENTRY_OVERHEAD;
         let robot_entry = std::mem::size_of::<(RobotId, GridPos)>() + HASH_ENTRY_OVERHEAD;
-        self.by_cell.len() * cell_entry + self.by_robot.len() * robot_entry
+        self.robot.capacity() * std::mem::size_of::<u32>()
+            + self.from.capacity() * std::mem::size_of::<Tick>()
+            + self.by_robot.len() * robot_entry
     }
 }
 
@@ -155,7 +189,7 @@ mod tests {
 
     #[test]
     fn park_and_query() {
-        let mut b = ParkingBoard::new();
+        let mut b = ParkingBoard::new(8, 8);
         b.park(RobotId::new(1), p(2, 2), 10);
         assert_eq!(b.occupant(p(2, 2), 10), Some(RobotId::new(1)));
         assert_eq!(b.occupant(p(2, 2), 9), None, "not yet parked");
@@ -165,7 +199,7 @@ mod tests {
 
     #[test]
     fn repark_moves_robot() {
-        let mut b = ParkingBoard::new();
+        let mut b = ParkingBoard::new(8, 8);
         b.park(RobotId::new(1), p(0, 0), 0);
         b.park(RobotId::new(1), p(5, 5), 20);
         assert_eq!(b.occupant(p(0, 0), 30), None, "old spot released");
@@ -175,7 +209,7 @@ mod tests {
 
     #[test]
     fn unpark_clears() {
-        let mut b = ParkingBoard::new();
+        let mut b = ParkingBoard::new(4, 4);
         b.park(RobotId::new(3), p(1, 1), 0);
         b.unpark(RobotId::new(3));
         assert!(b.is_empty());
@@ -187,18 +221,28 @@ mod tests {
     #[test]
     #[should_panic(expected = "already holds parked robot")]
     fn double_park_different_robot_panics() {
-        let mut b = ParkingBoard::new();
+        let mut b = ParkingBoard::new(4, 4);
         b.park(RobotId::new(1), p(1, 1), 0);
         b.park(RobotId::new(2), p(1, 1), 0);
     }
 
     #[test]
-    fn memory_grows_with_entries() {
-        let mut b = ParkingBoard::new();
-        let empty = b.memory_bytes();
-        for i in 0..10 {
-            b.park(RobotId::new(i), p(i as u16, 0), 0);
-        }
-        assert!(b.memory_bytes() > empty);
+    fn repark_same_cell_updates_from_tick() {
+        let mut b = ParkingBoard::new(4, 4);
+        b.park(RobotId::new(1), p(1, 1), 0);
+        b.park(RobotId::new(1), p(1, 1), 9);
+        assert_eq!(b.occupant(p(1, 1), 5), None, "new start tick applies");
+        assert_eq!(b.occupant(p(1, 1), 9), Some(RobotId::new(1)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn memory_accounts_dense_arrays() {
+        let b = ParkingBoard::new(10, 10);
+        // 100 cells × (4-byte robot + 8-byte tick) at minimum.
+        assert!(b.memory_bytes() >= 100 * 12);
+        let mut c = b.clone();
+        c.park(RobotId::new(0), p(0, 0), 0);
+        assert!(c.memory_bytes() > b.memory_bytes());
     }
 }

@@ -1,0 +1,196 @@
+//! Reusable per-query search state for the spatiotemporal A* hot path.
+//!
+//! [`SearchScratch`] is the arena behind [`crate::astar::plan_path_into`]:
+//! every buffer the search needs lives here and is recycled across queries,
+//! so a warmed-up planner performs **zero heap allocations per query**.
+//!
+//! # Design
+//!
+//! * **Dense stamped tables.** A search state is a `(cell, dt)` pair with
+//!   `dt = tick - start_tick`. States map to dense slots
+//!   `slot = region_cell_index * window + dt` inside a per-query *search
+//!   region* (see `astar.rs`). Two flat tables are indexed by slot:
+//!   `stamp` (which query generation last discovered the slot) and `action`
+//!   (how the state was reached, 3 bits). Bumping `generation` invalidates
+//!   every slot at once — buffers are never cleared between queries; zeroed
+//!   growth happens only while the arena warms up to its high-water size.
+//! * **Bucketed open list.** Unit edge costs mean a popped state with
+//!   f-value `f` only ever generates successors with `f`, `f+1` or `f+2`
+//!   (toward-goal move, wait, away-from-goal move). The open list is
+//!   therefore a dial: `buckets[f - h0]` holds the open states of one
+//!   f-value and a monotone head pointer replaces the binary heap's
+//!   `O(log n)` sift with an `O(1)` push/pop. Within a bucket, states pop
+//!   LIFO, greedily following the most recently discovered state — a
+//!   depth-first tie-break similar in spirit to (but not identical with)
+//!   the old `(f, h, ...)` tuple ordering; equal `f` guarantees equal
+//!   final cost either way, only expansion order differs.
+//! * **Generation stamps vs. duplicates.** A `(cell, dt)` state has cost
+//!   exactly `dt` on *every* path that reaches it (each expansion advances
+//!   one tick), so the first discovery is as good as any other: stamping at
+//!   discovery both dedupes the open list and makes a `closed` set
+//!   unnecessary.
+//! * **Sparse fallback.** Queries whose dense table would exceed
+//!   [`crate::astar::DENSE_TABLE_CAP`] slots (astronomical horizon/slack
+//!   combinations on huge grids) fall back to a hash-keyed search that
+//!   reuses the `sparse_*` buffers below. Its `u64` key is
+//!   `dt * cell_count + cell_index` — collision-free, unlike the seed
+//!   implementation's `(t << 24) | cell_index` packing which aliased states
+//!   on grids with ≥ 2²⁴ cells.
+
+use std::collections::HashMap;
+
+/// Open-list entry: grid cell index + tick offset from the query start.
+pub(crate) type OpenEntry = (u32, u32);
+
+/// Reach-action codes stored per state (3 bits used; `ACTION_NONE` only in
+/// never-stamped slots).
+pub(crate) const ACTION_ROOT: u8 = 1;
+pub(crate) const ACTION_WAIT: u8 = 2;
+/// `ACTION_MOVE_BASE + Direction as u8` (4 directions).
+pub(crate) const ACTION_MOVE_BASE: u8 = 3;
+
+/// Reusable buffers for [`crate::astar::plan_path_into`]. Construct once per
+/// planner (or thread) and pass to every query; buffers grow to the largest
+/// query seen and are then recycled allocation-free.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Current query generation; a slot is live iff `stamp[slot] == generation`.
+    pub(crate) generation: u32,
+    /// Discovery stamps per dense state slot.
+    pub(crate) stamp: Vec<u32>,
+    /// Reach-action per dense state slot (valid only when stamped).
+    pub(crate) action: Vec<u8>,
+    /// Dial buckets keyed by `f - h0`.
+    pub(crate) buckets: Vec<Vec<OpenEntry>>,
+    /// Spliced tail assembly buffer (cache-aided planning).
+    pub(crate) splice_buf: Vec<tprw_warehouse::GridPos>,
+    /// Sparse fallback: `state_key -> parent_key` (doubles as visited set).
+    pub(crate) sparse_parent: HashMap<u64, u64>,
+    /// Sparse fallback open list.
+    pub(crate) sparse_open: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32, u64)>>,
+}
+
+impl SearchScratch {
+    /// Fresh, empty scratch (no buffers allocated yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a query needing `slots` dense table entries: bumps the
+    /// generation and grows the tables if this query is the largest yet.
+    /// Returns the generation to stamp with.
+    pub(crate) fn begin_dense(&mut self, slots: usize) -> u32 {
+        if self.stamp.len() < slots {
+            // Fresh zeroed allocations rather than `resize`: `vec![0; n]`
+            // lowers to `alloc_zeroed`, whose untouched pages the OS maps
+            // lazily — resident memory tracks states actually visited, not
+            // the nominal table size. Old contents need no copy because the
+            // generation bump below invalidates every slot anyway.
+            self.stamp = vec![0; slots];
+            self.action = vec![0; slots];
+            self.generation = 0;
+        }
+        if self.generation == u32::MAX {
+            // Stamp wrap: reset the tables once every 2³² queries.
+            self.stamp.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Drop the dense tables if they exceed `max_slots` entries — used by
+    /// the thread-local [`crate::astar::plan_path`] wrapper so one-shot
+    /// callers on huge grids do not pin high-water buffers for the life of
+    /// the thread. Planner-owned scratches never call this; their retained
+    /// size is reported via `PlannerStats::scratch_bytes`.
+    pub fn trim(&mut self, max_slots: usize) {
+        if self.stamp.len() > max_slots {
+            self.stamp = Vec::new();
+            self.action = Vec::new();
+            self.generation = 0;
+        }
+    }
+
+    /// Make buckets `0..=idx` available, allocating only on first growth.
+    #[inline]
+    pub(crate) fn ensure_bucket(&mut self, idx: usize) {
+        if self.buckets.len() <= idx {
+            self.buckets.resize_with(idx + 1, Vec::new);
+        }
+    }
+
+    /// Sum of the capacities of every internal buffer, in elements. Stable
+    /// across queries once warmed up — asserted by the no-allocation tests.
+    pub fn capacity_signature(&self) -> usize {
+        self.stamp.capacity()
+            + self.action.capacity()
+            + self.buckets.capacity()
+            + self.buckets.iter().map(Vec::capacity).sum::<usize>()
+            + self.splice_buf.capacity()
+            + self.sparse_parent.capacity()
+            + self.sparse_open.capacity()
+    }
+
+    /// Approximate heap bytes currently held by the scratch buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.action.capacity()
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<OpenEntry>())
+                .sum::<usize>()
+            + self.splice_buf.capacity() * std::mem::size_of::<tprw_warehouse::GridPos>()
+            + self.sparse_parent.capacity()
+                * (std::mem::size_of::<(u64, u64)>() + crate::footprint::HASH_ENTRY_OVERHEAD)
+            + self.sparse_open.capacity() * std::mem::size_of::<(u64, u64, u32, u64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_invalidate_without_clearing() {
+        let mut s = SearchScratch::new();
+        let g1 = s.begin_dense(16);
+        s.stamp[3] = g1;
+        let g2 = s.begin_dense(16);
+        assert_ne!(g1, g2);
+        assert_ne!(s.stamp[3], g2, "old stamps must not read as live");
+    }
+
+    #[test]
+    fn tables_grow_monotonically() {
+        let mut s = SearchScratch::new();
+        s.begin_dense(8);
+        assert!(s.stamp.len() >= 8);
+        s.begin_dense(4);
+        assert!(s.stamp.len() >= 8, "smaller queries keep the big tables");
+        s.begin_dense(32);
+        assert!(s.stamp.len() >= 32);
+    }
+
+    #[test]
+    fn stamp_wrap_resets_tables() {
+        let mut s = SearchScratch::new();
+        s.begin_dense(4);
+        s.stamp[0] = u32::MAX;
+        s.generation = u32::MAX;
+        let g = s.begin_dense(4);
+        assert_eq!(g, 1, "generation restarts after wrap");
+        assert_eq!(s.stamp[0], 0, "stale stamps cleared on wrap");
+    }
+
+    #[test]
+    fn capacity_signature_counts_buckets() {
+        let mut s = SearchScratch::new();
+        let before = s.capacity_signature();
+        s.ensure_bucket(7);
+        s.buckets[7].push((1, 2));
+        assert!(s.capacity_signature() > before);
+        assert!(s.memory_bytes() > 0);
+    }
+}

@@ -8,12 +8,27 @@
 //! planners "eliminate passed spatiotemporal graph … timely"; the structure
 //! is nonetheless much larger than the CDT because live layers materialize
 //! every cell.
+//!
+//! # Hot-path design
+//!
+//! Layers are `u32` arrays with `u32::MAX` as the "empty" sentinel rather
+//! than the seed's `Option<RobotId>` boxes — half the bytes per cell, so
+//! `occupant` is a single dense load and `release_before`'s occupancy scan
+//! touches half the cache lines. The `VecDeque` of layers is the tick ring:
+//! `layers[t - base]` is the occupancy of tick `t`, the front is popped as
+//! time passes, and `ensure_layer` appends (or prepends, for out-of-order
+//! reservations) zero-cost views of the same boxed slices.
+//! [`crate::reservation::ParkingBoard`] supplies the parked fallthrough as a
+//! dense probe as well.
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
 use crate::reservation::{ParkingBoard, ReservationSystem};
 use std::collections::VecDeque;
 use tprw_warehouse::{GridPos, RobotId, Tick};
+
+/// Sentinel for "no robot" in a layer cell.
+const EMPTY: u32 = u32::MAX;
 
 /// Dense per-tick occupancy layers over an `H·W` grid.
 #[derive(Debug, Clone)]
@@ -22,7 +37,7 @@ pub struct SpatioTemporalGraph {
     cells_per_layer: usize,
     /// Tick of `layers\[0\]`.
     base: Tick,
-    layers: VecDeque<Box<[Option<RobotId>]>>,
+    layers: VecDeque<Box<[u32]>>,
     parked: ParkingBoard,
     reservations: usize,
 }
@@ -35,7 +50,7 @@ impl SpatioTemporalGraph {
             cells_per_layer: width as usize * height as usize,
             base: 0,
             layers: VecDeque::new(),
-            parked: ParkingBoard::new(),
+            parked: ParkingBoard::new(width, height),
             reservations: 0,
         }
     }
@@ -48,20 +63,20 @@ impl SpatioTemporalGraph {
         (i < self.layers.len()).then_some(i)
     }
 
-    fn ensure_layer(&mut self, t: Tick) -> &mut [Option<RobotId>] {
+    fn ensure_layer(&mut self, t: Tick) -> &mut [u32] {
         if self.layers.is_empty() {
             self.base = t;
         }
         // Reservations may arrive out of tick order; extend backwards too.
         while t < self.base {
             self.layers
-                .push_front(vec![None; self.cells_per_layer].into_boxed_slice());
+                .push_front(vec![EMPTY; self.cells_per_layer].into_boxed_slice());
             self.base -= 1;
         }
         let need = (t - self.base) as usize + 1;
         while self.layers.len() < need {
             self.layers
-                .push_back(vec![None; self.cells_per_layer].into_boxed_slice());
+                .push_back(vec![EMPTY; self.cells_per_layer].into_boxed_slice());
         }
         let i = (t - self.base) as usize;
         &mut self.layers[i]
@@ -76,8 +91,9 @@ impl SpatioTemporalGraph {
 impl ReservationSystem for SpatioTemporalGraph {
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
         if let Some(i) = self.layer_index(t) {
-            if let Some(r) = self.layers[i][pos.to_index(self.width)] {
-                return Some(r);
+            let r = self.layers[i][pos.to_index(self.width)];
+            if r != EMPTY {
+                return Some(RobotId::from(r));
             }
         }
         self.parked.occupant(pos, t)
@@ -86,18 +102,20 @@ impl ReservationSystem for SpatioTemporalGraph {
     fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
         self.parked.unpark(robot);
         let width = self.width;
+        let id = robot.index() as u32;
+        debug_assert!(id < EMPTY, "robot id reserved as sentinel");
         let mut added = 0usize;
         for (t, cell) in path.iter_timed() {
             let layer = self.ensure_layer(t);
             let slot = &mut layer[cell.to_index(width)];
             debug_assert!(
-                slot.is_none() || *slot == Some(robot),
+                *slot == EMPTY || *slot == id,
                 "double reservation at {cell}@{t}"
             );
-            if slot.is_none() {
+            if *slot == EMPTY {
                 added += 1;
             }
-            *slot = Some(robot);
+            *slot = id;
         }
         self.reservations += added;
         if park_at_end {
@@ -107,10 +125,11 @@ impl ReservationSystem for SpatioTemporalGraph {
 
     fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
         let idx = pos.to_index(self.width);
+        let id = robot.index() as u32;
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            match layer[idx] {
-                Some(r) if r != robot => return Some(self.base + i as Tick),
-                _ => {}
+            let r = layer[idx];
+            if r != EMPTY && r != id {
+                return Some(self.base + i as Tick);
             }
         }
         None
@@ -131,7 +150,7 @@ impl ReservationSystem for SpatioTemporalGraph {
     fn release_before(&mut self, t: Tick) {
         while self.base < t && !self.layers.is_empty() {
             let layer = self.layers.pop_front().expect("non-empty checked");
-            self.reservations -= layer.iter().filter(|s| s.is_some()).count();
+            self.reservations -= layer.iter().filter(|&&s| s != EMPTY).count();
             self.base += 1;
         }
         if self.layers.is_empty() {
@@ -146,7 +165,7 @@ impl ReservationSystem for SpatioTemporalGraph {
 
 impl MemoryFootprint for SpatioTemporalGraph {
     fn memory_bytes(&self) -> usize {
-        let layer_bytes = self.cells_per_layer * std::mem::size_of::<Option<RobotId>>();
+        let layer_bytes = self.cells_per_layer * std::mem::size_of::<u32>();
         self.layers.len() * layer_bytes + self.parked.memory_bytes()
     }
 }
@@ -228,7 +247,8 @@ mod tests {
             },
             true,
         );
-        assert!(g.memory_bytes() >= empty + 15 * 16 * 16 * 8 / 2);
+        // 15 layers of 16×16 u32 cells.
+        assert!(g.memory_bytes() >= empty + 15 * 16 * 16 * 4);
     }
 
     #[test]
@@ -247,5 +267,18 @@ mod tests {
         g.park(RobotId::new(0), p(2, 2), 10);
         assert_eq!(g.occupant(p(2, 2), 9), None);
         assert_eq!(g.occupant(p(2, 2), 10), Some(RobotId::new(0)));
+    }
+
+    #[test]
+    fn layers_are_half_the_seed_size() {
+        // The u32 sentinel encoding stores a 16×16 layer in exactly 1 KiB —
+        // half of the seed's `Option<RobotId>` (8-byte) slots.
+        let mut g = SpatioTemporalGraph::new(16, 16);
+        g.reserve_path(RobotId::new(0), &path(0, &[(0, 0)]), false);
+        assert_eq!(
+            g.memory_bytes() - g.parked.memory_bytes(),
+            16 * 16 * 4,
+            "one layer, 4 bytes per cell"
+        );
     }
 }

@@ -83,6 +83,14 @@ struct Engine<'a> {
     needs_return: Vec<RobotId>,
     /// Robots parked at a rack home waiting for a delivery path.
     needs_delivery: Vec<RobotId>,
+    /// Per-tick scratch: stations that already undocked a robot this tick.
+    /// Reused so the steady-state engine loop stays allocation-free (the
+    /// planners' `SearchScratch` arenas do the same below `plan_leg`).
+    used_stations: Vec<bool>,
+    /// Per-tick scratch: idle robots offered to the planner.
+    idle_buf: Vec<RobotId>,
+    /// Per-tick scratch: selectable racks offered to the planner.
+    selectable_buf: Vec<RackId>,
     next_item: usize,
     items_processed: usize,
     rack_trips: usize,
@@ -91,6 +99,7 @@ struct Engine<'a> {
     last_return: Tick,
     max_ticks: Tick,
     peak_memory: usize,
+    peak_scratch: usize,
     next_checkpoint: usize,
 }
 
@@ -120,6 +129,9 @@ impl<'a> Engine<'a> {
             serving: vec![None; instance.pickers.len()],
             needs_return: Vec::new(),
             needs_delivery: Vec::new(),
+            used_stations: vec![false; instance.pickers.len()],
+            idle_buf: Vec::with_capacity(instance.robots.len()),
+            selectable_buf: Vec::with_capacity(instance.racks.len()),
             next_item: 0,
             items_processed: 0,
             rack_trips: 0,
@@ -128,6 +140,7 @@ impl<'a> Engine<'a> {
             last_return: 0,
             max_ticks,
             peak_memory: 0,
+            peak_scratch: 0,
             next_checkpoint: 1,
             instance,
             config: config.clone(),
@@ -180,6 +193,7 @@ impl<'a> Engine<'a> {
             stc_s: stats.selection_ns as f64 / 1e9,
             ptc_s: stats.planning_ns as f64 / 1e9,
             peak_memory_bytes: self.peak_memory.max(stats.memory_bytes),
+            peak_scratch_bytes: self.peak_scratch.max(stats.scratch_bytes),
             checkpoints: std::mem::take(&mut self.metrics.checkpoints),
             bottleneck: std::mem::take(&mut self.metrics.bottleneck),
             executed_conflicts: self.validator.conflict_count(),
@@ -228,9 +242,7 @@ impl<'a> Engine<'a> {
     fn step_transitions(&mut self, t: Tick, planner: &mut dyn Planner) {
         // 3a. Pickup arrivals -> join the delivery-pending pool.
         for ai in 0..self.robots.len() {
-            let arrived = self.paths[ai]
-                .as_ref()
-                .is_some_and(|p| p.end() <= t);
+            let arrived = self.paths[ai].as_ref().is_some_and(|p| p.end() <= t);
             if !arrived {
                 continue;
             }
@@ -298,7 +310,9 @@ impl<'a> Engine<'a> {
 
         // 3c. Return legs for robots whose rack finished processing. One
         // undock per station per tick keeps handoff cells unambiguous.
-        let mut used_stations: Vec<bool> = vec![false; self.pickers.len()];
+        self.used_stations.clear();
+        self.used_stations.resize(self.pickers.len(), false);
+        let used_stations = &mut self.used_stations;
         self.needs_return.retain(|&robot_id| {
             let ai = robot_id.index();
             let rack = match self.robots[ai].phase {
@@ -326,19 +340,19 @@ impl<'a> Engine<'a> {
 
     /// Phase 4: the planner's per-timestamp selection + assignment.
     fn step_planning(&mut self, t: Tick, planner: &mut dyn Planner) {
-        let idle: Vec<RobotId> = self
-            .robots
-            .iter()
-            .filter(|r| r.is_idle())
-            .map(|r| r.id)
-            .collect();
-        let selectable: Vec<RackId> = self
-            .racks
-            .iter()
-            .filter(|r| r.selectable())
-            .map(|r| r.id)
-            .collect();
-        if idle.is_empty() || selectable.is_empty() {
+        self.idle_buf.clear();
+        for r in &self.robots {
+            if r.is_idle() {
+                self.idle_buf.push(r.id);
+            }
+        }
+        self.selectable_buf.clear();
+        for r in &self.racks {
+            if r.selectable() {
+                self.selectable_buf.push(r.id);
+            }
+        }
+        if self.idle_buf.is_empty() || self.selectable_buf.is_empty() {
             return;
         }
         let world = WorldView {
@@ -346,8 +360,8 @@ impl<'a> Engine<'a> {
             racks: &self.racks,
             pickers: &self.pickers,
             robots: &self.robots,
-            idle_robots: &idle,
-            selectable_racks: &selectable,
+            idle_robots: &self.idle_buf,
+            selectable_racks: &self.selectable_buf,
         };
         let plans = planner.plan(&world);
         for plan in plans {
@@ -414,7 +428,8 @@ impl<'a> Engine<'a> {
                 RobotPhase::Idle => {}
             }
         }
-        self.metrics.record_bottleneck(t, transport, queuing, processing);
+        self.metrics
+            .record_bottleneck(t, transport, queuing, processing);
 
         // Item-progress checkpoints (the x-axes of Figs. 10-12).
         let n = self.config.checkpoints.max(1);
@@ -422,6 +437,7 @@ impl<'a> Engine<'a> {
         if self.next_checkpoint <= n && self.items_processed >= threshold && threshold > 0 {
             let stats = planner.stats();
             self.peak_memory = self.peak_memory.max(stats.memory_bytes);
+            self.peak_scratch = self.peak_scratch.max(stats.scratch_bytes);
             let picker_busy: Duration = self.pickers.iter().map(|p| p.busy_ticks).sum();
             let horizon = t.max(1);
             self.metrics.checkpoints.push(Checkpoint {

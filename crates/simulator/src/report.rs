@@ -35,6 +35,11 @@ pub struct SimulationReport {
     pub ptc_s: f64,
     /// Peak observed planner memory (bytes) — MC.
     pub peak_memory_bytes: usize,
+    /// Peak memory of the reusable A* search arena (bytes). Reported
+    /// separately from MC: the arena is identical machinery for every
+    /// planner, so folding it into MC would wash out the STG-vs-CDT
+    /// comparison of Fig. 12.
+    pub peak_scratch_bytes: usize,
     /// Progress series (Figs. 10–12).
     pub checkpoints: Vec<Checkpoint>,
     /// Bottleneck decomposition (Fig. 13).
@@ -67,9 +72,8 @@ impl SimulationReport {
 
     /// Render the checkpoint series as an aligned text table.
     pub fn series_table(&self) -> String {
-        let mut out = String::from(
-            "  #items      t       PPR     RWR     STC(s)   PTC(s)   MC(KiB)\n",
-        );
+        let mut out =
+            String::from("  #items      t       PPR     RWR     STC(s)   PTC(s)   MC(KiB)\n");
         for c in &self.checkpoints {
             out.push_str(&format!(
                 "  {:<10} {:<7} {:.3}   {:.3}   {:<8.3} {:<8.3} {}\n",
@@ -121,6 +125,7 @@ mod tests {
             stc_s: 0.5,
             ptc_s: 1.5,
             peak_memory_bytes: 2048 * 1024,
+            peak_scratch_bytes: 256 * 1024,
             checkpoints: vec![Checkpoint {
                 items_processed: 50,
                 t: 600,

@@ -142,7 +142,10 @@ mod tests {
         v.check_tick(0, &[(id(0), p(0, 0)), (id(1), p(1, 0))]);
         v.check_tick(1, &[(id(0), p(1, 0)), (id(1), p(0, 0))]);
         assert_eq!(v.conflict_count(), 1);
-        assert!(matches!(v.conflicts[0], ExecutedConflict::Edge { t: 0, .. }));
+        assert!(matches!(
+            v.conflicts[0],
+            ExecutedConflict::Edge { t: 0, .. }
+        ));
     }
 
     #[test]

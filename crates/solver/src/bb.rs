@@ -76,11 +76,10 @@ pub fn solve_binary_min(
     }
 
     let mut best: Option<(Vec<bool>, f64)> = incumbent.and_then(|x| {
-        (x.len() == problem.n && is_feasible(problem, &x))
-            .then(|| {
-                let cost = objective(problem, &x);
-                (x, cost)
-            })
+        (x.len() == problem.n && is_feasible(problem, &x)).then(|| {
+            let cost = objective(problem, &x);
+            (x, cost)
+        })
     });
 
     // Depth-first stack of partial fixings.
@@ -111,7 +110,7 @@ pub fn solve_binary_min(
                 let x: Vec<bool> = relax_x.iter().map(|&v| v > 0.5).collect();
                 if is_feasible(problem, &x) {
                     let cost = objective(problem, &x);
-                    if best.as_ref().map_or(true, |(_, c)| cost < *c) {
+                    if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                         best = Some((x, cost));
                     }
                 }
@@ -152,11 +151,7 @@ fn objective(problem: &IlpProblem, x: &[bool]) -> f64 {
 
 fn is_feasible(problem: &IlpProblem, x: &[bool]) -> bool {
     problem.constraints.iter().all(|(row, rhs)| {
-        let lhs: f64 = row
-            .iter()
-            .filter(|&&(i, _)| x[i])
-            .map(|&(_, c)| c)
-            .sum();
+        let lhs: f64 = row.iter().filter(|&&(i, _)| x[i]).map(|&(_, c)| c).sum();
         lhs <= rhs + EPS
     })
 }
@@ -242,7 +237,7 @@ fn most_fractional(x: &[f64], fixed: &[Option<bool>]) -> Option<usize> {
         let frac = (v - v.round()).abs();
         if frac > EPS {
             let score = (v - 0.5).abs();
-            if best.map_or(true, |(_, s)| score < s) {
+            if best.is_none_or(|(_, s)| score < s) {
                 best = Some((i, score));
             }
         }
@@ -262,7 +257,7 @@ mod tests {
             let x: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
             if is_feasible(problem, &x) {
                 let cost = objective(problem, &x);
-                if best.map_or(true, |b| cost < b) {
+                if best.is_none_or(|b| cost < b) {
                     best = Some(cost);
                 }
             }
@@ -319,12 +314,8 @@ mod tests {
             constraints: vec![(vec![(0, 1.0), (1, 1.0)], 1.0)],
         };
         // Seed with a feasible (suboptimal) incumbent.
-        let sol = solve_binary_min(
-            &problem,
-            IlpLimits::default(),
-            Some(vec![false, false]),
-        )
-        .unwrap();
+        let sol =
+            solve_binary_min(&problem, IlpLimits::default(), Some(vec![false, false])).unwrap();
         assert!((sol.cost + 1.0).abs() < 1e-6, "improves on the seed");
     }
 

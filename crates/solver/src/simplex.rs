@@ -61,9 +61,8 @@ pub fn maximize(c: &[f64], rows: &[Vec<f64>], b: &[f64]) -> LpOutcome {
         } else {
             // Dantzig: most negative reduced cost.
             let mut best: Option<(usize, f64)> = None;
-            for j in 0..n + m {
-                let v = t[m][j];
-                if v < -EPS && best.map_or(true, |(_, bv)| v < bv) {
+            for (j, &v) in t[m].iter().enumerate().take(n + m) {
+                if v < -EPS && best.is_none_or(|(_, bv)| v < bv) {
                     best = Some((j, v));
                 }
             }
@@ -163,11 +162,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj 36.
         let (x, obj) = optimal(maximize(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         ));
         assert!((obj - 36.0).abs() < 1e-6, "obj={obj}");

@@ -69,7 +69,10 @@ impl GridPos {
     /// Inverse of [`GridPos::to_index`].
     #[inline]
     pub fn from_index(index: usize, width: u16) -> GridPos {
-        GridPos::new((index % width as usize) as u16, (index / width as usize) as u16)
+        GridPos::new(
+            (index % width as usize) as u16,
+            (index / width as usize) as u16,
+        )
     }
 }
 

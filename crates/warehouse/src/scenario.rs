@@ -146,9 +146,7 @@ fn evenly_spaced(cells: &[GridPos], n: usize) -> Vec<GridPos> {
     if n == cells.len() {
         return cells.to_vec();
     }
-    (0..n)
-        .map(|i| cells[i * cells.len() / n])
-        .collect()
+    (0..n).map(|i| cells[i * cells.len() / n]).collect()
 }
 
 /// Number of nearest pickers considered when binding a rack.
@@ -156,11 +154,7 @@ const BIND_CANDIDATES: usize = 4;
 
 /// Dedicate each rack to the least-loaded (by expected item volume) of its
 /// `BIND_CANDIDATES` nearest pickers, processing heavy racks first.
-fn bind_racks_balanced(
-    pickers: &[Picker],
-    homes: &[GridPos],
-    weights: &[f64],
-) -> Vec<PickerId> {
+fn bind_racks_balanced(pickers: &[Picker], homes: &[GridPos], weights: &[f64]) -> Vec<PickerId> {
     let mut order: Vec<usize> = (0..homes.len()).collect();
     order.sort_by(|&a, &b| {
         weights[b]

@@ -203,7 +203,7 @@ pub fn generate_items<R: Rng>(
         total += w;
         cum.push(total);
     }
-    if !(total > 0.0) {
+    if total <= 0.0 || total.is_nan() {
         return Err(WarehouseError::InvalidParameter {
             name: "weights",
             constraint: "must sum to a positive value",
@@ -338,10 +338,7 @@ mod tests {
         };
         let items = gen(&cfg, 20, &mut rng(3)).unwrap();
         // Arrivals in high phases should dominate.
-        let in_surge = items
-            .iter()
-            .filter(|i| (i.arrival / 50) % 2 == 1)
-            .count();
+        let in_surge = items.iter().filter(|i| (i.arrival / 50) % 2 == 1).count();
         assert!(
             in_surge > items.len() * 8 / 10,
             "expected >80% of arrivals in surge phases, got {in_surge}/{}",

@@ -57,8 +57,7 @@ fn main() {
     for (name, r) in &rows[1..] {
         let dm = 100.0 * (ntp.makespan as f64 - r.makespan as f64) / ntp.makespan as f64;
         let dptc = 100.0 * (ntp.ptc_s - r.ptc_s) / ntp.ptc_s.max(1e-9);
-        let dmc = 100.0
-            * (ntp.peak_memory_bytes as f64 - r.peak_memory_bytes as f64)
+        let dmc = 100.0 * (ntp.peak_memory_bytes as f64 - r.peak_memory_bytes as f64)
             / ntp.peak_memory_bytes as f64;
         println!(
             "  {name:<5} makespan {dm:+.1}%  planning time {dptc:+.1}%  peak memory {dmc:+.1}%  batch {:.2} (NTP {:.2})",

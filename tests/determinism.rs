@@ -69,8 +69,7 @@ fn rl_seed_changes_policy() {
     // coincide on makespan, but expansions almost surely differ.
     assert!(r1.completed && r2.completed);
     assert!(
-        r1.planner_stats.expansions != r2.planner_stats.expansions
-            || r1.makespan != r2.makespan,
+        r1.planner_stats.expansions != r2.planner_stats.expansions || r1.makespan != r2.makespan,
         "different RL seeds should alter the run"
     );
 }

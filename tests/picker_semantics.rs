@@ -94,8 +94,7 @@ fn bottleneck_accounts_all_busy_robot_time() {
         .sum();
     // Bottleneck samples record per-tick busy counts; the total must equal
     // the aggregate busy robot-ticks implied by robot_busy_rate.
-    let busy_ticks =
-        report.robot_busy_rate * inst.robots.len() as f64 * report.makespan as f64;
+    let busy_ticks = report.robot_busy_rate * inst.robots.len() as f64 * report.makespan as f64;
     let diff = (bucketed as f64 - busy_ticks).abs();
     assert!(
         diff <= inst.robots.len() as f64 + 1.0,

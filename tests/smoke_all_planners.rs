@@ -22,7 +22,11 @@ fn all_planners_complete_small_scenario() {
     for name in PLANNER_NAMES {
         let mut planner = planner_by_name(name, &EatpConfig::default()).unwrap();
         let report = run_simulation(&inst, &mut *planner, &EngineConfig::default());
-        assert!(report.completed, "{name} did not complete: {}", report.summary_row());
+        assert!(
+            report.completed,
+            "{name} did not complete: {}",
+            report.summary_row()
+        );
         assert_eq!(report.items_processed, 40, "{name} lost items");
         assert_eq!(report.executed_conflicts, 0, "{name} caused conflicts");
         println!("{}", report.summary_row());

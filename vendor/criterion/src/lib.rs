@@ -1,0 +1,315 @@
+//! Vendored minimal stand-in for `criterion` (offline build).
+//!
+//! Implements the benchmark-harness API surface this workspace uses
+//! (groups, `bench_function`, `bench_with_input`, `iter`, `iter_batched`)
+//! with straightforward median-of-samples wall-clock timing. Results print
+//! as `<group>/<id> time: [median ...]` lines. Statistical machinery
+//! (outlier analysis, HTML reports) is intentionally absent.
+//!
+//! Environment knobs:
+//! * `CRITERION_SAMPLES` — override every group's sample count.
+//! * `CRITERION_MAX_SECS` — cap per-benchmark measurement wall time
+//!   (default 5s), keeping `cargo bench` bounded in CI.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { text: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    max_time: Duration,
+    /// Median nanoseconds per iteration, filled by `iter*`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        // Warm-up + calibration: one untimed call.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        // Batch iterations so each sample is at least ~100µs.
+        let batch = (Duration::from_micros(100).as_nanos() / once.as_nanos().max(1)).clamp(1, 1000)
+            as usize;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if started.elapsed() > self.max_time {
+                break;
+            }
+        }
+        self.median_ns = median(&mut times);
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut times = Vec::with_capacity(self.samples);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            times.push(t.elapsed().as_nanos() as f64);
+            if started.elapsed() > self.max_time {
+                break;
+            }
+        }
+        self.median_ns = median(&mut times);
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = times.len() / 2;
+    if times.len().is_multiple_of(2) {
+        (times[mid - 1] + times[mid]) / 2.0
+    } else {
+        times[mid]
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+fn env_max_secs() -> Duration {
+    std::env::var("CRITERION_MAX_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(5))
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_samples().unwrap_or(n);
+        self
+    }
+
+    /// Accepted for API compatibility; the per-benchmark wall-time cap is
+    /// controlled by `CRITERION_MAX_SECS` instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            max_time: env_max_secs(),
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        println!("{}/{} time: [{}]", self.name, id, fmt_ns(bencher.median_ns));
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (printing is incremental; nothing left to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse command-line arguments (accepted and ignored: the stub has no
+    /// filtering or baseline machinery).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: env_samples().unwrap_or(10),
+            _parent: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            samples: env_samples().unwrap_or(10),
+            _parent: self,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        let mut v = vec![3.0, 1.0, 2.0];
+        assert_eq!(median(&mut v), 2.0);
+        let mut w = vec![4.0, 1.0, 2.0, 3.0];
+        assert_eq!(median(&mut w), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn bench_smoke() {
+        std::env::set_var("CRITERION_MAX_SECS", "0.2");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| (0..10u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * x, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(
+            BenchmarkId::new("plan", "no_cache").to_string(),
+            "plan/no_cache"
+        );
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

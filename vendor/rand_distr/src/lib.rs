@@ -1,0 +1,103 @@
+//! Vendored minimal stand-in for `rand_distr` (offline build).
+//!
+//! Provides the [`Poisson`] distribution used by the workload generator.
+//! Small rates sample with Knuth's product-of-uniforms method; large rates
+//! use the normal approximation (error far below the stochastic noise of the
+//! simulated arrival processes).
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that sample values of `T` from an [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution. Fails unless `lambda` is positive and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Self { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: count uniforms until their product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= rng.gen::<f64>();
+            }
+            count as f64
+        } else {
+            // Normal approximation N(λ, λ) via Box–Muller, clamped at zero.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (self.lambda + self.lambda.sqrt() * z).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+        assert!(Poisson::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn small_rate_mean_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = Poisson::new(3.0).unwrap();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn large_rate_mean_close() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let p = Poisson::new(200.0).unwrap();
+        let n = 5_000;
+        let total: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+        assert!((0..n).all(|_| p.sample(&mut rng) >= 0.0));
+    }
+}

@@ -1,0 +1,322 @@
+//! Vendored minimal stand-in for `serde`, written for offline builds.
+//!
+//! The container this repository builds in has no network access and no
+//! registry cache, so the real serde cannot be fetched. This crate provides
+//! the slice of the API the workspace actually uses — `Serialize` /
+//! `Deserialize` traits with `#[derive(...)]` support — over a simple JSON
+//! value-tree data model instead of serde's visitor architecture. It is
+//! API-compatible for this workspace only; it is *not* a general serde
+//! replacement.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A JSON-like value tree: the single data model all (de)serialization in
+/// this workspace flows through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (only produced for negative values).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// (De)serialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the value-tree data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the value-tree data model.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) if *n >= 0 => Ok(*n as $t),
+                    Value::F64(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::msg(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::F64(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::msg(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(Error::msg(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(Error::msg(format!("expected 2-tuple, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Maps serialize as arrays of [key, value] pairs: keys need not be
+        // strings in this workspace.
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for HashMap<K, V>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(<(K, V)>::deserialize).collect(),
+            other => Err(Error::msg(format!("expected map array, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-3i64).serialize()), Ok(-3));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::deserialize(&o.serialize()), Ok(None));
+    }
+}

@@ -1,0 +1,339 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (honouring `#[serde(skip)]`),
+//! * one-field tuple structs (always treated as `#[serde(transparent)]`),
+//! * enums with unit and struct variants (externally tagged).
+//!
+//! Generics are not supported — no serialized type in the workspace is
+//! generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Named-field struct: `(field_name, skipped)` per field.
+    Struct(Vec<(String, bool)>),
+    /// Tuple struct with `n` fields (only `n == 1` is supported).
+    TupleStruct(usize),
+    /// Enum: per variant `(name, None)` for unit or `(name, Some(fields))`
+    /// for struct variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Consume leading attributes, returning the stringified bodies of any
+/// `#[serde(...)]` attributes found.
+fn take_attrs(toks: &[TokenTree], mut i: usize) -> (usize, Vec<String>) {
+    let mut serde_attrs = Vec::new();
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        serde_attrs.push(args.stream().to_string());
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (i, serde_attrs)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse named fields from the body of a brace group: returns
+/// `(name, skipped)` per field. Types are skipped token-wise, tracking angle
+/// bracket depth so `HashMap<K, V>` commas do not split fields.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<(String, bool)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, attrs) = take_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        assert!(
+            matches!(toks.get(i), Some(tt) if is_punct(tt, ':')),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type until a top-level comma.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let skipped = attrs
+            .iter()
+            .any(|a| a.split(',').any(|p| p.trim() == "skip"));
+        fields.push((name, skipped));
+    }
+    fields
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Vec<(String, Option<Vec<String>>)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (ni, _attrs) = take_attrs(&toks, i);
+        i = ni;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(
+                        parse_named_fields(g)
+                            .into_iter()
+                            .map(|(n, _)| n)
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                Delimiter::Parenthesis => {
+                    panic!("tuple enum variants are not supported by the vendored serde derive")
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Skip to past the separating comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (ni, _attrs) = take_attrs(&toks, i);
+        i = skip_vis(&toks, ni);
+        match toks.get(i) {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            Some(_) => i += 1,
+            None => panic!("vendored serde derive: no struct/enum found"),
+        }
+    }
+    let kind = toks[i].to_string();
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(tt) = toks.get(i) {
+        assert!(
+            !is_punct(tt, '<'),
+            "generic types are not supported by the vendored serde derive"
+        );
+    }
+    let shape = if kind == "enum" {
+        let group = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("expected enum body, got {other:?}"),
+        };
+        Shape::Enum(parse_enum_variants(group))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level fields by splitting on commas outside angles.
+                let mut n = 0usize;
+                let mut angle = 0i32;
+                let mut any = false;
+                for tt in g.stream() {
+                    any = true;
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+                        _ => {}
+                    }
+                }
+                Shape::TupleStruct(if any { n + 1 } else { 0 })
+            }
+            other => panic!("expected struct body, got {other:?}"),
+        }
+    };
+    Parsed { name, shape }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for (f, skipped) in fields {
+                if *skipped {
+                    continue;
+                }
+                pushes.push_str(&format!(
+                    "__fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(n) => {
+            assert_eq!(*n, 1, "only 1-field tuple structs are supported ({name})");
+            "::serde::Serialize::serialize(&self.0)".to_string()
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                    )),
+                    Some(fs) => {
+                        let pat = fs.join(", ");
+                        let mut pushes = String::new();
+                        for f in fs {
+                            pushes.push_str(&format!(
+                                "__inner.push(({f:?}.to_string(), ::serde::Serialize::serialize({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                             let mut __inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![({v:?}.to_string(), ::serde::Value::Object(__inner))])\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for (f, skipped) in fields {
+                if *skipped {
+                    inits.push_str(&format!("{f}: ::core::default::Default::default(),\n"));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: match __v.get({f:?}) {{\n\
+                         Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+                         None => return Err(::serde::Error::msg(concat!(\"missing field \", {f:?}))),\n\
+                         }},\n"
+                    ));
+                }
+            }
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(n) => {
+            assert_eq!(*n, 1, "only 1-field tuple structs are supported ({name})");
+            format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "::serde::Value::Str(s) if s == {v:?} => Ok({name}::{v}),\n"
+                    )),
+                    Some(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!(
+                                "{f}: match __inner.get({f:?}) {{\n\
+                                 Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+                                 None => return Err(::serde::Error::msg(concat!(\"missing field \", {f:?}))),\n\
+                                 }},\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "::serde::Value::Object(pairs) if pairs.len() == 1 && pairs[0].0 == {v:?} => {{\n\
+                             let __inner = &pairs[0].1;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n{arms}\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"no variant of {{}} matches {{:?}}\", stringify!({name}), other))),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}
