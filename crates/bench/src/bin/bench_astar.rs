@@ -1,18 +1,36 @@
 //! Perf-trajectory harness: median ns/query of the spatiotemporal A* hot
 //! path, seed reference vs arena-optimized, on the `micro_astar`
-//! congested-grid case. Emits `BENCH_astar.json` (path overridable via
-//! `BENCH_ASTAR_OUT`) so each PR can record where the hot path stands.
+//! congested-grid case *and* on a huge-slack query whose dense table would
+//! exceed [`DENSE_TABLE_CAP`] — the sparse hash fallback, which previously
+//! had no perf floor. Emits `BENCH_astar.json` (path overridable via
+//! `BENCH_ASTAR_OUT`) so each PR can record where both paths stand.
 //!
 //! Run with: `cargo run --release -p eatp-bench --bin bench_astar`
 //! (`BENCH_ASTAR_ITERS` overrides the per-variant iteration count.)
 
 use serde::Serialize;
 use std::time::Instant;
-use tprw_pathfinding::astar::{plan_path_with, PlanOptions};
+use tprw_pathfinding::astar::{plan_path_with, PlanOptions, DENSE_TABLE_CAP};
 use tprw_pathfinding::reference::plan_path_reference;
 use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem, SearchScratch};
 use tprw_warehouse::{CellKind, GridMap, GridPos, RobotId};
 
+#[derive(Debug, Serialize)]
+struct CaseReport {
+    case: String,
+    iterations: usize,
+    reference_median_ns: u64,
+    arena_median_ns: u64,
+    speedup: f64,
+    reference_expansions: usize,
+    arena_expansions: usize,
+    arrival_tick_reference: u64,
+    arrival_tick_arena: u64,
+}
+
+/// Top-level report. The congested-case fields stay flattened at the top so
+/// the long-standing CI gate (`speedup >= 1.5`) keeps reading the same
+/// schema; the sparse fallback rides along as a nested case.
 #[derive(Debug, Serialize)]
 struct BenchReport {
     case: String,
@@ -24,6 +42,7 @@ struct BenchReport {
     arena_expansions: usize,
     arrival_tick_reference: u64,
     arrival_tick_arena: u64,
+    sparse_fallback: CaseReport,
 }
 
 /// The congested-grid case shared with `micro_astar` and the no-alloc test:
@@ -51,6 +70,63 @@ fn median_ns(samples: &mut [u64]) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// Measure reference vs arena medians for one query configuration.
+fn run_case(
+    case: &str,
+    iters: usize,
+    grid: &GridMap,
+    resv: &ConflictDetectionTable,
+    opts: &PlanOptions,
+) -> CaseReport {
+    let me = RobotId::new(0);
+    let from = GridPos::new(1, 40);
+    let to = GridPos::new(110, 42);
+
+    // Reference (seed HashMap/BinaryHeap implementation).
+    let ref_out = plan_path_reference(grid, resv, me, from, 100, to, None, opts)
+        .expect("reference finds a path");
+    let mut ref_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = plan_path_reference(grid, resv, me, from, 100, to, None, opts)
+            .expect("reference finds a path");
+        ref_samples.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(out.path.end(), ref_out.path.end());
+    }
+
+    // Arena-optimized, steady state (scratch warmed by the first query).
+    let mut scratch = SearchScratch::new();
+    let arena_out = plan_path_with(&mut scratch, grid, resv, me, from, 100, to, None, opts)
+        .expect("arena finds a path");
+    assert_eq!(
+        arena_out.path.end(),
+        ref_out.path.end(),
+        "both implementations must find equally good paths"
+    );
+    let mut arena_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = plan_path_with(&mut scratch, grid, resv, me, from, 100, to, None, opts)
+            .expect("arena finds a path");
+        arena_samples.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(out.path.end(), arena_out.path.end());
+    }
+
+    let reference_median_ns = median_ns(&mut ref_samples);
+    let arena_median_ns = median_ns(&mut arena_samples);
+    CaseReport {
+        case: case.to_string(),
+        iterations: iters,
+        reference_median_ns,
+        arena_median_ns,
+        speedup: reference_median_ns as f64 / arena_median_ns.max(1) as f64,
+        reference_expansions: ref_out.expansions,
+        arena_expansions: arena_out.expansions,
+        arrival_tick_reference: ref_out.path.end(),
+        arrival_tick_arena: arena_out.path.end(),
+    }
+}
+
 fn main() {
     let iters: usize = std::env::var("BENCH_ASTAR_ITERS")
         .ok()
@@ -61,64 +137,63 @@ fn main() {
         std::env::var("BENCH_ASTAR_OUT").unwrap_or_else(|_| "BENCH_astar.json".to_string());
 
     let (grid, resv) = setup();
-    let me = RobotId::new(0);
-    let from = GridPos::new(1, 40);
-    let to = GridPos::new(110, 42);
-    let opts = PlanOptions {
-        park_at_goal: false,
-        ..PlanOptions::default()
-    };
 
-    // Reference (seed HashMap/BinaryHeap implementation).
-    let ref_out = plan_path_reference(&grid, &resv, me, from, 100, to, None, &opts)
-        .expect("reference finds a path");
-    let mut ref_samples = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        let out = plan_path_reference(&grid, &resv, me, from, 100, to, None, &opts)
-            .expect("reference finds a path");
-        ref_samples.push(t0.elapsed().as_nanos() as u64);
-        assert_eq!(out.path.end(), ref_out.path.end());
-    }
-
-    // Arena-optimized, steady state (scratch warmed by the first query).
-    let mut scratch = SearchScratch::new();
-    let arena_out = plan_path_with(&mut scratch, &grid, &resv, me, from, 100, to, None, &opts)
-        .expect("arena finds a path");
-    assert_eq!(
-        arena_out.path.end(),
-        ref_out.path.end(),
-        "both implementations must find equally good paths"
+    let dense = run_case(
+        "congested-grid 120x80, 40 sweepers, 109-cell crossing",
+        iters,
+        &grid,
+        &resv,
+        &PlanOptions {
+            park_at_goal: false,
+            ..PlanOptions::default()
+        },
     );
-    let mut arena_samples = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        let out = plan_path_with(&mut scratch, &grid, &resv, me, from, 100, to, None, &opts)
-            .expect("arena finds a path");
-        arena_samples.push(t0.elapsed().as_nanos() as u64);
-        assert_eq!(out.path.end(), arena_out.path.end());
-    }
 
-    let reference_median_ns = median_ns(&mut ref_samples);
-    let arena_median_ns = median_ns(&mut arena_samples);
+    // Same crossing, but a horizon slack so large the dense table would
+    // blow past DENSE_TABLE_CAP — forcing the sparse hash fallback.
+    let sparse_slack: u64 = 1 << 15;
+    let sparse_slots = grid.cell_count() as u64 * sparse_slack;
+    assert!(
+        sparse_slots > DENSE_TABLE_CAP as u64,
+        "sparse case must exceed the dense cap ({sparse_slots} <= {DENSE_TABLE_CAP})"
+    );
+    let sparse = run_case(
+        "same crossing, horizon_slack 2^15 (grid x slack > DENSE_TABLE_CAP): sparse hash fallback",
+        iters,
+        &grid,
+        &resv,
+        &PlanOptions {
+            park_at_goal: false,
+            horizon_slack: sparse_slack,
+            ..PlanOptions::default()
+        },
+    );
+
     let report = BenchReport {
-        case: "congested-grid 120x80, 40 sweepers, 109-cell crossing".to_string(),
-        iterations: iters,
-        reference_median_ns,
-        arena_median_ns,
-        speedup: reference_median_ns as f64 / arena_median_ns.max(1) as f64,
-        reference_expansions: ref_out.expansions,
-        arena_expansions: arena_out.expansions,
-        arrival_tick_reference: ref_out.path.end(),
-        arrival_tick_arena: arena_out.path.end(),
+        case: dense.case.clone(),
+        iterations: dense.iterations,
+        reference_median_ns: dense.reference_median_ns,
+        arena_median_ns: dense.arena_median_ns,
+        speedup: dense.speedup,
+        reference_expansions: dense.reference_expansions,
+        arena_expansions: dense.arena_expansions,
+        arrival_tick_reference: dense.arrival_tick_reference,
+        arrival_tick_arena: dense.arrival_tick_arena,
+        sparse_fallback: sparse,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_astar.json");
     println!("{json}");
     println!(
-        "\nreference {reference_median_ns} ns/query -> arena {arena_median_ns} ns/query \
-         ({:.2}x speedup), written to {out_path}",
-        report.speedup
+        "\ndense: reference {} ns/query -> arena {} ns/query ({:.2}x)\n\
+         sparse fallback: reference {} ns/query -> arena {} ns/query ({:.2}x)\n\
+         written to {out_path}",
+        report.reference_median_ns,
+        report.arena_median_ns,
+        report.speedup,
+        report.sparse_fallback.reference_median_ns,
+        report.sparse_fallback.arena_median_ns,
+        report.sparse_fallback.speedup
     );
 }

@@ -1,0 +1,178 @@
+//! Whole-simulation perf harness: median ns/tick of the end-to-end engine
+//! loop (selection + leg planning + movement + validation + bookkeeping)
+//! for every planner on a congested and a sparse scenario. Emits
+//! `BENCH_sim.json` (path overridable via `BENCH_SIM_OUT`) so each PR can
+//! record where simulation throughput stands, next to the A* microbenchmark
+//! in `BENCH_astar.json`.
+//!
+//! Run with: `cargo run --release -p eatp-bench --bin bench_sim`
+//! (`BENCH_SIM_ITERS` overrides the per-cell iteration count.)
+//!
+//! Each (scenario, planner) cell is run twice per iteration: once in
+//! **reference mode** (the pre-batching execution path: per-leg `plan_leg`
+//! calls through the engine's retain-loops, the seed's grid-cloning
+//! `HashMap`-memoized distance oracle, the seed's `HashMap` trajectory
+//! validator, per-leg timing brackets) and once in **batched mode** (one
+//! `plan_legs` call per tick, the flat generation-stamped oracle, the
+//! allocation-free validator, per-batch timing). The two modes must produce
+//! bit-identical simulation outputs — the harness asserts it — so the
+//! recorded `speedup` is a pure execution-efficiency ratio, safe to gate in
+//! CI on any hardware.
+
+use eatp_bench::sim_cases::{deterministic_fields, scenarios, SimScenario};
+use eatp_core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use serde::Serialize;
+use std::time::Instant;
+use tprw_simulator::{run_simulation, EngineConfig, SimulationReport};
+
+#[derive(Debug, Serialize)]
+struct PlannerCell {
+    planner: String,
+    reference_ns_per_tick: u64,
+    batched_ns_per_tick: u64,
+    speedup: f64,
+    makespan: u64,
+    rack_trips: usize,
+    executed_conflicts: usize,
+    identical_reports: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioReport {
+    name: String,
+    description: String,
+    planners: Vec<PlannerCell>,
+    /// Geometric mean of the per-planner speedups.
+    aggregate_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    iterations: usize,
+    /// Absolute ns/tick of the unsplit pre-change engine (PR-2 seed state),
+    /// captured once before the batched path landed. Informational:
+    /// cross-machine absolute numbers are not comparable, which is why the
+    /// CI gate uses `speedup` (both modes measured in-process) instead.
+    pre_change_ns_per_tick: serde_json::Value,
+    baseline_host_note: &'static str,
+    scenarios: Vec<ScenarioReport>,
+    /// CI fails when the congested scenario's aggregate speedup drops below
+    /// this bar.
+    congested_gate: f64,
+}
+
+fn median(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One timed run; returns (ns_per_tick, report).
+fn timed_run(
+    scenario: &SimScenario,
+    planner_name: &str,
+    config: &EatpConfig,
+    engine: &EngineConfig,
+) -> (u64, SimulationReport) {
+    let mut planner = planner_by_name(planner_name, config).expect("known planner");
+    let t0 = Instant::now();
+    let report = run_simulation(&scenario.instance, &mut *planner, engine);
+    let elapsed = t0.elapsed().as_nanos() as u64;
+    assert!(
+        report.completed,
+        "{} on {} must complete (tick budget too small?)",
+        planner_name, scenario.name
+    );
+    (elapsed / report.makespan.max(1), report)
+}
+
+fn main() {
+    let iters: usize = std::env::var("BENCH_SIM_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(7);
+    let out_path = std::env::var("BENCH_SIM_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+
+    let reference_config = EatpConfig {
+        reference_oracle: true,
+        ..EatpConfig::default()
+    };
+    let reference_engine = EngineConfig {
+        reference_exec: true,
+        ..EngineConfig::default()
+    };
+    let batched_config = EatpConfig::default();
+    let batched_engine = EngineConfig::default();
+
+    let mut scenario_reports = Vec::new();
+    for scenario in scenarios() {
+        eprintln!("== scenario {} ==", scenario.name);
+        let mut cells = Vec::new();
+        for name in PLANNER_NAMES {
+            let mut ref_samples = Vec::with_capacity(iters);
+            let mut bat_samples = Vec::with_capacity(iters);
+            let mut identical = true;
+            let mut last_report = None;
+            for _ in 0..iters {
+                let (ref_ns, ref_report) =
+                    timed_run(&scenario, name, &reference_config, &reference_engine);
+                let (bat_ns, bat_report) =
+                    timed_run(&scenario, name, &batched_config, &batched_engine);
+                identical &= deterministic_fields(&ref_report) == deterministic_fields(&bat_report);
+                ref_samples.push(ref_ns);
+                bat_samples.push(bat_ns);
+                last_report = Some(bat_report);
+            }
+            assert!(
+                identical,
+                "{name} on {}: batched run diverged from the reference path",
+                scenario.name
+            );
+            let report = last_report.expect("at least one iteration");
+            let reference_ns = median(&mut ref_samples);
+            let batched_ns = median(&mut bat_samples);
+            let speedup = reference_ns as f64 / batched_ns.max(1) as f64;
+            eprintln!(
+                "  {name:<5} reference {reference_ns:>8} ns/tick -> batched {batched_ns:>8} ns/tick \
+                 ({speedup:.2}x), makespan {}",
+                report.makespan
+            );
+            cells.push(PlannerCell {
+                planner: name.to_string(),
+                reference_ns_per_tick: reference_ns,
+                batched_ns_per_tick: batched_ns,
+                speedup,
+                makespan: report.makespan,
+                rack_trips: report.rack_trips,
+                executed_conflicts: report.executed_conflicts,
+                identical_reports: identical,
+            });
+        }
+        let aggregate =
+            (cells.iter().map(|c| c.speedup.ln()).sum::<f64>() / cells.len().max(1) as f64).exp();
+        eprintln!("  aggregate {aggregate:.2}x");
+        scenario_reports.push(ScenarioReport {
+            name: scenario.name.to_string(),
+            description: scenario.description.to_string(),
+            planners: cells,
+            aggregate_speedup: aggregate,
+        });
+    }
+
+    let report = BenchReport {
+        schema: "bench_sim/v1",
+        iterations: iters,
+        pre_change_ns_per_tick: serde_json::from_str(include_str!(
+            "../pre_change_sim_baseline.json"
+        ))
+        .expect("embedded baseline parses"),
+        baseline_host_note: "captured 2026-07-30 on the PR-2 dev container, \
+                             pre-change engine (commit 340ace9 + scenarios only)",
+        scenarios: scenario_reports,
+        congested_gate: 1.3,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    println!("{json}");
+}

@@ -12,6 +12,8 @@ use serde::Serialize;
 use tprw_simulator::{run_simulation, EngineConfig, SimulationReport};
 use tprw_warehouse::Dataset;
 
+pub mod sim_cases;
+
 /// Default reproduction scale when `REPRO_SCALE` is unset.
 pub const DEFAULT_SCALE: f64 = 0.02;
 

@@ -1,0 +1,111 @@
+//! End-to-end scenarios for the simulation throughput harness (`bench_sim`).
+//!
+//! Two workloads bracket the engine's operating range:
+//!
+//! * **congested** — a walled (obstructed) mid-size floor with a dense
+//!   fleet: every tick carries leg planning, oracle queries (BFS fields,
+//!   since border walls make Manhattan inexact), validation of many on-grid
+//!   robots, and picker queue churn.
+//! * **sparse** — a larger open floor with a small fleet and a slow item
+//!   trickle: most ticks do *no* planning, so fixed per-tick engine
+//!   overhead (scans, validation, metrics) dominates.
+//!
+//! [`deterministic_fields`] projects a [`SimulationReport`] onto the fields
+//! that must be bit-identical between the reference (serial, pre-change)
+//! and batched execution paths — everything except wall-clock timings and
+//! memory accounting, which legitimately differ across modes.
+
+use tprw_simulator::{DeterministicFingerprint, SimulationReport};
+use tprw_warehouse::{Instance, LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+/// One named benchmark scenario.
+pub struct SimScenario {
+    /// Short identifier used in `BENCH_sim.json`.
+    pub name: &'static str,
+    /// Human-readable description of what the scenario stresses.
+    pub description: &'static str,
+    /// The concrete problem instance.
+    pub instance: Instance,
+}
+
+/// The congested cell: border walls force BFS distance fields, and the
+/// fleet is large relative to the floor so planning and validation load
+/// every tick.
+pub fn congested() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-congested".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 36,
+        n_robots: 40,
+        n_pickers: 5,
+        workload: WorkloadConfig::poisson(200, 1.0),
+        seed: 77,
+    }
+    .build()
+    .expect("congested scenario builds");
+    SimScenario {
+        name: "congested-walled-44x32",
+        description: "walled 44x32 floor, 40 robots / 36 racks / 5 pickers, \
+                      200 items at rate 1.0: a dense fleet keeps planning, BFS \
+                      oracle probes and validation of ~40 on-grid robots on \
+                      every tick",
+        instance,
+    }
+}
+
+/// The sparse cell: a big open floor where most ticks are pure engine
+/// overhead (no planning work at all).
+pub fn sparse() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-sparse".into(),
+        layout: LayoutConfig::sized(64, 44),
+        n_racks: 18,
+        n_robots: 6,
+        n_pickers: 2,
+        workload: WorkloadConfig::poisson(60, 0.2),
+        seed: 78,
+    }
+    .build()
+    .expect("sparse scenario builds");
+    SimScenario {
+        name: "sparse-open-64x44",
+        description: "open 64x44 floor, 6 robots / 18 racks / 2 pickers, \
+                      60 items at rate 0.2: fixed per-tick engine overhead \
+                      dominates",
+        instance,
+    }
+}
+
+/// All benchmark scenarios in gate order (congested first).
+pub fn scenarios() -> Vec<SimScenario> {
+    vec![congested(), sparse()]
+}
+
+/// The deterministic projection of a report: every field that the batched
+/// execution path must reproduce bit-identically. Delegates to
+/// [`SimulationReport::deterministic_fingerprint`] so this harness and the
+/// `batched_equivalence` test compare the same projection.
+pub fn deterministic_fields(r: &SimulationReport) -> DeterministicFingerprint {
+    r.deterministic_fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build_and_differ() {
+        let all = scenarios();
+        assert_eq!(all.len(), 2);
+        assert_ne!(all[0].name, all[1].name);
+        // The congested grid is obstructed (walls), the sparse one is open.
+        use tprw_warehouse::CellKind;
+        assert!(all[0].instance.grid.count_kind(CellKind::Blocked) > 0);
+        assert_eq!(all[1].instance.grid.count_kind(CellKind::Blocked), 0);
+    }
+}

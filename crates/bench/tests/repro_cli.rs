@@ -1,0 +1,28 @@
+//! CLI contract of the `repro` binary: unknown subcommands must fail loudly
+//! (usage on stderr, non-zero exit) so scripts can detect typos — the
+//! ROADMAP bug where it printed the hint but exited 0.
+
+use std::process::Command;
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("bogus-subcommand")
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        !out.status.success(),
+        "unknown subcommand must exit non-zero, got {:?}",
+        out.status
+    );
+    assert_eq!(out.status.code(), Some(2), "conventional usage-error code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown command bogus-subcommand"),
+        "stderr names the bad command: {stderr}"
+    );
+    assert!(
+        stderr.contains("table3") && stderr.contains("all"),
+        "stderr lists the valid subcommands: {stderr}"
+    );
+}

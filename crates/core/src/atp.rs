@@ -19,7 +19,7 @@ use crate::assignment::match_and_plan;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::ntp::most_slack_picker_selection;
-use crate::planner::{AssignmentPlan, Planner, PlannerStats};
+use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::qlearning::QTable;
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
@@ -179,6 +179,13 @@ impl Planner for AdaptiveTaskPlanner {
             .as_mut()
             .expect("init() must be called first")
             .plan_and_reserve(robot, from, to, start, park)
+    }
+
+    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .plan_legs(requests, start, results);
     }
 
     fn on_dock(&mut self, robot: RobotId) {

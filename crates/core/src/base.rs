@@ -8,15 +8,61 @@
 //! strategies differ, the path-finding layer is shared.
 
 use crate::config::EatpConfig;
-use crate::planner::PlannerStats;
+use crate::planner::{LegRequest, PlannerStats};
 use std::time::Instant;
 use tprw_pathfinding::astar::{plan_path_with, PlanOptions};
-use tprw_pathfinding::bfs::DistanceOracle;
+use tprw_pathfinding::bfs::{DistanceOracle, ReferenceDistanceOracle};
 use tprw_pathfinding::{
     ConflictDetectionTable, KNearestRacks, MemoryFootprint, Path, PathCache, ReservationSystem,
     SearchScratch, SpatioTemporalGraph,
 };
 use tprw_warehouse::{GridMap, GridPos, Instance, RobotId, Tick};
+
+/// `d(·,·)` backend: the flat generation-stamped oracle, or the seed's
+/// grid-cloning `HashMap`-memoized one (kept, like `reference.rs` for A*,
+/// so `bench_sim` can measure the pre-change baseline in-process). The two
+/// return identical distances — pinned by the `bfs` property tests.
+pub enum Oracle {
+    /// The flat oracle (default).
+    Flat(DistanceOracle),
+    /// The seed oracle (baseline measurements only).
+    Reference(ReferenceDistanceOracle),
+}
+
+impl Oracle {
+    /// Uncongested distance `d(a, b)`.
+    #[inline]
+    pub fn dist(&mut self, a: GridPos, b: GridPos) -> u64 {
+        match self {
+            Oracle::Flat(o) => o.dist(a, b),
+            Oracle::Reference(o) => o.dist(a, b),
+        }
+    }
+
+    /// Whether Manhattan distance is exact on this grid.
+    pub fn obstacle_free(&self) -> bool {
+        match self {
+            Oracle::Flat(o) => o.obstacle_free(),
+            Oracle::Reference(o) => o.obstacle_free(),
+        }
+    }
+
+    /// Number of live memoized BFS fields (diagnostics).
+    pub fn field_count(&self) -> usize {
+        match self {
+            Oracle::Flat(o) => o.field_count(),
+            Oracle::Reference(o) => o.field_count(),
+        }
+    }
+
+    /// Approximate heap bytes held by the oracle.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Oracle::Flat(o) => o.memory_bytes(),
+            Oracle::Reference(o) => o.memory_bytes(),
+        }
+    }
+}
 
 /// Marker constructors so `PlannerBase` can build its reservation structure
 /// from grid dimensions.
@@ -52,7 +98,7 @@ pub struct PlannerBase<R: ReservationBackend> {
     /// Conflict-avoidance structure.
     pub resv: R,
     /// Uncongested distances `d(·,·)`.
-    pub oracle: DistanceOracle,
+    pub oracle: Oracle,
     /// Cache-aided path finding (EATP; `None` elsewhere).
     pub cache: Option<PathCache>,
     /// K-nearest-rack index (EATP; `None` elsewhere).
@@ -65,6 +111,9 @@ pub struct PlannerBase<R: ReservationBackend> {
     /// first few queries warm it up, path finding is allocation-free except
     /// for the returned [`Path`] itself.
     pub scratch: SearchScratch,
+    /// Mutual-exclusion groups already satisfied within the current
+    /// [`PlannerBase::plan_legs`] batch (indexed by group id).
+    group_done: Vec<bool>,
     last_gc: Tick,
 }
 
@@ -83,14 +132,20 @@ impl<R: ReservationBackend> PlannerBase<R> {
             let homes: Vec<GridPos> = instance.racks.iter().map(|r| r.home).collect();
             KNearestRacks::build(&grid, &homes, config.k_nearest)
         });
+        let oracle = if config.reference_oracle {
+            Oracle::Reference(ReferenceDistanceOracle::new(&grid))
+        } else {
+            Oracle::Flat(DistanceOracle::new(&grid))
+        };
         Self {
-            oracle: DistanceOracle::new(&grid),
+            oracle,
             resv,
             cache,
             knn,
             config,
             stats: PlannerStats::default(),
             scratch: SearchScratch::new(),
+            group_done: Vec::new(),
             grid,
             last_gc: 0,
         }
@@ -121,6 +176,22 @@ impl<R: ReservationBackend> PlannerBase<R> {
         park_at_goal: bool,
     ) -> Option<Path> {
         let t0 = Instant::now();
+        let out = self.plan_and_reserve_untimed(robot, from, to, start, park_at_goal);
+        self.stats.planning_ns += t0.elapsed().as_nanos() as u64;
+        out
+    }
+
+    /// The planning core without a timing bracket: callers that batch many
+    /// legs ([`PlannerBase::plan_legs`]) time the whole batch once instead
+    /// of paying two clock reads per leg.
+    fn plan_and_reserve_untimed(
+        &mut self,
+        robot: RobotId,
+        from: GridPos,
+        to: GridPos,
+        start: Tick,
+        park_at_goal: bool,
+    ) -> Option<Path> {
         let opts = PlanOptions {
             max_expansions: self.config.max_expansions,
             horizon_slack: self.config.horizon_slack,
@@ -138,7 +209,6 @@ impl<R: ReservationBackend> PlannerBase<R> {
             self.cache.as_mut(),
             &opts,
         );
-        self.stats.planning_ns += t0.elapsed().as_nanos() as u64;
         match outcome {
             Some(out) => {
                 self.stats.expansions += out.expansions as u64;
@@ -154,6 +224,44 @@ impl<R: ReservationBackend> PlannerBase<R> {
                 None
             }
         }
+    }
+
+    /// Plan one tick's leg batch (the [`crate::planner::Planner::plan_legs`]
+    /// contract): requests strictly in order against the shared warm
+    /// [`SearchScratch`], one PTC timing bracket for the whole batch, and
+    /// mutual-exclusion groups honoured via a reusable dense bitmap. The
+    /// produced paths are exactly those of the serial per-leg loop.
+    pub fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) {
+        results.clear();
+        if requests.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        self.group_done.clear();
+        if let Some(max_group) = requests.iter().filter_map(|r| r.group).max() {
+            self.group_done.resize(max_group as usize + 1, false);
+        }
+        for req in requests {
+            if let Some(g) = req.group {
+                if self.group_done[g as usize] {
+                    results.push(None);
+                    continue;
+                }
+            }
+            let path = self.plan_and_reserve_untimed(req.robot, req.from, req.to, start, req.park);
+            if path.is_some() {
+                if let Some(g) = req.group {
+                    self.group_done[g as usize] = true;
+                }
+            }
+            results.push(path);
+        }
+        self.stats.planning_ns += t0.elapsed().as_nanos() as u64;
     }
 
     /// Reservation GC, self-gated on the configured period.
@@ -176,10 +284,10 @@ impl<R: ReservationBackend> PlannerBase<R> {
             + self.cache.as_ref().map_or(0, |c| c.memory_bytes())
             + self.knn.as_ref().map_or(0, |k| k.memory_bytes())
             + extra_bytes;
-        // The search arena is identical machinery for every planner, so it is
-        // reported separately and not folded into the Fig. 12 MC comparison
-        // of reservation structures.
-        s.scratch_bytes = self.scratch.memory_bytes();
+        // The search arena and the distance oracle are identical machinery
+        // for every planner, so they are reported separately and not folded
+        // into the Fig. 12 MC comparison of reservation structures.
+        s.scratch_bytes = self.scratch.memory_bytes() + self.oracle.memory_bytes();
         s
     }
 }
@@ -293,5 +401,70 @@ mod tests {
     fn backend_names() {
         assert_eq!(SpatioTemporalGraph::backend_name(), "STG");
         assert_eq!(ConflictDetectionTable::backend_name(), "CDT");
+    }
+
+    #[test]
+    fn batched_legs_equal_serial_legs() {
+        let inst = instance();
+        let requests: Vec<LegRequest> = inst
+            .robots
+            .iter()
+            .enumerate()
+            .map(|(i, r)| LegRequest {
+                robot: r.id,
+                from: r.pos,
+                to: inst.racks[i].home,
+                park: true,
+                group: None,
+            })
+            .collect();
+
+        let mut serial: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let serial_paths: Vec<Option<Path>> = requests
+            .iter()
+            .map(|r| serial.plan_and_reserve(r.robot, r.from, r.to, 0, r.park))
+            .collect();
+
+        let mut batched: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let mut batched_paths = Vec::new();
+        batched.plan_legs(&requests, 0, &mut batched_paths);
+
+        assert_eq!(serial_paths, batched_paths, "identical paths either way");
+        assert_eq!(serial.stats.paths_planned, batched.stats.paths_planned);
+        assert_eq!(serial.stats.paths_failed, batched.stats.paths_failed);
+        assert_eq!(serial.stats.expansions, batched.stats.expansions);
+        assert!(batched.stats.planning_ns > 0, "batch is PTC-timed");
+    }
+
+    #[test]
+    fn batched_legs_honour_groups() {
+        let inst = instance();
+        // Two robots race for legs in the same group toward distinct goals:
+        // only the first may be planned.
+        let requests = vec![
+            LegRequest {
+                robot: inst.robots[0].id,
+                from: inst.robots[0].pos,
+                to: inst.racks[0].home,
+                park: true,
+                group: Some(0),
+            },
+            LegRequest {
+                robot: inst.robots[1].id,
+                from: inst.robots[1].pos,
+                to: inst.racks[1].home,
+                park: true,
+                group: Some(0),
+            },
+        ];
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let mut results = Vec::new();
+        base.plan_legs(&requests, 0, &mut results);
+        assert!(results[0].is_some());
+        assert!(results[1].is_none(), "group satisfied by the first leg");
+        assert_eq!(base.stats.paths_planned, 1, "second leg never attempted");
     }
 }

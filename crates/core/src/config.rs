@@ -61,6 +61,12 @@ pub struct EatpConfig {
     /// ILP baseline: cap on new racks admitted per picker per timestamp
     /// (the "picker status" extension of \[12\]).
     pub ilp_picker_capacity: usize,
+    /// Use the seed's grid-cloning `HashMap`-memoized distance oracle
+    /// instead of the flat generation-stamped one. Distances are identical
+    /// (property-tested); only speed and memory behaviour differ. Exists so
+    /// `bench_sim` can measure the pre-change baseline in-process — leave
+    /// `false` everywhere else.
+    pub reference_oracle: bool,
 }
 
 impl Default for EatpConfig {
@@ -74,6 +80,7 @@ impl Default for EatpConfig {
             gc_period: 64,
             ilp_max_nodes: 600,
             ilp_picker_capacity: 3,
+            reference_oracle: false,
         }
     }
 }

@@ -16,7 +16,7 @@
 use crate::atp::greedy_bootstrap_select;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
-use crate::planner::{AssignmentPlan, Planner, PlannerStats};
+use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::qlearning::QTable;
 use crate::world::WorldView;
 use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
@@ -172,6 +172,13 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             .as_mut()
             .expect("init() must be called first")
             .plan_and_reserve(robot, from, to, start, park)
+    }
+
+    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .plan_legs(requests, start, results);
     }
 
     fn on_dock(&mut self, robot: RobotId) {

@@ -22,7 +22,7 @@ use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::makespan::queuing_delay;
 use crate::ntp::most_slack_picker_selection;
-use crate::planner::{AssignmentPlan, Planner, PlannerStats};
+use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, ReservationSystem, SpatioTemporalGraph};
 use tprw_solver::{assign_min_cost, solve_binary_min, IlpLimits, IlpProblem};
@@ -246,6 +246,13 @@ impl Planner for IlpPlanner {
             .as_mut()
             .expect("init() must be called first")
             .plan_and_reserve(robot, from, to, start, park)
+    }
+
+    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .plan_legs(requests, start, results);
     }
 
     fn on_dock(&mut self, robot: RobotId) {

@@ -9,7 +9,7 @@
 use crate::assignment::match_and_plan;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
-use crate::planner::{AssignmentPlan, Planner, PlannerStats};
+use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
 use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
@@ -107,6 +107,13 @@ impl Planner for LeastExpirationFirst {
             .as_mut()
             .expect("init() must be called first")
             .plan_and_reserve(robot, from, to, start, park)
+    }
+
+    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .plan_legs(requests, start, results);
     }
 
     fn on_dock(&mut self, robot: RobotId) {

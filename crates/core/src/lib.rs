@@ -37,7 +37,7 @@ pub use eatp::EfficientAdaptiveTaskPlanner;
 pub use ilp::IlpPlanner;
 pub use lef::LeastExpirationFirst;
 pub use ntp::NaiveTaskPlanner;
-pub use planner::{AssignmentPlan, Planner, PlannerStats};
+pub use planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 pub use world::WorldView;
 
 pub mod atp;

@@ -22,6 +22,40 @@ pub struct AssignmentPlan {
     pub path: Path,
 }
 
+/// One delivery/return leg of a tick's planning batch (see
+/// [`Planner::plan_legs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegRequest {
+    /// The robot needing a path.
+    pub robot: RobotId,
+    /// Current cell.
+    pub from: GridPos,
+    /// Destination cell.
+    pub to: GridPos,
+    /// Whether the robot parks on the goal (return legs) instead of docking
+    /// off-grid (delivery legs).
+    pub park: bool,
+    /// Optional mutual-exclusion group: once a request of a group succeeds
+    /// within a batch, later requests of the same group are *not attempted*
+    /// (their result is `None`, so the caller retries next tick). The
+    /// engine uses picker indices here to keep station handoff cells
+    /// unambiguous ("one undock per station per tick").
+    pub group: Option<u32>,
+}
+
+impl LegRequest {
+    /// An ungrouped request.
+    pub fn new(robot: RobotId, from: GridPos, to: GridPos, park: bool) -> Self {
+        Self {
+            robot,
+            from,
+            to,
+            park,
+            group: None,
+        }
+    }
+}
+
 /// Cumulative efficiency counters (the STC/PTC/MC metrics of Sec. VII-A).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PlannerStats {
@@ -31,9 +65,11 @@ pub struct PlannerStats {
     pub planning_ns: u64,
     /// Current memory of reservation/cache/learning structures (MC).
     pub memory_bytes: usize,
-    /// Memory of the reusable A* search arena (reported separately from MC:
-    /// the arena is identical machinery for every planner, so folding it
-    /// into `memory_bytes` would wash out the STG-vs-CDT comparison).
+    /// Memory of the shared planner machinery — the reusable A* search
+    /// arena plus the distance oracle's memoized fields. Reported
+    /// separately from MC: both are identical machinery for every planner,
+    /// so folding them into `memory_bytes` would wash out the STG-vs-CDT
+    /// comparison.
     pub scratch_bytes: usize,
     /// Total A* state expansions.
     pub expansions: u64,
@@ -73,6 +109,37 @@ pub trait Planner {
         park: bool,
     ) -> Option<Path>;
 
+    /// Plan a whole tick's delivery/return legs in one call. `results` is
+    /// cleared and refilled 1:1 with `requests` (`Some(path)` = planned and
+    /// reserved, `None` = blocked or group-skipped; the caller retries those
+    /// on a later tick). Requests are processed strictly in order, honouring
+    /// each request's mutual-exclusion [`LegRequest::group`].
+    ///
+    /// Batching is a *performance* contract only: implementations must
+    /// produce exactly the paths the default serial loop below would, so the
+    /// simulation outcome is bit-identical either way. `PlannerBase`-backed
+    /// planners override this to share one timing bracket and the warm
+    /// search arena across the batch instead of paying per-leg overhead.
+    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+        results.clear();
+        let mut done_groups: Vec<u32> = Vec::new();
+        for req in requests {
+            if let Some(g) = req.group {
+                if done_groups.contains(&g) {
+                    results.push(None);
+                    continue;
+                }
+            }
+            let path = self.plan_leg(req.robot, req.from, req.to, start, req.park);
+            if path.is_some() {
+                if let Some(g) = req.group {
+                    done_groups.push(g);
+                }
+            }
+            results.push(path);
+        }
+    }
+
     /// Notification that `robot` docked at a station and left the grid.
     fn on_dock(&mut self, robot: RobotId);
 
@@ -110,5 +177,87 @@ mod tests {
         assert_eq!(s.selection_ns, 0);
         assert_eq!(s.paths_planned, 0);
         assert_eq!(s.memory_bytes, 0);
+    }
+
+    /// Mock planner whose `plan_leg` succeeds except on a poisoned cell —
+    /// exercises the default serial `plan_legs` implementation.
+    struct MockPlanner {
+        blocked: GridPos,
+        calls: usize,
+    }
+
+    impl Planner for MockPlanner {
+        fn name(&self) -> &'static str {
+            "MOCK"
+        }
+        fn init(&mut self, _instance: &Instance) {}
+        fn plan(&mut self, _world: &crate::world::WorldView<'_>) -> Vec<AssignmentPlan> {
+            Vec::new()
+        }
+        fn plan_leg(
+            &mut self,
+            _robot: RobotId,
+            from: GridPos,
+            _to: GridPos,
+            start: Tick,
+            _park: bool,
+        ) -> Option<Path> {
+            self.calls += 1;
+            (from != self.blocked).then(|| Path::stationary(from, start))
+        }
+        fn on_dock(&mut self, _robot: RobotId) {}
+        fn housekeeping(&mut self, _t: Tick) {}
+        fn stats(&self) -> PlannerStats {
+            PlannerStats::default()
+        }
+    }
+
+    fn req(robot: usize, x: u16, group: Option<u32>) -> LegRequest {
+        LegRequest {
+            robot: RobotId::new(robot),
+            from: GridPos::new(x, 0),
+            to: GridPos::new(x, 5),
+            park: true,
+            group,
+        }
+    }
+
+    #[test]
+    fn default_plan_legs_matches_serial_order() {
+        let mut p = MockPlanner {
+            blocked: GridPos::new(9, 0),
+            calls: 0,
+        };
+        let requests = vec![req(0, 1, None), req(1, 9, None), req(2, 2, None)];
+        let mut results = Vec::new();
+        p.plan_legs(&requests, 7, &mut results);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_some() && results[2].is_some());
+        assert!(results[1].is_none(), "blocked leg fails");
+        assert_eq!(p.calls, 3, "every ungrouped request is attempted");
+        assert_eq!(results[0].as_ref().unwrap().start, 7);
+    }
+
+    #[test]
+    fn default_plan_legs_group_exclusion() {
+        let mut p = MockPlanner {
+            blocked: GridPos::new(9, 0),
+            calls: 0,
+        };
+        // Group 4: first attempt fails -> second is still tried; group 2:
+        // first succeeds -> second is skipped without an attempt.
+        let requests = vec![
+            req(0, 9, Some(4)),
+            req(1, 1, Some(4)),
+            req(2, 2, Some(2)),
+            req(3, 3, Some(2)),
+        ];
+        let mut results = Vec::new();
+        p.plan_legs(&requests, 0, &mut results);
+        assert!(results[0].is_none());
+        assert!(results[1].is_some(), "group retries after a failure");
+        assert!(results[2].is_some());
+        assert!(results[3].is_none(), "group already satisfied");
+        assert_eq!(p.calls, 3, "the satisfied group is not re-attempted");
     }
 }

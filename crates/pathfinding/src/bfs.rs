@@ -3,8 +3,35 @@
 //! The makespan formulas (Eq. 2) and all selection heuristics use the path
 //! length between two locations ignoring other robots. On obstacle-free
 //! layouts (the default: robots drive under racks) this is exactly the
-//! Manhattan distance; with blocked cells we fall back to memoized BFS.
+//! Manhattan distance; with blocked cells we fall back to memoized BFS
+//! fields.
+//!
+//! # Hot-path design
+//!
+//! The seed oracle ([`ReferenceDistanceOracle`], kept for baselining and
+//! equivalence tests) cloned the whole [`GridMap`] and memoized one
+//! `DistanceGrid` per *query source* in an unbounded
+//! `HashMap<GridPos, DistanceGrid>`. Planner queries put the *varying*
+//! endpoint first (`dist(robot_pos, rack_home)`), so that design computes a
+//! fresh full-grid BFS for nearly every query and every probe pays a
+//! SipHash lookup. [`DistanceOracle`] flattens all of it, in the style of
+//! the PR-1 `SearchScratch` arena:
+//!
+//! * no grid clone — only a dense passability snapshot;
+//! * **dense slot index**: `slot_of[cell]` maps a BFS source to its field
+//!   slot, so probes are two array loads, no hashing;
+//! * **symmetry flip**: `d(a,b) = d(b,a)` on the undirected unit grid, so a
+//!   field rooted at *either* endpoint answers the query, and new fields
+//!   are rooted at the *destination* (rack homes / stations — a small,
+//!   recurring set) instead of the varying source;
+//! * **generation stamps**: each slot's distance buffer is reused across
+//!   recomputations without clearing — a cell's entry is valid only when
+//!   its stamp matches the slot generation;
+//! * **LRU cap**: at most [`DistanceOracle::DEFAULT_FIELD_CAP`] live fields;
+//!   the least-recently-used slot is recycled, bounding memory where the
+//!   seed grew without limit.
 
+use crate::footprint::{MemoryFootprint, HASH_ENTRY_OVERHEAD};
 use std::collections::{HashMap, VecDeque};
 use tprw_warehouse::{CellKind, GridMap, GridPos};
 
@@ -50,16 +77,270 @@ pub fn bfs_distances(grid: &GridMap, source: GridPos) -> DistanceGrid {
     }
 }
 
-/// Shared distance oracle: exact Manhattan on obstacle-free grids, memoized
-/// BFS fields otherwise.
+/// One memoized BFS field slot of the flat oracle.
+#[derive(Debug, Clone)]
+struct FieldSlot {
+    /// Cell index of the BFS source this field is rooted at.
+    source: u32,
+    /// Stamp a `dist` entry must carry to be valid for this rooting.
+    generation: u32,
+    /// LRU clock value of the last query answered from this slot.
+    last_used: u64,
+    /// Distance per cell (valid only where `stamp` matches `generation`).
+    dist: Box<[u32]>,
+    /// Per-cell generation stamps.
+    stamp: Box<[u32]>,
+}
+
+/// Shared distance oracle: exact Manhattan on obstacle-free grids, flat
+/// generation-stamped BFS fields otherwise (see the module docs).
 #[derive(Debug, Clone)]
 pub struct DistanceOracle {
+    width: u16,
+    height: u16,
+    passable: Box<[bool]>,
+    obstacle_free: bool,
+    /// Field slot per source cell (`SLOT_NONE` = no field rooted there).
+    slot_of: Box<[u32]>,
+    slots: Vec<FieldSlot>,
+    field_cap: usize,
+    /// LRU clock, bumped per mutable query.
+    clock: u64,
+    /// Reusable BFS frontier (cell indices).
+    queue: VecDeque<u32>,
+}
+
+/// Sentinel for "no slot" in `slot_of`.
+const SLOT_NONE: u32 = u32::MAX;
+
+impl DistanceOracle {
+    /// Default cap on live BFS fields. Sources are rack homes and station
+    /// cells in practice, so this is generous; each field costs
+    /// `8 × cells` bytes.
+    pub const DEFAULT_FIELD_CAP: usize = 64;
+
+    /// Build an oracle over a passability snapshot of the grid (the grid
+    /// itself is not cloned or retained).
+    pub fn new(grid: &GridMap) -> Self {
+        Self::with_field_cap(grid, Self::DEFAULT_FIELD_CAP)
+    }
+
+    /// [`DistanceOracle::new`] with an explicit LRU field cap (≥ 1).
+    pub fn with_field_cap(grid: &GridMap, field_cap: usize) -> Self {
+        let cells = grid.cell_count();
+        let mut passable = vec![false; cells].into_boxed_slice();
+        for y in 0..grid.height() {
+            for x in 0..grid.width() {
+                let p = GridPos::new(x, y);
+                passable[p.to_index(grid.width())] = grid.passable(p);
+            }
+        }
+        Self {
+            width: grid.width(),
+            height: grid.height(),
+            passable,
+            obstacle_free: grid.count_kind(CellKind::Blocked) == 0,
+            slot_of: vec![SLOT_NONE; cells].into_boxed_slice(),
+            slots: Vec::new(),
+            field_cap: field_cap.max(1),
+            clock: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Whether Manhattan distance is exact on this grid.
+    #[inline]
+    pub fn obstacle_free(&self) -> bool {
+        self.obstacle_free
+    }
+
+    /// `d(a, b)`: uncongested travel delay between two cells (`u64::MAX`
+    /// when disconnected).
+    pub fn dist(&mut self, a: GridPos, b: GridPos) -> u64 {
+        if self.obstacle_free {
+            return a.manhattan(b);
+        }
+        let ia = a.to_index(self.width);
+        let ib = b.to_index(self.width);
+        self.clock += 1;
+        // A field rooted at either endpoint answers the query (symmetry).
+        if let Some(d) = self.read_slot(self.slot_of[ia], ib) {
+            return d;
+        }
+        if let Some(d) = self.read_slot(self.slot_of[ib], ia) {
+            return d;
+        }
+        // Root the new field at the destination: planner queries put the
+        // varying endpoint first (`dist(robot_pos, rack_home)`), so the
+        // destination is the recurring one.
+        let slot = self.compute_field(ib as u32);
+        self.read_slot(slot, ia).expect("freshly computed slot")
+    }
+
+    /// Read-only distance when available without computing a field.
+    pub fn dist_fast(&self, a: GridPos, b: GridPos) -> Option<u64> {
+        if self.obstacle_free {
+            return Some(a.manhattan(b));
+        }
+        let ia = a.to_index(self.width);
+        let ib = b.to_index(self.width);
+        self.peek_slot(self.slot_of[ia], ib)
+            .or_else(|| self.peek_slot(self.slot_of[ib], ia))
+    }
+
+    /// Number of live memoized BFS fields (diagnostics).
+    pub fn field_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Distance read from `slot` (bumping its LRU stamp), if the slot
+    /// exists.
+    #[inline]
+    fn read_slot(&mut self, slot: u32, target: usize) -> Option<u64> {
+        if slot == SLOT_NONE {
+            return None;
+        }
+        let s = &mut self.slots[slot as usize];
+        s.last_used = self.clock;
+        Some(if s.stamp[target] == s.generation {
+            s.dist[target] as u64
+        } else {
+            u64::MAX
+        })
+    }
+
+    /// [`Self::read_slot`] without the LRU bump (shared-ref path).
+    #[inline]
+    fn peek_slot(&self, slot: u32, target: usize) -> Option<u64> {
+        if slot == SLOT_NONE {
+            return None;
+        }
+        let s = &self.slots[slot as usize];
+        Some(if s.stamp[target] == s.generation {
+            s.dist[target] as u64
+        } else {
+            u64::MAX
+        })
+    }
+
+    /// BFS a new field rooted at cell index `source`, recycling the LRU
+    /// slot when at capacity. Returns the slot id.
+    fn compute_field(&mut self, source: u32) -> u32 {
+        let cells = self.passable.len();
+        let slot_id = if self.slots.len() < self.field_cap {
+            self.slots.push(FieldSlot {
+                source,
+                generation: 0,
+                last_used: 0,
+                dist: vec![0; cells].into_boxed_slice(),
+                stamp: vec![0; cells].into_boxed_slice(),
+            });
+            (self.slots.len() - 1) as u32
+        } else {
+            let (evict, _) = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .expect("field_cap >= 1");
+            self.slot_of[self.slots[evict].source as usize] = SLOT_NONE;
+            evict as u32
+        };
+        self.slot_of[source as usize] = slot_id;
+
+        let width = self.width as usize;
+        let slot = &mut self.slots[slot_id as usize];
+        slot.source = source;
+        slot.last_used = self.clock;
+        if slot.generation == u32::MAX {
+            // Stamp wrap: clear once so stale max-stamps cannot alias.
+            slot.stamp.fill(0);
+            slot.generation = 0;
+        }
+        slot.generation += 1;
+        let generation = slot.generation;
+
+        self.queue.clear();
+        if self.passable[source as usize] {
+            slot.dist[source as usize] = 0;
+            slot.stamp[source as usize] = generation;
+            self.queue.push_back(source);
+        }
+        while let Some(i) = self.queue.pop_front() {
+            let i = i as usize;
+            let d = slot.dist[i] + 1;
+            let (x, y) = (i % width, i / width);
+            // 4-neighbourhood unrolled over the flat passability snapshot.
+            if x > 0 {
+                Self::relax(slot, &self.passable, &mut self.queue, i - 1, d, generation);
+            }
+            if x + 1 < width {
+                Self::relax(slot, &self.passable, &mut self.queue, i + 1, d, generation);
+            }
+            if y > 0 {
+                Self::relax(
+                    slot,
+                    &self.passable,
+                    &mut self.queue,
+                    i - width,
+                    d,
+                    generation,
+                );
+            }
+            if y + 1 < self.height as usize {
+                Self::relax(
+                    slot,
+                    &self.passable,
+                    &mut self.queue,
+                    i + width,
+                    d,
+                    generation,
+                );
+            }
+        }
+        slot_id
+    }
+
+    #[inline]
+    fn relax(
+        slot: &mut FieldSlot,
+        passable: &[bool],
+        queue: &mut VecDeque<u32>,
+        j: usize,
+        d: u32,
+        generation: u32,
+    ) {
+        if passable[j] && slot.stamp[j] != generation {
+            slot.stamp[j] = generation;
+            slot.dist[j] = d;
+            queue.push_back(j as u32);
+        }
+    }
+}
+
+impl MemoryFootprint for DistanceOracle {
+    fn memory_bytes(&self) -> usize {
+        let cells = self.passable.len();
+        let per_slot = cells * (std::mem::size_of::<u32>() * 2);
+        cells * (std::mem::size_of::<bool>() + std::mem::size_of::<u32>())
+            + self.slots.len() * per_slot
+            + self.queue.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The seed oracle: grid clone plus an unbounded source-keyed `HashMap` of
+/// BFS fields. Kept (like `reference.rs` for A*) as the pre-change baseline
+/// for `bench_sim` and as the equivalence reference for the flat oracle's
+/// property tests. Distances are identical to [`DistanceOracle`]; only
+/// speed and memory behaviour differ.
+#[derive(Debug, Clone)]
+pub struct ReferenceDistanceOracle {
     grid: GridMap,
     obstacle_free: bool,
     fields: HashMap<GridPos, DistanceGrid>,
 }
 
-impl DistanceOracle {
+impl ReferenceDistanceOracle {
     /// Build an oracle over (a clone of) the grid.
     pub fn new(grid: &GridMap) -> Self {
         let obstacle_free = grid.count_kind(CellKind::Blocked) == 0;
@@ -93,25 +374,20 @@ impl DistanceOracle {
         }
     }
 
-    /// Read-only distance when possible without memoizing (Manhattan case).
-    pub fn dist_fast(&self, a: GridPos, b: GridPos) -> Option<u64> {
-        if self.obstacle_free {
-            Some(a.manhattan(b))
-        } else {
-            self.fields.get(&a).map(|f| {
-                let d = f.get(b);
-                if d == UNREACHABLE {
-                    u64::MAX
-                } else {
-                    d as u64
-                }
-            })
-        }
-    }
-
     /// Number of memoized BFS fields (diagnostics).
     pub fn field_count(&self) -> usize {
         self.fields.len()
+    }
+}
+
+impl MemoryFootprint for ReferenceDistanceOracle {
+    fn memory_bytes(&self) -> usize {
+        let cells = self.grid.cell_count();
+        let per_field = cells * std::mem::size_of::<u32>()
+            + std::mem::size_of::<(GridPos, DistanceGrid)>()
+            + HASH_ENTRY_OVERHEAD;
+        // The cloned grid (one byte per cell) plus every memoized field.
+        cells + self.fields.len() * per_field
     }
 }
 
@@ -147,6 +423,10 @@ mod tests {
         // Straight line would be 4; must detour via (2,4).
         assert_eq!(field.get(p(4, 0)), 12);
         assert_eq!(field.get(p(2, 0)), UNREACHABLE, "wall cell itself");
+
+        let mut oracle = DistanceOracle::new(&grid);
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 12);
+        assert_eq!(oracle.dist(p(0, 0), p(2, 0)), u64::MAX, "wall cell");
     }
 
     #[test]
@@ -158,6 +438,10 @@ mod tests {
         grid.set_kind(p(3, 3), CellKind::Blocked);
         let field = bfs_distances(&grid, p(0, 0));
         assert_eq!(field.get(p(4, 4)), UNREACHABLE);
+
+        let mut oracle = DistanceOracle::new(&grid);
+        assert_eq!(oracle.dist(p(0, 0), p(4, 4)), u64::MAX);
+        assert_eq!(oracle.dist(p(4, 4), p(0, 0)), u64::MAX, "symmetric");
     }
 
     #[test]
@@ -177,10 +461,70 @@ mod tests {
         assert!(!oracle.obstacle_free());
         let d1 = oracle.dist(p(0, 0), p(7, 7));
         assert_eq!(oracle.field_count(), 1);
-        let d2 = oracle.dist(p(0, 0), p(7, 0));
-        assert_eq!(oracle.field_count(), 1, "same source reuses the field");
+        // Flipped endpoints and repeated destinations reuse the same field.
+        let d2 = oracle.dist(p(7, 7), p(7, 0));
+        let d3 = oracle.dist(p(7, 0), p(7, 7));
+        assert_eq!(oracle.field_count(), 1, "destination field reused");
         assert_eq!(d1, 14);
         assert_eq!(d2, 7);
+        assert_eq!(d3, 7);
+    }
+
+    #[test]
+    fn lru_cap_bounds_fields() {
+        let mut grid = GridMap::filled(12, 12, CellKind::Aisle);
+        grid.set_kind(p(6, 6), CellKind::Blocked);
+        let mut oracle = DistanceOracle::with_field_cap(&grid, 2);
+        // Three distinct destinations with disjoint sources: only two
+        // fields may stay live.
+        for x in 0..3u16 {
+            let d = oracle.dist(p(0, 0), p(9 - x, 9));
+            assert_ne!(d, u64::MAX);
+        }
+        assert_eq!(oracle.field_count(), 2, "LRU cap respected");
+        // Evicted or not, answers stay exact.
+        assert_eq!(oracle.dist(p(0, 0), p(9, 9)), 18);
+    }
+
+    #[test]
+    fn recycled_slot_forgets_old_field() {
+        let mut grid = GridMap::filled(10, 10, CellKind::Aisle);
+        grid.set_kind(p(5, 5), CellKind::Blocked);
+        let mut oracle = DistanceOracle::with_field_cap(&grid, 1);
+        assert_eq!(oracle.dist(p(0, 0), p(9, 9)), 18);
+        // Recompute rooted elsewhere; the stale rooting must not answer.
+        assert_eq!(oracle.dist(p(9, 0), p(0, 9)), 18);
+        assert_eq!(oracle.field_count(), 1);
+        assert_eq!(oracle.dist(p(1, 0), p(0, 0)), 1, "exact after recycling");
+    }
+
+    #[test]
+    fn memory_footprint_tracks_fields() {
+        let mut grid = GridMap::filled(16, 16, CellKind::Aisle);
+        grid.set_kind(p(8, 8), CellKind::Blocked);
+        let mut oracle = DistanceOracle::new(&grid);
+        let empty = oracle.memory_bytes();
+        oracle.dist(p(0, 0), p(15, 15));
+        assert!(
+            oracle.memory_bytes() >= empty + 16 * 16 * 8,
+            "one field adds dist+stamp arrays"
+        );
+    }
+
+    /// Scatter obstacles deterministically from a small seed, keeping the
+    /// two probe cells free.
+    fn obstructed_grid(size: u16, mask: u64, keep: &[GridPos]) -> GridMap {
+        let mut grid = GridMap::filled(size, size, CellKind::Aisle);
+        for y in 0..size {
+            for x in 0..size {
+                let cell = p(x, y);
+                let bit = (x as u64 * 7 + y as u64 * 13 + mask).is_multiple_of(5);
+                if bit && !keep.contains(&cell) {
+                    grid.set_kind(cell, CellKind::Blocked);
+                }
+            }
+        }
+        grid
     }
 
     proptest! {
@@ -216,6 +560,33 @@ mod tests {
             );
             if b != UNREACHABLE && c != UNREACHABLE {
                 prop_assert!(a <= b + c);
+            }
+        }
+
+        /// The flat oracle equals per-query reference BFS on obstructed
+        /// grids, across interleaved query streams (exercising slot reuse,
+        /// symmetry flips and LRU recycling with a tiny cap).
+        #[test]
+        fn flat_oracle_matches_reference_bfs(
+            mask in 0u64..32,
+            queries in proptest::collection::vec((0u16..10, 0u16..10, 0u16..10, 0u16..10), 1..24),
+        ) {
+            let keep: Vec<GridPos> = queries
+                .iter()
+                .flat_map(|&(ax, ay, bx, by)| [p(ax, ay), p(bx, by)])
+                .collect();
+            let grid = obstructed_grid(10, mask, &keep);
+            let mut flat = DistanceOracle::with_field_cap(&grid, 3);
+            let mut reference = ReferenceDistanceOracle::new(&grid);
+            for &(ax, ay, bx, by) in &queries {
+                let (a, b) = (p(ax, ay), p(bx, by));
+                prop_assert_eq!(
+                    flat.dist(a, b),
+                    reference.dist(a, b),
+                    "d({}, {})", a, b
+                );
+                // Symmetry holds on the undirected grid.
+                prop_assert_eq!(flat.dist(b, a), reference.dist(a, b));
             }
         }
     }

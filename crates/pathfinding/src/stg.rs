@@ -11,13 +11,17 @@
 //!
 //! # Hot-path design
 //!
-//! Layers are `u32` arrays with `u32::MAX` as the "empty" sentinel rather
-//! than the seed's `Option<RobotId>` boxes — half the bytes per cell, so
-//! `occupant` is a single dense load and `release_before`'s occupancy scan
-//! touches half the cache lines. The `VecDeque` of layers is the tick ring:
-//! `layers[t - base]` is the occupancy of tick `t`, the front is popped as
-//! time passes, and `ensure_layer` appends (or prepends, for out-of-order
-//! reservations) zero-cost views of the same boxed slices.
+//! Layers are `u16` arrays with `u16::MAX` as the "empty" sentinel rather
+//! than the seed's `Option<RobotId>` boxes — a quarter of the bytes per
+//! cell, so `occupant` is a single dense load and layer churn touches a
+//! quarter of the cache lines. Fleet sizes in the paper are ≤ 10⁴, far
+//! below the [`MAX_STG_ROBOTS`] guard; reserving with a larger robot id
+//! panics rather than aliasing the sentinel. The `VecDeque` of layers is
+//! the tick ring: `layers[t - base]` is the occupancy of tick `t`, the
+//! front is popped as time passes, and `ensure_layer` appends (or prepends,
+//! for out-of-order reservations) zero-cost views of the same boxed slices.
+//! Each layer carries its live-reservation count, maintained on insert, so
+//! `release_before` pops passed layers without rescanning their cells.
 //! [`crate::reservation::ParkingBoard`] supplies the parked fallthrough as a
 //! dense probe as well.
 
@@ -28,7 +32,18 @@ use std::collections::VecDeque;
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
 /// Sentinel for "no robot" in a layer cell.
-const EMPTY: u32 = u32::MAX;
+const EMPTY: u16 = u16::MAX;
+
+/// Largest robot id the `u16` layer encoding can hold (`u16::MAX` is the
+/// empty sentinel). Reserving for a robot beyond this panics.
+pub const MAX_STG_ROBOTS: usize = u16::MAX as usize - 1;
+
+/// One time layer: dense occupancy plus its live-reservation count.
+#[derive(Debug, Clone)]
+struct Layer {
+    cells: Box<[u16]>,
+    occupied: u32,
+}
 
 /// Dense per-tick occupancy layers over an `H·W` grid.
 #[derive(Debug, Clone)]
@@ -37,7 +52,7 @@ pub struct SpatioTemporalGraph {
     cells_per_layer: usize,
     /// Tick of `layers\[0\]`.
     base: Tick,
-    layers: VecDeque<Box<[u32]>>,
+    layers: VecDeque<Layer>,
     parked: ParkingBoard,
     reservations: usize,
 }
@@ -63,20 +78,24 @@ impl SpatioTemporalGraph {
         (i < self.layers.len()).then_some(i)
     }
 
-    fn ensure_layer(&mut self, t: Tick) -> &mut [u32] {
+    fn ensure_layer(&mut self, t: Tick) -> &mut Layer {
         if self.layers.is_empty() {
             self.base = t;
         }
         // Reservations may arrive out of tick order; extend backwards too.
         while t < self.base {
-            self.layers
-                .push_front(vec![EMPTY; self.cells_per_layer].into_boxed_slice());
+            self.layers.push_front(Layer {
+                cells: vec![EMPTY; self.cells_per_layer].into_boxed_slice(),
+                occupied: 0,
+            });
             self.base -= 1;
         }
         let need = (t - self.base) as usize + 1;
         while self.layers.len() < need {
-            self.layers
-                .push_back(vec![EMPTY; self.cells_per_layer].into_boxed_slice());
+            self.layers.push_back(Layer {
+                cells: vec![EMPTY; self.cells_per_layer].into_boxed_slice(),
+                occupied: 0,
+            });
         }
         let i = (t - self.base) as usize;
         &mut self.layers[i]
@@ -91,9 +110,9 @@ impl SpatioTemporalGraph {
 impl ReservationSystem for SpatioTemporalGraph {
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
         if let Some(i) = self.layer_index(t) {
-            let r = self.layers[i][pos.to_index(self.width)];
+            let r = self.layers[i].cells[pos.to_index(self.width)];
             if r != EMPTY {
-                return Some(RobotId::from(r));
+                return Some(RobotId::from(r as u32));
             }
         }
         self.parked.occupant(pos, t)
@@ -102,18 +121,23 @@ impl ReservationSystem for SpatioTemporalGraph {
     fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
         self.parked.unpark(robot);
         let width = self.width;
-        let id = robot.index() as u32;
-        debug_assert!(id < EMPTY, "robot id reserved as sentinel");
+        assert!(
+            robot.index() <= MAX_STG_ROBOTS,
+            "robot {robot} exceeds the u16 STG layer encoding \
+             (MAX_STG_ROBOTS = {MAX_STG_ROBOTS}); shard the fleet or widen the layers"
+        );
+        let id = robot.index() as u16;
         let mut added = 0usize;
         for (t, cell) in path.iter_timed() {
             let layer = self.ensure_layer(t);
-            let slot = &mut layer[cell.to_index(width)];
+            let slot = &mut layer.cells[cell.to_index(width)];
             debug_assert!(
                 *slot == EMPTY || *slot == id,
                 "double reservation at {cell}@{t}"
             );
             if *slot == EMPTY {
                 added += 1;
+                layer.occupied += 1;
             }
             *slot = id;
         }
@@ -125,9 +149,9 @@ impl ReservationSystem for SpatioTemporalGraph {
 
     fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
         let idx = pos.to_index(self.width);
-        let id = robot.index() as u32;
+        let id = robot.index() as u16;
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let r = layer[idx];
+            let r = layer.cells[idx];
             if r != EMPTY && r != id {
                 return Some(self.base + i as Tick);
             }
@@ -150,7 +174,8 @@ impl ReservationSystem for SpatioTemporalGraph {
     fn release_before(&mut self, t: Tick) {
         while self.base < t && !self.layers.is_empty() {
             let layer = self.layers.pop_front().expect("non-empty checked");
-            self.reservations -= layer.iter().filter(|&&s| s != EMPTY).count();
+            // Maintained on insert, so no O(HW) cell rescan per layer here.
+            self.reservations -= layer.occupied as usize;
             self.base += 1;
         }
         if self.layers.is_empty() {
@@ -165,7 +190,8 @@ impl ReservationSystem for SpatioTemporalGraph {
 
 impl MemoryFootprint for SpatioTemporalGraph {
     fn memory_bytes(&self) -> usize {
-        let layer_bytes = self.cells_per_layer * std::mem::size_of::<u32>();
+        let layer_bytes =
+            self.cells_per_layer * std::mem::size_of::<u16>() + std::mem::size_of::<u32>();
         self.layers.len() * layer_bytes + self.parked.memory_bytes()
     }
 }
@@ -247,8 +273,8 @@ mod tests {
             },
             true,
         );
-        // 15 layers of 16×16 u32 cells.
-        assert!(g.memory_bytes() >= empty + 15 * 16 * 16 * 4);
+        // 15 layers of 16×16 u16 cells.
+        assert!(g.memory_bytes() >= empty + 15 * 16 * 16 * 2);
     }
 
     #[test]
@@ -270,15 +296,47 @@ mod tests {
     }
 
     #[test]
-    fn layers_are_half_the_seed_size() {
-        // The u32 sentinel encoding stores a 16×16 layer in exactly 1 KiB —
-        // half of the seed's `Option<RobotId>` (8-byte) slots.
+    fn layers_are_a_quarter_of_the_seed_size() {
+        // The u16 sentinel encoding stores a 16×16 layer in 512 B plus the
+        // occupancy counter — a quarter of the seed's `Option<RobotId>`
+        // (8-byte) slots and half of PR 1's u32 layers.
         let mut g = SpatioTemporalGraph::new(16, 16);
         g.reserve_path(RobotId::new(0), &path(0, &[(0, 0)]), false);
         assert_eq!(
             g.memory_bytes() - g.parked.memory_bytes(),
-            16 * 16 * 4,
-            "one layer, 4 bytes per cell"
+            16 * 16 * 2 + 4,
+            "one layer, 2 bytes per cell plus the occupancy count"
         );
+    }
+
+    #[test]
+    fn release_uses_maintained_counts() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        // Two overlapping paths: the shared cell must count once per layer.
+        g.reserve_path(RobotId::new(1), &path(0, &[(0, 0), (1, 0), (2, 0)]), false);
+        g.reserve_path(RobotId::new(2), &path(0, &[(0, 1), (1, 1), (2, 1)]), false);
+        assert_eq!(g.reservation_count(), 6);
+        g.release_before(2);
+        assert_eq!(g.reservation_count(), 2, "one layer of two robots left");
+        g.release_before(10);
+        assert_eq!(g.reservation_count(), 0);
+    }
+
+    #[test]
+    fn max_fleet_id_reserves() {
+        let mut g = SpatioTemporalGraph::new(4, 4);
+        g.reserve_path(RobotId::new(MAX_STG_ROBOTS), &path(0, &[(0, 0)]), false);
+        assert_eq!(
+            g.occupant(p(0, 0), 0),
+            Some(RobotId::new(MAX_STG_ROBOTS)),
+            "largest encodable id round-trips"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u16 STG layer encoding")]
+    fn oversized_fleet_panics() {
+        let mut g = SpatioTemporalGraph::new(4, 4);
+        g.reserve_path(RobotId::new(MAX_STG_ROBOTS + 1), &path(0, &[(0, 0)]), false);
     }
 }

@@ -22,7 +22,7 @@
 use crate::metrics::{Checkpoint, MetricsCollector};
 use crate::report::SimulationReport;
 use crate::validate::TrajectoryValidator;
-use eatp_core::planner::Planner;
+use eatp_core::planner::{LegRequest, Planner};
 use eatp_core::world::WorldView;
 use tprw_pathfinding::Path;
 use tprw_warehouse::{
@@ -42,6 +42,13 @@ pub struct EngineConfig {
     /// Bottleneck trace bucket width in ticks; `0` derives 1/40 of the
     /// expected horizon.
     pub bottleneck_bucket: Tick,
+    /// Reproduce the pre-batching execution path: per-leg
+    /// [`Planner::plan_leg`] calls through the retain-loops, the seed's
+    /// `HashMap` trajectory validator, and per-tick scratch allocation.
+    /// Simulation outputs are bit-identical either way (`bench_sim` asserts
+    /// it); this switch exists so the baseline stays measurable in-process.
+    /// Leave `false` everywhere else.
+    pub reference_exec: bool,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +58,7 @@ impl Default for EngineConfig {
             validate: true,
             checkpoints: 10,
             bottleneck_bucket: 0,
+            reference_exec: false,
         }
     }
 }
@@ -91,6 +99,12 @@ struct Engine<'a> {
     idle_buf: Vec<RobotId>,
     /// Per-tick scratch: selectable racks offered to the planner.
     selectable_buf: Vec<RackId>,
+    /// Per-tick scratch: the tick's delivery+return leg batch.
+    leg_requests: Vec<LegRequest>,
+    /// Per-tick scratch: results of the batched `plan_legs` call.
+    leg_results: Vec<Option<Path>>,
+    /// Per-tick scratch: on-grid positions handed to the validator.
+    on_grid_buf: Vec<(RobotId, tprw_warehouse::GridPos)>,
     next_item: usize,
     items_processed: usize,
     rack_trips: usize,
@@ -132,6 +146,9 @@ impl<'a> Engine<'a> {
             used_stations: vec![false; instance.pickers.len()],
             idle_buf: Vec::with_capacity(instance.robots.len()),
             selectable_buf: Vec::with_capacity(instance.racks.len()),
+            leg_requests: Vec::with_capacity(instance.robots.len()),
+            leg_results: Vec::with_capacity(instance.robots.len()),
+            on_grid_buf: Vec::with_capacity(instance.robots.len()),
             next_item: 0,
             items_processed: 0,
             rack_trips: 0,
@@ -289,6 +306,115 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // 3b/3c: delivery and return legs for waiting robots — one batched
+        // `plan_legs` call per tick, or the pre-change per-leg retain-loops
+        // when baselining.
+        if self.config.reference_exec {
+            self.step_legs_serial(t, planner);
+        } else {
+            self.step_legs_batched(t, planner);
+        }
+    }
+
+    /// One `plan_legs` call covering the tick's delivery and return legs.
+    /// Requests keep the pending lists' order, and the one-undock-per-
+    /// station rule rides on [`LegRequest::group`], so the planner produces
+    /// exactly the paths the serial loops would.
+    fn step_legs_batched(&mut self, t: Tick, planner: &mut dyn Planner) {
+        // Stale entries (the robot left the relevant phase) are dropped
+        // before planning — the serial loops do the same, just interleaved.
+        self.needs_delivery.retain(|&robot_id| {
+            matches!(
+                self.robots[robot_id.index()].phase,
+                RobotPhase::ToRack { .. }
+            )
+        });
+        self.needs_return.retain(|&robot_id| {
+            matches!(
+                self.robots[robot_id.index()].phase,
+                RobotPhase::Processing { .. } | RobotPhase::Queuing { .. }
+            )
+        });
+
+        self.leg_requests.clear();
+        for &robot_id in &self.needs_delivery {
+            let RobotPhase::ToRack { rack } = self.robots[robot_id.index()].phase else {
+                unreachable!("stale entries dropped above");
+            };
+            let rack_idx = rack.index();
+            let home = self.racks[rack_idx].home;
+            let station = self.pickers[self.racks[rack_idx].picker.index()].pos;
+            self.leg_requests
+                .push(LegRequest::new(robot_id, home, station, false));
+        }
+        let n_delivery = self.leg_requests.len();
+        for &robot_id in &self.needs_return {
+            let rack = match self.robots[robot_id.index()].phase {
+                RobotPhase::Processing { rack } | RobotPhase::Queuing { rack } => rack,
+                _ => unreachable!("stale entries dropped above"),
+            };
+            let picker = self.racks[rack.index()].picker;
+            let station = self.pickers[picker.index()].pos;
+            let home = self.racks[rack.index()].home;
+            self.leg_requests.push(LegRequest {
+                robot: robot_id,
+                from: station,
+                to: home,
+                park: true,
+                // One undock per station per tick keeps handoff cells
+                // unambiguous.
+                group: Some(picker.index() as u32),
+            });
+        }
+        if self.leg_requests.is_empty() {
+            return;
+        }
+
+        planner.plan_legs(&self.leg_requests, t, &mut self.leg_results);
+        debug_assert_eq!(self.leg_results.len(), self.leg_requests.len());
+
+        let mut i = 0;
+        self.needs_delivery.retain(|&robot_id| {
+            let result = self.leg_results[i].take();
+            i += 1;
+            match result {
+                Some(path) => {
+                    let ai = robot_id.index();
+                    let RobotPhase::ToRack { rack } = self.robots[ai].phase else {
+                        unreachable!("phase unchanged since collection");
+                    };
+                    self.robots[ai].phase = RobotPhase::ToStation { rack };
+                    self.paths[ai] = Some(path);
+                    false
+                }
+                None => true, // retry next tick
+            }
+        });
+        debug_assert_eq!(i, n_delivery);
+        self.needs_return.retain(|&robot_id| {
+            let result = self.leg_results[i].take();
+            let station = self.leg_requests[i].from;
+            i += 1;
+            match result {
+                Some(path) => {
+                    let ai = robot_id.index();
+                    let rack = match self.robots[ai].phase {
+                        RobotPhase::Processing { rack } | RobotPhase::Queuing { rack } => rack,
+                        _ => unreachable!("phase unchanged since collection"),
+                    };
+                    self.robots[ai].phase = RobotPhase::Returning { rack };
+                    self.robots[ai].pos = station;
+                    self.paths[ai] = Some(path);
+                    false
+                }
+                None => true, // blocked or station already undocked this tick
+            }
+        });
+    }
+
+    /// The pre-change serial leg loops (baseline measurements only; see
+    /// [`EngineConfig::reference_exec`]).
+    fn step_legs_serial(&mut self, t: Tick, planner: &mut dyn Planner) {
         // 3b. Delivery legs for robots waiting at rack homes.
         self.needs_delivery.retain(|&robot_id| {
             let ai = robot_id.index();
@@ -385,8 +511,19 @@ impl<'a> Engine<'a> {
 
     /// Phase 5: advance robots along their paths; validate positions.
     fn step_movement(&mut self, t: Tick) {
-        let mut on_grid: Vec<(RobotId, tprw_warehouse::GridPos)> =
-            Vec::with_capacity(self.robots.len());
+        // The reference path allocates its position buffer per tick, as the
+        // pre-change engine did; the default path reuses one.
+        let mut fresh: Vec<(RobotId, tprw_warehouse::GridPos)> = if self.config.reference_exec {
+            Vec::with_capacity(self.robots.len())
+        } else {
+            Vec::new()
+        };
+        let on_grid = if self.config.reference_exec {
+            &mut fresh
+        } else {
+            self.on_grid_buf.clear();
+            &mut self.on_grid_buf
+        };
         for ai in 0..self.robots.len() {
             if let Some(path) = &self.paths[ai] {
                 self.robots[ai].pos = path.at(t);
@@ -409,7 +546,11 @@ impl<'a> Engine<'a> {
             }
         }
         if self.config.validate {
-            self.validator.check_tick(t, &on_grid);
+            if self.config.reference_exec {
+                self.validator.check_tick(t, on_grid);
+            } else {
+                self.validator.check_tick_fast(t, on_grid);
+            }
         }
     }
 

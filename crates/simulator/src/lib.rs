@@ -25,4 +25,4 @@ pub mod validate;
 
 pub use engine::{run_simulation, EngineConfig};
 pub use metrics::{BottleneckSample, Checkpoint};
-pub use report::SimulationReport;
+pub use report::{DeterministicFingerprint, SimulationReport};

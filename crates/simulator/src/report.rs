@@ -51,7 +51,74 @@ pub struct SimulationReport {
     pub planner_stats: PlannerStats,
 }
 
+/// The deterministic projection of a [`SimulationReport`]: every field that
+/// must be bit-identical between the batched execution path and the serial
+/// pre-change path (see `EngineConfig::reference_exec`). Wall-clock timings
+/// and memory accounting — which legitimately differ across modes — are
+/// excluded. Shared by `bench_sim` and the equivalence tests so the two
+/// checks cannot drift apart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeterministicFingerprint {
+    /// Makespan `M`.
+    pub makespan: Tick,
+    /// Whether the run finished within the tick budget.
+    pub completed: bool,
+    /// Items processed.
+    pub items_processed: usize,
+    /// Fulfilment cycles.
+    pub rack_trips: usize,
+    /// `batch_factor` bits (exact f64 comparison).
+    pub batch_factor_bits: u64,
+    /// `ppr` bits.
+    pub ppr_bits: u64,
+    /// `rwr` bits.
+    pub rwr_bits: u64,
+    /// `robot_busy_rate` bits.
+    pub robot_busy_rate_bits: u64,
+    /// Validator-observed conflicts.
+    pub executed_conflicts: usize,
+    /// Checkpoint series: `(items, t, ppr bits, rwr bits)`.
+    pub checkpoints: Vec<(usize, Tick, u64, u64)>,
+    /// Bottleneck series: `(t, transport, queuing, processing)`.
+    pub bottleneck: Vec<(Tick, u64, u64, u64)>,
+    /// Planner counters: expansions, planned, failed, spliced, q-states.
+    pub planner_counters: (u64, u64, u64, u64, usize),
+}
+
 impl SimulationReport {
+    /// Project onto the fields the batched and serial execution paths must
+    /// reproduce bit-identically (see [`DeterministicFingerprint`]).
+    pub fn deterministic_fingerprint(&self) -> DeterministicFingerprint {
+        DeterministicFingerprint {
+            makespan: self.makespan,
+            completed: self.completed,
+            items_processed: self.items_processed,
+            rack_trips: self.rack_trips,
+            batch_factor_bits: self.batch_factor.to_bits(),
+            ppr_bits: self.ppr.to_bits(),
+            rwr_bits: self.rwr.to_bits(),
+            robot_busy_rate_bits: self.robot_busy_rate.to_bits(),
+            executed_conflicts: self.executed_conflicts,
+            checkpoints: self
+                .checkpoints
+                .iter()
+                .map(|c| (c.items_processed, c.t, c.ppr.to_bits(), c.rwr.to_bits()))
+                .collect(),
+            bottleneck: self
+                .bottleneck
+                .iter()
+                .map(|b| (b.t, b.transport, b.queuing, b.processing))
+                .collect(),
+            planner_counters: (
+                self.planner_stats.expansions,
+                self.planner_stats.paths_planned,
+                self.planner_stats.paths_failed,
+                self.planner_stats.cache_spliced,
+                self.planner_stats.q_states,
+            ),
+        }
+    }
+
     /// One-line summary (Table III style).
     pub fn summary_row(&self) -> String {
         format!(

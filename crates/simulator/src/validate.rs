@@ -39,18 +39,130 @@ pub enum ExecutedConflict {
 
 /// Sliding-window conflict checker fed one tick of on-grid robot positions
 /// at a time.
+///
+/// Two equivalent checking paths exist: [`TrajectoryValidator::check_tick`]
+/// is the seed implementation (two `HashMap`s rebuilt per tick — kept for
+/// `bench_sim`'s pre-change baseline mode), while
+/// [`TrajectoryValidator::check_tick_fast`] reaches the same verdicts with
+/// a reusable sort buffer and generation-stamped dense arrays, performing
+/// no steady-state allocations. Use one path consistently per validator
+/// instance — they keep separate previous-tick state.
 #[derive(Debug, Default)]
 pub struct TrajectoryValidator {
     prev: HashMap<RobotId, GridPos>,
     prev_t: Option<Tick>,
     /// All conflicts observed so far.
     pub conflicts: Vec<ExecutedConflict>,
+    /// Fast path: previous position per robot index, valid where
+    /// `prev_mark` carries the current generation.
+    prev_pos: Vec<GridPos>,
+    prev_mark: Vec<u32>,
+    /// Generation of the *previous* tick's `prev_pos` entries.
+    mark: u32,
+    /// Reusable `(cell key, position index)` sort buffer.
+    sorted: Vec<(u32, u32)>,
+}
+
+/// Order-preserving cell key (grids are < 2¹⁶ on a side).
+#[inline]
+fn cell_key(p: GridPos) -> u32 {
+    ((p.x as u32) << 16) | p.y as u32
 }
 
 impl TrajectoryValidator {
     /// Fresh validator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Allocation-free equivalent of [`TrajectoryValidator::check_tick`]:
+    /// sorts the tick's positions by cell to find shared cells and answers
+    /// the swap check with binary searches plus dense per-robot
+    /// previous-position arrays. Conflict verdicts (and counts) are
+    /// identical to the seed path; only the in-`conflicts` ordering of
+    /// *vertex* conflicts of distinct cells may differ (cell order instead
+    /// of insertion order).
+    pub fn check_tick_fast(&mut self, t: Tick, positions: &[(RobotId, GridPos)]) {
+        self.sorted.clear();
+        self.sorted.extend(
+            positions
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, pos))| (cell_key(pos), i as u32)),
+        );
+        self.sorted.sort_unstable();
+
+        // Vertex conflicts: runs of equal cell keys, every later occupant
+        // against the first (matching the seed's first-insert-wins map).
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j].0 == self.sorted[i].0 {
+                j += 1;
+            }
+            if j - i > 1 {
+                let (a, pos) = positions[self.sorted[i].1 as usize];
+                for &(_, idx) in &self.sorted[i + 1..j] {
+                    let (b, _) = positions[idx as usize];
+                    self.conflicts
+                        .push(ExecutedConflict::Vertex { pos, t, a, b });
+                }
+            }
+            i = j;
+        }
+
+        // Edge (swap) conflicts against the previous tick.
+        if self.prev_t == Some(t.wrapping_sub(1)) {
+            for &(robot, pos) in positions {
+                let Some(was) = self.fast_prev(robot) else {
+                    continue;
+                };
+                if was == pos {
+                    continue;
+                }
+                // First current occupant of `was`, as the seed map held.
+                let target = cell_key(was);
+                let lo = self.sorted.partition_point(|&(k, _)| k < target);
+                if lo >= self.sorted.len() || self.sorted[lo].0 != target {
+                    continue;
+                }
+                let (other, _) = positions[self.sorted[lo].1 as usize];
+                if other != robot && self.fast_prev(other) == Some(pos) && robot < other {
+                    self.conflicts.push(ExecutedConflict::Edge {
+                        from: was,
+                        to: pos,
+                        t: t - 1,
+                        a: robot,
+                        b: other,
+                    });
+                }
+            }
+        }
+
+        // Roll the dense previous-tick state forward one generation.
+        self.mark = self.mark.wrapping_add(1);
+        if self.mark == 0 {
+            // Generation wrap: clear stamps once so stale marks cannot alias.
+            self.prev_mark.fill(0);
+            self.mark = 1;
+        }
+        for &(robot, pos) in positions {
+            let i = robot.index();
+            if i >= self.prev_pos.len() {
+                self.prev_pos.resize(i + 1, GridPos::new(0, 0));
+                self.prev_mark.resize(i + 1, 0);
+            }
+            self.prev_pos[i] = pos;
+            self.prev_mark[i] = self.mark;
+        }
+        self.prev_t = Some(t);
+    }
+
+    /// The previous-tick position of `robot` on the fast path.
+    #[inline]
+    fn fast_prev(&self, robot: RobotId) -> Option<GridPos> {
+        let i = robot.index();
+        (i < self.prev_mark.len() && self.prev_mark[i] == self.mark).then(|| self.prev_pos[i])
     }
 
     /// Check one tick of positions (only robots physically on the grid).
@@ -173,5 +285,65 @@ mod tests {
         // Robot 1 docked (absent); robot 0 moves into its old cell.
         v.check_tick(1, &[(id(0), p(1, 0))]);
         assert_eq!(v.conflict_count(), 0);
+    }
+
+    #[test]
+    fn fast_path_detects_vertex_and_swap() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick_fast(0, &[(id(0), p(0, 0)), (id(1), p(1, 0)), (id(2), p(1, 0))]);
+        assert_eq!(v.conflict_count(), 1, "shared cell");
+        assert!(matches!(
+            v.conflicts[0],
+            ExecutedConflict::Vertex { t: 0, .. }
+        ));
+        v.check_tick_fast(1, &[(id(0), p(1, 0)), (id(1), p(0, 0)), (id(2), p(2, 0))]);
+        assert_eq!(v.conflict_count(), 2, "0 and 1 swapped");
+        assert!(matches!(
+            v.conflicts[1],
+            ExecutedConflict::Edge { t: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn fast_path_follow_through_and_gaps_clean() {
+        let mut v = TrajectoryValidator::new();
+        v.check_tick_fast(0, &[(id(0), p(1, 0)), (id(1), p(0, 0))]);
+        v.check_tick_fast(1, &[(id(0), p(2, 0)), (id(1), p(1, 0))]);
+        assert_eq!(v.conflict_count(), 0, "following is not swapping");
+        // A tick gap resets the edge check.
+        v.check_tick_fast(5, &[(id(0), p(1, 0)), (id(1), p(2, 0))]);
+        assert_eq!(v.conflict_count(), 0);
+    }
+
+    /// The two checking paths must agree on every conflict count across a
+    /// pseudo-random trajectory soup.
+    #[test]
+    fn fast_path_matches_seed_path() {
+        let mut seed_v = TrajectoryValidator::new();
+        let mut fast_v = TrajectoryValidator::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for t in 0..200u64 {
+            let n = (next() % 12) as usize + 1;
+            let positions: Vec<(RobotId, GridPos)> = (0..n)
+                .map(|i| {
+                    let r = next();
+                    (id(i), p((r % 4) as u16, ((r >> 8) % 4) as u16))
+                })
+                .collect();
+            seed_v.check_tick(t, &positions);
+            fast_v.check_tick_fast(t, &positions);
+            assert_eq!(
+                seed_v.conflict_count(),
+                fast_v.conflict_count(),
+                "divergence at tick {t}"
+            );
+        }
+        assert!(seed_v.conflict_count() > 0, "the soup must collide");
     }
 }

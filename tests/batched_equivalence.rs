@@ -1,0 +1,76 @@
+//! PR-2 invariant: the batched execution path (one `plan_legs` call per
+//! tick, flat distance oracle, fast validator) must reproduce the serial
+//! pre-change path (per-leg `plan_leg` retain-loops, seed oracle, seed
+//! validator) *bit-identically* — batching is a performance refactor, not a
+//! behaviour change.
+//!
+//! Every planner runs on walled (obstructed — exercising the BFS oracle)
+//! and open instances across seeds; a single-picker fleet forces return-leg
+//! contention so the one-undock-per-station group rule is exercised on the
+//! batched path too.
+
+use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::simulator::{run_simulation, EngineConfig, SimulationReport};
+use eatp::warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+fn spec(walled: bool, pickers: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("equiv-{walled}-{pickers}-{seed}"),
+        layout: LayoutConfig {
+            width: 28,
+            height: 20,
+            border_walls: walled,
+            ..LayoutConfig::default()
+        },
+        n_racks: 12,
+        n_robots: 5,
+        n_pickers: pickers,
+        workload: WorkloadConfig::poisson(40, 0.8),
+        seed,
+    }
+}
+
+/// Everything that must match bit-for-bit (timing and memory accounting are
+/// the only legitimate differences between the modes) — the same projection
+/// `bench_sim` asserts on, so the two checks cannot drift apart.
+fn fingerprint(r: &SimulationReport) -> eatp::simulator::DeterministicFingerprint {
+    r.deterministic_fingerprint()
+}
+
+#[test]
+fn batched_equals_serial_for_every_planner() {
+    for name in PLANNER_NAMES {
+        for walled in [false, true] {
+            // One picker forces same-station return contention (the
+            // LegRequest group rule); three is the spread-out case.
+            for pickers in [1usize, 3] {
+                for seed in [11u64, 97] {
+                    let inst = spec(walled, pickers, seed).build().unwrap();
+
+                    let serial_config = EatpConfig {
+                        reference_oracle: true,
+                        ..EatpConfig::default()
+                    };
+                    let serial_engine = EngineConfig {
+                        reference_exec: true,
+                        ..EngineConfig::default()
+                    };
+                    let mut p = planner_by_name(name, &serial_config).unwrap();
+                    let serial = run_simulation(&inst, &mut *p, &serial_engine);
+
+                    let mut p = planner_by_name(name, &EatpConfig::default()).unwrap();
+                    let batched = run_simulation(&inst, &mut *p, &EngineConfig::default());
+
+                    assert!(
+                        fingerprint(&serial) == fingerprint(&batched),
+                        "{name} diverged (walled={walled} pickers={pickers} seed={seed}):\n\
+                         serial  {:?}\nbatched {:?}",
+                        fingerprint(&serial),
+                        fingerprint(&batched)
+                    );
+                    assert!(serial.completed, "{name} run must finish to be meaningful");
+                }
+            }
+        }
+    }
+}

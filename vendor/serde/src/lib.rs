@@ -76,6 +76,18 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, Error>;
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
