@@ -1,6 +1,8 @@
 //! Whole-simulation perf harness: median ns/tick of the end-to-end engine
 //! loop (selection + leg planning + movement + validation + bookkeeping)
-//! for every planner on a congested and a sparse scenario. Emits
+//! for every planner on a congested, a sparse and three disrupted
+//! scenarios (breakdown wave, aisle blockades, station outage during an
+//! arrival surge — see `sim_cases`). Emits
 //! `BENCH_sim.json` (path overridable via `BENCH_SIM_OUT`) so each PR can
 //! record where simulation throughput stands, next to the A* microbenchmark
 //! in `BENCH_astar.json`.
@@ -83,6 +85,11 @@ fn timed_run(
         "{} on {} must complete (tick budget too small?)",
         planner_name, scenario.name
     );
+    assert_eq!(
+        report.disruption_violations, 0,
+        "{} on {} violated a disruption invariant",
+        planner_name, scenario.name
+    );
     (elapsed / report.makespan.max(1), report)
 }
 
@@ -161,7 +168,7 @@ fn main() {
     }
 
     let report = BenchReport {
-        schema: "bench_sim/v1",
+        schema: "bench_sim/v2",
         iterations: iters,
         pre_change_ns_per_tick: serde_json::from_str(include_str!(
             "../pre_change_sim_baseline.json"

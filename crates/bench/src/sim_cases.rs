@@ -1,6 +1,6 @@
 //! End-to-end scenarios for the simulation throughput harness (`bench_sim`).
 //!
-//! Two workloads bracket the engine's operating range:
+//! Two static workloads bracket the engine's operating range:
 //!
 //! * **congested** — a walled (obstructed) mid-size floor with a dense
 //!   fleet: every tick carries leg planning, oracle queries (BFS fields,
@@ -10,13 +10,27 @@
 //!   trickle: most ticks do *no* planning, so fixed per-tick engine
 //!   overhead (scans, validation, metrics) dominates.
 //!
+//! Three *disrupted* workloads exercise the dynamic-world subsystem as a
+//! measured, reproducible load (each also runs through the reference/serial
+//! path, so replanning and invalidation stay bit-identical across engine
+//! modes):
+//!
+//! * **breakdown wave** — a quarter of the congested fleet fails across a
+//!   window, freezing mid-aisle and forcing survivors to route around;
+//! * **aisle blockades** — corridors close mid-run, cancelling planned
+//!   paths (oracle/cache/KNN invalidation + replans);
+//! * **station outage during surge** — pickers walk away exactly while a
+//!   carnival-style arrival surge is peaking.
+//!
 //! [`deterministic_fields`] projects a [`SimulationReport`] onto the fields
 //! that must be bit-identical between the reference (serial, pre-change)
 //! and batched execution paths — everything except wall-clock timings and
 //! memory accounting, which legitimately differ across modes.
 
 use tprw_simulator::{DeterministicFingerprint, SimulationReport};
-use tprw_warehouse::{Instance, LayoutConfig, ScenarioSpec, WorkloadConfig};
+use tprw_warehouse::{
+    ArrivalProfile, DisruptionConfig, Instance, LayoutConfig, ScenarioSpec, WorkloadConfig,
+};
 
 /// One named benchmark scenario.
 pub struct SimScenario {
@@ -44,6 +58,7 @@ pub fn congested() -> SimScenario {
         n_robots: 40,
         n_pickers: 5,
         workload: WorkloadConfig::poisson(200, 1.0),
+        disruptions: None,
         seed: 77,
     }
     .build()
@@ -68,6 +83,7 @@ pub fn sparse() -> SimScenario {
         n_robots: 6,
         n_pickers: 2,
         workload: WorkloadConfig::poisson(60, 0.2),
+        disruptions: None,
         seed: 78,
     }
     .build()
@@ -81,9 +97,147 @@ pub fn sparse() -> SimScenario {
     }
 }
 
-/// All benchmark scenarios in gate order (congested first).
+/// Breakdown wave on the congested floor: ten of the forty robots fail
+/// across ticks 150–450, each down for 150–300 ticks. Frozen robots become
+/// mid-aisle obstacles; every failure releases reservations and every
+/// recovery replans an interrupted leg.
+pub fn disrupted_breakdowns() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-breakdown-wave".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 36,
+        n_robots: 40,
+        n_pickers: 5,
+        workload: WorkloadConfig::poisson(160, 1.0),
+        disruptions: Some(DisruptionConfig {
+            breakdowns: 10,
+            breakdown_ticks: (150, 300),
+            blockades: 0,
+            blockade_ticks: (1, 1),
+            closures: 0,
+            closure_ticks: (1, 1),
+            window: (150, 450),
+        }),
+        seed: 81,
+    }
+    .build()
+    .expect("breakdown scenario builds");
+    SimScenario {
+        name: "disrupted-breakdowns-44x32",
+        description: "the congested walled floor under a breakdown wave: 10 \
+                      of 40 robots fail across ticks 150-450 (down 150-300 \
+                      ticks each), freezing mid-aisle; survivors replan \
+                      around them and interrupted legs resume on recovery",
+        instance,
+    }
+}
+
+/// Mid-run aisle blockades on the congested floor: six corridors close for
+/// 200–400 ticks each, invalidating planned paths (freeze cascade) and
+/// every grid-derived planner structure (oracle fields, path cache, KNN).
+pub fn disrupted_blockades() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-aisle-blockades".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 36,
+        n_robots: 40,
+        n_pickers: 5,
+        workload: WorkloadConfig::poisson(160, 1.0),
+        disruptions: Some(DisruptionConfig {
+            breakdowns: 0,
+            breakdown_ticks: (1, 1),
+            blockades: 6,
+            blockade_ticks: (200, 400),
+            closures: 0,
+            closure_ticks: (1, 1),
+            window: (100, 500),
+        }),
+        seed: 82,
+    }
+    .build()
+    .expect("blockade scenario builds");
+    SimScenario {
+        name: "disrupted-blockades-44x32",
+        description: "the congested walled floor with 6 aisle cells \
+                      blockaded for 200-400 ticks mid-run: planned paths \
+                      through them cancel (freeze cascade), the distance \
+                      oracle / path cache / KNN index invalidate, and \
+                      frozen robots replan",
+        instance,
+    }
+}
+
+/// Station outage during an arrival surge: two of four pickers walk away
+/// for 250–400 ticks inside the surge window, so the planner must rebalance
+/// the selection side exactly when the workload peaks (the Fig. 13 shifting
+/// bottleneck, now driven from the supply side).
+pub fn disrupted_outage_surge() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-outage-surge".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 36,
+        n_robots: 32,
+        n_pickers: 4,
+        workload: WorkloadConfig {
+            n_items: 180,
+            profile: ArrivalProfile::Surge {
+                base_rate: 0.6,
+                multipliers: vec![0.4, 3.0],
+                phase_len: 120,
+            },
+            processing_min: 20,
+            processing_max: 40,
+            rack_skew: 0.8,
+            skew_cap: 8.0,
+        },
+        disruptions: Some(DisruptionConfig {
+            breakdowns: 0,
+            breakdown_ticks: (1, 1),
+            blockades: 0,
+            blockade_ticks: (1, 1),
+            closures: 2,
+            closure_ticks: (250, 400),
+            window: (120, 360),
+        }),
+        seed: 83,
+    }
+    .build()
+    .expect("outage scenario builds");
+    SimScenario {
+        name: "disrupted-outage-surge-44x32",
+        description: "surge arrivals (0.4x/3.0x alternating every 120 \
+                      ticks, skewed racks) while 2 of 4 pickers close for \
+                      250-400 ticks inside the surge window: selection must \
+                      rebalance to the surviving stations at peak load",
+        instance,
+    }
+}
+
+/// All benchmark scenarios in gate order (congested first — the CI gate
+/// reads index 0 — then sparse, then the three disrupted cases).
 pub fn scenarios() -> Vec<SimScenario> {
-    vec![congested(), sparse()]
+    vec![
+        congested(),
+        sparse(),
+        disrupted_breakdowns(),
+        disrupted_blockades(),
+        disrupted_outage_surge(),
+    ]
 }
 
 /// The deterministic projection of a report: every field that the batched
@@ -101,11 +255,24 @@ mod tests {
     #[test]
     fn scenarios_build_and_differ() {
         let all = scenarios();
-        assert_eq!(all.len(), 2);
-        assert_ne!(all[0].name, all[1].name);
+        assert_eq!(all.len(), 5);
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        // The gate scenario stays at index 0 (CI reads it by position).
+        assert_eq!(all[0].name, "congested-walled-44x32");
         // The congested grid is obstructed (walls), the sparse one is open.
         use tprw_warehouse::CellKind;
         assert!(all[0].instance.grid.count_kind(CellKind::Blocked) > 0);
         assert_eq!(all[1].instance.grid.count_kind(CellKind::Blocked), 0);
+        // Static cases carry no events; every disrupted case carries a
+        // validated, paired schedule.
+        assert!(all[0].instance.disruptions.is_empty());
+        assert!(all[1].instance.disruptions.is_empty());
+        for s in &all[2..] {
+            assert!(!s.instance.disruptions.is_empty(), "{}", s.name);
+            s.instance.validate().unwrap();
+        }
     }
 }

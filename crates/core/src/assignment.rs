@@ -82,6 +82,7 @@ mod tests {
             n_robots: 6,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(30, 1.0),
+            disruptions: None,
             seed: 11,
         }
         .build()

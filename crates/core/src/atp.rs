@@ -23,7 +23,7 @@ use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::qlearning::QTable;
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
-use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
 /// Algorithm 2: Q-learning rack selection + spatiotemporal A*.
 pub struct AdaptiveTaskPlanner {
@@ -192,6 +192,20 @@ impl Planner for AdaptiveTaskPlanner {
         self.base.as_mut().expect("initialized").on_dock(robot);
     }
 
+    fn on_disruption(&mut self, event: &DisruptionEvent, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .apply_disruption(event, t);
+    }
+
+    fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .cancel_path(robot, pos, t);
+    }
+
     fn housekeeping(&mut self, t: Tick) {
         self.base.as_mut().expect("initialized").housekeeping(t);
     }
@@ -220,6 +234,7 @@ mod tests {
             n_robots: 4,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(40, 1.0),
+            disruptions: None,
             seed: 21,
         }
         .build()

@@ -125,6 +125,7 @@ pub fn build(params: BadCaseParams) -> BadCase {
         pickers,
         robots,
         items,
+        disruptions: Vec::new(),
     };
     BadCase {
         instance,

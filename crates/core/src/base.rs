@@ -16,7 +16,9 @@ use tprw_pathfinding::{
     ConflictDetectionTable, KNearestRacks, MemoryFootprint, Path, PathCache, ReservationSystem,
     SearchScratch, SpatioTemporalGraph,
 };
-use tprw_warehouse::{GridMap, GridPos, Instance, RobotId, Tick};
+use tprw_warehouse::{
+    CellKind, DisruptionEvent, GridMap, GridPos, Instance, RackId, RobotId, Tick,
+};
 
 /// `d(·,·)` backend: the flat generation-stamped oracle, or the seed's
 /// grid-cloning `HashMap`-memoized one (kept, like `reference.rs` for A*,
@@ -62,6 +64,29 @@ impl Oracle {
             Oracle::Reference(o) => o.memory_bytes(),
         }
     }
+
+    /// Propagate a grid mutation: both backends evict their memoized fields
+    /// and recompute the obstacle-free fast-path flag.
+    pub fn set_passable(&mut self, pos: GridPos, passable: bool) {
+        match self {
+            Oracle::Flat(o) => o.set_passable(pos, passable),
+            Oracle::Reference(o) => o.set_passable(pos, passable),
+        }
+    }
+}
+
+/// Reusable selection scratch shared through [`PlannerBase`]: EATP's
+/// flip-side selection runs every timestamp, so its membership bitmaps and
+/// candidate list must not be reallocated per tick (the same discipline as
+/// the [`SearchScratch`] arena below `plan_leg`).
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    /// Rack membership bitmap (`selectable_racks` as dense flags).
+    pub rack_flags: Vec<bool>,
+    /// Robot membership bitmap (robots consumed by the current plan step).
+    pub robot_flags: Vec<bool>,
+    /// Per-robot candidate rack list (K entries at most).
+    pub candidates: Vec<RackId>,
 }
 
 /// Marker constructors so `PlannerBase` can build its reservation structure
@@ -111,6 +136,12 @@ pub struct PlannerBase<R: ReservationBackend> {
     /// first few queries warm it up, path finding is allocation-free except
     /// for the returned [`Path`] itself.
     pub scratch: SearchScratch,
+    /// Reusable selection buffers (flip-side bitmaps and candidate list).
+    pub sel: SelectionScratch,
+    /// Set when a grid mutation invalidated the KNN index; the `O(HW·K)`
+    /// rebuild runs lazily via [`PlannerBase::refresh_knn`], so a batch of
+    /// same-tick blockades costs one BFS pass, not one per cell.
+    knn_dirty: bool,
     /// Mutual-exclusion groups already satisfied within the current
     /// [`PlannerBase::plan_legs`] batch (indexed by group id).
     group_done: Vec<bool>,
@@ -145,6 +176,8 @@ impl<R: ReservationBackend> PlannerBase<R> {
             config,
             stats: PlannerStats::default(),
             scratch: SearchScratch::new(),
+            sel: SelectionScratch::default(),
+            knn_dirty: false,
             group_done: Vec::new(),
             grid,
             last_gc: 0,
@@ -264,6 +297,69 @@ impl<R: ReservationBackend> PlannerBase<R> {
         self.stats.planning_ns += t0.elapsed().as_nanos() as u64;
     }
 
+    /// Apply a disruption event to every grid-derived structure this base
+    /// owns (the [`crate::planner::Planner::on_disruption`] contract).
+    ///
+    /// Cell blockades / reopenings mutate the working grid copy, flip the
+    /// distance oracle's passability snapshot (evicting its memoized BFS
+    /// fields), invalidate the path cache, and rebuild the K-nearest-rack
+    /// index — stale state in any of them would route robots through walls
+    /// or to the wrong rack. Robot and station events carry no planner-side
+    /// structure: the engine routes their consequences through the world
+    /// view and [`PlannerBase::cancel_path`].
+    pub fn apply_disruption(&mut self, event: &DisruptionEvent, _t: Tick) {
+        match *event {
+            DisruptionEvent::CellBlocked { pos } => self.set_cell_blocked(pos, true),
+            DisruptionEvent::CellUnblocked { pos } => self.set_cell_blocked(pos, false),
+            DisruptionEvent::RobotBreakdown { .. }
+            | DisruptionEvent::RobotRecover { .. }
+            | DisruptionEvent::StationClosed { .. }
+            | DisruptionEvent::StationReopened { .. } => {}
+        }
+    }
+
+    fn set_cell_blocked(&mut self, pos: GridPos, blocked: bool) {
+        // Blockades only ever target aisle cells (validated at instance
+        // construction), so reopening restores `Aisle`.
+        let kind = if blocked {
+            CellKind::Blocked
+        } else {
+            CellKind::Aisle
+        };
+        if self.grid.kind(pos) == kind {
+            return;
+        }
+        self.grid.set_kind(pos, kind);
+        self.oracle.set_passable(pos, !blocked);
+        if let Some(cache) = &mut self.cache {
+            cache.set_passable(pos, !blocked);
+        }
+        // The KNN rebuild is deferred to the next index read: however many
+        // cells a tick's events mutate, the multi-source BFS runs once.
+        self.knn_dirty = self.knn.is_some();
+    }
+
+    /// Rebuild the KNN index if a grid mutation dirtied it. Index readers
+    /// (EATP's flip-side selection) call this before `knn.nearest`.
+    pub fn refresh_knn(&mut self) {
+        if self.knn_dirty {
+            if let Some(knn) = &mut self.knn {
+                knn.rebuild(&self.grid);
+            }
+            self.knn_dirty = false;
+        }
+    }
+
+    /// Cancel `robot`'s active path (the
+    /// [`crate::planner::Planner::on_path_cancelled`] contract): every
+    /// outstanding timed reservation is released so survivors can route
+    /// through the abandoned route, and the robot is parked at `pos` — its
+    /// frozen position — from `t` onward so survivors route *around* it.
+    pub fn cancel_path(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.resv.release_robot(robot);
+        self.resv.park(robot, pos, t);
+    }
+
     /// Reservation GC, self-gated on the configured period.
     pub fn housekeeping(&mut self, t: Tick) {
         if t >= self.last_gc + self.config.gc_period {
@@ -305,6 +401,7 @@ mod tests {
             n_robots: 5,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(50, 1.0),
+            disruptions: None,
             seed: 5,
         }
         .build()
@@ -395,6 +492,94 @@ mod tests {
         assert_eq!(base.resv.reservation_count(), live);
         base.housekeeping(path.end() + 65);
         assert_eq!(base.resv.reservation_count(), 0, "past entries collected");
+    }
+
+    #[test]
+    fn cancel_path_releases_and_parks() {
+        let inst = instance();
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        let robot = inst.robots[0].id;
+        let from = inst.robots[0].pos;
+        let to = inst.racks[0].home;
+        let path = base.plan_and_reserve(robot, from, to, 0, true).unwrap();
+        assert!(base.resv.reservation_count() > 0);
+        // The robot freezes two steps in.
+        let frozen = path.at(2);
+        base.cancel_path(robot, frozen, 2);
+        assert_eq!(base.resv.reservation_count(), 0, "timed steps released");
+        assert_eq!(
+            base.resv.parked_at(frozen),
+            Some((robot, 2)),
+            "robot parked where it froze"
+        );
+        // Another robot can now traverse the abandoned tail but must route
+        // around the frozen cell.
+        let other = inst.robots[1].id;
+        if let Some(p2) = base.plan_and_reserve(other, inst.robots[1].pos, to, 2, true) {
+            assert!(p2.iter_timed().all(|(_, c)| c != frozen));
+        }
+    }
+
+    #[test]
+    fn apply_disruption_blockade_updates_all_structures() {
+        use tprw_warehouse::CellKind;
+        let inst = instance();
+        let mut base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), true, true);
+        // Pick an aisle cell that is neither a home nor a spawn.
+        let pos = inst
+            .grid
+            .cells_of_kind(CellKind::Aisle)
+            .find(|&c| {
+                inst.racks.iter().all(|r| r.home != c) && inst.robots.iter().all(|r| r.pos != c)
+            })
+            .expect("aisle cell available");
+        let knn_rebuilds = base.knn.as_ref().unwrap().rebuild_count();
+        base.apply_disruption(&DisruptionEvent::CellBlocked { pos }, 5);
+        assert_eq!(base.grid.kind(pos), CellKind::Blocked);
+        assert!(!base.oracle.obstacle_free(), "oracle sees the blockade");
+        assert_eq!(base.oracle.field_count(), 0, "fields evicted");
+        // The KNN rebuild is lazy: a batch of events costs one pass at the
+        // next index read, however many cells changed.
+        let second = GridPos::new(pos.x, pos.y + 1);
+        if base.grid.kind(second) == CellKind::Aisle {
+            base.apply_disruption(&DisruptionEvent::CellBlocked { pos: second }, 5);
+            base.apply_disruption(&DisruptionEvent::CellUnblocked { pos: second }, 5);
+        }
+        assert_eq!(
+            base.knn.as_ref().unwrap().rebuild_count(),
+            knn_rebuilds,
+            "no eager rebuild per event"
+        );
+        base.refresh_knn();
+        assert_eq!(
+            base.knn.as_ref().unwrap().rebuild_count(),
+            knn_rebuilds + 1,
+            "one rebuild per event batch"
+        );
+        base.refresh_knn();
+        assert_eq!(
+            base.knn.as_ref().unwrap().rebuild_count(),
+            knn_rebuilds + 1,
+            "refresh is a no-op while clean"
+        );
+        // Paths must now avoid the cell.
+        let robot = inst.robots[0].id;
+        if let Some(p) =
+            base.plan_and_reserve(robot, inst.robots[0].pos, inst.racks[0].home, 5, true)
+        {
+            assert!(p.iter_timed().all(|(_, c)| c != pos));
+        }
+        // Reopen: everything flips back.
+        base.apply_disruption(&DisruptionEvent::CellUnblocked { pos }, 9);
+        assert_eq!(base.grid.kind(pos), CellKind::Aisle);
+        assert!(base.oracle.obstacle_free());
+        base.refresh_knn();
+        assert_eq!(base.knn.as_ref().unwrap().rebuild_count(), knn_rebuilds + 2);
+        // Robot/station events are structure-neutral on the base.
+        base.apply_disruption(&DisruptionEvent::RobotBreakdown { robot }, 10);
+        assert_eq!(base.grid.kind(pos), CellKind::Aisle);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::qlearning::QTable;
 use crate::world::WorldView;
 use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
-use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
 /// Algorithm 3: flip-side Q-selection + CDT + cache-aided A*.
 pub struct EfficientAdaptiveTaskPlanner {
@@ -47,29 +47,44 @@ impl EfficientAdaptiveTaskPlanner {
 
     /// Flip-side selection (Alg. 3 lines 10–13): per idle robot, ε-greedy
     /// over its K nearest selectable racks; stop at the first adopted rack.
+    ///
+    /// Selection runs every timestamp, so its membership bitmap and
+    /// candidate list live in the shared [`PlannerBase`] scratch
+    /// (taken/restored around the loop to keep the `q`/`base` borrows
+    /// disjoint) — steady-state selection allocates nothing but the
+    /// returned pairs. The selected pairs are identical to the
+    /// allocate-per-tick formulation (pinned by
+    /// `scratch_select_equals_reference`).
     fn flip_side_select(
         q: &mut QTable,
         base: &mut PlannerBase<ConflictDetectionTable>,
         world: &WorldView<'_>,
     ) -> Vec<(RackId, RobotId)> {
+        // Catch up on any grid mutations since the last read (one rebuild
+        // per batch of disruption events, not one per mutated cell).
+        base.refresh_knn();
         // Membership bitmap for `selectable` (selection must stay O(|A|·K)).
-        let mut selectable = vec![false; world.racks.len()];
+        let mut selectable = std::mem::take(&mut base.sel.rack_flags);
+        selectable.clear();
+        selectable.resize(world.racks.len(), false);
         for &rid in world.selectable_racks {
             selectable[rid.index()] = true;
         }
+        let mut candidates = std::mem::take(&mut base.sel.candidates);
         let mut pairs = Vec::new();
         for &aid in world.idle_robots {
             let pos = world.robot(aid).pos;
             let knn = base.knn.as_ref().expect("EATP builds the KNN index");
             // Collect candidates first: the q/base borrows below must not
             // overlap the index borrow.
-            let candidates: Vec<RackId> = knn
-                .nearest(pos)
-                .iter()
-                .copied()
-                .filter(|r| selectable[r.index()])
-                .collect();
-            for rid in candidates {
+            candidates.clear();
+            candidates.extend(
+                knn.nearest(pos)
+                    .iter()
+                    .copied()
+                    .filter(|r| selectable[r.index()]),
+            );
+            for &rid in &candidates {
                 let rack = world.rack(rid);
                 let picker = world.picker_of(rack);
                 let s = q.state(picker.accum_processing, rack.accum_processing);
@@ -93,6 +108,8 @@ impl EfficientAdaptiveTaskPlanner {
                 }
             }
         }
+        base.sel.rack_flags = selectable;
+        base.sel.candidates = candidates;
         pairs
     }
 }
@@ -125,8 +142,11 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             }
         });
 
-        // Planning step (timed as PTC inside plan_and_reserve).
-        let mut used = vec![false; world.robots.len()];
+        // Planning step (timed as PTC inside plan_and_reserve). The
+        // used-robot bitmap rides in the shared selection scratch too.
+        let mut used = std::mem::take(&mut base.sel.robot_flags);
+        used.clear();
+        used.resize(world.robots.len(), false);
         let mut plans = Vec::new();
         for (rack_id, robot_hint) in pairs {
             let rack = world.rack(rack_id);
@@ -157,6 +177,7 @@ impl Planner for EfficientAdaptiveTaskPlanner {
                 });
             }
         }
+        base.sel.robot_flags = used;
         plans
     }
 
@@ -183,6 +204,20 @@ impl Planner for EfficientAdaptiveTaskPlanner {
 
     fn on_dock(&mut self, robot: RobotId) {
         self.base.as_mut().expect("initialized").on_dock(robot);
+    }
+
+    fn on_disruption(&mut self, event: &DisruptionEvent, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .apply_disruption(event, t);
+    }
+
+    fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .cancel_path(robot, pos, t);
     }
 
     fn housekeeping(&mut self, t: Tick) {
@@ -213,6 +248,7 @@ mod tests {
             n_robots: 4,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(40, 1.0),
+            disruptions: None,
             seed: 23,
         }
         .build()
@@ -314,6 +350,87 @@ mod tests {
         let stats = planner.stats();
         assert!(stats.memory_bytes > 0);
         assert!(stats.selection_ns > 0);
+    }
+
+    /// The pre-change flip-side formulation: fresh bitmap + per-robot
+    /// candidate `Vec` every call. Kept verbatim as the behavioural
+    /// reference for the scratch-backed version.
+    fn flip_side_select_reference(
+        q: &mut crate::qlearning::QTable,
+        base: &mut PlannerBase<tprw_pathfinding::ConflictDetectionTable>,
+        world: &WorldView<'_>,
+    ) -> Vec<(RackId, RobotId)> {
+        use crate::qlearning::QTable;
+        let mut selectable = vec![false; world.racks.len()];
+        for &rid in world.selectable_racks {
+            selectable[rid.index()] = true;
+        }
+        let mut pairs = Vec::new();
+        for &aid in world.idle_robots {
+            let pos = world.robot(aid).pos;
+            let knn = base.knn.as_ref().expect("EATP builds the KNN index");
+            let candidates: Vec<RackId> = knn
+                .nearest(pos)
+                .iter()
+                .copied()
+                .filter(|r| selectable[r.index()])
+                .collect();
+            for rid in candidates {
+                let rack = world.rack(rid);
+                let picker = world.picker_of(rack);
+                let s = q.state(picker.accum_processing, rack.accum_processing);
+                let action = q.epsilon_greedy(s);
+                if action == 1 {
+                    let delivery = base.dist(rack.home, picker.pos);
+                    let reward = QTable::reward(picker.finish_time(), delivery, rack.pending_time);
+                    q.update(
+                        picker.accum_processing,
+                        rack.accum_processing,
+                        1,
+                        reward,
+                        rack.pending_time,
+                    );
+                    selectable[rid.index()] = false;
+                    pairs.push((rid, aid));
+                    break;
+                } else {
+                    let hold = QTable::hold_reward(rack.pending.len());
+                    q.update(picker.accum_processing, rack.accum_processing, 0, hold, 0);
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn scratch_select_equals_reference() {
+        // Same seeded QTable + base on both sides: the scratch-backed
+        // selection must produce identical pairs and identical learning
+        // across repeated, state-mutating calls.
+        let mut inst = instance();
+        for i in 0..10 {
+            add_pending(&mut inst, i, 20 + i as u64);
+        }
+        let config = EatpConfig::default();
+        let mut q_new = crate::qlearning::QTable::new(config.rl.clone());
+        let mut q_ref = crate::qlearning::QTable::new(config.rl.clone());
+        let mut base_new: PlannerBase<tprw_pathfinding::ConflictDetectionTable> =
+            PlannerBase::new(&inst, config.clone(), true, true);
+        let mut base_ref: PlannerBase<tprw_pathfinding::ConflictDetectionTable> =
+            PlannerBase::new(&inst, config.clone(), true, true);
+        let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
+        for round in 0..8 {
+            // Vary the world a little between rounds so the Q-state and
+            // bitmap contents change.
+            let selectable: Vec<RackId> = (round % 3..10).map(RackId::new).collect();
+            let world = world_of(&inst, &idle, &selectable);
+            let pairs_new =
+                EfficientAdaptiveTaskPlanner::flip_side_select(&mut q_new, &mut base_new, &world);
+            let pairs_ref = flip_side_select_reference(&mut q_ref, &mut base_ref, &world);
+            assert_eq!(pairs_new, pairs_ref, "round {round} diverged");
+            assert_eq!(q_new.update_count(), q_ref.update_count());
+            assert_eq!(q_new.state_count(), q_ref.state_count());
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, ReservationSystem, SpatioTemporalGraph};
 use tprw_solver::{assign_min_cost, solve_binary_min, IlpLimits, IlpProblem};
-use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
 /// Maximum racks (and robots) per ILP block.
 pub const BLOCK: usize = 20;
@@ -259,6 +259,20 @@ impl Planner for IlpPlanner {
         self.base.as_mut().expect("initialized").on_dock(robot);
     }
 
+    fn on_disruption(&mut self, event: &DisruptionEvent, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .apply_disruption(event, t);
+    }
+
+    fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .cancel_path(robot, pos, t);
+    }
+
     fn housekeeping(&mut self, t: Tick) {
         self.base.as_mut().expect("initialized").housekeeping(t);
     }
@@ -284,6 +298,7 @@ mod tests {
             n_robots: 4,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(30, 1.0),
+            disruptions: None,
             seed: 17,
         }
         .build()

@@ -12,7 +12,7 @@ use crate::config::EatpConfig;
 use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
-use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
 /// Baseline: earliest-emerged-item-first selection.
 pub struct LeastExpirationFirst {
@@ -120,6 +120,20 @@ impl Planner for LeastExpirationFirst {
         self.base.as_mut().expect("initialized").on_dock(robot);
     }
 
+    fn on_disruption(&mut self, event: &DisruptionEvent, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .apply_disruption(event, t);
+    }
+
+    fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .cancel_path(robot, pos, t);
+    }
+
     fn housekeeping(&mut self, t: Tick) {
         self.base.as_mut().expect("initialized").housekeeping(t);
     }
@@ -145,6 +159,7 @@ mod tests {
             n_robots: 3,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(40, 1.0),
+            disruptions: None,
             seed: 9,
         }
         .build()

@@ -9,7 +9,7 @@
 
 use crate::world::WorldView;
 use tprw_pathfinding::Path;
-use tprw_warehouse::{GridPos, Instance, RackId, RobotId, Tick};
+use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
 /// One pickup assignment: `robot` travels `path` to fetch `rack`.
 #[derive(Debug, Clone)]
@@ -142,6 +142,24 @@ pub trait Planner {
 
     /// Notification that `robot` docked at a station and left the grid.
     fn on_dock(&mut self, robot: RobotId);
+
+    /// Notification that a disruption event mutated the world at tick `t`.
+    /// Planners must bring every grid-derived structure in line with the
+    /// mutated floor: for cell blockades / reopenings that means the working
+    /// grid copy, the distance oracle's memoized fields, the path cache and
+    /// the K-nearest-rack index (`PlannerBase` handles all four). Robot and
+    /// station events carry no planner-side structure by default — the
+    /// engine enforces their scheduling consequences through the world view
+    /// (broken robots leave the idle pool, closed stations' racks leave the
+    /// selectable pool) and through [`Planner::on_path_cancelled`].
+    fn on_disruption(&mut self, _event: &DisruptionEvent, _t: Tick) {}
+
+    /// The engine cancelled `robot`'s active path at tick `t`: the robot
+    /// broke down or its route was invalidated, and it now stands still at
+    /// `pos`. Release every outstanding timed reservation of the robot and
+    /// park it at `pos` from `t` onward, so surviving robots plan around the
+    /// obstacle instead of through the robot's abandoned route.
+    fn on_path_cancelled(&mut self, _robot: RobotId, _pos: GridPos, _t: Tick) {}
 
     /// Periodic maintenance: reservation garbage collection (the paper's
     /// `update` operation). Called every tick; implementations self-gate on

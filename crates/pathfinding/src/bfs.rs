@@ -99,6 +99,8 @@ pub struct DistanceOracle {
     width: u16,
     height: u16,
     passable: Box<[bool]>,
+    /// Number of impassable cells (`obstacle_free == (blocked == 0)`).
+    blocked: usize,
     obstacle_free: bool,
     /// Field slot per source cell (`SLOT_NONE` = no field rooted there).
     slot_of: Box<[u32]>,
@@ -135,11 +137,13 @@ impl DistanceOracle {
                 passable[p.to_index(grid.width())] = grid.passable(p);
             }
         }
+        let blocked = passable.iter().filter(|&&p| !p).count();
         Self {
             width: grid.width(),
             height: grid.height(),
             passable,
-            obstacle_free: grid.count_kind(CellKind::Blocked) == 0,
+            blocked,
+            obstacle_free: blocked == 0,
             slot_of: vec![SLOT_NONE; cells].into_boxed_slice(),
             slots: Vec::new(),
             field_cap: field_cap.max(1),
@@ -152,6 +156,36 @@ impl DistanceOracle {
     #[inline]
     pub fn obstacle_free(&self) -> bool {
         self.obstacle_free
+    }
+
+    /// Mutate the passability snapshot (a cell was blockaded or reopened by
+    /// a disruption event) and evict every memoized field: a BFS field
+    /// rooted anywhere can route through the mutated cell, so all distances
+    /// are suspect. Fields rebuild lazily on the next queries — the source
+    /// set (rack homes, stations) is small and recurring, so the warm state
+    /// recovers within a few ticks.
+    pub fn set_passable(&mut self, pos: GridPos, passable: bool) {
+        let i = pos.to_index(self.width);
+        if self.passable[i] == passable {
+            return;
+        }
+        self.passable[i] = passable;
+        if passable {
+            self.blocked -= 1;
+        } else {
+            self.blocked += 1;
+        }
+        self.obstacle_free = self.blocked == 0;
+        self.evict_fields();
+    }
+
+    /// Drop every memoized BFS field (the buffers are freed; slots regrow on
+    /// demand up to the LRU cap).
+    fn evict_fields(&mut self) {
+        for slot in &self.slots {
+            self.slot_of[slot.source as usize] = SLOT_NONE;
+        }
+        self.slots.clear();
     }
 
     /// `d(a, b)`: uncongested travel delay between two cells (`u64::MAX`
@@ -357,6 +391,21 @@ impl ReferenceDistanceOracle {
         self.obstacle_free
     }
 
+    /// Mutate the cloned grid (disruption blockade / reopening) and drop
+    /// every memoized field — the seed-design equivalent of
+    /// [`DistanceOracle::set_passable`], kept so the reference execution
+    /// path stays usable under disrupted scenarios.
+    pub fn set_passable(&mut self, pos: GridPos, passable: bool) {
+        let kind = if passable {
+            CellKind::Aisle
+        } else {
+            CellKind::Blocked
+        };
+        self.grid.set_kind(pos, kind);
+        self.obstacle_free = self.grid.count_kind(CellKind::Blocked) == 0;
+        self.fields.clear();
+    }
+
     /// `d(a, b)`: uncongested travel delay between two cells.
     pub fn dist(&mut self, a: GridPos, b: GridPos) -> u64 {
         if self.obstacle_free {
@@ -499,6 +548,53 @@ mod tests {
     }
 
     #[test]
+    fn set_passable_evicts_and_reroutes() {
+        // Open grid: Manhattan fast path, no fields.
+        let grid = GridMap::filled(8, 8, CellKind::Aisle);
+        let mut oracle = DistanceOracle::new(&grid);
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 4);
+        // Wall appears at (2,0)-(2,6): detours via y=7.
+        for y in 0..7 {
+            oracle.set_passable(p(2, y), false);
+        }
+        assert!(!oracle.obstacle_free());
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 4 + 14, "detour via row 7");
+        assert!(oracle.field_count() >= 1, "BFS fields in use");
+        // Wall clears: fields evicted, Manhattan fast path restored.
+        for y in 0..7 {
+            oracle.set_passable(p(2, y), true);
+        }
+        assert!(oracle.obstacle_free());
+        assert_eq!(oracle.field_count(), 0, "eviction dropped every field");
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 4);
+        // No-op mutation neither flips state nor evicts.
+        let mut walled = DistanceOracle::new(&grid);
+        walled.set_passable(p(3, 3), false);
+        walled.dist(p(0, 0), p(7, 7));
+        let fields = walled.field_count();
+        walled.set_passable(p(3, 3), false);
+        assert_eq!(walled.field_count(), fields, "idempotent set keeps fields");
+    }
+
+    #[test]
+    fn reference_oracle_tracks_mutations() {
+        let grid = GridMap::filled(8, 8, CellKind::Aisle);
+        let mut oracle = ReferenceDistanceOracle::new(&grid);
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 4);
+        for y in 0..7 {
+            oracle.set_passable(p(2, y), false);
+        }
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 18);
+        assert!(oracle.field_count() >= 1);
+        for y in 0..7 {
+            oracle.set_passable(p(2, y), true);
+        }
+        assert!(oracle.obstacle_free());
+        assert_eq!(oracle.field_count(), 0);
+        assert_eq!(oracle.dist(p(0, 0), p(4, 0)), 4);
+    }
+
+    #[test]
     fn memory_footprint_tracks_fields() {
         let mut grid = GridMap::filled(16, 16, CellKind::Aisle);
         grid.set_kind(p(8, 8), CellKind::Blocked);
@@ -560,6 +656,40 @@ mod tests {
             );
             if b != UNREACHABLE && c != UNREACHABLE {
                 prop_assert!(a <= b + c);
+            }
+        }
+
+        /// Interleaved queries and passability mutations: the flat oracle's
+        /// eviction must keep it equal to the reference oracle (which drops
+        /// its whole memo) for any block/unblock stream.
+        #[test]
+        fn oracles_agree_under_mutation(
+            mask in 0u64..16,
+            ops in proptest::collection::vec(
+                (0u8..2, 0u16..8, 0u16..8, 0u16..8, 0u16..8), 1..20),
+        ) {
+            // Keep the probe cells of every op passable so queries are
+            // well-defined; mutations target a disjoint fixed cell set.
+            let keep: Vec<GridPos> = ops
+                .iter()
+                .flat_map(|&(_, ax, ay, bx, by)| [p(ax, ay), p(bx, by)])
+                .collect();
+            let grid = obstructed_grid(8, mask, &keep);
+            let mut flat = DistanceOracle::with_field_cap(&grid, 2);
+            let mut reference = ReferenceDistanceOracle::new(&grid);
+            // The mutable cell flips between blocked and open over the run.
+            let target = p(7, 7);
+            prop_assume!(!keep.contains(&target));
+            let mut blocked = !grid.passable(target);
+            for &(flip, ax, ay, bx, by) in &ops {
+                if flip == 1 {
+                    blocked = !blocked;
+                    flat.set_passable(target, !blocked);
+                    reference.set_passable(target, !blocked);
+                }
+                let (a, b) = (p(ax, ay), p(bx, by));
+                prop_assert_eq!(flat.dist(a, b), reference.dist(a, b),
+                    "d({}, {}) after mutations", a, b);
             }
         }
 

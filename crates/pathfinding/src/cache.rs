@@ -20,24 +20,63 @@ use tprw_warehouse::{CellKind, GridMap, GridPos};
 #[derive(Debug)]
 pub struct PathCache {
     grid: GridMap,
+    /// Number of blocked cells (`obstacle_free == (blocked == 0)`).
+    blocked: usize,
     obstacle_free: bool,
     threshold: u64,
     map: HashMap<(GridPos, GridPos), Box<[GridPos]>>,
     hits: u64,
     misses: u64,
+    invalidations: u64,
 }
 
 impl PathCache {
     /// Create a cache over (a clone of) `grid` with splice threshold `L`.
     pub fn new(grid: &GridMap, threshold: u64) -> Self {
+        let blocked = grid.count_kind(CellKind::Blocked);
         Self {
-            obstacle_free: grid.count_kind(CellKind::Blocked) == 0,
+            blocked,
+            obstacle_free: blocked == 0,
             grid: grid.clone(),
             threshold,
             map: HashMap::new(),
             hits: 0,
             misses: 0,
+            invalidations: 0,
         }
+    }
+
+    /// Mutate the cloned grid (a disruption blockade landed or cleared) and
+    /// invalidate the memoized paths. Blocking makes any cached path through
+    /// the cell unusable; unblocking makes cached detours non-shortest. The
+    /// whole map is dropped either way, keeping the invariant that cache
+    /// contents are a pure function of the *current* grid — splices stay
+    /// exactly the conflict-agnostic shortest paths A* cost accounting
+    /// assumes.
+    pub fn set_passable(&mut self, pos: GridPos, passable: bool) {
+        let kind = if passable {
+            CellKind::Aisle
+        } else {
+            CellKind::Blocked
+        };
+        if self.grid.kind(pos) == kind {
+            return;
+        }
+        if self.grid.kind(pos) == CellKind::Blocked {
+            self.blocked -= 1;
+        }
+        if kind == CellKind::Blocked {
+            self.blocked += 1;
+        }
+        self.grid.set_kind(pos, kind);
+        self.obstacle_free = self.blocked == 0;
+        self.map.clear();
+        self.invalidations += 1;
+    }
+
+    /// Number of grid-mutation invalidations applied (diagnostics).
+    pub fn invalidation_count(&self) -> u64 {
+        self.invalidations
     }
 
     /// The splice threshold `L`.
@@ -232,6 +271,28 @@ mod tests {
         let mut cache = PathCache::new(&open_grid(), 10);
         let path = cache.shortest(p(4, 4), p(4, 4)).unwrap();
         assert_eq!(path, &[p(4, 4)]);
+    }
+
+    #[test]
+    fn set_passable_invalidates_and_reroutes() {
+        let mut cache = PathCache::new(&open_grid(), 64);
+        let straight = cache.shortest(p(3, 0), p(7, 0)).unwrap().len();
+        assert_eq!(straight, 5);
+        assert_eq!(cache.len(), 1);
+        // Blockade on the straight line: cache must drop and detour.
+        cache.set_passable(p(5, 0), false);
+        assert_eq!(cache.len(), 0, "mutation clears memoized paths");
+        assert_eq!(cache.invalidation_count(), 1);
+        let detour = cache.shortest(p(3, 0), p(7, 0)).unwrap().to_vec();
+        assert!(detour.len() > straight);
+        assert!(!detour.contains(&p(5, 0)), "never routes through blockade");
+        // Reopen: shortest again (a stale detour would be non-shortest).
+        cache.set_passable(p(5, 0), true);
+        assert_eq!(cache.shortest(p(3, 0), p(7, 0)).unwrap().len(), 5);
+        // Idempotent mutation is free.
+        cache.set_passable(p(5, 0), true);
+        assert_eq!(cache.invalidation_count(), 2);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -170,6 +170,16 @@ impl ReservationSystem for ConflictDetectionTable {
         self.parked.unpark(robot);
     }
 
+    fn release_robot(&mut self, robot: RobotId) {
+        // Rare exception path (breakdown / blockade invalidation): one
+        // retain pass over the per-cell windows, keeping each window sorted.
+        for window in &mut self.cells {
+            let before = window.len();
+            window.retain(|&(_, r)| r != robot);
+            self.reservations -= before - window.len();
+        }
+    }
+
     fn release_before(&mut self, t: Tick) {
         for window in &mut self.cells {
             if window.is_empty() {
@@ -304,6 +314,22 @@ mod tests {
         // Idempotent re-insert.
         c.insert(RobotId::new(5), p(2, 2), 7);
         assert_eq!(c.reservation_count(), 1);
+    }
+
+    #[test]
+    fn release_robot_frees_only_its_cells() {
+        let mut c = ConflictDetectionTable::new(8, 8);
+        c.reserve_path(RobotId::new(1), &path(0, &[(0, 0), (1, 0), (2, 0)]), true);
+        c.reserve_path(RobotId::new(2), &path(2, &[(1, 0), (1, 1)]), true);
+        assert_eq!(c.reservation_count(), 5);
+        c.release_robot(RobotId::new(1));
+        assert_eq!(c.reservation_count(), 2, "robot 2's steps survive");
+        assert_eq!(c.occupant(p(1, 0), 1), None);
+        assert_eq!(c.occupant(p(1, 0), 2), Some(RobotId::new(2)));
+        assert_eq!(c.parked_at(p(2, 0)), Some((RobotId::new(1), 3)));
+        // Windows stay strictly sorted after the retain pass.
+        let window = &c.cells[p(1, 0).to_index(8)];
+        assert!(window.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -8,18 +8,37 @@
 //! Built with a multi-source BFS seeded at every rack home, so "closest"
 //! means true passable-grid distance; each cell keeps the first `K` racks
 //! that reach it (ties broken by rack id, deterministically).
+//!
+//! The index is *mostly* static — but disruption events change what
+//! "closest" means: an aisle blockade reroutes the whole neighbourhood, and
+//! rack churn (a rack taken off the floor and later re-added) removes a BFS
+//! seed. [`KNearestRacks::rebuild`] re-runs the multi-source BFS in place,
+//! reusing the per-cell list allocations, against the stored homes and a
+//! per-rack liveness mask ([`KNearestRacks::set_alive`]). Rebuild work is
+//! observable through two deterministic counters ([`KNearestRacks::rebuild_count`],
+//! [`KNearestRacks::enqueued_count`]) so tests and benches can pin its cost
+//! without wall clocks.
 
 use crate::footprint::MemoryFootprint;
 use std::collections::VecDeque;
 use tprw_warehouse::{GridMap, GridPos, RackId};
 
-/// Static per-cell index of the K nearest racks.
+/// Per-cell index of the K nearest racks, rebuildable on grid or rack churn.
 #[derive(Debug, Clone)]
 pub struct KNearestRacks {
     width: u16,
     k: usize,
+    /// Home cell per rack id (the BFS seeds).
+    homes: Vec<GridPos>,
+    /// Liveness per rack id; dead racks seed nothing until re-added.
+    alive: Vec<bool>,
     /// `lists[cell]` holds up to `k` rack ids, nearest first.
     lists: Vec<Vec<RackId>>,
+    /// Number of rebuilds performed (diagnostics; deterministic).
+    rebuilds: u64,
+    /// Cumulative BFS enqueue operations across build + rebuilds — the
+    /// deterministic cost proxy for index maintenance.
+    enqueued: u64,
 }
 
 impl KNearestRacks {
@@ -28,36 +47,75 @@ impl KNearestRacks {
     /// Complexity `O(HW·K)`: every cell is enqueued at most `K` times.
     pub fn build(grid: &GridMap, rack_homes: &[GridPos], k: usize) -> Self {
         assert!(k >= 1, "K must be at least 1");
-        let n = grid.cell_count();
-        let mut lists: Vec<Vec<RackId>> = vec![Vec::new(); n];
+        let mut idx = Self {
+            width: grid.width(),
+            k,
+            homes: rack_homes.to_vec(),
+            alive: vec![true; rack_homes.len()],
+            lists: vec![Vec::new(); grid.cell_count()],
+            rebuilds: 0,
+            enqueued: 0,
+        };
+        idx.fill(grid);
+        idx
+    }
+
+    /// Mark rack `rack` as present on / absent from the floor. Takes effect
+    /// at the next [`KNearestRacks::rebuild`] — callers batch several churn
+    /// operations into one BFS pass. No current disruption event removes a
+    /// rack (blockades and closures only touch cells and pickers); this is
+    /// the maintenance surface for the ROADMAP's rack-removal event
+    /// extension, pinned by the churn tests below until that lands.
+    pub fn set_alive(&mut self, rack: RackId, alive: bool) {
+        self.alive[rack.index()] = alive;
+    }
+
+    /// Whether rack `rack` currently seeds the index.
+    pub fn is_alive(&self, rack: RackId) -> bool {
+        self.alive[rack.index()]
+    }
+
+    /// Re-run the multi-source BFS against `grid` (which may have gained or
+    /// lost blockades since the last build) and the current liveness mask.
+    /// Per-cell list allocations are reused; only the entries are rewritten.
+    pub fn rebuild(&mut self, grid: &GridMap) {
+        self.rebuilds += 1;
+        self.fill(grid);
+    }
+
+    /// The multi-source BFS core shared by build and rebuild.
+    fn fill(&mut self, grid: &GridMap) {
+        debug_assert_eq!(grid.width(), self.width, "index bound to one grid size");
+        debug_assert_eq!(grid.cell_count(), self.lists.len());
+        for list in &mut self.lists {
+            list.clear();
+        }
         // Frontier of (cell, origin rack); BFS level order guarantees
         // non-decreasing distance. Seed in rack-id order for deterministic
         // tie-breaking.
         let mut queue: VecDeque<(GridPos, RackId)> = VecDeque::new();
-        for (i, &home) in rack_homes.iter().enumerate() {
-            if grid.passable(home) {
+        for (i, &home) in self.homes.iter().enumerate() {
+            if self.alive[i] && grid.passable(home) {
                 queue.push_back((home, RackId::new(i)));
+                self.enqueued += 1;
             }
         }
+        let k = self.k;
         while let Some((pos, rack)) = queue.pop_front() {
-            let list = &mut lists[pos.to_index(grid.width())];
+            let list = &mut self.lists[pos.to_index(grid.width())];
             if list.len() >= k || list.contains(&rack) {
                 continue;
             }
             list.push(rack);
             if list.len() <= k {
                 for next in grid.passable_neighbors(pos) {
-                    let nlist = &lists[next.to_index(grid.width())];
+                    let nlist = &self.lists[next.to_index(grid.width())];
                     if nlist.len() < k && !nlist.contains(&rack) {
                         queue.push_back((next, rack));
+                        self.enqueued += 1;
                     }
                 }
             }
-        }
-        Self {
-            width: grid.width(),
-            k,
-            lists,
         }
     }
 
@@ -72,6 +130,17 @@ impl KNearestRacks {
     pub fn k(&self) -> usize {
         self.k
     }
+
+    /// Number of rebuilds performed since construction.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Cumulative BFS enqueues across build and rebuilds (deterministic cost
+    /// counter: `O(HW·K)` per pass).
+    pub fn enqueued_count(&self) -> u64 {
+        self.enqueued
+    }
 }
 
 impl MemoryFootprint for KNearestRacks {
@@ -82,7 +151,10 @@ impl MemoryFootprint for KNearestRacks {
             .iter()
             .map(|l| l.capacity() * std::mem::size_of::<RackId>())
             .sum();
-        headers + entries
+        headers
+            + entries
+            + self.homes.capacity() * std::mem::size_of::<GridPos>()
+            + self.alive.capacity() * std::mem::size_of::<bool>()
     }
 }
 
@@ -154,6 +226,74 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_tracks_grid_mutation() {
+        let mut grid = open_grid(5, 3);
+        let mut idx = KNearestRacks::build(&grid, &[p(0, 0), p(4, 0)], 1);
+        assert_eq!(idx.nearest(p(1, 0)), &[RackId::new(0)]);
+        // A wall lands mid-run: rebuild must re-route the neighbourhood and
+        // match a from-scratch build on the mutated grid.
+        grid.set_kind(p(2, 0), CellKind::Blocked);
+        grid.set_kind(p(2, 1), CellKind::Blocked);
+        idx.rebuild(&grid);
+        assert_eq!(idx.rebuild_count(), 1);
+        let fresh = KNearestRacks::build(&grid, &[p(0, 0), p(4, 0)], 1);
+        for y in 0..3 {
+            for x in 0..5 {
+                assert_eq!(idx.nearest(p(x, y)), fresh.nearest(p(x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn rack_churn_removes_and_restores_seeds() {
+        let grid = open_grid(8, 8);
+        let homes = [p(0, 0), p(7, 0), p(0, 7)];
+        let mut idx = KNearestRacks::build(&grid, &homes, 2);
+        let original: Vec<Vec<RackId>> = (0..64)
+            .map(|i| idx.nearest(GridPos::from_index(i, 8)).to_vec())
+            .collect();
+        // Remove rack 1: rebuild must equal a fresh build over racks {0, 2}
+        // with ids preserved.
+        idx.set_alive(RackId::new(1), false);
+        assert!(!idx.is_alive(RackId::new(1)));
+        idx.rebuild(&grid);
+        for i in 0..64 {
+            let cell = GridPos::from_index(i, 8);
+            assert!(
+                !idx.nearest(cell).contains(&RackId::new(1)),
+                "dead rack must vanish from {cell}"
+            );
+        }
+        assert_eq!(idx.nearest(p(7, 1)), &[RackId::new(0), RackId::new(2)]);
+        // Re-add: the index must return exactly to its original state.
+        idx.set_alive(RackId::new(1), true);
+        idx.rebuild(&grid);
+        for (i, want) in original.iter().enumerate() {
+            assert_eq!(idx.nearest(GridPos::from_index(i, 8)), want.as_slice());
+        }
+        assert_eq!(idx.rebuild_count(), 2);
+    }
+
+    #[test]
+    fn rebuild_cost_counter_is_deterministic_and_bounded() {
+        let grid = open_grid(16, 16);
+        let homes: Vec<GridPos> = (0..8).map(|i| p(i * 2, 8)).collect();
+        let mut a = KNearestRacks::build(&grid, &homes, 4);
+        let build_cost = a.enqueued_count();
+        assert!(build_cost > 0);
+        // Loose bound: each (cell, rack) pair is pushed at most once per
+        // neighbour, plus the seeds.
+        let bound = (grid.cell_count() * 4 * homes.len() + homes.len()) as u64;
+        assert!(build_cost <= bound, "{build_cost} > {bound}");
+        a.rebuild(&grid);
+        // An identical rebuild costs exactly the initial build again.
+        assert_eq!(a.enqueued_count(), build_cost * 2);
+        let mut b = KNearestRacks::build(&grid, &homes, 4);
+        b.rebuild(&grid);
+        assert_eq!(a.enqueued_count(), b.enqueued_count(), "deterministic");
+    }
+
+    #[test]
     fn memory_footprint_scales_with_k() {
         let grid = open_grid(20, 20);
         let homes: Vec<GridPos> = (0..10).map(|i| p(i, 10)).collect();
@@ -182,6 +322,30 @@ mod tests {
                 .min()
                 .expect("non-empty");
             prop_assert_eq!(homes[reported.index()].manhattan(q), best);
+        }
+
+        /// Rebuild after arbitrary churn equals a fresh build over the alive
+        /// subset (ids preserved through the mask).
+        #[test]
+        fn rebuild_equals_fresh_masked_build(
+            dead in proptest::collection::hash_set(0usize..6, 0..5),
+        ) {
+            let grid = open_grid(9, 9);
+            let homes: Vec<GridPos> = (0..6).map(|i| p(i as u16, i as u16)).collect();
+            let mut churned = KNearestRacks::build(&grid, &homes, 3);
+            for &d in &dead {
+                churned.set_alive(RackId::new(d), false);
+            }
+            churned.rebuild(&grid);
+            let mut fresh = KNearestRacks::build(&grid, &homes, 3);
+            for &d in &dead {
+                fresh.set_alive(RackId::new(d), false);
+            }
+            fresh.rebuild(&grid);
+            for i in 0..grid.cell_count() {
+                let cell = GridPos::from_index(i, 9);
+                prop_assert_eq!(churned.nearest(cell), fresh.nearest(cell));
+            }
         }
     }
 }

@@ -67,6 +67,14 @@ pub trait ReservationSystem {
     /// the grid into a station bay).
     fn unpark(&mut self, robot: RobotId);
 
+    /// Remove every *timed* reservation held by `robot` (parked state is
+    /// untouched — callers re-[`ReservationSystem::park`] as needed). Used
+    /// when a path is cancelled mid-execution: a broken-down robot or one
+    /// whose route was invalidated by a blockade must stop claiming the
+    /// cells it will no longer visit, so survivors can route through them.
+    /// This is a rare exception path; implementations may scan.
+    fn release_robot(&mut self, robot: RobotId);
+
     /// Garbage-collect timed reservations strictly before tick `t` (the
     /// paper's periodic `update` operation).
     fn release_before(&mut self, t: Tick);
@@ -78,16 +86,24 @@ pub trait ReservationSystem {
 /// Sentinel for "no robot" in the dense cell array.
 const EMPTY: u32 = u32::MAX;
 
+/// Largest parking start tick the `u32` cell encoding can hold. Horizons in
+/// the paper's datasets are ~10⁵ ticks, so four billion is far out of reach;
+/// parking beyond it panics rather than silently truncating.
+pub const MAX_PARK_TICK: Tick = u32::MAX as Tick;
+
 /// Shared bookkeeping for parked (indefinitely stationary) robots, used by
 /// both reservation-system implementations. Cell-indexed dense arrays make
-/// the per-expansion `occupant` probe branch-light.
+/// the per-expansion `occupant` probe branch-light; both per-cell columns
+/// are `u32` (8 B/cell total — the Fig. 12 fixed cost charged to every
+/// planner), with start ticks stored as `u32` under the [`MAX_PARK_TICK`]
+/// guard instead of full 8-byte [`Tick`]s.
 #[derive(Debug, Clone)]
 pub struct ParkingBoard {
     width: u16,
     /// Parked robot per cell (`EMPTY` = none).
     robot: Vec<u32>,
-    /// Tick the parking starts (valid only where `robot` is set).
-    from: Vec<Tick>,
+    /// Tick the parking starts, as `u32` (valid only where `robot` is set).
+    from: Vec<u32>,
     /// Reverse index for `unpark`/re-`park` (rare operations).
     by_robot: HashMap<RobotId, GridPos>,
 }
@@ -109,7 +125,7 @@ impl ParkingBoard {
     pub fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
         let i = pos.to_index(self.width);
         let r = self.robot[i];
-        if r != EMPTY && t >= self.from[i] {
+        if r != EMPTY && t >= self.from[i] as Tick {
             Some(RobotId::from(r))
         } else {
             None
@@ -121,7 +137,7 @@ impl ParkingBoard {
     pub fn entry(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
         let i = pos.to_index(self.width);
         let r = self.robot[i];
-        (r != EMPTY).then(|| (RobotId::from(r), self.from[i]))
+        (r != EMPTY).then(|| (RobotId::from(r), self.from[i] as Tick))
     }
 
     /// Park `robot` at `pos` from `from` onward, replacing any previous
@@ -130,8 +146,14 @@ impl ParkingBoard {
     /// # Panics
     ///
     /// Panics if a *different* robot is already parked on `pos` — that would
-    /// be a planner bug leading to a guaranteed vertex conflict.
+    /// be a planner bug leading to a guaranteed vertex conflict — or if
+    /// `from` exceeds [`MAX_PARK_TICK`].
     pub fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {
+        assert!(
+            from <= MAX_PARK_TICK,
+            "parking tick {from} exceeds the u32 ParkingBoard encoding \
+             (MAX_PARK_TICK = {MAX_PARK_TICK})"
+        );
         let i = pos.to_index(self.width);
         if self.robot[i] != EMPTY {
             let other = RobotId::from(self.robot[i]);
@@ -150,7 +172,7 @@ impl ParkingBoard {
             "robot id reserved as sentinel"
         );
         self.robot[i] = robot.index() as u32;
-        self.from[i] = from;
+        self.from[i] = from as u32;
     }
 
     /// Remove `robot`'s parking reservation, if any.
@@ -170,11 +192,11 @@ impl ParkingBoard {
         self.by_robot.is_empty()
     }
 
-    /// Approximate heap bytes held: the dense arrays plus the reverse index.
+    /// Approximate heap bytes held: the dense arrays (8 B/cell) plus the
+    /// reverse index.
     pub fn memory_bytes(&self) -> usize {
         let robot_entry = std::mem::size_of::<(RobotId, GridPos)>() + HASH_ENTRY_OVERHEAD;
-        self.robot.capacity() * std::mem::size_of::<u32>()
-            + self.from.capacity() * std::mem::size_of::<Tick>()
+        (self.robot.capacity() + self.from.capacity()) * std::mem::size_of::<u32>()
             + self.by_robot.len() * robot_entry
     }
 }
@@ -239,10 +261,27 @@ mod tests {
     #[test]
     fn memory_accounts_dense_arrays() {
         let b = ParkingBoard::new(10, 10);
-        // 100 cells × (4-byte robot + 8-byte tick) at minimum.
-        assert!(b.memory_bytes() >= 100 * 12);
+        // 100 cells × (4-byte robot + 4-byte tick offset) exactly while the
+        // reverse index is empty — the Fig. 12 fixed cost per cell.
+        assert_eq!(b.memory_bytes(), 100 * 8);
         let mut c = b.clone();
         c.park(RobotId::new(0), p(0, 0), 0);
         assert!(c.memory_bytes() > b.memory_bytes());
+    }
+
+    #[test]
+    fn park_tick_roundtrips_at_guard_boundary() {
+        let mut b = ParkingBoard::new(4, 4);
+        b.park(RobotId::new(1), p(1, 1), MAX_PARK_TICK);
+        assert_eq!(b.entry(p(1, 1)), Some((RobotId::new(1), MAX_PARK_TICK)));
+        assert_eq!(b.occupant(p(1, 1), MAX_PARK_TICK - 1), None);
+        assert_eq!(b.occupant(p(1, 1), MAX_PARK_TICK), Some(RobotId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 ParkingBoard encoding")]
+    fn park_beyond_guard_panics() {
+        let mut b = ParkingBoard::new(4, 4);
+        b.park(RobotId::new(1), p(1, 1), MAX_PARK_TICK + 1);
     }
 }

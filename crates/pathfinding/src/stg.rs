@@ -171,6 +171,22 @@ impl ReservationSystem for SpatioTemporalGraph {
         self.parked.unpark(robot);
     }
 
+    fn release_robot(&mut self, robot: RobotId) {
+        // Rare exception path (breakdown / blockade invalidation): a full
+        // layer scan is fine here — events are orders of magnitude rarer
+        // than `occupant` probes, which the dense layout optimizes for.
+        let id = robot.index() as u16;
+        for layer in &mut self.layers {
+            for slot in layer.cells.iter_mut() {
+                if *slot == id {
+                    *slot = EMPTY;
+                    layer.occupied -= 1;
+                    self.reservations -= 1;
+                }
+            }
+        }
+    }
+
     fn release_before(&mut self, t: Tick) {
         while self.base < t && !self.layers.is_empty() {
             let layer = self.layers.pop_front().expect("non-empty checked");
@@ -319,6 +335,23 @@ mod tests {
         g.release_before(2);
         assert_eq!(g.reservation_count(), 2, "one layer of two robots left");
         g.release_before(10);
+        assert_eq!(g.reservation_count(), 0);
+    }
+
+    #[test]
+    fn release_robot_frees_only_its_cells() {
+        let mut g = SpatioTemporalGraph::new(8, 8);
+        g.reserve_path(RobotId::new(1), &path(0, &[(0, 0), (1, 0), (2, 0)]), true);
+        g.reserve_path(RobotId::new(2), &path(0, &[(0, 1), (1, 1)]), true);
+        assert_eq!(g.reservation_count(), 5);
+        g.release_robot(RobotId::new(1));
+        assert_eq!(g.reservation_count(), 2, "robot 2's steps survive");
+        assert_eq!(g.occupant(p(1, 0), 1), None);
+        assert_eq!(g.occupant(p(1, 1), 1), Some(RobotId::new(2)));
+        // Parked state untouched: the caller decides where the robot stands.
+        assert_eq!(g.parked_at(p(2, 0)), Some((RobotId::new(1), 3)));
+        // Layer counts stay consistent for release_before.
+        g.release_before(100);
         assert_eq!(g.reservation_count(), 0);
     }
 

@@ -2,6 +2,9 @@
 //!
 //! Each tick executes the full fulfilment cycle of Fig. 2:
 //!
+//! 0. **events** — due disruption events mutate the world: robots break
+//!    down or recover, aisle cells blockade or reopen, stations close or
+//!    resume (see [the events phase](#disruption-semantics) below);
 //! 1. **arrivals** — items emerge on their racks;
 //! 2. **picking** — pickers serve their FIFO queues; finished racks free
 //!    their robots for the return leg;
@@ -18,6 +21,39 @@
 //! and *undocks* when its return path is planned. This matches the paper's
 //! time-based queuing model (Eq. 2) without inventing queue-lane geometry —
 //! queue capacity is unbounded, order is FIFO (Definition 2).
+//!
+//! # Disruption semantics
+//!
+//! The events phase replays [`Instance::disruptions`] (sorted, paired — see
+//! `tprw_warehouse::events`) at the start of each tick, entirely without
+//! randomness, so a disrupted run is as replayable as a static one:
+//!
+//! * **Breakdown** — the robot freezes at its current cell. Its active leg
+//!   (if any) is cancelled: the planner releases the leg's reservations and
+//!   parks the robot in its reservation structure, turning it into a static
+//!   obstacle survivors route around. Its phase is preserved; a rack it
+//!   carries stays on its back. While broken it leaves the idle pool and
+//!   its pending delivery/return legs wait. **Recovery** re-queues the
+//!   interrupted leg, replanned from the frozen position.
+//! * **Blockade** — an aisle cell becomes impassable. Application *defers*
+//!   while any on-grid robot stands on the cell (the blockade lands once
+//!   the cell clears; a paired unblock withdraws a still-deferred
+//!   blockade). On application the planner is notified (grid copy, distance
+//!   oracle, path cache and KNN index all invalidate) and every active path
+//!   that visits the cell at the current tick or later is cancelled. Each
+//!   cancellation freezes its robot mid-route, which can invalidate
+//!   *other* paths that planned to cross the now-occupied cell — the
+//!   engine cascades until a fixpoint, then the frozen robots replan.
+//! * **Station closure** — the picker pauses mid-rack (no processing, no
+//!   queue pops) and the engine stops offering its racks to planners, so no
+//!   item is committed toward a closed station. Robots already queuing stay
+//!   queued; return legs still undock (leaving needs no picker). Reopening
+//!   resumes the queue where it stopped.
+//!
+//! Under `validate`, the engine additionally counts any robot standing on a
+//! blockaded cell and any plan naming a broken robot or a closed station's
+//! rack into [`SimulationReport::disruption_violations`] — the invariant
+//! tests pin this to zero.
 
 use crate::metrics::{Checkpoint, MetricsCollector};
 use crate::report::SimulationReport;
@@ -26,7 +62,8 @@ use eatp_core::planner::{LegRequest, Planner};
 use eatp_core::world::WorldView;
 use tprw_pathfinding::Path;
 use tprw_warehouse::{
-    Duration, Instance, Picker, QueueEntry, Rack, RackId, Robot, RobotId, RobotPhase, Tick,
+    DisruptionEvent, Duration, GridPos, Instance, Picker, QueueEntry, Rack, RackId, Robot, RobotId,
+    RobotPhase, Tick,
 };
 
 /// Engine knobs.
@@ -91,6 +128,28 @@ struct Engine<'a> {
     needs_return: Vec<RobotId>,
     /// Robots parked at a rack home waiting for a delivery path.
     needs_delivery: Vec<RobotId>,
+    /// Robots whose active leg was cancelled by a disruption (breakdown
+    /// recovery, blockade invalidation), awaiting a fresh path from their
+    /// frozen position.
+    needs_replan: Vec<RobotId>,
+    /// Per-robot broken flag (disruption breakdowns).
+    broken: Vec<bool>,
+    /// Per-picker closed flag (station outages).
+    closed: Vec<bool>,
+    /// Per-cell disruption-blockade overlay (static grid walls excluded).
+    blocked_overlay: Vec<bool>,
+    /// Cursor into the instance's sorted disruption schedule.
+    next_event: usize,
+    /// Blockades whose cell was occupied at their scheduled tick; they land
+    /// as soon as the cell clears (or are withdrawn by their unblock).
+    deferred_blockades: Vec<GridPos>,
+    /// Scratch for the path-invalidation cascade: cells newly claimed by
+    /// frozen robots (or a fresh blockade) whose crossing paths must cancel.
+    freeze_queue: Vec<GridPos>,
+    /// Disruption events applied (deferred blockades count when they land).
+    events_applied: usize,
+    /// Safety violations under disruption (must stay 0; see module docs).
+    disruption_violations: usize,
     /// Per-tick scratch: stations that already undocked a robot this tick.
     /// Reused so the steady-state engine loop stays allocation-free (the
     /// planners' `SearchScratch` arenas do the same below `plan_leg`).
@@ -143,6 +202,15 @@ impl<'a> Engine<'a> {
             serving: vec![None; instance.pickers.len()],
             needs_return: Vec::new(),
             needs_delivery: Vec::new(),
+            needs_replan: Vec::new(),
+            broken: vec![false; instance.robots.len()],
+            closed: vec![false; instance.pickers.len()],
+            blocked_overlay: vec![false; instance.grid.cell_count()],
+            next_event: 0,
+            deferred_blockades: Vec::new(),
+            freeze_queue: Vec::new(),
+            events_applied: 0,
+            disruption_violations: 0,
             used_stations: vec![false; instance.pickers.len()],
             idle_buf: Vec::with_capacity(instance.robots.len()),
             selectable_buf: Vec::with_capacity(instance.racks.len()),
@@ -171,6 +239,7 @@ impl<'a> Engine<'a> {
         let mut completed = false;
 
         loop {
+            self.step_events(t, planner);
             self.step_arrivals(t);
             self.step_picking(t, planner);
             self.step_transitions(t, planner);
@@ -214,7 +283,177 @@ impl<'a> Engine<'a> {
             checkpoints: std::mem::take(&mut self.metrics.checkpoints),
             bottleneck: std::mem::take(&mut self.metrics.bottleneck),
             executed_conflicts: self.validator.conflict_count(),
+            events_applied: self.events_applied,
+            disruption_violations: self.disruption_violations,
             planner_stats: stats,
+        }
+    }
+
+    #[inline]
+    fn cell_index(&self, pos: GridPos) -> usize {
+        pos.to_index(self.instance.grid.width())
+    }
+
+    /// Phase 0: replay disruption events due at tick `t` (plus any deferred
+    /// blockades whose cell has cleared). See the module docs for the
+    /// semantics of each event kind.
+    fn step_events(&mut self, t: Tick, planner: &mut dyn Planner) {
+        if self.next_event >= self.instance.disruptions.len() && self.deferred_blockades.is_empty()
+        {
+            return;
+        }
+        // Deferred blockades land first, in their original order.
+        if !self.deferred_blockades.is_empty() {
+            let deferred = std::mem::take(&mut self.deferred_blockades);
+            for pos in deferred {
+                if !self.try_block_cell(pos, t, planner) {
+                    self.deferred_blockades.push(pos);
+                }
+            }
+        }
+        while self.next_event < self.instance.disruptions.len()
+            && self.instance.disruptions[self.next_event].t <= t
+        {
+            let ev = self.instance.disruptions[self.next_event];
+            self.next_event += 1;
+            self.apply_event(ev.event, t, planner);
+        }
+    }
+
+    fn apply_event(&mut self, event: DisruptionEvent, t: Tick, planner: &mut dyn Planner) {
+        match event {
+            DisruptionEvent::RobotBreakdown { robot } => {
+                let ai = robot.index();
+                if self.broken[ai] {
+                    return; // defensive: validated schedules never nest
+                }
+                self.broken[ai] = true;
+                self.events_applied += 1;
+                planner.on_disruption(&event, t);
+                // A robot travelling a live leg freezes mid-route; its
+                // frozen cell may invalidate other planned paths.
+                if self.paths[ai].as_ref().is_some_and(|p| p.end() >= t) {
+                    self.freeze_queue.clear();
+                    self.freeze_robot(ai, t, planner);
+                    self.run_freeze_cascade(t, planner);
+                }
+            }
+            DisruptionEvent::RobotRecover { robot } => {
+                let ai = robot.index();
+                if !self.broken[ai] {
+                    return;
+                }
+                self.broken[ai] = false;
+                self.events_applied += 1;
+                planner.on_disruption(&event, t);
+                // Mid-route robots (frozen, no path) resume via replan;
+                // robots waiting at a rack home or in a station bay resume
+                // through their pending lists instead.
+                let id = self.robots[ai].id;
+                if self.robots[ai].phase.is_travelling()
+                    && self.paths[ai].is_none()
+                    && !self.needs_delivery.contains(&id)
+                    && !self.needs_replan.contains(&id)
+                {
+                    self.needs_replan.push(id);
+                }
+            }
+            DisruptionEvent::CellBlocked { pos } => {
+                if !self.try_block_cell(pos, t, planner) {
+                    self.deferred_blockades.push(pos);
+                }
+            }
+            DisruptionEvent::CellUnblocked { pos } => {
+                // A blockade still waiting for its cell is simply withdrawn.
+                if let Some(i) = self.deferred_blockades.iter().position(|&p| p == pos) {
+                    self.deferred_blockades.remove(i);
+                    return;
+                }
+                let idx = self.cell_index(pos);
+                if !self.blocked_overlay[idx] {
+                    return;
+                }
+                self.blocked_overlay[idx] = false;
+                self.events_applied += 1;
+                planner.on_disruption(&event, t);
+            }
+            DisruptionEvent::StationClosed { picker } => {
+                let pi = picker.index();
+                if !self.closed[pi] {
+                    self.closed[pi] = true;
+                    self.events_applied += 1;
+                    planner.on_disruption(&event, t);
+                }
+            }
+            DisruptionEvent::StationReopened { picker } => {
+                let pi = picker.index();
+                if self.closed[pi] {
+                    self.closed[pi] = false;
+                    self.events_applied += 1;
+                    planner.on_disruption(&event, t);
+                }
+            }
+        }
+    }
+
+    /// Apply a blockade to `pos` unless an on-grid robot stands there (the
+    /// caller then defers it). On application, every active path visiting
+    /// the cell from `t` onward is cancelled via the freeze cascade.
+    fn try_block_cell(&mut self, pos: GridPos, t: Tick, planner: &mut dyn Planner) -> bool {
+        let occupied = self.robots.iter().any(|r| {
+            r.pos == pos
+                && !matches!(
+                    r.phase,
+                    RobotPhase::Queuing { .. } | RobotPhase::Processing { .. }
+                )
+        });
+        if occupied {
+            return false;
+        }
+        let idx = self.cell_index(pos);
+        debug_assert!(!self.blocked_overlay[idx], "schedules alternate per cell");
+        self.blocked_overlay[idx] = true;
+        self.events_applied += 1;
+        planner.on_disruption(&DisruptionEvent::CellBlocked { pos }, t);
+        self.freeze_queue.clear();
+        self.freeze_queue.push(pos);
+        self.run_freeze_cascade(t, planner);
+        true
+    }
+
+    /// Cancel `ai`'s active path: the robot stops at its current cell, the
+    /// planner releases the leg's reservations and re-parks the robot as a
+    /// static obstacle. Healthy robots queue for replanning; the frozen
+    /// cell joins the cascade queue because paths planned to cross it later
+    /// are now invalid.
+    fn freeze_robot(&mut self, ai: usize, t: Tick, planner: &mut dyn Planner) {
+        if self.paths[ai].is_none() {
+            return;
+        }
+        self.paths[ai] = None;
+        let pos = self.robots[ai].pos;
+        let id = self.robots[ai].id;
+        planner.on_path_cancelled(id, pos, t);
+        if !self.broken[ai] && !self.needs_replan.contains(&id) {
+            self.needs_replan.push(id);
+        }
+        self.freeze_queue.push(pos);
+    }
+
+    /// Drain the cascade queue: for each newly unavailable cell, cancel
+    /// every active path that visits it at tick `t` or later. Each
+    /// cancellation freezes one more robot (adding its cell to the queue),
+    /// so the loop reaches a fixpoint after at most one pass per robot.
+    fn run_freeze_cascade(&mut self, t: Tick, planner: &mut dyn Planner) {
+        while let Some(pos) = self.freeze_queue.pop() {
+            for ai in 0..self.robots.len() {
+                let crosses = self.paths[ai].as_ref().is_some_and(|p| {
+                    p.end() >= t && p.iter_timed().any(|(tick, c)| tick >= t && c == pos)
+                });
+                if crosses {
+                    self.freeze_robot(ai, t, planner);
+                }
+            }
         }
     }
 
@@ -233,6 +472,11 @@ impl<'a> Engine<'a> {
     /// Phase 2: pickers serve their queues one tick.
     fn step_picking(&mut self, _t: Tick, _planner: &mut dyn Planner) {
         for pi in 0..self.pickers.len() {
+            // A closed station pauses mid-rack: no processing, no queue
+            // pops, no busy-tick accrual, until it reopens.
+            if self.closed[pi] {
+                continue;
+            }
             // Start the next rack if idle.
             if self.serving[pi].is_none() {
                 if let Some(entry) = self.pickers[pi].start_next() {
@@ -316,13 +560,18 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// One `plan_legs` call covering the tick's delivery and return legs.
-    /// Requests keep the pending lists' order, and the one-undock-per-
-    /// station rule rides on [`LegRequest::group`], so the planner produces
-    /// exactly the paths the serial loops would.
+    /// One `plan_legs` call covering the tick's interrupted-leg resumes,
+    /// delivery and return legs. Requests keep the pending lists' order,
+    /// and the one-undock-per-station rule rides on [`LegRequest::group`],
+    /// so the planner produces exactly the paths the serial loops would.
+    /// Broken robots emit no requests — their entries wait for recovery.
     fn step_legs_batched(&mut self, t: Tick, planner: &mut dyn Planner) {
         // Stale entries (the robot left the relevant phase) are dropped
         // before planning — the serial loops do the same, just interleaved.
+        self.needs_replan.retain(|&robot_id| {
+            let ai = robot_id.index();
+            self.paths[ai].is_none() && self.robots[ai].phase.is_travelling()
+        });
         self.needs_delivery.retain(|&robot_id| {
             matches!(
                 self.robots[robot_id.index()].phase,
@@ -337,7 +586,22 @@ impl<'a> Engine<'a> {
         });
 
         self.leg_requests.clear();
+        // Interrupted legs resume first: a robot frozen mid-aisle blocks
+        // more traffic than one waiting at a rack home or station.
+        for &robot_id in &self.needs_replan {
+            let ai = robot_id.index();
+            if self.broken[ai] {
+                continue; // still down; waits for its recovery event
+            }
+            let (to, park) = self.resume_destination(ai);
+            self.leg_requests
+                .push(LegRequest::new(robot_id, self.robots[ai].pos, to, park));
+        }
+        let n_replan = self.leg_requests.len();
         for &robot_id in &self.needs_delivery {
+            if self.broken[robot_id.index()] {
+                continue;
+            }
             let RobotPhase::ToRack { rack } = self.robots[robot_id.index()].phase else {
                 unreachable!("stale entries dropped above");
             };
@@ -349,6 +613,9 @@ impl<'a> Engine<'a> {
         }
         let n_delivery = self.leg_requests.len();
         for &robot_id in &self.needs_return {
+            if self.broken[robot_id.index()] {
+                continue;
+            }
             let rack = match self.robots[robot_id.index()].phase {
                 RobotPhase::Processing { rack } | RobotPhase::Queuing { rack } => rack,
                 _ => unreachable!("stale entries dropped above"),
@@ -374,7 +641,29 @@ impl<'a> Engine<'a> {
         debug_assert_eq!(self.leg_results.len(), self.leg_requests.len());
 
         let mut i = 0;
+        self.needs_replan.retain(|&robot_id| {
+            let ai = robot_id.index();
+            if self.broken[ai] {
+                return true; // no request was issued; waits for recovery
+            }
+            let result = self.leg_results[i].take();
+            i += 1;
+            match result {
+                Some(path) => {
+                    // The phase is preserved: the robot resumes its
+                    // interrupted leg and the arrival transition handles the
+                    // rest (dock / delivery hand-off / cycle completion).
+                    self.paths[ai] = Some(path);
+                    false
+                }
+                None => true, // blocked; retry next tick
+            }
+        });
+        debug_assert_eq!(i, n_replan);
         self.needs_delivery.retain(|&robot_id| {
+            if self.broken[robot_id.index()] {
+                return true; // no request was issued; waits for recovery
+            }
             let result = self.leg_results[i].take();
             i += 1;
             match result {
@@ -392,6 +681,9 @@ impl<'a> Engine<'a> {
         });
         debug_assert_eq!(i, n_delivery);
         self.needs_return.retain(|&robot_id| {
+            if self.broken[robot_id.index()] {
+                return true; // no request was issued; waits for recovery
+            }
             let result = self.leg_results[i].take();
             let station = self.leg_requests[i].from;
             i += 1;
@@ -412,15 +704,44 @@ impl<'a> Engine<'a> {
         });
     }
 
+    /// Destination and parking mode for resuming `ai`'s interrupted leg
+    /// from its current position (phase is preserved across cancellation).
+    fn resume_destination(&self, ai: usize) -> (GridPos, bool) {
+        resume_destination(&self.robots, &self.racks, &self.pickers, ai)
+    }
+
     /// The pre-change serial leg loops (baseline measurements only; see
-    /// [`EngineConfig::reference_exec`]).
+    /// [`EngineConfig::reference_exec`]). Mirrors the batched path's
+    /// request order exactly: replans, then deliveries, then returns.
     fn step_legs_serial(&mut self, t: Tick, planner: &mut dyn Planner) {
+        // 3b0. Resume interrupted legs (disruption cancellations) first.
+        self.needs_replan.retain(|&robot_id| {
+            let ai = robot_id.index();
+            if self.paths[ai].is_some() || !self.robots[ai].phase.is_travelling() {
+                return false; // stale entry
+            }
+            if self.broken[ai] {
+                return true; // still down; waits for its recovery event
+            }
+            let (to, park) = resume_destination(&self.robots, &self.racks, &self.pickers, ai);
+            match planner.plan_leg(robot_id, self.robots[ai].pos, to, t, park) {
+                Some(path) => {
+                    self.paths[ai] = Some(path);
+                    false
+                }
+                None => true, // blocked; retry next tick
+            }
+        });
+
         // 3b. Delivery legs for robots waiting at rack homes.
         self.needs_delivery.retain(|&robot_id| {
             let ai = robot_id.index();
             let RobotPhase::ToRack { rack } = self.robots[ai].phase else {
                 return false; // stale entry
             };
+            if self.broken[ai] {
+                return true; // waits for recovery
+            }
             let rack_idx = rack.index();
             let home = self.racks[rack_idx].home;
             let station = self.pickers[self.racks[rack_idx].picker.index()].pos;
@@ -445,6 +766,9 @@ impl<'a> Engine<'a> {
                 RobotPhase::Processing { rack } | RobotPhase::Queuing { rack } => rack,
                 _ => return false, // stale
             };
+            if self.broken[ai] {
+                return true; // waits for recovery
+            }
             let picker = self.racks[rack.index()].picker;
             if used_stations[picker.index()] {
                 return true; // another robot undocked here this tick
@@ -468,13 +792,16 @@ impl<'a> Engine<'a> {
     fn step_planning(&mut self, t: Tick, planner: &mut dyn Planner) {
         self.idle_buf.clear();
         for r in &self.robots {
-            if r.is_idle() {
+            // Broken robots leave the assignment pool until they recover.
+            if r.is_idle() && !self.broken[r.id.index()] {
                 self.idle_buf.push(r.id);
             }
         }
         self.selectable_buf.clear();
         for r in &self.racks {
-            if r.selectable() {
+            // Racks bound to a closed station are withheld: no item is ever
+            // committed toward a picker that cannot serve it.
+            if r.selectable() && !self.closed[r.picker.index()] {
                 self.selectable_buf.push(r.id);
             }
         }
@@ -497,6 +824,14 @@ impl<'a> Engine<'a> {
                 self.racks[plan.rack.index()].selectable(),
                 "planner selected an unavailable rack"
             );
+            if self.broken[ai] || self.closed[self.racks[plan.rack.index()].picker.index()] {
+                // The planner ignored the filtered world view: a broken
+                // robot or a closed station's rack was named. Count the
+                // violation and drop the plan (its reservation leaks, but
+                // this path only exists to expose planner bugs).
+                self.disruption_violations += 1;
+                continue;
+            }
             // The batch is fixed at selection time `t_k` (Eq. 2's Σ_{i∈τ_r}
             // is the pending set when the rack is selected): items that
             // emerge while the rack is in flight wait for the next cycle.
@@ -511,6 +846,7 @@ impl<'a> Engine<'a> {
 
     /// Phase 5: advance robots along their paths; validate positions.
     fn step_movement(&mut self, t: Tick) {
+        let grid_width = self.instance.grid.width();
         // The reference path allocates its position buffer per tick, as the
         // pre-change engine did; the default path reuses one.
         let mut fresh: Vec<(RobotId, tprw_warehouse::GridPos)> = if self.config.reference_exec {
@@ -530,10 +866,17 @@ impl<'a> Engine<'a> {
             }
             let phase = self.robots[ai].phase;
             if phase.is_busy() {
+                // Broken and outage-paused robots still count as *busy*
+                // (Definition 3: committed to a fulfilment cycle — RWR's
+                // denominator-side diagnostics should show the wasted
+                // time), but the RWR numerator below only counts ticks the
+                // picker actually works the rack.
                 self.robots[ai].busy_ticks += 1;
                 self.metrics.robot_busy_ticks[ai] += 1;
-                if matches!(phase, RobotPhase::Processing { .. }) {
-                    self.metrics.robot_processing_ticks[ai] += 1;
+                if let RobotPhase::Processing { rack } = phase {
+                    if !self.closed[self.racks[rack.index()].picker.index()] {
+                        self.metrics.robot_processing_ticks[ai] += 1;
+                    }
                 }
             }
             // Docked robots (queuing/processing) are in the station bay.
@@ -542,6 +885,11 @@ impl<'a> Engine<'a> {
                 RobotPhase::Queuing { .. } | RobotPhase::Processing { .. }
             );
             if !docked && self.config.validate {
+                // Blockade invariant: no robot trajectory may occupy a
+                // disruption-blocked cell after its blockade tick.
+                if self.blocked_overlay[self.robots[ai].pos.to_index(grid_width)] {
+                    self.disruption_violations += 1;
+                }
                 on_grid.push((self.robots[ai].id, self.robots[ai].pos));
             }
         }
@@ -565,7 +913,16 @@ impl<'a> Engine<'a> {
                 | RobotPhase::ToStation { .. }
                 | RobotPhase::Returning { .. } => transport += 1,
                 RobotPhase::Queuing { .. } => queuing += 1,
-                RobotPhase::Processing { .. } => processing += 1,
+                // A rack paused mid-processing by a station outage is
+                // *waiting*, not processing — the Fig. 13 trace must not
+                // report progress while the picker is away.
+                RobotPhase::Processing { rack } => {
+                    if self.closed[self.racks[rack.index()].picker.index()] {
+                        queuing += 1;
+                    } else {
+                        processing += 1;
+                    }
+                }
                 RobotPhase::Idle => {}
             }
         }
@@ -608,6 +965,30 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// Destination and parking mode for resuming a cancelled leg from the
+/// robot's current position (the phase is preserved across cancellation).
+/// Free function over disjoint borrows so the batched request builder and
+/// the serial retain-closure — which cannot call a `&self` method without
+/// conflicting with the list borrow — share the single copy; the two
+/// execution modes must stay bit-identical.
+fn resume_destination(
+    robots: &[Robot],
+    racks: &[Rack],
+    pickers: &[Picker],
+    ai: usize,
+) -> (GridPos, bool) {
+    match robots[ai].phase {
+        RobotPhase::ToRack { rack } | RobotPhase::Returning { rack } => {
+            (racks[rack.index()].home, true)
+        }
+        RobotPhase::ToStation { rack } => {
+            let picker = racks[rack.index()].picker;
+            (pickers[picker.index()].pos, false)
+        }
+        _ => unreachable!("only travelling robots are replanned"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +1003,7 @@ mod tests {
             n_robots: 4,
             n_pickers: 2,
             workload: WorkloadConfig::poisson(n_items, 0.5),
+            disruptions: None,
             seed,
         }
         .build()
@@ -678,6 +1060,146 @@ mod tests {
         let report = run_simulation(&inst, &mut planner, &config);
         assert!(!report.completed);
         assert!(report.items_processed < 20);
+    }
+
+    fn run_default(inst: &Instance) -> SimulationReport {
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        run_simulation(inst, &mut planner, &EngineConfig::default())
+    }
+
+    #[test]
+    fn fleet_wide_breakdown_stalls_then_completes() {
+        use tprw_warehouse::{DisruptionEvent, TimedEvent};
+        let mut inst = small_instance(20, 42);
+        let baseline = run_default(&inst);
+        // Every robot fails at tick 5 and recovers at tick 400: nothing can
+        // be picked up in between, so the run must outlast the outage yet
+        // still complete with zero safety violations.
+        for (i, _) in inst.robots.iter().enumerate() {
+            inst.disruptions.push(TimedEvent {
+                t: 5,
+                event: DisruptionEvent::RobotBreakdown {
+                    robot: RobotId::new(i),
+                },
+            });
+        }
+        for (i, _) in inst.robots.iter().enumerate() {
+            inst.disruptions.push(TimedEvent {
+                t: 400,
+                event: DisruptionEvent::RobotRecover {
+                    robot: RobotId::new(i),
+                },
+            });
+        }
+        let report = run_default(&inst);
+        assert!(report.completed, "fleet must recover and finish");
+        assert_eq!(report.items_processed, 20);
+        assert_eq!(report.executed_conflicts, 0);
+        assert_eq!(report.disruption_violations, 0);
+        assert_eq!(report.events_applied, 2 * inst.robots.len());
+        assert!(
+            report.makespan > baseline.makespan.max(399),
+            "outage must delay completion: {} vs baseline {}",
+            report.makespan,
+            baseline.makespan
+        );
+    }
+
+    #[test]
+    fn station_outage_pauses_processing() {
+        use tprw_warehouse::{DisruptionEvent, PickerId, TimedEvent};
+        let mut inst = small_instance(20, 42);
+        // All stations close before any item can be processed and reopen at
+        // tick 300: no processing can finish earlier.
+        for pi in 0..inst.pickers.len() {
+            inst.disruptions.push(TimedEvent {
+                t: 0,
+                event: DisruptionEvent::StationClosed {
+                    picker: PickerId::new(pi),
+                },
+            });
+        }
+        for pi in 0..inst.pickers.len() {
+            inst.disruptions.push(TimedEvent {
+                t: 300,
+                event: DisruptionEvent::StationReopened {
+                    picker: PickerId::new(pi),
+                },
+            });
+        }
+        let report = run_default(&inst);
+        assert!(report.completed);
+        assert_eq!(report.disruption_violations, 0);
+        assert!(
+            report.makespan > 300,
+            "nothing can finish while every station is closed (makespan {})",
+            report.makespan
+        );
+        // The bottleneck trace must show zero processing before reopening.
+        for b in report.bottleneck.iter().filter(|b| b.t < 280) {
+            assert_eq!(b.processing, 0, "processing during outage at t={}", b.t);
+        }
+    }
+
+    #[test]
+    fn blockade_on_occupied_cell_defers_until_clear() {
+        use tprw_warehouse::{DisruptionEvent, TimedEvent};
+        let mut inst = small_instance(20, 42);
+        // Blockade the spawn cell of robot 0 at tick 0 — occupied, so it
+        // must defer until the robot departs, and no robot may ever stand
+        // on it afterwards (pinned by disruption_violations == 0).
+        let pos = inst.robots[0].pos;
+        inst.disruptions.push(TimedEvent {
+            t: 0,
+            event: DisruptionEvent::CellBlocked { pos },
+        });
+        inst.disruptions.push(TimedEvent {
+            t: 100_000,
+            event: DisruptionEvent::CellUnblocked { pos },
+        });
+        let report = run_default(&inst);
+        assert!(report.completed);
+        assert_eq!(report.executed_conflicts, 0);
+        assert_eq!(report.disruption_violations, 0);
+        assert!(
+            report.events_applied >= 1,
+            "the deferred blockade must land once the spawn cell clears"
+        );
+    }
+
+    #[test]
+    fn disrupted_run_is_deterministic() {
+        use tprw_warehouse::DisruptionConfig;
+        let spec = ScenarioSpec {
+            name: "engine-disrupted".into(),
+            layout: LayoutConfig::sized(24, 16),
+            n_racks: 10,
+            n_robots: 4,
+            n_pickers: 2,
+            workload: WorkloadConfig::poisson(25, 0.5),
+            disruptions: Some(DisruptionConfig {
+                breakdowns: 2,
+                breakdown_ticks: (30, 80),
+                blockades: 2,
+                blockade_ticks: (40, 90),
+                closures: 1,
+                closure_ticks: (30, 60),
+                window: (10, 120),
+            }),
+            seed: 7,
+        };
+        let inst = spec.build().unwrap();
+        assert!(!inst.disruptions.is_empty());
+        let r1 = run_default(&inst);
+        let r2 = run_default(&spec.build().unwrap());
+        assert!(r1.completed);
+        assert_eq!(r1.disruption_violations, 0);
+        assert_eq!(
+            r1.deterministic_fingerprint(),
+            r2.deterministic_fingerprint(),
+            "same spec + seed must replay bit-identically"
+        );
+        assert!(r1.events_applied > 0);
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub struct SimulationReport {
     pub bottleneck: Vec<BottleneckSample>,
     /// Conflicts observed by the independent validator (must be 0).
     pub executed_conflicts: usize,
+    /// Disruption events applied during the run (deferred blockades count
+    /// when they land; 0 for static scenarios).
+    pub events_applied: usize,
+    /// Disruption-safety violations: a robot occupying a blockaded cell, or
+    /// a plan naming a broken robot / a closed station's rack (must be 0).
+    pub disruption_violations: usize,
     /// Final cumulative planner statistics.
     #[serde(skip)]
     pub planner_stats: PlannerStats,
@@ -77,6 +83,10 @@ pub struct DeterministicFingerprint {
     pub robot_busy_rate_bits: u64,
     /// Validator-observed conflicts.
     pub executed_conflicts: usize,
+    /// Disruption events applied.
+    pub events_applied: usize,
+    /// Disruption-safety violations.
+    pub disruption_violations: usize,
     /// Checkpoint series: `(items, t, ppr bits, rwr bits)`.
     pub checkpoints: Vec<(usize, Tick, u64, u64)>,
     /// Bottleneck series: `(t, transport, queuing, processing)`.
@@ -99,6 +109,8 @@ impl SimulationReport {
             rwr_bits: self.rwr.to_bits(),
             robot_busy_rate_bits: self.robot_busy_rate.to_bits(),
             executed_conflicts: self.executed_conflicts,
+            events_applied: self.events_applied,
+            disruption_violations: self.disruption_violations,
             checkpoints: self
                 .checkpoints
                 .iter()
@@ -209,6 +221,8 @@ mod tests {
                 processing: 30,
             }],
             executed_conflicts: 0,
+            events_applied: 0,
+            disruption_violations: 0,
             planner_stats: PlannerStats::default(),
         }
     }

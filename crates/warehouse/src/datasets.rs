@@ -166,6 +166,7 @@ impl Dataset {
                 rack_skew,
                 skew_cap: 8.0,
             },
+            disruptions: None,
             seed,
         }
     }

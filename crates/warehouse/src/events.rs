@@ -1,0 +1,507 @@
+//! Disruption events: the dynamic-world axis of a scenario.
+//!
+//! The paper's world is frozen at [`crate::scenario::ScenarioSpec::build`]
+//! time — adaptivity is only ever exercised on the demand side (item
+//! arrivals). Real floors break: robots fail mid-aisle, spills close
+//! corridors, pickers walk away from their stations. This module models
+//! those *supply-side* disruptions as a typed, seed-deterministic event
+//! stream that is expanded with the instance and replayed by the simulator:
+//!
+//! * [`DisruptionEvent::RobotBreakdown`] / [`DisruptionEvent::RobotRecover`]
+//!   — a robot freezes wherever it stands (becoming an obstacle the fleet
+//!   must route around) and later resumes its interrupted leg;
+//! * [`DisruptionEvent::CellBlocked`] / [`DisruptionEvent::CellUnblocked`]
+//!   — an aisle cell becomes impassable (a blockade), invalidating every
+//!   planned path through it, and later reopens;
+//! * [`DisruptionEvent::StationClosed`] / [`DisruptionEvent::StationReopened`]
+//!   — a picker walks away: processing pauses and the planner must stop
+//!   routing new racks to that station until it reopens.
+//!
+//! Events are either *scripted* (an explicit [`TimedEvent`] list on the
+//! [`crate::scenario::Instance`]) or *generated* from a [`DisruptionConfig`]
+//! on the spec — the same seeded RNG discipline as the item workload, so a
+//! `(spec, seed)` pair always expands to the identical schedule.
+//!
+//! Scheduling invariants (enforced by [`validate_events`], which
+//! [`crate::scenario::Instance::validate`] calls): events are sorted by
+//! tick, every disruption is paired with its recovery in strict alternation
+//! per entity, and blockades only target [`CellKind::Aisle`] cells —
+//! blocking a storage cell would strand a rack and blocking a station would
+//! make its queue unserviceable forever.
+
+use crate::geometry::GridPos;
+use crate::grid::{CellKind, GridMap};
+use crate::ids::{PickerId, RobotId};
+use crate::time::Tick;
+use crate::workload::sample_without_replacement;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One world mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisruptionEvent {
+    /// `robot` fails in place: it stops moving (its active leg is cancelled
+    /// and its reservations released; it occupies its current cell as a
+    /// static obstacle) and accepts no work until it recovers.
+    RobotBreakdown {
+        /// The failing robot.
+        robot: RobotId,
+    },
+    /// `robot` resumes: its interrupted leg is replanned from wherever it
+    /// froze.
+    RobotRecover {
+        /// The recovering robot.
+        robot: RobotId,
+    },
+    /// Aisle cell `pos` becomes impassable. Application is deferred while a
+    /// robot physically occupies the cell (the blockade lands once the cell
+    /// clears), so no robot is ever teleported onto or trapped inside a
+    /// wall.
+    CellBlocked {
+        /// The blockaded cell (must be [`CellKind::Aisle`]).
+        pos: GridPos,
+    },
+    /// The blockade on `pos` is cleared; paths may use the cell again.
+    CellUnblocked {
+        /// The reopened cell.
+        pos: GridPos,
+    },
+    /// The picker at `picker` walks away: its queue stops draining and
+    /// planners must not select racks bound to it until it reopens.
+    StationClosed {
+        /// The closing picker.
+        picker: PickerId,
+    },
+    /// The picker returns and resumes its queue.
+    StationReopened {
+        /// The reopening picker.
+        picker: PickerId,
+    },
+}
+
+impl DisruptionEvent {
+    /// Short human-readable label for logs and examples.
+    pub fn label(&self) -> String {
+        match self {
+            DisruptionEvent::RobotBreakdown { robot } => format!("breakdown {robot}"),
+            DisruptionEvent::RobotRecover { robot } => format!("recover {robot}"),
+            DisruptionEvent::CellBlocked { pos } => format!("block {pos}"),
+            DisruptionEvent::CellUnblocked { pos } => format!("unblock {pos}"),
+            DisruptionEvent::StationClosed { picker } => format!("close {picker}"),
+            DisruptionEvent::StationReopened { picker } => format!("reopen {picker}"),
+        }
+    }
+}
+
+/// A [`DisruptionEvent`] scheduled at tick `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// The tick the event takes effect (start of tick, before movement).
+    pub t: Tick,
+    /// The mutation.
+    pub event: DisruptionEvent,
+}
+
+/// Stochastic disruption workload: how many of each disruption kind to
+/// scatter over a time window, with paired recoveries. Expanded
+/// deterministically from the scenario seed by [`DisruptionConfig::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionConfig {
+    /// Number of robot breakdowns (each robot fails at most once; capped at
+    /// the fleet size).
+    pub breakdowns: usize,
+    /// `[min, max]` breakdown duration in ticks.
+    pub breakdown_ticks: (Tick, Tick),
+    /// Number of single-cell aisle blockades (distinct cells; capped at the
+    /// aisle-cell count).
+    pub blockades: usize,
+    /// `[min, max]` blockade duration in ticks.
+    pub blockade_ticks: (Tick, Tick),
+    /// Number of station closures (each picker closes at most once; capped
+    /// at the picker count).
+    pub closures: usize,
+    /// `[min, max]` closure duration in ticks.
+    pub closure_ticks: (Tick, Tick),
+    /// `[t0, t1]` window over which disruption *start* ticks are drawn.
+    pub window: (Tick, Tick),
+}
+
+impl DisruptionConfig {
+    /// A quiet config (no events); useful as a struct-update base.
+    pub fn none() -> Self {
+        Self {
+            breakdowns: 0,
+            breakdown_ticks: (1, 1),
+            blockades: 0,
+            blockade_ticks: (1, 1),
+            closures: 0,
+            closure_ticks: (1, 1),
+            window: (0, 0),
+        }
+    }
+
+    /// Validate the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, &(lo, hi)) in [
+            ("breakdown_ticks", &self.breakdown_ticks),
+            ("blockade_ticks", &self.blockade_ticks),
+            ("closure_ticks", &self.closure_ticks),
+        ] {
+            if lo == 0 || lo > hi {
+                return Err(format!("{name}: need 0 < min <= max, got ({lo}, {hi})"));
+            }
+        }
+        if self.window.0 > self.window.1 {
+            return Err(format!(
+                "window: need t0 <= t1, got ({}, {})",
+                self.window.0, self.window.1
+            ));
+        }
+        Ok(())
+    }
+
+    /// Expand into a sorted, paired event schedule. Deterministic in the RNG
+    /// state: `ScenarioSpec::build` threads the instance RNG through here
+    /// *after* all other draws, so adding a disruption config never perturbs
+    /// the generated layout, fleet or item stream.
+    pub fn generate<R: Rng>(
+        &self,
+        grid: &GridMap,
+        n_robots: usize,
+        n_pickers: usize,
+        rng: &mut R,
+    ) -> Vec<TimedEvent> {
+        let mut events = Vec::new();
+        let (w0, w1) = self.window;
+
+        // Breakdowns: distinct robots, each paired with a recovery.
+        let robot_ids: Vec<usize> = (0..n_robots).collect();
+        let chosen = sample_without_replacement(&robot_ids, self.breakdowns.min(n_robots), rng);
+        for r in chosen {
+            let robot = RobotId::new(r);
+            let t0 = rng.gen_range(w0..=w1);
+            let dur = rng.gen_range(self.breakdown_ticks.0..=self.breakdown_ticks.1);
+            events.push(TimedEvent {
+                t: t0,
+                event: DisruptionEvent::RobotBreakdown { robot },
+            });
+            events.push(TimedEvent {
+                t: t0 + dur,
+                event: DisruptionEvent::RobotRecover { robot },
+            });
+        }
+
+        // Blockades: distinct aisle cells, each paired with an unblock.
+        let aisle_cells: Vec<GridPos> = grid.cells_of_kind(CellKind::Aisle).collect();
+        let chosen =
+            sample_without_replacement(&aisle_cells, self.blockades.min(aisle_cells.len()), rng);
+        for pos in chosen {
+            let t0 = rng.gen_range(w0..=w1);
+            let dur = rng.gen_range(self.blockade_ticks.0..=self.blockade_ticks.1);
+            events.push(TimedEvent {
+                t: t0,
+                event: DisruptionEvent::CellBlocked { pos },
+            });
+            events.push(TimedEvent {
+                t: t0 + dur,
+                event: DisruptionEvent::CellUnblocked { pos },
+            });
+        }
+
+        // Station closures: distinct pickers, each paired with a reopening.
+        let picker_ids: Vec<usize> = (0..n_pickers).collect();
+        let chosen = sample_without_replacement(&picker_ids, self.closures.min(n_pickers), rng);
+        for p in chosen {
+            let picker = PickerId::new(p);
+            let t0 = rng.gen_range(w0..=w1);
+            let dur = rng.gen_range(self.closure_ticks.0..=self.closure_ticks.1);
+            events.push(TimedEvent {
+                t: t0,
+                event: DisruptionEvent::StationClosed { picker },
+            });
+            events.push(TimedEvent {
+                t: t0 + dur,
+                event: DisruptionEvent::StationReopened { picker },
+            });
+        }
+
+        // Stable sort: same-tick events keep generation order, so the
+        // schedule is a pure function of (config, rng state).
+        events.sort_by_key(|e| e.t);
+        events
+    }
+}
+
+/// Check the structural invariants of an event schedule against its world:
+/// sorted by tick, ids in range, blockades on in-bounds aisle cells, and
+/// strict disrupt/recover alternation per entity (no unmatched or nested
+/// disruptions — an unrecovered breakdown or blockade could livelock a
+/// simulation that needs the robot or corridor).
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn validate_events(
+    events: &[TimedEvent],
+    grid: &GridMap,
+    n_robots: usize,
+    n_pickers: usize,
+) -> Result<(), String> {
+    let mut last = 0u64;
+    let mut robot_down = vec![false; n_robots];
+    let mut picker_closed = vec![false; n_pickers];
+    let mut cell_blocked = vec![false; grid.cell_count()];
+    for ev in events {
+        if ev.t < last {
+            return Err(format!("events not sorted by tick at {}", ev.event.label()));
+        }
+        last = ev.t;
+        match ev.event {
+            DisruptionEvent::RobotBreakdown { robot } => {
+                let i = robot.index();
+                if i >= n_robots {
+                    return Err(format!("breakdown references missing {robot}"));
+                }
+                if robot_down[i] {
+                    return Err(format!("{robot} breaks down while already broken"));
+                }
+                robot_down[i] = true;
+            }
+            DisruptionEvent::RobotRecover { robot } => {
+                let i = robot.index();
+                if i >= n_robots || !robot_down[i] {
+                    return Err(format!("recover without breakdown for {robot}"));
+                }
+                robot_down[i] = false;
+            }
+            DisruptionEvent::CellBlocked { pos } => {
+                if !grid.in_bounds(pos) {
+                    return Err(format!("blockade out of bounds at {pos}"));
+                }
+                if grid.kind(pos) != CellKind::Aisle {
+                    return Err(format!("blockade on non-aisle cell {pos}"));
+                }
+                let i = pos.to_index(grid.width());
+                if cell_blocked[i] {
+                    return Err(format!("cell {pos} blocked while already blocked"));
+                }
+                cell_blocked[i] = true;
+            }
+            DisruptionEvent::CellUnblocked { pos } => {
+                if !grid.in_bounds(pos) {
+                    return Err(format!("unblock out of bounds at {pos}"));
+                }
+                let i = pos.to_index(grid.width());
+                if !cell_blocked[i] {
+                    return Err(format!("unblock without blockade at {pos}"));
+                }
+                cell_blocked[i] = false;
+            }
+            DisruptionEvent::StationClosed { picker } => {
+                let i = picker.index();
+                if i >= n_pickers {
+                    return Err(format!("closure references missing {picker}"));
+                }
+                if picker_closed[i] {
+                    return Err(format!("{picker} closes while already closed"));
+                }
+                picker_closed[i] = true;
+            }
+            DisruptionEvent::StationReopened { picker } => {
+                let i = picker.index();
+                if i >= n_pickers || !picker_closed[i] {
+                    return Err(format!("reopen without closure for {picker}"));
+                }
+                picker_closed[i] = false;
+            }
+        }
+    }
+    if let Some(i) = robot_down.iter().position(|&d| d) {
+        return Err(format!("robot#{i} never recovers"));
+    }
+    if let Some(i) = picker_closed.iter().position(|&c| c) {
+        return Err(format!("picker#{i} never reopens"));
+    }
+    if let Some(i) = cell_blocked.iter().position(|&b| b) {
+        return Err(format!(
+            "cell {} never unblocks",
+            GridPos::from_index(i, grid.width())
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> GridMap {
+        GridMap::filled(12, 10, CellKind::Aisle)
+    }
+
+    fn config() -> DisruptionConfig {
+        DisruptionConfig {
+            breakdowns: 3,
+            breakdown_ticks: (10, 30),
+            blockades: 2,
+            blockade_ticks: (20, 40),
+            closures: 1,
+            closure_ticks: (15, 25),
+            window: (5, 100),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = grid();
+        let a = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(9));
+        let b = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seed must differ");
+        assert_eq!(a.len(), 2 * (3 + 2 + 1), "every disruption is paired");
+    }
+
+    #[test]
+    fn generated_schedules_validate() {
+        let g = grid();
+        for seed in 0..20 {
+            let events = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(seed));
+            validate_events(&events, &g, 8, 3).expect("generated schedule valid");
+            assert!(events.windows(2).all(|w| w[0].t <= w[1].t), "sorted");
+        }
+    }
+
+    #[test]
+    fn counts_capped_at_entity_counts() {
+        let g = grid();
+        let mut cfg = config();
+        cfg.breakdowns = 100;
+        cfg.closures = 100;
+        let events = cfg.generate(&g, 4, 2, &mut StdRng::seed_from_u64(1));
+        let breakdowns = events
+            .iter()
+            .filter(|e| matches!(e.event, DisruptionEvent::RobotBreakdown { .. }))
+            .count();
+        let closures = events
+            .iter()
+            .filter(|e| matches!(e.event, DisruptionEvent::StationClosed { .. }))
+            .count();
+        assert_eq!(breakdowns, 4, "at most one breakdown per robot");
+        assert_eq!(closures, 2, "at most one closure per picker");
+        validate_events(&events, &g, 4, 2).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_malformed_schedules() {
+        let g = grid();
+        let breakdown = |t, r| TimedEvent {
+            t,
+            event: DisruptionEvent::RobotBreakdown {
+                robot: RobotId::new(r),
+            },
+        };
+        let recover = |t, r| TimedEvent {
+            t,
+            event: DisruptionEvent::RobotRecover {
+                robot: RobotId::new(r),
+            },
+        };
+        // Unsorted.
+        assert!(validate_events(&[breakdown(10, 0), recover(5, 0)], &g, 2, 1).is_err());
+        // Nested breakdown.
+        assert!(
+            validate_events(&[breakdown(1, 0), breakdown(2, 0), recover(3, 0)], &g, 2, 1).is_err()
+        );
+        // Unmatched breakdown.
+        assert!(validate_events(&[breakdown(1, 0)], &g, 2, 1).is_err());
+        // Recover without breakdown.
+        assert!(validate_events(&[recover(1, 0)], &g, 2, 1).is_err());
+        // Out-of-range robot.
+        assert!(validate_events(&[breakdown(1, 9), recover(2, 9)], &g, 2, 1).is_err());
+        // Blockade on a non-aisle cell.
+        let mut walled = grid();
+        walled.set_kind(GridPos::new(3, 3), CellKind::Blocked);
+        let block = TimedEvent {
+            t: 1,
+            event: DisruptionEvent::CellBlocked {
+                pos: GridPos::new(3, 3),
+            },
+        };
+        let unblock = TimedEvent {
+            t: 2,
+            event: DisruptionEvent::CellUnblocked {
+                pos: GridPos::new(3, 3),
+            },
+        };
+        assert!(validate_events(&[block, unblock], &walled, 2, 1).is_err());
+        assert!(validate_events(&[block, unblock], &g, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(config().validate().is_ok());
+        assert!(DisruptionConfig::none().validate().is_ok());
+        let mut bad = config();
+        bad.breakdown_ticks = (0, 5);
+        assert!(bad.validate().is_err());
+        let mut bad = config();
+        bad.blockade_ticks = (9, 3);
+        assert!(bad.validate().is_err());
+        let mut bad = config();
+        bad.window = (50, 10);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = grid();
+        let events = config().generate(&g, 6, 2, &mut StdRng::seed_from_u64(4));
+        let json = serde_json::to_string(&events).unwrap();
+        let back: Vec<TimedEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(events, back);
+        let cfg_json = serde_json::to_string(&config()).unwrap();
+        let cfg_back: DisruptionConfig = serde_json::from_str(&cfg_json).unwrap();
+        assert_eq!(config(), cfg_back);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            DisruptionEvent::RobotBreakdown {
+                robot: RobotId::new(1),
+            }
+            .label(),
+            DisruptionEvent::RobotRecover {
+                robot: RobotId::new(1),
+            }
+            .label(),
+            DisruptionEvent::CellBlocked {
+                pos: GridPos::new(1, 1),
+            }
+            .label(),
+            DisruptionEvent::CellUnblocked {
+                pos: GridPos::new(1, 1),
+            }
+            .label(),
+            DisruptionEvent::StationClosed {
+                picker: PickerId::new(1),
+            }
+            .label(),
+            DisruptionEvent::StationReopened {
+                picker: PickerId::new(1),
+            }
+            .label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`entities`] — racks, pickers, robots and items (Definitions 1–3 of the
 //!   paper) plus their dynamic state used by the simulator;
 //! * [`workload`] — online item-arrival processes (Poisson and surge mixes);
+//! * [`events`] — disruption events (robot breakdowns, aisle blockades,
+//!   station closures) that mutate the world mid-run, scripted or generated
+//!   seed-deterministically;
 //! * [`scenario`] — a fully specified problem instance builder;
 //! * [`datasets`] — the four evaluation datasets of Table II (Syn-A, Syn-B,
 //!   Real-Norm, Real-Large), scalable.
@@ -22,6 +25,7 @@
 pub mod datasets;
 pub mod entities;
 pub mod error;
+pub mod events;
 pub mod geometry;
 pub mod grid;
 pub mod ids;
@@ -33,6 +37,7 @@ pub mod workload;
 pub use datasets::Dataset;
 pub use entities::{Item, Picker, QueueEntry, Rack, Robot, RobotPhase};
 pub use error::WarehouseError;
+pub use events::{DisruptionConfig, DisruptionEvent, TimedEvent};
 pub use geometry::{Direction, GridPos, Rect};
 pub use grid::{CellKind, GridMap};
 pub use ids::{ItemId, PickerId, RackId, RobotId};

@@ -8,6 +8,7 @@
 
 use crate::entities::{Item, Picker, Rack, Robot};
 use crate::error::WarehouseError;
+use crate::events::{validate_events, DisruptionConfig, TimedEvent};
 use crate::geometry::GridPos;
 use crate::grid::{CellKind, GridMap};
 use crate::ids::{PickerId, RackId, RobotId};
@@ -32,6 +33,10 @@ pub struct ScenarioSpec {
     pub n_pickers: usize,
     /// Item workload (Table II's `#Item` plus the arrival process).
     pub workload: WorkloadConfig,
+    /// Optional disruption workload: robot breakdowns, aisle blockades and
+    /// station closures scattered over the run, expanded into the instance's
+    /// event schedule from the same seed. `None` keeps the world static.
+    pub disruptions: Option<DisruptionConfig>,
     /// RNG seed making the instance reproducible.
     pub seed: u64,
 }
@@ -51,6 +56,9 @@ pub struct Instance {
     pub robots: Vec<Robot>,
     /// All items sorted by arrival tick.
     pub items: Vec<Item>,
+    /// Disruption event schedule, sorted by tick (empty = static world).
+    /// Generated from the spec's [`DisruptionConfig`] or scripted directly.
+    pub disruptions: Vec<TimedEvent>,
 }
 
 impl ScenarioSpec {
@@ -128,6 +136,21 @@ impl ScenarioSpec {
 
         let items = generate_items(&self.workload, &weights, &mut rng)?;
 
+        // Disruptions draw from the RNG last, so enabling them never
+        // perturbs the layout, fleet or item stream above.
+        let disruptions = match &self.disruptions {
+            Some(cfg) => {
+                if cfg.validate().is_err() {
+                    return Err(WarehouseError::InvalidParameter {
+                        name: "disruptions",
+                        constraint: "durations must satisfy 0 < min <= max and window t0 <= t1",
+                    });
+                }
+                cfg.generate(&layout.grid, robots.len(), pickers.len(), &mut rng)
+            }
+            None => Vec::new(),
+        };
+
         Ok(Instance {
             name: self.name.clone(),
             grid: layout.grid,
@@ -135,6 +158,7 @@ impl ScenarioSpec {
             pickers,
             robots,
             items,
+            disruptions,
         })
     }
 }
@@ -245,6 +269,12 @@ impl Instance {
                 return Err(format!("item {} has zero processing time", it.id));
             }
         }
+        validate_events(
+            &self.disruptions,
+            &self.grid,
+            self.robots.len(),
+            self.pickers.len(),
+        )?;
         Ok(())
     }
 }
@@ -261,6 +291,7 @@ mod tests {
             n_robots: 8,
             n_pickers: 3,
             workload: WorkloadConfig::poisson(200, 2.0),
+            disruptions: None,
             seed: 99,
         }
     }
@@ -363,6 +394,36 @@ mod tests {
         assert!(inst.total_work() >= 200 * 20);
         assert!(inst.total_work() <= 200 * 40);
         assert!(inst.last_arrival() >= 1);
+    }
+
+    #[test]
+    fn disruptions_extend_not_perturb() {
+        use crate::events::DisruptionConfig;
+        let clean = small_spec().build().unwrap();
+        assert!(clean.disruptions.is_empty());
+        let mut spec = small_spec();
+        spec.disruptions = Some(DisruptionConfig {
+            breakdowns: 2,
+            breakdown_ticks: (10, 30),
+            blockades: 2,
+            blockade_ticks: (20, 40),
+            closures: 1,
+            closure_ticks: (15, 25),
+            window: (5, 80),
+        });
+        let disrupted = spec.build().unwrap();
+        disrupted.validate().unwrap();
+        assert_eq!(disrupted.disruptions.len(), 2 * (2 + 2 + 1));
+        // The disruption draws come last: the static world is unchanged.
+        assert_eq!(clean.racks, disrupted.racks);
+        assert_eq!(clean.robots, disrupted.robots);
+        assert_eq!(clean.items, disrupted.items);
+        // And the schedule itself is seed-deterministic.
+        let again = spec.build().unwrap();
+        assert_eq!(disrupted.disruptions, again.disruptions);
+        // Invalid config rejected.
+        spec.disruptions.as_mut().unwrap().breakdown_ticks = (0, 0);
+        assert!(spec.build().is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() {
             rack_skew: 0.8,
             skew_cap: 8.0,
         },
+        disruptions: None,
         seed: 2026,
     };
     let instance = spec.build().expect("scenario builds");

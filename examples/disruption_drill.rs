@@ -1,0 +1,110 @@
+//! Disruption drill: run the same floor clean and under a disruption wave.
+//!
+//! The paper's world freezes at build time; this example exercises the
+//! dynamic-world subsystem end to end. A congested walled floor is hit by a
+//! scripted aisle blockade plus a generated wave of robot breakdowns and a
+//! station closure, and every planner replays the identical event schedule
+//! (seed-deterministic). The drill prints the event timeline, then compares
+//! each planner's disrupted run against its clean run — the makespan
+//! inflation is the measured price of the disruptions, with zero executed
+//! conflicts and zero safety violations either way.
+//!
+//! ```text
+//! cargo run --release --example disruption_drill
+//! ```
+
+use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::simulator::{run_simulation, EngineConfig};
+use eatp::warehouse::{
+    CellKind, DisruptionConfig, DisruptionEvent, GridPos, LayoutConfig, ScenarioSpec, TimedEvent,
+    WorkloadConfig,
+};
+
+fn main() {
+    let wave = DisruptionConfig {
+        breakdowns: 6,
+        breakdown_ticks: (120, 260),
+        blockades: 0,
+        blockade_ticks: (1, 1),
+        closures: 1,
+        closure_ticks: (180, 320),
+        window: (80, 420),
+    };
+    let base_spec = ScenarioSpec {
+        name: "drill".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 40,
+        n_robots: 24,
+        n_pickers: 4,
+        workload: WorkloadConfig::poisson(220, 0.9),
+        disruptions: None,
+        seed: 404,
+    };
+    let clean = base_spec.build().expect("clean scenario builds");
+
+    let mut disrupted_spec = base_spec.clone();
+    disrupted_spec.disruptions = Some(wave);
+    let mut disrupted = disrupted_spec.build().expect("disrupted scenario builds");
+
+    // Script an extra mid-run blockade on a central aisle cell on top of the
+    // generated wave: scripted and generated events compose in one schedule.
+    let center = GridPos::new(22, 16);
+    let blockade_cell = disrupted
+        .grid
+        .cells_of_kind(CellKind::Aisle)
+        .min_by_key(|c| c.manhattan(center))
+        .expect("aisle cell exists");
+    disrupted.disruptions.push(TimedEvent {
+        t: 150,
+        event: DisruptionEvent::CellBlocked { pos: blockade_cell },
+    });
+    disrupted.disruptions.push(TimedEvent {
+        t: 500,
+        event: DisruptionEvent::CellUnblocked { pos: blockade_cell },
+    });
+    disrupted.disruptions.sort_by_key(|e| e.t);
+    disrupted
+        .validate()
+        .expect("composed schedule is well-formed");
+
+    println!("event timeline ({} events):", disrupted.disruptions.len());
+    for ev in &disrupted.disruptions {
+        println!("  t={:<5} {}", ev.t, ev.event.label());
+    }
+
+    println!(
+        "\n{:<6} {:>10} {:>12} {:>10} {:>8} {:>8}",
+        "", "clean M", "disrupted M", "inflation", "events", "retries"
+    );
+    for name in PLANNER_NAMES {
+        let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+        let clean_report = run_simulation(&clean, &mut *p, &EngineConfig::default());
+        let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+        let disrupted_report = run_simulation(&disrupted, &mut *p, &EngineConfig::default());
+        for r in [&clean_report, &disrupted_report] {
+            assert!(r.completed, "{name} must complete");
+            assert_eq!(r.executed_conflicts, 0, "{name}: conflict-free always");
+            assert_eq!(r.disruption_violations, 0, "{name}: no safety violations");
+        }
+        let inflation = 100.0 * (disrupted_report.makespan as f64 - clean_report.makespan as f64)
+            / clean_report.makespan as f64;
+        println!(
+            "{:<6} {:>10} {:>12} {:>+9.1}% {:>8} {:>8}",
+            name,
+            clean_report.makespan,
+            disrupted_report.makespan,
+            inflation,
+            disrupted_report.events_applied,
+            disrupted_report.planner_stats.paths_failed,
+        );
+    }
+    println!(
+        "\nevery planner absorbed the identical breakdown/blockade/closure \
+         schedule with zero conflicts and zero blocked-cell occupations."
+    );
+}

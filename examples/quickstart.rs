@@ -18,6 +18,7 @@ fn main() {
         n_robots: 8,
         n_pickers: 4,
         workload: WorkloadConfig::poisson(200, 0.8),
+        disruptions: None,
         seed: 42,
     };
     let instance = spec.build().expect("scenario builds");

@@ -26,6 +26,7 @@ fn spec(walled: bool, pickers: usize, seed: u64) -> ScenarioSpec {
         n_robots: 5,
         n_pickers: pickers,
         workload: WorkloadConfig::poisson(40, 0.8),
+        disruptions: None,
         seed,
     }
 }

@@ -40,6 +40,7 @@ fn poisson_scenario_is_safe() {
         n_robots: 5,
         n_pickers: 3,
         workload: WorkloadConfig::poisson(50, 0.6),
+        disruptions: None,
         seed: 101,
     });
 }
@@ -64,6 +65,7 @@ fn surge_scenario_is_safe() {
             rack_skew: 1.0,
             skew_cap: 8.0,
         },
+        disruptions: None,
         seed: 202,
     });
 }
@@ -78,6 +80,7 @@ fn dense_fleet_is_safe() {
         n_robots: 14,
         n_pickers: 3,
         workload: WorkloadConfig::poisson(40, 1.5),
+        disruptions: None,
         seed: 303,
     });
 }
@@ -91,6 +94,7 @@ fn single_robot_is_safe() {
         n_robots: 1,
         n_pickers: 2,
         workload: WorkloadConfig::poisson(15, 0.3),
+        disruptions: None,
         seed: 404,
     });
 }

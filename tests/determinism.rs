@@ -13,6 +13,7 @@ fn spec(seed: u64) -> ScenarioSpec {
         n_robots: 4,
         n_pickers: 2,
         workload: WorkloadConfig::poisson(40, 0.7),
+        disruptions: None,
         seed,
     }
 }

@@ -13,6 +13,7 @@ fn spec(items: usize, rate: f64, seed: u64) -> ScenarioSpec {
         n_robots: 4,
         n_pickers: 2,
         workload: WorkloadConfig::poisson(items, rate),
+        disruptions: None,
         seed,
     }
 }

@@ -14,6 +14,7 @@ fn all_planners_complete_small_scenario() {
         n_robots: 5,
         n_pickers: 3,
         workload: WorkloadConfig::poisson(40, 0.5),
+        disruptions: None,
         seed: 77,
     }
     .build()
