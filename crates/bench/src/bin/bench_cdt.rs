@@ -1,0 +1,256 @@
+//! CDT microbenchmark: median ns per `can_move` probe and per warm insert,
+//! pooled window arena vs the preserved per-cell-`Vec` reference layout.
+//!
+//! `can_move` is the innermost reservation query of the planners — every
+//! spatiotemporal A* expansion issues up to five of them — and the CDT's
+//! binary-search implementation was measured (ROADMAP, `BENCH_sim.json`) as
+//! the dominant reason EATP ticks cost ~3× the STG planners'. This harness
+//! pins the pooled rewrite's win the same way `bench_astar` pins the search
+//! arena's: both implementations are measured in the same process on an
+//! identical workload, so the recorded `speedup` is hardware-independent
+//! and safe to gate in CI. Emits `BENCH_cdt.json` (path overridable via
+//! `BENCH_CDT_OUT`; `BENCH_CDT_ITERS` overrides the sample count).
+//!
+//! Run with: `cargo run --release -p eatp-bench --bin bench_cdt`
+//!
+//! The workload mirrors a congested floor mid-simulation: a 256×192 grid
+//! (cell metadata alone exceeds the L2 working set, so the per-cell layout's
+//! cache behaviour dominates, exactly as at warehouse scale) crossed by
+//! 3 000 robot paths, leaving most touched cells with the 1–3 reservations
+//! the inline windows are sized for and corridor crossings spilled into the
+//! arena. Probes mix traffic cells and empty cells the way A* neighbour
+//! expansion does. Both implementations must return bit-identical probe
+//! results (asserted via a checksum) — the ratio is pure layout effect.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use tprw_pathfinding::reference_cdt::ReferenceConflictDetectionTable;
+use tprw_pathfinding::{ConflictDetectionTable, MemoryFootprint, Path, ReservationSystem};
+use tprw_warehouse::{GridPos, RobotId, Tick};
+
+const WIDTH: u16 = 256;
+const HEIGHT: u16 = 192;
+const ROBOTS: usize = 3_000;
+const PATH_LEN: u16 = 48;
+const PROBES: usize = 200_000;
+
+#[derive(Debug, Serialize)]
+struct OpReport {
+    pooled_median_ns: f64,
+    reference_median_ns: f64,
+    /// `reference / pooled` — the CI gate reads this.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    case: String,
+    iterations: usize,
+    probes: usize,
+    inserts: usize,
+    /// Allowed-move checksum, identical across implementations (asserted).
+    probe_checksum: u64,
+    can_move: OpReport,
+    insert: OpReport,
+    /// Live heap bytes of each table after the workload is reserved.
+    pooled_memory_bytes: usize,
+    reference_memory_bytes: usize,
+    /// CI fails when `can_move.speedup` / `insert.speedup` drop below these.
+    can_move_gate: f64,
+    insert_gate: f64,
+}
+
+/// The shared workload: staggered L-shaped paths across the floor. Paths
+/// that would double-reserve a cell-tick already taken by another robot are
+/// skipped wholesale (the planners' invariant: at most one robot per
+/// cell-tick), so the workload is valid for both layouts — including their
+/// debug assertions — while keeping the spatial overlap that spills busy
+/// corridor cells into the arena.
+fn build_paths(rng: &mut StdRng) -> Vec<(RobotId, Path)> {
+    let mut taken: std::collections::HashSet<(Tick, GridPos)> = std::collections::HashSet::new();
+    let mut paths = Vec::with_capacity(ROBOTS);
+    while paths.len() < ROBOTS {
+        let x0 = rng.gen_range(0..WIDTH - PATH_LEN);
+        let y0 = rng.gen_range(0..HEIGHT - PATH_LEN);
+        let start: Tick = rng.gen_range(0u64..256);
+        let east = rng.gen_range(8..PATH_LEN);
+        let mut cells = Vec::with_capacity(PATH_LEN as usize);
+        for d in 0..east {
+            cells.push(GridPos::new(x0 + d, y0));
+        }
+        for d in 0..PATH_LEN - east {
+            cells.push(GridPos::new(x0 + east - 1, y0 + d));
+        }
+        let path = Path { start, cells };
+        if path.iter_timed().any(|step| taken.contains(&step)) {
+            continue;
+        }
+        taken.extend(path.iter_timed());
+        paths.push((RobotId::new(paths.len()), path));
+    }
+    paths
+}
+
+/// Probe mix: 3/4 target cells inside the traffic band at plausible ticks,
+/// 1/4 arbitrary cells (A* expands into empty space too).
+fn build_probes(rng: &mut StdRng, paths: &[(RobotId, Path)]) -> Vec<(GridPos, GridPos, Tick)> {
+    (0..PROBES)
+        .map(|i| {
+            let (to, t): (GridPos, Tick) = if i % 4 != 3 {
+                let (_, path) = &paths[rng.gen_range(0..paths.len())];
+                let step = rng.gen_range(0..path.len() as u64);
+                let jitter = rng.gen_range(0u64..8);
+                (path.at(path.start + step), path.start + step + jitter)
+            } else {
+                (
+                    GridPos::new(rng.gen_range(0..WIDTH), rng.gen_range(0..HEIGHT)),
+                    rng.gen_range(0u64..512),
+                )
+            };
+            let from = GridPos::new(
+                to.x.saturating_sub(1),
+                if to.y + 1 < HEIGHT { to.y + 1 } else { to.y },
+            );
+            (from, to, t.saturating_sub(4))
+        })
+        .collect()
+}
+
+fn reserve_all<R: ReservationSystem>(table: &mut R, paths: &[(RobotId, Path)]) {
+    for (robot, path) in paths {
+        table.reserve_path(*robot, path, false);
+    }
+}
+
+fn release_all<R: ReservationSystem>(table: &mut R, paths: &[(RobotId, Path)]) {
+    for (robot, _) in paths {
+        table.release_robot(*robot);
+    }
+    table.release_before(0);
+}
+
+/// One timed `can_move` sweep; returns (ns total, allowed-move checksum).
+fn timed_probes<R: ReservationSystem>(
+    table: &R,
+    probes: &[(GridPos, GridPos, Tick)],
+) -> (u64, u64) {
+    let me = RobotId::new(ROBOTS + 7);
+    let t0 = Instant::now();
+    let mut checksum = 0u64;
+    for &(from, to, t) in probes {
+        checksum = checksum
+            .wrapping_mul(3)
+            .wrapping_add(u64::from(table.can_move(me, from, to, t)));
+    }
+    (t0.elapsed().as_nanos() as u64, black_box(checksum))
+}
+
+/// One timed warm re-reservation of the whole workload (tables keep their
+/// capacity across the preceding release, as a GC'd steady-state table
+/// does); returns ns total.
+fn timed_inserts<R: ReservationSystem>(table: &mut R, paths: &[(RobotId, Path)]) -> u64 {
+    let t0 = Instant::now();
+    reserve_all(table, paths);
+    let ns = t0.elapsed().as_nanos() as u64;
+    release_all(table, paths);
+    ns
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let iters: usize = std::env::var("BENCH_CDT_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(15);
+    let out_path = std::env::var("BENCH_CDT_OUT").unwrap_or_else(|_| "BENCH_cdt.json".to_string());
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let paths = build_paths(&mut rng);
+    let probes = build_probes(&mut rng, &paths);
+    let total_steps: usize = paths.iter().map(|(_, p)| p.len()).sum();
+
+    let mut pooled = ConflictDetectionTable::new(WIDTH, HEIGHT);
+    let mut reference = ReferenceConflictDetectionTable::new(WIDTH, HEIGHT);
+    reserve_all(&mut pooled, &paths);
+    reserve_all(&mut reference, &paths);
+    assert_eq!(pooled.reservation_count(), reference.reservation_count());
+    let pooled_memory = pooled.memory_bytes();
+    let reference_memory = reference.memory_bytes();
+
+    // can_move: interleave the implementations so slow drift (thermal,
+    // scheduler) hits both evenly; checksums must agree on every sweep.
+    let mut pooled_ns = Vec::with_capacity(iters);
+    let mut reference_ns = Vec::with_capacity(iters);
+    let (_, expected) = timed_probes(&pooled, &probes); // warm both
+    let (_, reference_checksum) = timed_probes(&reference, &probes);
+    assert_eq!(
+        expected, reference_checksum,
+        "pooled and reference tables disagree on the probe workload"
+    );
+    for _ in 0..iters {
+        let (ns, sum) = timed_probes(&pooled, &probes);
+        assert_eq!(sum, expected);
+        pooled_ns.push(ns as f64 / PROBES as f64);
+        let (ns, sum) = timed_probes(&reference, &probes);
+        assert_eq!(sum, expected);
+        reference_ns.push(ns as f64 / PROBES as f64);
+    }
+    let can_move = OpReport {
+        pooled_median_ns: median(&mut pooled_ns),
+        reference_median_ns: median(&mut reference_ns),
+        speedup: 0.0,
+    };
+
+    // insert: warm re-reservation churn (free lists / kept capacities).
+    release_all(&mut pooled, &paths);
+    release_all(&mut reference, &paths);
+    timed_inserts(&mut pooled, &paths); // warm-up cycle each
+    timed_inserts(&mut reference, &paths);
+    let mut pooled_ins = Vec::with_capacity(iters);
+    let mut reference_ins = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        pooled_ins.push(timed_inserts(&mut pooled, &paths) as f64 / total_steps as f64);
+        reference_ins.push(timed_inserts(&mut reference, &paths) as f64 / total_steps as f64);
+    }
+    let insert = OpReport {
+        pooled_median_ns: median(&mut pooled_ins),
+        reference_median_ns: median(&mut reference_ins),
+        speedup: 0.0,
+    };
+
+    let report = BenchReport {
+        schema: "bench_cdt/v1",
+        case: format!(
+            "{WIDTH}x{HEIGHT} grid, {ROBOTS} L-shaped paths of {PATH_LEN} steps, \
+             {PROBES} mixed can_move probes"
+        ),
+        iterations: iters,
+        probes: PROBES,
+        inserts: total_steps,
+        probe_checksum: expected,
+        can_move: OpReport {
+            speedup: can_move.reference_median_ns / can_move.pooled_median_ns,
+            ..can_move
+        },
+        insert: OpReport {
+            speedup: insert.reference_median_ns / insert.pooled_median_ns,
+            ..insert
+        },
+        pooled_memory_bytes: pooled_memory,
+        reference_memory_bytes: reference_memory,
+        can_move_gate: 1.3,
+        insert_gate: 1.0,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write BENCH_cdt.json");
+    println!("{json}");
+}

@@ -20,6 +20,12 @@
 //! bit-identical simulation outputs — the harness asserts it — so the
 //! recorded `speedup` is a pure execution-efficiency ratio, safe to gate in
 //! CI on any hardware.
+//!
+//! Schema `bench_sim/v3` additionally pins EATP's congested tick cost:
+//! `congested_eatp_ns_per_tick` records the absolute number the ROADMAP
+//! tracks, and `congested_eatp_over_ntp` (EATP ÷ NTP, both in-process) is
+//! gated at `eatp_ntp_gate` so a regression of the pooled CDT, the
+//! step-field path cache or the flat KNN build fails CI.
 
 use eatp_bench::sim_cases::{deterministic_fields, scenarios, SimScenario};
 use eatp_core::{planner_by_name, EatpConfig, PLANNER_NAMES};
@@ -52,6 +58,16 @@ struct ScenarioReport {
 struct BenchReport {
     schema: &'static str,
     iterations: usize,
+    /// EATP's absolute batched ns/tick on the congested gate scenario —
+    /// the number the ROADMAP's "EATP tick cost" item tracks (~10 µs before
+    /// the pooled CDT / step-field cache / flat KNN work).
+    congested_eatp_ns_per_tick: u64,
+    /// `EATP ns/tick ÷ NTP ns/tick` on the congested scenario. Both sides
+    /// are measured in-process, so the ratio is hardware-independent; CI
+    /// fails when it exceeds `eatp_ntp_gate`.
+    congested_eatp_over_ntp: f64,
+    /// Upper bound on `congested_eatp_over_ntp` enforced by CI.
+    eatp_ntp_gate: f64,
     /// Absolute ns/tick of the unsplit pre-change engine (PR-2 seed state),
     /// captured once before the batched path landed. Informational:
     /// cross-machine absolute numbers are not comparable, which is why the
@@ -167,9 +183,23 @@ fn main() {
         });
     }
 
+    let ns_of = |planner: &str| -> u64 {
+        scenario_reports[0]
+            .planners
+            .iter()
+            .find(|c| c.planner == planner)
+            .expect("planner present on the congested scenario")
+            .batched_ns_per_tick
+    };
+    let congested_eatp = ns_of("EATP");
+    let congested_ntp = ns_of("NTP");
+
     let report = BenchReport {
-        schema: "bench_sim/v2",
+        schema: "bench_sim/v3",
         iterations: iters,
+        congested_eatp_ns_per_tick: congested_eatp,
+        congested_eatp_over_ntp: congested_eatp as f64 / congested_ntp.max(1) as f64,
+        eatp_ntp_gate: 3.0,
         pre_change_ns_per_tick: serde_json::from_str(include_str!(
             "../pre_change_sim_baseline.json"
         ))

@@ -121,6 +121,8 @@ pub fn disrupted_breakdowns() -> SimScenario {
             blockade_ticks: (1, 1),
             closures: 0,
             closure_ticks: (1, 1),
+            removals: 0,
+            removal_ticks: (1, 1),
             window: (150, 450),
         }),
         seed: 81,
@@ -160,6 +162,8 @@ pub fn disrupted_blockades() -> SimScenario {
             blockade_ticks: (200, 400),
             closures: 0,
             closure_ticks: (1, 1),
+            removals: 0,
+            removal_ticks: (1, 1),
             window: (100, 500),
         }),
         seed: 82,
@@ -212,6 +216,8 @@ pub fn disrupted_outage_surge() -> SimScenario {
             blockade_ticks: (1, 1),
             closures: 2,
             closure_ticks: (250, 400),
+            removals: 0,
+            removal_ticks: (1, 1),
             window: (120, 360),
         }),
         seed: 83,

@@ -304,17 +304,31 @@ impl<R: ReservationBackend> PlannerBase<R> {
     /// distance oracle's passability snapshot (evicting its memoized BFS
     /// fields), invalidate the path cache, and rebuild the K-nearest-rack
     /// index — stale state in any of them would route robots through walls
-    /// or to the wrong rack. Robot and station events carry no planner-side
-    /// structure: the engine routes their consequences through the world
-    /// view and [`PlannerBase::cancel_path`].
+    /// or to the wrong rack. Rack removals / restorations flip the rack's
+    /// liveness in the K-nearest index (a dead rack must stop occupying a
+    /// K slot) behind the same lazy one-rebuild-per-batch gate. Robot and
+    /// station events carry no planner-side structure: the engine routes
+    /// their consequences through the world view and
+    /// [`PlannerBase::cancel_path`].
     pub fn apply_disruption(&mut self, event: &DisruptionEvent, _t: Tick) {
         match *event {
             DisruptionEvent::CellBlocked { pos } => self.set_cell_blocked(pos, true),
             DisruptionEvent::CellUnblocked { pos } => self.set_cell_blocked(pos, false),
+            DisruptionEvent::RackRemoved { rack } => self.set_rack_alive(rack, false),
+            DisruptionEvent::RackRestored { rack } => self.set_rack_alive(rack, true),
             DisruptionEvent::RobotBreakdown { .. }
             | DisruptionEvent::RobotRecover { .. }
             | DisruptionEvent::StationClosed { .. }
             | DisruptionEvent::StationReopened { .. } => {}
+        }
+    }
+
+    fn set_rack_alive(&mut self, rack: RackId, alive: bool) {
+        if let Some(knn) = &mut self.knn {
+            if knn.is_alive(rack) != alive {
+                knn.set_alive(rack, alive);
+                self.knn_dirty = true;
+            }
         }
     }
 
@@ -580,6 +594,37 @@ mod tests {
         // Robot/station events are structure-neutral on the base.
         base.apply_disruption(&DisruptionEvent::RobotBreakdown { robot }, 10);
         assert_eq!(base.grid.kind(pos), CellKind::Aisle);
+    }
+
+    #[test]
+    fn apply_disruption_rack_removal_flips_knn_liveness() {
+        use tprw_warehouse::RackId;
+        let inst = instance();
+        let mut base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), true, true);
+        let rack = RackId::new(0);
+        let rebuilds = base.knn.as_ref().unwrap().rebuild_count();
+        base.apply_disruption(&DisruptionEvent::RackRemoved { rack }, 3);
+        assert!(!base.knn.as_ref().unwrap().is_alive(rack));
+        base.refresh_knn();
+        assert_eq!(
+            base.knn.as_ref().unwrap().rebuild_count(),
+            rebuilds + 1,
+            "removal dirties the index once"
+        );
+        let home = inst.racks[0].home;
+        assert!(
+            !base.knn.as_ref().unwrap().nearest(home).contains(&rack),
+            "removed rack must leave every nearest list"
+        );
+        // Idempotent re-removal is free; restoration flips it back.
+        base.apply_disruption(&DisruptionEvent::RackRemoved { rack }, 4);
+        base.refresh_knn();
+        assert_eq!(base.knn.as_ref().unwrap().rebuild_count(), rebuilds + 1);
+        base.apply_disruption(&DisruptionEvent::RackRestored { rack }, 5);
+        base.refresh_knn();
+        assert!(base.knn.as_ref().unwrap().is_alive(rack));
+        assert!(base.knn.as_ref().unwrap().nearest(home).contains(&rack));
     }
 
     #[test]

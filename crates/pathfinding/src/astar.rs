@@ -18,7 +18,7 @@
 //! * **States are dense slots.** Each query computes a *search region* — the
 //!   bounding box of `start`/`goal` inflated by `horizon_slack / 2 + 1`
 //!   (plus twice the cache threshold when splicing is enabled; see
-//!   [`Region::compute`]) — outside of which no cell can contribute to any
+//!   `Region::compute`) — outside of which no cell can contribute to any
 //!   completion of the query (for any on-path cell `c`,
 //!   `d(start,c) + d(c,goal) ≤ d(start,goal) + slack`). A state keys the
 //!   flat tables of a [`SearchScratch`] as `region_cell * window + dt`,
@@ -328,7 +328,7 @@ const LOCAL_SCRATCH_MAX_SLOTS: usize = 1 << 22;
 /// Prefer [`plan_path_into`]/[`plan_path_with`] with an explicitly owned
 /// [`SearchScratch`] in planner hot paths; this wrapper exists for tests and
 /// one-shot callers. Retained thread-local buffers are capped at
-/// [`LOCAL_SCRATCH_MAX_SLOTS`] dense slots — oversized tables are released
+/// `LOCAL_SCRATCH_MAX_SLOTS` dense slots — oversized tables are released
 /// after the query.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_path<R: ReservationSystem>(

@@ -7,14 +7,76 @@
 //! conflict — "directly moving along the shortest path with some wait",
 //! which shrinks the open set dramatically near the goal.
 //!
-//! Paths are materialized lazily and memoized (the cache warms up as the
-//! same approach corridors are reused). On obstacle-free grids the spatial
-//! shortest path is an L-shaped Manhattan walk; otherwise we fall back to a
-//! BFS parent trace.
+//! # Miss path
+//!
+//! Splice attempts key on `(popped vertex, goal)`, so the pair space is
+//! large and misses are the common case early in a run. Each miss used to
+//! run a full `HashMap`-frontier BFS from scratch — the dominant share of
+//! EATP's tick cost on obstructed floors (see `BENCH_sim.json`). Misses now
+//! trace a **destination-rooted step field**: one flat BFS per *goal*
+//! (direction-toward-goal per cell, 1 byte each, LRU-capped at
+//! [`FIELD_CAP`]) serves every `from` that subsequently misses on the same
+//! goal with an `O(path length)` pointer-free walk. Goals are rack homes
+//! and stations — a few dozen — so steady-state misses cost a trace, not a
+//! search. On obstacle-free grids the L-shaped Manhattan walk skips fields
+//! entirely.
+//!
+//! # Invalidation
+//!
+//! Disruption blockades mutate the grid mid-run. Step fields are dropped
+//! wholesale (they are cheap to rebuild); memoized paths are evicted
+//! **partially**:
+//!
+//! * a cell *blocked*: only entries whose path crosses the cell die — a
+//!   64-bit cell bloom per entry prefilters the exact scan;
+//! * a cell *unblocked*: only entries a route through the reopened cell
+//!   could shorten die — kept entries satisfy
+//!   `manhattan(a, pos) + manhattan(pos, b) >= cached steps`, a sound bound
+//!   since grid distance is at least Manhattan distance.
+//!
+//! Both rules keep the invariant that every cached path is exactly a
+//! shortest path of the *current* grid (`cached_paths_stay_shortest_under_mutation`
+//! property-tests it), while [`PathCache::partial_evictions`] stays far
+//! below the full flushes the previous implementation paid.
 
 use crate::footprint::{MemoryFootprint, HASH_ENTRY_OVERHEAD};
 use std::collections::{HashMap, VecDeque};
-use tprw_warehouse::{CellKind, GridMap, GridPos};
+use tprw_warehouse::{CellKind, Direction, GridMap, GridPos};
+
+/// Maximum number of destination-rooted step fields kept live (LRU).
+pub const FIELD_CAP: usize = 8;
+
+/// Step-field sentinel: cell not reached from the goal.
+const UNREACHED: u8 = u8::MAX;
+/// Step-field sentinel: the goal cell itself.
+const AT_GOAL: u8 = u8::MAX - 1;
+
+/// One destination-rooted field: for every cell, the first move of a
+/// shortest path toward `goal` (an index into [`Direction::ALL`]).
+#[derive(Debug)]
+struct StepField {
+    goal: GridPos,
+    /// LRU stamp (higher = more recently used).
+    stamp: u64,
+    step: Vec<u8>,
+}
+
+/// One memoized spatial path plus a 64-bit bloom over its cells (the
+/// blockade-eviction prefilter).
+#[derive(Debug)]
+struct CacheEntry {
+    path: Box<[GridPos]>,
+    bloom: u64,
+}
+
+/// The bloom bit of a cell (top six bits of a 64-bit mix).
+#[inline]
+fn cell_bit(pos: GridPos) -> u64 {
+    let h = (pos.x as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((pos.y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    1u64 << (h >> 58)
+}
 
 /// Memoized conflict-agnostic shortest paths for near-goal splicing.
 #[derive(Debug)]
@@ -24,10 +86,15 @@ pub struct PathCache {
     blocked: usize,
     obstacle_free: bool,
     threshold: u64,
-    map: HashMap<(GridPos, GridPos), Box<[GridPos]>>,
+    map: HashMap<(GridPos, GridPos), CacheEntry>,
+    fields: Vec<StepField>,
+    field_clock: u64,
+    /// Reusable BFS frontier for field builds.
+    queue: VecDeque<GridPos>,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    partial_evictions: u64,
 }
 
 impl PathCache {
@@ -40,19 +107,19 @@ impl PathCache {
             grid: grid.clone(),
             threshold,
             map: HashMap::new(),
+            fields: Vec::new(),
+            field_clock: 0,
+            queue: VecDeque::new(),
             hits: 0,
             misses: 0,
             invalidations: 0,
+            partial_evictions: 0,
         }
     }
 
-    /// Mutate the cloned grid (a disruption blockade landed or cleared) and
-    /// invalidate the memoized paths. Blocking makes any cached path through
-    /// the cell unusable; unblocking makes cached detours non-shortest. The
-    /// whole map is dropped either way, keeping the invariant that cache
-    /// contents are a pure function of the *current* grid — splices stay
-    /// exactly the conflict-agnostic shortest paths A* cost accounting
-    /// assumes.
+    /// Mutate the cloned grid (a disruption blockade landed or cleared),
+    /// drop the step fields, and evict exactly the memoized paths the
+    /// mutation can invalidate (see the module docs for the two rules).
     pub fn set_passable(&mut self, pos: GridPos, passable: bool) {
         let kind = if passable {
             CellKind::Aisle
@@ -70,13 +137,37 @@ impl PathCache {
         }
         self.grid.set_kind(pos, kind);
         self.obstacle_free = self.blocked == 0;
-        self.map.clear();
+        self.fields.clear();
+        let before = self.map.len();
+        if passable {
+            // Reopened cell: a cached path stays shortest unless a route
+            // through `pos` could undercut it (Manhattan lower-bounds true
+            // grid distance, so this keep-rule is sound).
+            self.map.retain(|&(a, b), entry| {
+                let steps = entry.path.len() as u64 - 1;
+                a.manhattan(pos) + pos.manhattan(b) >= steps
+            });
+        } else {
+            // Blocked cell: only paths that cross it die. The bloom filters
+            // most entries without scanning their cells.
+            let bit = cell_bit(pos);
+            self.map
+                .retain(|_, entry| entry.bloom & bit == 0 || !entry.path.contains(&pos));
+        }
+        self.partial_evictions += (before - self.map.len()) as u64;
         self.invalidations += 1;
     }
 
     /// Number of grid-mutation invalidations applied (diagnostics).
     pub fn invalidation_count(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Number of memoized paths evicted by grid mutations — strictly below
+    /// `invalidations × len` by construction, the point of partial
+    /// invalidation (diagnostics).
+    pub fn partial_evictions(&self) -> u64 {
+        self.partial_evictions
     }
 
     /// The splice threshold `L`.
@@ -97,23 +188,86 @@ impl PathCache {
         if !self.within_threshold(from, to) {
             return None;
         }
-        // Entry API would borrow `self.map` while we may need `self.grid`;
-        // use contains_key + insert to keep borrows disjoint.
+        // Entry API would borrow `self.map` while the miss path needs the
+        // grid and fields; use contains_key + insert to keep borrows
+        // disjoint.
         if !self.map.contains_key(&(from, to)) {
             self.misses += 1;
             let path = if self.obstacle_free {
                 Some(l_shaped_walk(from, to))
             } else {
-                bfs_path(&self.grid, from, to)
+                self.trace(from, to)
             };
             let path = path?;
             debug_assert_eq!(path.first(), Some(&from));
             debug_assert_eq!(path.last(), Some(&to));
-            self.map.insert((from, to), path.into_boxed_slice());
+            let bloom = path.iter().fold(0u64, |acc, &c| acc | cell_bit(c));
+            self.map.insert(
+                (from, to),
+                CacheEntry {
+                    path: path.into_boxed_slice(),
+                    bloom,
+                },
+            );
         } else {
             self.hits += 1;
         }
-        self.map.get(&(from, to)).map(|b| &b[..])
+        self.map.get(&(from, to)).map(|e| &e.path[..])
+    }
+
+    /// Walk the `to`-rooted step field from `from` (building or refreshing
+    /// the field first). `None` when unreachable.
+    fn trace(&mut self, from: GridPos, to: GridPos) -> Option<Vec<GridPos>> {
+        self.field_clock += 1;
+        let clock = self.field_clock;
+        let fi = match self.fields.iter().position(|f| f.goal == to) {
+            Some(fi) => {
+                self.fields[fi].stamp = clock;
+                fi
+            }
+            None => {
+                // Reuse the LRU slot once the cap is reached.
+                let fi = if self.fields.len() < FIELD_CAP {
+                    self.fields.push(StepField {
+                        goal: to,
+                        stamp: clock,
+                        step: Vec::new(),
+                    });
+                    self.fields.len() - 1
+                } else {
+                    let fi = self
+                        .fields
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, f)| f.stamp)
+                        .expect("cap >= 1")
+                        .0;
+                    self.fields[fi].goal = to;
+                    self.fields[fi].stamp = clock;
+                    fi
+                };
+                build_field(&self.grid, to, &mut self.fields[fi].step, &mut self.queue);
+                fi
+            }
+        };
+        let field = &self.fields[fi];
+        let width = self.grid.width();
+        let height = self.grid.height();
+        let mut code = field.step[from.to_index(width)];
+        if code == UNREACHED {
+            return None;
+        }
+        let mut path = Vec::with_capacity(from.manhattan(to) as usize + 1);
+        let mut cur = from;
+        path.push(cur);
+        while code != AT_GOAL {
+            cur = cur
+                .step(Direction::ALL[code as usize], width, height)
+                .expect("step fields never point off-grid");
+            path.push(cur);
+            code = field.step[cur.to_index(width)];
+        }
+        Some(path)
     }
 
     /// `(hits, misses)` counters (diagnostics).
@@ -132,16 +286,52 @@ impl PathCache {
     }
 }
 
+/// Destination-rooted BFS over passable cells: `step[cell]` becomes the
+/// direction of the first move of a shortest path toward `goal`
+/// (deterministic tie-breaking by [`Direction::ALL`] order and BFS level).
+fn build_field(grid: &GridMap, goal: GridPos, step: &mut Vec<u8>, queue: &mut VecDeque<GridPos>) {
+    let width = grid.width();
+    let height = grid.height();
+    step.clear();
+    step.resize(grid.cell_count(), UNREACHED);
+    queue.clear();
+    if !grid.passable(goal) {
+        return;
+    }
+    step[goal.to_index(width)] = AT_GOAL;
+    queue.push_back(goal);
+    while let Some(cur) = queue.pop_front() {
+        for (d, dir) in Direction::ALL.into_iter().enumerate() {
+            if let Some(next) = cur.step(dir, width, height) {
+                let i = next.to_index(width);
+                if step[i] == UNREACHED && grid.passable(next) {
+                    // First move from `next` toward the goal: back to `cur`.
+                    step[i] = Direction::ALL[d].opposite() as u8;
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+}
+
 impl MemoryFootprint for PathCache {
     fn memory_bytes(&self) -> usize {
         let key = std::mem::size_of::<(GridPos, GridPos)>();
-        let val = std::mem::size_of::<Box<[GridPos]>>();
+        let val = std::mem::size_of::<CacheEntry>();
         let entries: usize = self
             .map
             .values()
-            .map(|v| v.len() * std::mem::size_of::<GridPos>())
+            .map(|e| e.path.len() * std::mem::size_of::<GridPos>())
             .sum();
-        self.map.len() * (key + val + HASH_ENTRY_OVERHEAD) + entries
+        let fields: usize = self
+            .fields
+            .iter()
+            .map(|f| f.step.capacity() + std::mem::size_of::<StepField>())
+            .sum();
+        self.map.len() * (key + val + HASH_ENTRY_OVERHEAD)
+            + entries
+            + fields
+            + self.queue.capacity() * std::mem::size_of::<GridPos>()
     }
 }
 
@@ -159,40 +349,6 @@ fn l_shaped_walk(from: GridPos, to: GridPos) -> Vec<GridPos> {
         path.push(cur);
     }
     path
-}
-
-/// BFS shortest path on passable cells (both endpoints included).
-fn bfs_path(grid: &GridMap, from: GridPos, to: GridPos) -> Option<Vec<GridPos>> {
-    if !grid.passable(from) || !grid.passable(to) {
-        return None;
-    }
-    if from == to {
-        return Some(vec![from]);
-    }
-    let mut parent: HashMap<GridPos, GridPos> = HashMap::new();
-    let mut queue = VecDeque::new();
-    queue.push_back(from);
-    parent.insert(from, from);
-    while let Some(p) = queue.pop_front() {
-        for q in grid.passable_neighbors(p) {
-            if parent.contains_key(&q) {
-                continue;
-            }
-            parent.insert(q, p);
-            if q == to {
-                let mut path = vec![q];
-                let mut cur = q;
-                while cur != from {
-                    cur = parent[&cur];
-                    path.push(cur);
-                }
-                path.reverse();
-                return Some(path);
-            }
-            queue.push_back(q);
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -254,6 +410,42 @@ mod tests {
         for w in path.windows(2).collect::<Vec<_>>() {
             assert!(w[0].is_adjacent(w[1]));
         }
+        // The wall detour is exactly as long as the true shortest route.
+        assert_eq!(path.len(), 27, "3->11 down, cross, 11->0 up, 4 east + 1");
+    }
+
+    #[test]
+    fn field_reuse_across_froms_of_one_goal() {
+        let mut grid = open_grid();
+        grid.set_kind(p(5, 5), CellKind::Blocked);
+        let mut cache = PathCache::new(&grid, 64);
+        // Many froms, one goal: one destination-rooted field serves all.
+        for x in 0..12u16 {
+            for y in 0..12u16 {
+                if grid.passable(p(x, y)) {
+                    let path = cache.shortest(p(x, y), p(11, 11)).unwrap();
+                    assert_eq!(*path.last().unwrap(), p(11, 11));
+                }
+            }
+        }
+        assert_eq!(cache.fields.len(), 1, "a single goal builds one field");
+    }
+
+    #[test]
+    fn field_cap_is_lru() {
+        let mut grid = open_grid();
+        grid.set_kind(p(5, 5), CellKind::Blocked);
+        let mut cache = PathCache::new(&grid, 64);
+        for i in 0..(FIELD_CAP as u16 + 3) {
+            cache.shortest(p(0, 0), p(11, i)).unwrap();
+        }
+        assert_eq!(cache.fields.len(), FIELD_CAP, "cap respected");
+        // The most recent goals survive.
+        assert!(cache
+            .fields
+            .iter()
+            .any(|f| f.goal == p(11, FIELD_CAP as u16 + 2)));
+        assert!(!cache.fields.iter().any(|f| f.goal == p(11, 0)));
     }
 
     #[test]
@@ -279,10 +471,12 @@ mod tests {
         let straight = cache.shortest(p(3, 0), p(7, 0)).unwrap().len();
         assert_eq!(straight, 5);
         assert_eq!(cache.len(), 1);
-        // Blockade on the straight line: cache must drop and detour.
+        // Blockade on the straight line: the crossing entry must drop and
+        // the reroute must detour.
         cache.set_passable(p(5, 0), false);
-        assert_eq!(cache.len(), 0, "mutation clears memoized paths");
+        assert_eq!(cache.len(), 0, "crossing entry evicted");
         assert_eq!(cache.invalidation_count(), 1);
+        assert_eq!(cache.partial_evictions(), 1);
         let detour = cache.shortest(p(3, 0), p(7, 0)).unwrap().to_vec();
         assert!(detour.len() > straight);
         assert!(!detour.contains(&p(5, 0)), "never routes through blockade");
@@ -293,6 +487,33 @@ mod tests {
         cache.set_passable(p(5, 0), true);
         assert_eq!(cache.invalidation_count(), 2);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn blockade_eviction_is_partial() {
+        // A multi-path scenario: entries crossing the blockade die, the
+        // rest survive — the counter must stay strictly below what full
+        // invalidation would evict.
+        let mut cache = PathCache::new(&open_grid(), 64);
+        for y in 0..12u16 {
+            cache.shortest(p(0, y), p(11, y)).unwrap();
+        }
+        assert_eq!(cache.len(), 12);
+        cache.set_passable(p(5, 3), false);
+        assert_eq!(cache.len(), 11, "only the row-3 entry crossed the cell");
+        assert_eq!(cache.partial_evictions(), 1);
+        assert!(
+            cache.partial_evictions() < 12,
+            "partial eviction must beat the full flush"
+        );
+        // Unblocking evicts only entries a route through (5, 3) could
+        // shorten — for straight rows, exactly the row-3 replacement entry
+        // (its detour is longer than the through-route bound).
+        cache.shortest(p(0, 3), p(11, 3)).unwrap();
+        let survivors = cache.len();
+        cache.set_passable(p(5, 3), true);
+        assert_eq!(cache.len(), survivors - 1, "only the detour entry dies");
+        assert_eq!(cache.partial_evictions(), 2);
     }
 
     #[test]
@@ -319,5 +540,69 @@ mod tests {
                 prop_assert!(w[0].is_adjacent(w[1]));
             }
         }
+
+        /// Step-field traces on obstructed grids are true shortest paths
+        /// (cross-checked against a reference BFS), and partial
+        /// invalidation keeps every surviving entry exactly shortest on
+        /// the mutated grid.
+        #[test]
+        fn cached_paths_stay_shortest_under_mutation(
+            walls in proptest::collection::hash_set((1u16..11, 1u16..11), 0..14),
+            mutate in proptest::collection::vec((1u16..11, 1u16..11, 0u8..2), 1..4),
+            ax in 0u16..12, ay in 0u16..12, bx in 0u16..12, by in 0u16..12,
+        ) {
+            let mut grid = open_grid();
+            for &(x, y) in &walls {
+                grid.set_kind(p(x, y), CellKind::Blocked);
+            }
+            let mut cache = PathCache::new(&grid, 64);
+            let a = p(ax, ay);
+            let b = p(bx, by);
+            prop_assume!(grid.passable(a) && grid.passable(b));
+            // Seed a spread of entries, then mutate the grid a few times.
+            for y in 0..12u16 {
+                cache.shortest(p(0, y), b);
+            }
+            cache.shortest(a, b);
+            for &(x, y, open) in &mutate {
+                cache.set_passable(p(x, y), open == 1);
+            }
+            // Every surviving or rebuilt entry must match the reference
+            // BFS distance on the *current* grid.
+            if let Some(path) = cache.shortest(a, b).map(|s| s.to_vec()) {
+                for w in path.windows(2) {
+                    prop_assert!(w[0].is_adjacent(w[1]));
+                    prop_assert!(cache.grid.passable(w[1]));
+                }
+                let want = reference_bfs_len(&cache.grid, a, b);
+                prop_assert_eq!(Some(path.len()), want, "non-shortest cached path");
+            } else {
+                prop_assert_eq!(reference_bfs_len(&cache.grid, a, b), None);
+            }
+        }
+    }
+
+    /// Reference BFS path length (cells, both endpoints) for the proptest.
+    fn reference_bfs_len(grid: &GridMap, from: GridPos, to: GridPos) -> Option<usize> {
+        if !grid.passable(from) || !grid.passable(to) {
+            return None;
+        }
+        let mut dist: HashMap<GridPos, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(from, 1);
+        queue.push_back(from);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[&cur];
+            if cur == to {
+                return Some(d);
+            }
+            for q in grid.passable_neighbors(cur) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(q) {
+                    e.insert(d + 1);
+                    queue.push_back(q);
+                }
+            }
+        }
+        None
     }
 }

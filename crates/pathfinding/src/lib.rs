@@ -20,7 +20,7 @@
 //! conflict-free. The search core runs on a reusable [`scratch::SearchScratch`]
 //! arena — dense generation-stamped state tables plus a dial (bucket) open
 //! list — so a warmed-up planner plans with **zero per-query heap
-//! allocations**; [`reference`] preserves the seed HashMap/BinaryHeap
+//! allocations**; [`mod@reference`] preserves the seed HashMap/BinaryHeap
 //! implementation as the measured baseline (see `BENCH_astar.json`).
 //!
 //! [`knn::KNearestRacks`] provides the per-cell K-closest-rack index backing
@@ -36,6 +36,7 @@ pub mod knn;
 pub mod path;
 mod proptests;
 pub mod reference;
+pub mod reference_cdt;
 pub mod reservation;
 pub mod scratch;
 pub mod stg;

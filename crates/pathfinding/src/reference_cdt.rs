@@ -1,0 +1,239 @@
+//! The pre-pool conflict detection table, preserved as the measured
+//! baseline (same pattern as [`crate::reference`] for A* and
+//! `ReferenceDistanceOracle` for `d(·,·)`).
+//!
+//! One heap-allocated sorted `Vec<(Tick, RobotId)>` per cell: every cell
+//! pays a 24-byte `Vec` header whether or not it ever holds a reservation,
+//! `can_move` binary-searches through a pointer indirection, and GC shrinks
+//! per-cell buffers individually. [`crate::cdt::ConflictDetectionTable`]
+//! replaces this layout with an indexed small-vec window pool; the two must
+//! answer every query identically (property-tested in `cdt.rs`), and
+//! `bench_cdt` records the speedup in `BENCH_cdt.json`.
+
+use crate::footprint::MemoryFootprint;
+use crate::path::Path;
+use crate::reservation::{ParkingBoard, ReservationSystem};
+use tprw_warehouse::{GridPos, RobotId, Tick};
+
+/// Per-cell sorted reservation windows, one heap `Vec` per cell.
+#[derive(Debug, Clone)]
+pub struct ReferenceConflictDetectionTable {
+    width: u16,
+    cells: Vec<Vec<(Tick, RobotId)>>,
+    parked: ParkingBoard,
+    reservations: usize,
+}
+
+impl ReferenceConflictDetectionTable {
+    /// Create an empty table for a `width`×`height` grid.
+    pub fn new(width: u16, height: u16) -> Self {
+        Self {
+            width,
+            cells: vec![Vec::new(); width as usize * height as usize],
+            parked: ParkingBoard::new(width, height),
+            reservations: 0,
+        }
+    }
+
+    /// Insert a single timed reservation.
+    pub fn insert(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        let window = &mut self.cells[pos.to_index(self.width)];
+        if insert_sorted(window, t, robot) {
+            self.reservations += 1;
+        }
+    }
+
+    /// The paper's `update` operation: drop all reservations strictly before
+    /// `t`. Alias of [`ReservationSystem::release_before`].
+    pub fn update(&mut self, t: Tick) {
+        self.release_before(t);
+    }
+
+    /// The timed occupant of `pos` at `t` (ignoring parked robots).
+    #[inline]
+    fn timed_occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
+        let window = &self.cells[pos.to_index(self.width)];
+        let i = window.partition_point(|e| e.0 < t);
+        (i < window.len() && window[i].0 == t).then(|| window[i].1)
+    }
+}
+
+/// Insert `(t, robot)` keeping `window` sorted; returns whether a new entry
+/// was added. Path steps arrive in ascending tick order, so probe the tail
+/// first: the common case is a straight append.
+#[inline]
+fn insert_sorted(window: &mut Vec<(Tick, RobotId)>, t: Tick, robot: RobotId) -> bool {
+    if let Some(&(last, _)) = window.last() {
+        if t > last {
+            window.push((t, robot));
+            return true;
+        }
+    } else {
+        window.push((t, robot));
+        return true;
+    }
+    let i = window.partition_point(|e| e.0 < t);
+    if i < window.len() && window[i].0 == t {
+        debug_assert!(
+            window[i].1 == robot,
+            "double reservation at tick {t} by {} vs {robot}",
+            window[i].1
+        );
+        return false;
+    }
+    window.insert(i, (t, robot));
+    true
+}
+
+impl ReservationSystem for ReferenceConflictDetectionTable {
+    fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
+        self.timed_occupant(pos, t)
+            .or_else(|| self.parked.occupant(pos, t))
+    }
+
+    /// Specialization of the trait default: the `t`/`t+1` occupants of `to`
+    /// share one binary search because consecutive ticks are adjacent in the
+    /// sorted window.
+    fn can_move(&self, robot: RobotId, from: GridPos, to: GridPos, t: Tick) -> bool {
+        let window = &self.cells[to.to_index(self.width)];
+        let i = window.partition_point(|e| e.0 < t);
+        let to_now_timed = (i < window.len() && window[i].0 == t).then(|| window[i].1);
+        let j = i + usize::from(to_now_timed.is_some());
+        let to_next_timed = (j < window.len() && window[j].0 == t + 1).then(|| window[j].1);
+
+        let to_next = to_next_timed.or_else(|| self.parked.occupant(to, t + 1));
+        if to_next.is_some_and(|x| x != robot) {
+            return false; // single-grid conflict
+        }
+        if from != to {
+            // inter-grid (swap) conflict: someone sits on `to` now and will
+            // be on `from` next tick.
+            let there_now = to_now_timed.or_else(|| self.parked.occupant(to, t));
+            let here_next = self.occupant(from, t + 1);
+            if let (Some(x), Some(y)) = (there_now, here_next) {
+                if x == y && x != robot {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
+        self.parked.unpark(robot);
+        for (t, cell) in path.iter_timed() {
+            let window = &mut self.cells[cell.to_index(self.width)];
+            if insert_sorted(window, t, robot) {
+                self.reservations += 1;
+            }
+        }
+        if park_at_end {
+            self.parked.park(robot, path.last(), path.end() + 1);
+        }
+    }
+
+    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
+        self.cells[pos.to_index(self.width)]
+            .iter()
+            .rev()
+            .find(|&&(_, r)| r != robot)
+            .map(|&(t, _)| t)
+    }
+
+    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
+        self.parked.entry(pos)
+    }
+
+    fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {
+        self.parked.park(robot, pos, from);
+    }
+
+    fn unpark(&mut self, robot: RobotId) {
+        self.parked.unpark(robot);
+    }
+
+    fn release_robot(&mut self, robot: RobotId) {
+        // Rare exception path (breakdown / blockade invalidation): one
+        // retain pass over the per-cell windows, keeping each window sorted.
+        for window in &mut self.cells {
+            let before = window.len();
+            window.retain(|&(_, r)| r != robot);
+            self.reservations -= before - window.len();
+        }
+    }
+
+    fn release_before(&mut self, t: Tick) {
+        for window in &mut self.cells {
+            if window.is_empty() {
+                continue;
+            }
+            // Keep [t, ..); drop (.., t).
+            let cut = window.partition_point(|e| e.0 < t);
+            if cut > 0 {
+                window.drain(..cut);
+                self.reservations -= cut;
+            }
+            // Amortized compaction: GC is the only shrink point. Windows
+            // sitting far above their live tail return the memory; windows
+            // near their high water keep capacity for allocation-free reuse.
+            let target = (window.len() * 2).max(4);
+            if window.capacity() > target * 2 {
+                window.shrink_to(target);
+            }
+        }
+    }
+
+    fn reservation_count(&self) -> usize {
+        self.reservations
+    }
+}
+
+impl MemoryFootprint for ReferenceConflictDetectionTable {
+    fn memory_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(Tick, RobotId)>();
+        let base = self.cells.len() * std::mem::size_of::<Vec<(Tick, RobotId)>>();
+        let windows: usize = self.cells.iter().map(|w| w.capacity() * entry).sum();
+        base + windows + self.parked.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    #[test]
+    fn reference_basic_roundtrip() {
+        let mut c = ReferenceConflictDetectionTable::new(8, 8);
+        let r = RobotId::new(1);
+        c.reserve_path(
+            r,
+            &Path {
+                start: 3,
+                cells: vec![p(0, 0), p(1, 0), p(2, 0)],
+            },
+            true,
+        );
+        assert_eq!(c.occupant(p(0, 0), 3), Some(r));
+        assert_eq!(c.occupant(p(1, 0), 4), Some(r));
+        assert_eq!(c.reservation_count(), 3);
+        assert_eq!(c.occupant(p(2, 0), 99), Some(r), "parks after end");
+        c.release_before(4);
+        assert_eq!(c.reservation_count(), 2);
+        c.release_robot(r);
+        assert_eq!(c.reservation_count(), 0);
+    }
+
+    #[test]
+    fn reference_keeps_vec_header_cost() {
+        // The baseline's defining property: 24 B of `Vec` header per cell
+        // even while completely empty — exactly what the pooled CDT removes
+        // from the spill side and what `bench_cdt` measures against.
+        let c = ReferenceConflictDetectionTable::new(10, 10);
+        let headers = 100 * std::mem::size_of::<Vec<(Tick, RobotId)>>();
+        assert_eq!(c.memory_bytes(), headers + 100 * 8);
+    }
+}

@@ -9,9 +9,10 @@
 //!
 //! [`ParkingBoard`] is the shared parked-robot index. Because `occupant` is
 //! probed on every A* expansion (the `can_move` fallthrough), it stores
-//! parked robots in **dense per-cell arrays** (`u32::MAX` = empty) rather
-//! than a `HashMap`: the hot read is a bounds-checked array load. The
-//! rarely-used robot→cell side stays a small `HashMap`.
+//! parked robots in **one packed `u64` per cell** (robot in the high half,
+//! start tick in the low) rather than a `HashMap`: the hot read is a single
+//! bounds-checked array load touching a single cache line. The rarely-used
+//! robot→cell side stays a small `HashMap`.
 
 use crate::footprint::HASH_ENTRY_OVERHEAD;
 use crate::path::Path;
@@ -83,8 +84,11 @@ pub trait ReservationSystem {
     fn reservation_count(&self) -> usize;
 }
 
-/// Sentinel for "no robot" in the dense cell array.
+/// Sentinel for "no robot" in the packed robot half-word.
 const EMPTY: u32 = u32::MAX;
+
+/// A cell with no parked robot: sentinel robot, zero start tick.
+const EMPTY_CELL: u64 = (EMPTY as u64) << 32;
 
 /// Largest parking start tick the `u32` cell encoding can hold. Horizons in
 /// the paper's datasets are ~10⁵ ticks, so four billion is far out of reach;
@@ -92,18 +96,17 @@ const EMPTY: u32 = u32::MAX;
 pub const MAX_PARK_TICK: Tick = u32::MAX as Tick;
 
 /// Shared bookkeeping for parked (indefinitely stationary) robots, used by
-/// both reservation-system implementations. Cell-indexed dense arrays make
-/// the per-expansion `occupant` probe branch-light; both per-cell columns
-/// are `u32` (8 B/cell total — the Fig. 12 fixed cost charged to every
-/// planner), with start ticks stored as `u32` under the [`MAX_PARK_TICK`]
-/// guard instead of full 8-byte [`Tick`]s.
+/// both reservation-system implementations. Each cell is **one packed
+/// `u64`** — the parked robot in the high half (sentinel = none), the
+/// `u32` start tick in the low half under the [`MAX_PARK_TICK`] guard — so
+/// the per-expansion `occupant` probe is a single bounds-checked load of a
+/// single cache line (8 B/cell total, the Fig. 12 fixed cost charged to
+/// every planner). The rarely-used robot→cell side stays a small `HashMap`.
 #[derive(Debug, Clone)]
 pub struct ParkingBoard {
     width: u16,
-    /// Parked robot per cell (`EMPTY` = none).
-    robot: Vec<u32>,
-    /// Tick the parking starts, as `u32` (valid only where `robot` is set).
-    from: Vec<u32>,
+    /// Packed parked entry per cell: `robot << 32 | start tick`.
+    cells: Vec<u64>,
     /// Reverse index for `unpark`/re-`park` (rare operations).
     by_robot: HashMap<RobotId, GridPos>,
 }
@@ -114,8 +117,7 @@ impl ParkingBoard {
         let cells = width as usize * height as usize;
         Self {
             width,
-            robot: vec![EMPTY; cells],
-            from: vec![0; cells],
+            cells: vec![EMPTY_CELL; cells],
             by_robot: HashMap::new(),
         }
     }
@@ -123,9 +125,9 @@ impl ParkingBoard {
     /// The robot parked on `pos` at tick `t`, if any.
     #[inline]
     pub fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
-        let i = pos.to_index(self.width);
-        let r = self.robot[i];
-        if r != EMPTY && t >= self.from[i] as Tick {
+        let e = self.cells[pos.to_index(self.width)];
+        let r = (e >> 32) as u32;
+        if r != EMPTY && t >= (e as u32) as Tick {
             Some(RobotId::from(r))
         } else {
             None
@@ -135,9 +137,9 @@ impl ParkingBoard {
     /// The parked occupant of `pos` regardless of start tick.
     #[inline]
     pub fn entry(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
-        let i = pos.to_index(self.width);
-        let r = self.robot[i];
-        (r != EMPTY).then(|| (RobotId::from(r), self.from[i] as Tick))
+        let e = self.cells[pos.to_index(self.width)];
+        let r = (e >> 32) as u32;
+        (r != EMPTY).then(|| (RobotId::from(r), (e as u32) as Tick))
     }
 
     /// Park `robot` at `pos` from `from` onward, replacing any previous
@@ -155,8 +157,9 @@ impl ParkingBoard {
              (MAX_PARK_TICK = {MAX_PARK_TICK})"
         );
         let i = pos.to_index(self.width);
-        if self.robot[i] != EMPTY {
-            let other = RobotId::from(self.robot[i]);
+        let occupant = (self.cells[i] >> 32) as u32;
+        if occupant != EMPTY {
+            let other = RobotId::from(occupant);
             assert_eq!(
                 other, robot,
                 "cell {pos} already holds parked robot {other}, cannot park {robot}"
@@ -164,21 +167,20 @@ impl ParkingBoard {
         }
         if let Some(old) = self.by_robot.insert(robot, pos) {
             if old != pos {
-                self.robot[old.to_index(self.width)] = EMPTY;
+                self.cells[old.to_index(self.width)] = EMPTY_CELL;
             }
         }
         debug_assert!(
             (robot.index() as u32) < EMPTY,
             "robot id reserved as sentinel"
         );
-        self.robot[i] = robot.index() as u32;
-        self.from[i] = from as u32;
+        self.cells[i] = ((robot.index() as u64) << 32) | (from as u32) as u64;
     }
 
     /// Remove `robot`'s parking reservation, if any.
     pub fn unpark(&mut self, robot: RobotId) {
         if let Some(pos) = self.by_robot.remove(&robot) {
-            self.robot[pos.to_index(self.width)] = EMPTY;
+            self.cells[pos.to_index(self.width)] = EMPTY_CELL;
         }
     }
 
@@ -192,12 +194,11 @@ impl ParkingBoard {
         self.by_robot.is_empty()
     }
 
-    /// Approximate heap bytes held: the dense arrays (8 B/cell) plus the
-    /// reverse index.
+    /// Approximate heap bytes held: the packed cell array (8 B/cell) plus
+    /// the reverse index.
     pub fn memory_bytes(&self) -> usize {
         let robot_entry = std::mem::size_of::<(RobotId, GridPos)>() + HASH_ENTRY_OVERHEAD;
-        (self.robot.capacity() + self.from.capacity()) * std::mem::size_of::<u32>()
-            + self.by_robot.len() * robot_entry
+        self.cells.capacity() * std::mem::size_of::<u64>() + self.by_robot.len() * robot_entry
     }
 }
 
@@ -261,8 +262,8 @@ mod tests {
     #[test]
     fn memory_accounts_dense_arrays() {
         let b = ParkingBoard::new(10, 10);
-        // 100 cells × (4-byte robot + 4-byte tick offset) exactly while the
-        // reverse index is empty — the Fig. 12 fixed cost per cell.
+        // 100 cells × one packed 8-byte word exactly while the reverse
+        // index is empty — the Fig. 12 fixed cost per cell.
         assert_eq!(b.memory_bytes(), 100 * 8);
         let mut c = b.clone();
         c.park(RobotId::new(0), p(0, 0), 0);

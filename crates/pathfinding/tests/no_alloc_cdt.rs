@@ -1,0 +1,117 @@
+//! Steady-state allocation test for the pooled conflict detection table.
+//!
+//! A counting global allocator wraps `System`; after a warm-up that spills
+//! a working set of windows into the arena and releases them again, a
+//! steady-state churn cycle — reserve paths (spilling through the free
+//! lists), probe `can_move` heavily, release the robots, GC — must perform
+//! **zero** heap allocations: inline windows live in the cell slots, spills
+//! are served from the pool's free lists, and `can_move` itself is
+//! read-only. This is the acceptance bar of the window-pool rewrite: the
+//! reference layout re-allocates per-cell `Vec` buffers whenever a window's
+//! high water mark moves.
+//!
+//! This file intentionally holds a single `#[test]` so no concurrent test
+//! thread can pollute the allocation counters (same discipline as
+//! `no_alloc.rs` for the A* arena).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
+use tprw_warehouse::{GridPos, RobotId};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static REALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_events() -> usize {
+    ALLOCS.load(Ordering::Relaxed) + REALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warmed_up_cdt_churn_does_not_allocate() {
+    let (w, h) = (32u16, 32u16);
+    let mut cdt = ConflictDetectionTable::new(w, h);
+
+    // Three robots per row on two rows: every crossed cell collects three
+    // same-GC-period reservations, past the inline capacity, so each cycle
+    // spills 32 windows into the arena (and releases them again). Paths are
+    // pre-built so the measured loop touches only the table.
+    let paths: Vec<(RobotId, Path)> = (0..6usize)
+        .map(|r| {
+            let row = (r % 2) as u16;
+            let cells: Vec<GridPos> = (0..16u16).map(|x| GridPos::new(x, row)).collect();
+            (
+                RobotId::new(r),
+                Path {
+                    start: (r as u64) * 20,
+                    cells,
+                },
+            )
+        })
+        .collect();
+
+    let churn = |cdt: &mut ConflictDetectionTable| {
+        for (robot, path) in &paths {
+            cdt.reserve_path(*robot, path, false);
+        }
+        // The hot probe: every A* expansion funnels through can_move.
+        let mut allowed = 0usize;
+        for t in 0..40u64 {
+            for x in 0..16u16 {
+                for row in 0..2u16 {
+                    let from = GridPos::new(x, 2);
+                    let to = GridPos::new(x, row);
+                    allowed += usize::from(cdt.can_move(RobotId::new(99), from, to, t));
+                }
+            }
+        }
+        for (robot, _) in &paths {
+            cdt.release_robot(*robot);
+        }
+        cdt.release_before(1_000);
+        allowed
+    };
+
+    // Warm-up: the pool grows to the workload's high-water mark and the
+    // released runs settle on the free lists.
+    let warm = churn(&mut cdt);
+    assert!(warm > 0, "probe mix must include allowed moves");
+    assert_eq!(churn(&mut cdt), warm, "churn is deterministic");
+    assert_eq!(cdt.reservation_count(), 0);
+
+    let before = allocation_events();
+    let mut total = 0usize;
+    for _ in 0..5 {
+        total += churn(&mut cdt);
+    }
+    let after = allocation_events();
+
+    assert_eq!(total, warm * 5);
+    assert_eq!(
+        after - before,
+        0,
+        "warmed-up CDT churn (reserve + can_move + release + GC) must not \
+         allocate (got {} events)",
+        after - before
+    );
+}

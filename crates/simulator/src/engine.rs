@@ -49,11 +49,18 @@
 //!   item is committed toward a closed station. Robots already queuing stay
 //!   queued; return legs still undock (leaving needs no picker). Reopening
 //!   resumes the queue where it stopped.
+//! * **Rack removal** — the rack leaves the floor: it is withheld from
+//!   selection and planners drop it from their K-nearest indexes
+//!   (`KNearestRacks::set_alive` + lazy rebuild). Application *defers*
+//!   while the rack is in flight — a robot fetching, carrying or returning
+//!   it finishes its cycle first — and a restore withdraws a still-deferred
+//!   removal. Items that arrive on a removed rack accumulate and wait.
 //!
 //! Under `validate`, the engine additionally counts any robot standing on a
-//! blockaded cell and any plan naming a broken robot or a closed station's
-//! rack into [`SimulationReport::disruption_violations`] — the invariant
-//! tests pin this to zero.
+//! blockaded cell and any plan naming a broken robot, a closed station's
+//! rack or a removed rack into
+//! [`SimulationReport::disruption_violations`] — the invariant tests pin
+//! this to zero.
 
 use crate::metrics::{Checkpoint, MetricsCollector};
 use crate::report::SimulationReport;
@@ -136,6 +143,8 @@ struct Engine<'a> {
     broken: Vec<bool>,
     /// Per-picker closed flag (station outages).
     closed: Vec<bool>,
+    /// Per-rack removed flag (racks taken off the floor).
+    removed: Vec<bool>,
     /// Per-cell disruption-blockade overlay (static grid walls excluded).
     blocked_overlay: Vec<bool>,
     /// Cursor into the instance's sorted disruption schedule.
@@ -143,11 +152,16 @@ struct Engine<'a> {
     /// Blockades whose cell was occupied at their scheduled tick; they land
     /// as soon as the cell clears (or are withdrawn by their unblock).
     deferred_blockades: Vec<GridPos>,
+    /// Rack removals whose rack was in flight at their scheduled tick; they
+    /// land once the rack is back home (or are withdrawn by their restore).
+    deferred_removals: Vec<RackId>,
     /// Scratch for the path-invalidation cascade: cells newly claimed by
     /// frozen robots (or a fresh blockade) whose crossing paths must cancel.
     freeze_queue: Vec<GridPos>,
     /// Disruption events applied (deferred blockades count when they land).
     events_applied: usize,
+    /// Events that had to defer at least once (see the report field).
+    events_deferred: usize,
     /// Safety violations under disruption (must stay 0; see module docs).
     disruption_violations: usize,
     /// Per-tick scratch: stations that already undocked a robot this tick.
@@ -205,11 +219,14 @@ impl<'a> Engine<'a> {
             needs_replan: Vec::new(),
             broken: vec![false; instance.robots.len()],
             closed: vec![false; instance.pickers.len()],
+            removed: vec![false; instance.racks.len()],
             blocked_overlay: vec![false; instance.grid.cell_count()],
             next_event: 0,
             deferred_blockades: Vec::new(),
+            deferred_removals: Vec::new(),
             freeze_queue: Vec::new(),
             events_applied: 0,
+            events_deferred: 0,
             disruption_violations: 0,
             used_stations: vec![false; instance.pickers.len()],
             idle_buf: Vec::with_capacity(instance.robots.len()),
@@ -284,6 +301,7 @@ impl<'a> Engine<'a> {
             bottleneck: std::mem::take(&mut self.metrics.bottleneck),
             executed_conflicts: self.validator.conflict_count(),
             events_applied: self.events_applied,
+            events_deferred: self.events_deferred,
             disruption_violations: self.disruption_violations,
             planner_stats: stats,
         }
@@ -298,16 +316,26 @@ impl<'a> Engine<'a> {
     /// blockades whose cell has cleared). See the module docs for the
     /// semantics of each event kind.
     fn step_events(&mut self, t: Tick, planner: &mut dyn Planner) {
-        if self.next_event >= self.instance.disruptions.len() && self.deferred_blockades.is_empty()
+        if self.next_event >= self.instance.disruptions.len()
+            && self.deferred_blockades.is_empty()
+            && self.deferred_removals.is_empty()
         {
             return;
         }
-        // Deferred blockades land first, in their original order.
+        // Deferred blockades and removals land first, in original order.
         if !self.deferred_blockades.is_empty() {
             let deferred = std::mem::take(&mut self.deferred_blockades);
             for pos in deferred {
                 if !self.try_block_cell(pos, t, planner) {
                     self.deferred_blockades.push(pos);
+                }
+            }
+        }
+        if !self.deferred_removals.is_empty() {
+            let deferred = std::mem::take(&mut self.deferred_removals);
+            for rack in deferred {
+                if !self.try_remove_rack(rack, t, planner) {
+                    self.deferred_removals.push(rack);
                 }
             }
         }
@@ -360,6 +388,7 @@ impl<'a> Engine<'a> {
             }
             DisruptionEvent::CellBlocked { pos } => {
                 if !self.try_block_cell(pos, t, planner) {
+                    self.events_deferred += 1;
                     self.deferred_blockades.push(pos);
                 }
             }
@@ -393,7 +422,41 @@ impl<'a> Engine<'a> {
                     planner.on_disruption(&event, t);
                 }
             }
+            DisruptionEvent::RackRemoved { rack } => {
+                if !self.try_remove_rack(rack, t, planner) {
+                    self.events_deferred += 1;
+                    self.deferred_removals.push(rack);
+                }
+            }
+            DisruptionEvent::RackRestored { rack } => {
+                // A removal still waiting for its rack is simply withdrawn.
+                if let Some(i) = self.deferred_removals.iter().position(|&r| r == rack) {
+                    self.deferred_removals.remove(i);
+                    return;
+                }
+                let ri = rack.index();
+                if self.removed[ri] {
+                    self.removed[ri] = false;
+                    self.events_applied += 1;
+                    planner.on_disruption(&event, t);
+                }
+            }
         }
+    }
+
+    /// Apply a rack removal unless the rack is in flight (a robot is
+    /// fetching, carrying or returning it — the caller then defers it).
+    /// Pending items stay on the rack and wait for its restoration.
+    fn try_remove_rack(&mut self, rack: RackId, t: Tick, planner: &mut dyn Planner) -> bool {
+        let ri = rack.index();
+        if self.racks[ri].in_flight {
+            return false;
+        }
+        debug_assert!(!self.removed[ri], "schedules alternate per rack");
+        self.removed[ri] = true;
+        self.events_applied += 1;
+        planner.on_disruption(&DisruptionEvent::RackRemoved { rack }, t);
+        true
     }
 
     /// Apply a blockade to `pos` unless an on-grid robot stands there (the
@@ -799,9 +862,10 @@ impl<'a> Engine<'a> {
         }
         self.selectable_buf.clear();
         for r in &self.racks {
-            // Racks bound to a closed station are withheld: no item is ever
-            // committed toward a picker that cannot serve it.
-            if r.selectable() && !self.closed[r.picker.index()] {
+            // Racks bound to a closed station are withheld (no item is ever
+            // committed toward a picker that cannot serve it), as are racks
+            // removed from the floor.
+            if r.selectable() && !self.closed[r.picker.index()] && !self.removed[r.id.index()] {
                 self.selectable_buf.push(r.id);
             }
         }
@@ -824,11 +888,15 @@ impl<'a> Engine<'a> {
                 self.racks[plan.rack.index()].selectable(),
                 "planner selected an unavailable rack"
             );
-            if self.broken[ai] || self.closed[self.racks[plan.rack.index()].picker.index()] {
+            if self.broken[ai]
+                || self.closed[self.racks[plan.rack.index()].picker.index()]
+                || self.removed[plan.rack.index()]
+            {
                 // The planner ignored the filtered world view: a broken
-                // robot or a closed station's rack was named. Count the
-                // violation and drop the plan (its reservation leaks, but
-                // this path only exists to expose planner bugs).
+                // robot, a closed station's rack or a removed rack was
+                // named. Count the violation and drop the plan (its
+                // reservation leaks, but this path only exists to expose
+                // planner bugs).
                 self.disruption_violations += 1;
                 continue;
             }
@@ -1165,6 +1233,94 @@ mod tests {
             report.events_applied >= 1,
             "the deferred blockade must land once the spawn cell clears"
         );
+        assert!(
+            report.events_deferred >= 1,
+            "the spawn cell is occupied at tick 0, so the blockade defers"
+        );
+    }
+
+    #[test]
+    fn rack_removal_withholds_selection_until_restore() {
+        use tprw_warehouse::{DisruptionEvent, TimedEvent};
+        let mut inst = small_instance(20, 42);
+        // Every rack leaves the floor before the first item can emerge and
+        // returns at tick 300: no fulfilment cycle can *start* in between,
+        // so completion must outlast the restoration, with zero violations
+        // (the planner never names a removed rack).
+        for i in 0..inst.racks.len() {
+            inst.disruptions.push(TimedEvent {
+                t: 0,
+                event: DisruptionEvent::RackRemoved {
+                    rack: RackId::new(i),
+                },
+            });
+        }
+        for i in 0..inst.racks.len() {
+            inst.disruptions.push(TimedEvent {
+                t: 300,
+                event: DisruptionEvent::RackRestored {
+                    rack: RackId::new(i),
+                },
+            });
+        }
+        let report = run_default(&inst);
+        assert!(report.completed, "restoration must unblock the floor");
+        assert_eq!(report.items_processed, 20);
+        assert_eq!(report.disruption_violations, 0);
+        assert_eq!(report.events_applied, 2 * inst.racks.len());
+        assert!(
+            report.makespan > 300,
+            "nothing can be fetched while every rack is removed (makespan {})",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn rack_removal_defers_while_in_flight() {
+        use tprw_warehouse::{DisruptionEvent, TimedEvent};
+        let inst = small_instance(20, 42);
+        // Find a tick at which some rack is in flight on the clean run, then
+        // schedule its removal exactly then: the removal must defer until
+        // the robot brings the rack home, and the run still completes with
+        // every item served (the in-flight batch is never lost).
+        let baseline = run_default(&inst);
+        assert!(baseline.rack_trips > 0);
+        let mut disrupted = inst.clone();
+        // Rack trips exist, so some rack is in flight in the first half of
+        // the run; removing *all* racks mid-run guarantees at least one
+        // removal hits an in-flight rack and must defer.
+        let mid = baseline.makespan / 2;
+        for i in 0..disrupted.racks.len() {
+            disrupted.disruptions.push(TimedEvent {
+                t: mid,
+                event: DisruptionEvent::RackRemoved {
+                    rack: RackId::new(i),
+                },
+            });
+        }
+        for i in 0..disrupted.racks.len() {
+            disrupted.disruptions.push(TimedEvent {
+                t: mid + 200,
+                event: DisruptionEvent::RackRestored {
+                    rack: RackId::new(i),
+                },
+            });
+        }
+        let report = run_default(&disrupted);
+        assert!(report.completed);
+        assert_eq!(report.items_processed, 20, "in-flight batches survive");
+        assert_eq!(report.disruption_violations, 0);
+        assert_eq!(report.executed_conflicts, 0);
+        assert_eq!(
+            report.events_applied,
+            2 * disrupted.racks.len(),
+            "every removal eventually lands (deferred ones included)"
+        );
+        assert!(
+            report.events_deferred > 0,
+            "some rack must have been in flight mid-run, so the deferral \
+             path must actually run"
+        );
     }
 
     #[test]
@@ -1184,6 +1340,8 @@ mod tests {
                 blockade_ticks: (40, 90),
                 closures: 1,
                 closure_ticks: (30, 60),
+                removals: 2,
+                removal_ticks: (30, 60),
                 window: (10, 120),
             }),
             seed: 7,

@@ -46,9 +46,12 @@ pub struct SimulationReport {
     pub bottleneck: Vec<BottleneckSample>,
     /// Conflicts observed by the independent validator (must be 0).
     pub executed_conflicts: usize,
-    /// Disruption events applied during the run (deferred blockades count
-    /// when they land; 0 for static scenarios).
+    /// Disruption events applied during the run (deferred blockades and
+    /// rack removals count when they land; 0 for static scenarios).
     pub events_applied: usize,
+    /// Disruption events that had to defer at least once (a blockade whose
+    /// cell was occupied, a removal whose rack was in flight).
+    pub events_deferred: usize,
     /// Disruption-safety violations: a robot occupying a blockaded cell, or
     /// a plan naming a broken robot / a closed station's rack (must be 0).
     pub disruption_violations: usize,
@@ -85,6 +88,8 @@ pub struct DeterministicFingerprint {
     pub executed_conflicts: usize,
     /// Disruption events applied.
     pub events_applied: usize,
+    /// Disruption events that deferred at least once.
+    pub events_deferred: usize,
     /// Disruption-safety violations.
     pub disruption_violations: usize,
     /// Checkpoint series: `(items, t, ppr bits, rwr bits)`.
@@ -110,6 +115,7 @@ impl SimulationReport {
             robot_busy_rate_bits: self.robot_busy_rate.to_bits(),
             executed_conflicts: self.executed_conflicts,
             events_applied: self.events_applied,
+            events_deferred: self.events_deferred,
             disruption_violations: self.disruption_violations,
             checkpoints: self
                 .checkpoints
@@ -222,6 +228,7 @@ mod tests {
             }],
             executed_conflicts: 0,
             events_applied: 0,
+            events_deferred: 0,
             disruption_violations: 0,
             planner_stats: PlannerStats::default(),
         }

@@ -15,7 +15,11 @@
 //!   planned path through it, and later reopens;
 //! * [`DisruptionEvent::StationClosed`] / [`DisruptionEvent::StationReopened`]
 //!   — a picker walks away: processing pauses and the planner must stop
-//!   routing new racks to that station until it reopens.
+//!   routing new racks to that station until it reopens;
+//! * [`DisruptionEvent::RackRemoved`] / [`DisruptionEvent::RackRestored`]
+//!   — a rack is taken off the floor (maintenance, re-slotting): it leaves
+//!   the selectable pool, its pending items wait, and planners drop it from
+//!   their K-nearest indexes until it is restored.
 //!
 //! Events are either *scripted* (an explicit [`TimedEvent`] list on the
 //! [`crate::scenario::Instance`]) or *generated* from a [`DisruptionConfig`]
@@ -31,7 +35,7 @@
 
 use crate::geometry::GridPos;
 use crate::grid::{CellKind, GridMap};
-use crate::ids::{PickerId, RobotId};
+use crate::ids::{PickerId, RackId, RobotId};
 use crate::time::Tick;
 use crate::workload::sample_without_replacement;
 use rand::Rng;
@@ -77,6 +81,20 @@ pub enum DisruptionEvent {
         /// The reopening picker.
         picker: PickerId,
     },
+    /// Rack `rack` is taken off the floor: it cannot be selected and
+    /// planners drop it from their nearest-rack indexes. Application is
+    /// deferred while the rack is in flight (a robot is fetching, carrying
+    /// or returning it), so a rack never vanishes from under a robot.
+    /// Pending items stay on the rack and wait for restoration.
+    RackRemoved {
+        /// The removed rack.
+        rack: RackId,
+    },
+    /// Rack `rack` returns to its home cell and re-enters selection.
+    RackRestored {
+        /// The restored rack.
+        rack: RackId,
+    },
 }
 
 impl DisruptionEvent {
@@ -89,6 +107,8 @@ impl DisruptionEvent {
             DisruptionEvent::CellUnblocked { pos } => format!("unblock {pos}"),
             DisruptionEvent::StationClosed { picker } => format!("close {picker}"),
             DisruptionEvent::StationReopened { picker } => format!("reopen {picker}"),
+            DisruptionEvent::RackRemoved { rack } => format!("remove {rack}"),
+            DisruptionEvent::RackRestored { rack } => format!("restore {rack}"),
         }
     }
 }
@@ -122,6 +142,11 @@ pub struct DisruptionConfig {
     pub closures: usize,
     /// `[min, max]` closure duration in ticks.
     pub closure_ticks: (Tick, Tick),
+    /// Number of rack removals (each rack is removed at most once; capped
+    /// at the rack count).
+    pub removals: usize,
+    /// `[min, max]` removal duration in ticks.
+    pub removal_ticks: (Tick, Tick),
     /// `[t0, t1]` window over which disruption *start* ticks are drawn.
     pub window: (Tick, Tick),
 }
@@ -136,6 +161,8 @@ impl DisruptionConfig {
             blockade_ticks: (1, 1),
             closures: 0,
             closure_ticks: (1, 1),
+            removals: 0,
+            removal_ticks: (1, 1),
             window: (0, 0),
         }
     }
@@ -150,6 +177,7 @@ impl DisruptionConfig {
             ("breakdown_ticks", &self.breakdown_ticks),
             ("blockade_ticks", &self.blockade_ticks),
             ("closure_ticks", &self.closure_ticks),
+            ("removal_ticks", &self.removal_ticks),
         ] {
             if lo == 0 || lo > hi {
                 return Err(format!("{name}: need 0 < min <= max, got ({lo}, {hi})"));
@@ -173,6 +201,7 @@ impl DisruptionConfig {
         grid: &GridMap,
         n_robots: usize,
         n_pickers: usize,
+        n_racks: usize,
         rng: &mut R,
     ) -> Vec<TimedEvent> {
         let mut events = Vec::new();
@@ -229,6 +258,27 @@ impl DisruptionConfig {
             });
         }
 
+        // Rack removals: distinct racks, each paired with a restoration.
+        // Drawn last (and skipped entirely at count 0) so configs predating
+        // the removal axis keep their exact schedules.
+        if self.removals > 0 {
+            let rack_ids: Vec<usize> = (0..n_racks).collect();
+            let chosen = sample_without_replacement(&rack_ids, self.removals.min(n_racks), rng);
+            for r in chosen {
+                let rack = RackId::new(r);
+                let t0 = rng.gen_range(w0..=w1);
+                let dur = rng.gen_range(self.removal_ticks.0..=self.removal_ticks.1);
+                events.push(TimedEvent {
+                    t: t0,
+                    event: DisruptionEvent::RackRemoved { rack },
+                });
+                events.push(TimedEvent {
+                    t: t0 + dur,
+                    event: DisruptionEvent::RackRestored { rack },
+                });
+            }
+        }
+
         // Stable sort: same-tick events keep generation order, so the
         // schedule is a pure function of (config, rng state).
         events.sort_by_key(|e| e.t);
@@ -250,10 +300,12 @@ pub fn validate_events(
     grid: &GridMap,
     n_robots: usize,
     n_pickers: usize,
+    n_racks: usize,
 ) -> Result<(), String> {
     let mut last = 0u64;
     let mut robot_down = vec![false; n_robots];
     let mut picker_closed = vec![false; n_pickers];
+    let mut rack_removed = vec![false; n_racks];
     let mut cell_blocked = vec![false; grid.cell_count()];
     for ev in events {
         if ev.t < last {
@@ -318,6 +370,23 @@ pub fn validate_events(
                 }
                 picker_closed[i] = false;
             }
+            DisruptionEvent::RackRemoved { rack } => {
+                let i = rack.index();
+                if i >= n_racks {
+                    return Err(format!("removal references missing {rack}"));
+                }
+                if rack_removed[i] {
+                    return Err(format!("{rack} removed while already removed"));
+                }
+                rack_removed[i] = true;
+            }
+            DisruptionEvent::RackRestored { rack } => {
+                let i = rack.index();
+                if i >= n_racks || !rack_removed[i] {
+                    return Err(format!("restore without removal for {rack}"));
+                }
+                rack_removed[i] = false;
+            }
         }
     }
     if let Some(i) = robot_down.iter().position(|&d| d) {
@@ -325,6 +394,9 @@ pub fn validate_events(
     }
     if let Some(i) = picker_closed.iter().position(|&c| c) {
         return Err(format!("picker#{i} never reopens"));
+    }
+    if let Some(i) = rack_removed.iter().position(|&r| r) {
+        return Err(format!("rack#{i} never restored"));
     }
     if let Some(i) = cell_blocked.iter().position(|&b| b) {
         return Err(format!(
@@ -353,6 +425,8 @@ mod tests {
             blockade_ticks: (20, 40),
             closures: 1,
             closure_ticks: (15, 25),
+            removals: 2,
+            removal_ticks: (25, 45),
             window: (5, 100),
         }
     }
@@ -360,20 +434,45 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let g = grid();
-        let a = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(9));
-        let b = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(9));
+        let a = config().generate(&g, 8, 3, 6, &mut StdRng::seed_from_u64(9));
+        let b = config().generate(&g, 8, 3, 6, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
-        let c = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(10));
+        let c = config().generate(&g, 8, 3, 6, &mut StdRng::seed_from_u64(10));
         assert_ne!(a, c, "different seed must differ");
-        assert_eq!(a.len(), 2 * (3 + 2 + 1), "every disruption is paired");
+        assert_eq!(a.len(), 2 * (3 + 2 + 1 + 2), "every disruption is paired");
+    }
+
+    #[test]
+    fn zero_removals_keep_pre_removal_schedules() {
+        // The removal axis draws last and not at all when disabled, so a
+        // config predating it expands to the exact same schedule.
+        let g = grid();
+        let mut without = config();
+        without.removals = 0;
+        let events = without.generate(&g, 8, 3, 6, &mut StdRng::seed_from_u64(9));
+        let mut with = config();
+        with.removals = 1;
+        let extended = with.generate(&g, 8, 3, 6, &mut StdRng::seed_from_u64(9));
+        let non_rack: Vec<TimedEvent> = extended
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.event,
+                    DisruptionEvent::RackRemoved { .. } | DisruptionEvent::RackRestored { .. }
+                )
+            })
+            .copied()
+            .collect();
+        assert_eq!(events, non_rack, "other kinds must not shift");
+        assert_eq!(extended.len(), events.len() + 2);
     }
 
     #[test]
     fn generated_schedules_validate() {
         let g = grid();
         for seed in 0..20 {
-            let events = config().generate(&g, 8, 3, &mut StdRng::seed_from_u64(seed));
-            validate_events(&events, &g, 8, 3).expect("generated schedule valid");
+            let events = config().generate(&g, 8, 3, 6, &mut StdRng::seed_from_u64(seed));
+            validate_events(&events, &g, 8, 3, 6).expect("generated schedule valid");
             assert!(events.windows(2).all(|w| w[0].t <= w[1].t), "sorted");
         }
     }
@@ -384,7 +483,8 @@ mod tests {
         let mut cfg = config();
         cfg.breakdowns = 100;
         cfg.closures = 100;
-        let events = cfg.generate(&g, 4, 2, &mut StdRng::seed_from_u64(1));
+        cfg.removals = 100;
+        let events = cfg.generate(&g, 4, 2, 3, &mut StdRng::seed_from_u64(1));
         let breakdowns = events
             .iter()
             .filter(|e| matches!(e.event, DisruptionEvent::RobotBreakdown { .. }))
@@ -393,9 +493,14 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.event, DisruptionEvent::StationClosed { .. }))
             .count();
+        let removals = events
+            .iter()
+            .filter(|e| matches!(e.event, DisruptionEvent::RackRemoved { .. }))
+            .count();
         assert_eq!(breakdowns, 4, "at most one breakdown per robot");
         assert_eq!(closures, 2, "at most one closure per picker");
-        validate_events(&events, &g, 4, 2).unwrap();
+        assert_eq!(removals, 3, "at most one removal per rack");
+        validate_events(&events, &g, 4, 2, 3).unwrap();
     }
 
     #[test]
@@ -414,17 +519,43 @@ mod tests {
             },
         };
         // Unsorted.
-        assert!(validate_events(&[breakdown(10, 0), recover(5, 0)], &g, 2, 1).is_err());
+        assert!(validate_events(&[breakdown(10, 0), recover(5, 0)], &g, 2, 1, 1).is_err());
         // Nested breakdown.
-        assert!(
-            validate_events(&[breakdown(1, 0), breakdown(2, 0), recover(3, 0)], &g, 2, 1).is_err()
-        );
+        assert!(validate_events(
+            &[breakdown(1, 0), breakdown(2, 0), recover(3, 0)],
+            &g,
+            2,
+            1,
+            1
+        )
+        .is_err());
         // Unmatched breakdown.
-        assert!(validate_events(&[breakdown(1, 0)], &g, 2, 1).is_err());
+        assert!(validate_events(&[breakdown(1, 0)], &g, 2, 1, 1).is_err());
         // Recover without breakdown.
-        assert!(validate_events(&[recover(1, 0)], &g, 2, 1).is_err());
+        assert!(validate_events(&[recover(1, 0)], &g, 2, 1, 1).is_err());
         // Out-of-range robot.
-        assert!(validate_events(&[breakdown(1, 9), recover(2, 9)], &g, 2, 1).is_err());
+        assert!(validate_events(&[breakdown(1, 9), recover(2, 9)], &g, 2, 1, 1).is_err());
+        // Rack removal pairing: nested, unmatched, restore-first and
+        // out-of-range removals are all rejected.
+        let remove = |t, r| TimedEvent {
+            t,
+            event: DisruptionEvent::RackRemoved {
+                rack: RackId::new(r),
+            },
+        };
+        let restore = |t, r| TimedEvent {
+            t,
+            event: DisruptionEvent::RackRestored {
+                rack: RackId::new(r),
+            },
+        };
+        assert!(validate_events(&[remove(1, 0), restore(2, 0)], &g, 2, 1, 1).is_ok());
+        assert!(
+            validate_events(&[remove(1, 0), remove(2, 0), restore(3, 0)], &g, 2, 1, 1).is_err()
+        );
+        assert!(validate_events(&[remove(1, 0)], &g, 2, 1, 1).is_err());
+        assert!(validate_events(&[restore(1, 0)], &g, 2, 1, 1).is_err());
+        assert!(validate_events(&[remove(1, 5), restore(2, 5)], &g, 2, 1, 1).is_err());
         // Blockade on a non-aisle cell.
         let mut walled = grid();
         walled.set_kind(GridPos::new(3, 3), CellKind::Blocked);
@@ -440,8 +571,8 @@ mod tests {
                 pos: GridPos::new(3, 3),
             },
         };
-        assert!(validate_events(&[block, unblock], &walled, 2, 1).is_err());
-        assert!(validate_events(&[block, unblock], &g, 2, 1).is_ok());
+        assert!(validate_events(&[block, unblock], &walled, 2, 1, 1).is_err());
+        assert!(validate_events(&[block, unblock], &g, 2, 1, 1).is_ok());
     }
 
     #[test]
@@ -455,6 +586,9 @@ mod tests {
         bad.blockade_ticks = (9, 3);
         assert!(bad.validate().is_err());
         let mut bad = config();
+        bad.removal_ticks = (0, 4);
+        assert!(bad.validate().is_err());
+        let mut bad = config();
         bad.window = (50, 10);
         assert!(bad.validate().is_err());
     }
@@ -462,7 +596,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let g = grid();
-        let events = config().generate(&g, 6, 2, &mut StdRng::seed_from_u64(4));
+        let events = config().generate(&g, 6, 2, 4, &mut StdRng::seed_from_u64(4));
         let json = serde_json::to_string(&events).unwrap();
         let back: Vec<TimedEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(events, back);
@@ -496,6 +630,14 @@ mod tests {
             .label(),
             DisruptionEvent::StationReopened {
                 picker: PickerId::new(1),
+            }
+            .label(),
+            DisruptionEvent::RackRemoved {
+                rack: RackId::new(1),
+            }
+            .label(),
+            DisruptionEvent::RackRestored {
+                rack: RackId::new(1),
             }
             .label(),
         ];

@@ -146,7 +146,13 @@ impl ScenarioSpec {
                         constraint: "durations must satisfy 0 < min <= max and window t0 <= t1",
                     });
                 }
-                cfg.generate(&layout.grid, robots.len(), pickers.len(), &mut rng)
+                cfg.generate(
+                    &layout.grid,
+                    robots.len(),
+                    pickers.len(),
+                    racks.len(),
+                    &mut rng,
+                )
             }
             None => Vec::new(),
         };
@@ -274,6 +280,7 @@ impl Instance {
             &self.grid,
             self.robots.len(),
             self.pickers.len(),
+            self.racks.len(),
         )?;
         Ok(())
     }
@@ -409,6 +416,8 @@ mod tests {
             blockade_ticks: (20, 40),
             closures: 1,
             closure_ticks: (15, 25),
+            removals: 0,
+            removal_ticks: (1, 1),
             window: (5, 80),
         });
         let disrupted = spec.build().unwrap();

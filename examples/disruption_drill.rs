@@ -28,6 +28,8 @@ fn main() {
         blockade_ticks: (1, 1),
         closures: 1,
         closure_ticks: (180, 320),
+        removals: 0,
+        removal_ticks: (1, 1),
         window: (80, 420),
     };
     let base_spec = ScenarioSpec {

@@ -18,7 +18,7 @@ use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
 use eatp::simulator::{run_simulation, EngineConfig, SimulationReport};
 use eatp::warehouse::{DisruptionConfig, LayoutConfig, ScenarioSpec, WorkloadConfig};
 
-/// A walled mid-size floor hit by all three disruption kinds at once.
+/// A walled mid-size floor hit by all four disruption kinds at once.
 fn disrupted_spec(seed: u64) -> ScenarioSpec {
     ScenarioSpec {
         name: format!("disrupted-{seed}"),
@@ -39,6 +39,8 @@ fn disrupted_spec(seed: u64) -> ScenarioSpec {
             blockade_ticks: (80, 160),
             closures: 1,
             closure_ticks: (60, 120),
+            removals: 2,
+            removal_ticks: (60, 140),
             window: (20, 260),
         }),
         seed,
@@ -83,7 +85,7 @@ fn no_stale_state_survives_an_event() {
     // executed a path planned against stale reservations — e.g. through a
     // frozen robot or a cancelled route) and zero disruption violations (no
     // trajectory on a blockaded cell after its blockade tick, no plan
-    // naming a broken robot or a closed station's rack).
+    // naming a broken robot, a closed station's rack or a removed rack).
     for seed in [31u64, 77] {
         let spec = disrupted_spec(seed);
         for name in PLANNER_NAMES {
