@@ -33,6 +33,9 @@ struct CaseReport {
 /// schema; the sparse fallback rides along as a nested case.
 #[derive(Debug, Serialize)]
 struct BenchReport {
+    /// Schema tag consumed by CI's drift check against
+    /// `crates/bench/README.md` (the shape itself is unchanged since PR 1).
+    schema: &'static str,
     case: String,
     iterations: usize,
     reference_median_ns: u64,
@@ -170,6 +173,7 @@ fn main() {
     );
 
     let report = BenchReport {
+        schema: "bench_astar/v1",
         case: dense.case.clone(),
         iterations: dense.iterations,
         reference_median_ns: dense.reference_median_ns,

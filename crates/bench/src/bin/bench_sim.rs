@@ -26,8 +26,23 @@
 //! tracks, and `congested_eatp_over_ntp` (EATP ÷ NTP, both in-process) is
 //! gated at `eatp_ntp_gate` so a regression of the pooled CDT, the
 //! step-field path cache or the flat KNN build fails CI.
+//!
+//! Schema `bench_sim/v4` adds the **anticipation study**: on the two
+//! blockade-heavy cases (`sim_cases::ANTICIPATION_CASES`) every planner is
+//! additionally run with `EatpConfig::anticipation` on, and the
+//! aware-vs-reactive makespan ratio plus `anticipation_hits` are recorded
+//! per planner. CI gates EATP's ratio at `anticipation_gate` (≤ 1.0:
+//! folding live blockade context into selection must never cost makespan,
+//! and the committed baseline shows a strict win).
+//!
+//! Two extra modes for CI:
+//!
+//! * `BENCH_SIM_FP_OUT=<path>` — *determinism soak*: skip timing entirely,
+//!   run every disrupted scenario once per planner (batched mode) and write
+//!   one fingerprint line per run. CI runs this twice and `diff`s the
+//!   files: any nondeterminism in the disruption replay fails the job.
 
-use eatp_bench::sim_cases::{deterministic_fields, scenarios, SimScenario};
+use eatp_bench::sim_cases::{deterministic_fields, scenarios, SimScenario, ANTICIPATION_CASES};
 use eatp_core::{planner_by_name, EatpConfig, PLANNER_NAMES};
 use serde::Serialize;
 use std::time::Instant;
@@ -55,6 +70,29 @@ struct ScenarioReport {
 }
 
 #[derive(Debug, Serialize)]
+struct AnticipationCell {
+    planner: String,
+    /// Makespan with `EatpConfig::anticipation` off (the recorded batched
+    /// run of the timing section).
+    reactive_makespan: u64,
+    /// Makespan with the anticipation term on.
+    aware_makespan: u64,
+    /// `aware / reactive` — the per-run makespan delta the report's
+    /// `anticipation_hits` counter bought; ≤ 1.0 means the aware planner
+    /// was no worse.
+    makespan_ratio: f64,
+    /// Selection decisions the anticipation term changed during the aware
+    /// run.
+    anticipation_hits: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct AnticipationReport {
+    case: String,
+    planners: Vec<AnticipationCell>,
+}
+
+#[derive(Debug, Serialize)]
 struct BenchReport {
     schema: &'static str,
     iterations: usize,
@@ -78,6 +116,17 @@ struct BenchReport {
     /// CI fails when the congested scenario's aggregate speedup drops below
     /// this bar.
     congested_gate: f64,
+    /// Aware-vs-reactive makespan per planner on the blockade-heavy cases.
+    anticipation: Vec<AnticipationReport>,
+    /// CI fails when `anticipation_gate_planner`'s `makespan_ratio` exceeds
+    /// this bar on `anticipation_gate_case`.
+    anticipation_gate: f64,
+    /// The planner whose ratio is gated (the paper's headline planner).
+    anticipation_gate_planner: &'static str,
+    /// The case the gate reads (the storm case; the rolling case is
+    /// recorded for observation — its shifting blockade set makes the
+    /// aware-vs-reactive delta noisier run-to-run across code changes).
+    anticipation_gate_case: &'static str,
 }
 
 fn median(samples: &mut [u64]) -> u64 {
@@ -109,7 +158,41 @@ fn timed_run(
     (elapsed / report.makespan.max(1), report)
 }
 
+/// Determinism-soak mode: one batched run per (disrupted scenario, planner),
+/// one fingerprint line each. CI invokes this twice and diffs the outputs.
+fn write_fingerprints(path: &str) {
+    let engine = EngineConfig::default();
+    let config = EatpConfig::default();
+    let mut out = String::new();
+    for scenario in scenarios() {
+        if scenario.instance.disruptions.is_empty() {
+            continue;
+        }
+        for name in PLANNER_NAMES {
+            let mut planner = planner_by_name(name, &config).expect("known planner");
+            let report = run_simulation(&scenario.instance, &mut *planner, &engine);
+            assert_eq!(
+                report.disruption_violations, 0,
+                "{name} on {} violated a disruption invariant",
+                scenario.name
+            );
+            out.push_str(&format!(
+                "{} {} {:?}\n",
+                scenario.name,
+                name,
+                deterministic_fields(&report)
+            ));
+        }
+    }
+    std::fs::write(path, &out).expect("write fingerprint file");
+    eprintln!("wrote disruption fingerprints to {path}");
+}
+
 fn main() {
+    if let Ok(path) = std::env::var("BENCH_SIM_FP_OUT") {
+        write_fingerprints(&path);
+        return;
+    }
     let iters: usize = std::env::var("BENCH_SIM_ITERS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -183,6 +266,53 @@ fn main() {
         });
     }
 
+    // Anticipation study: aware (flag-on) vs the reactive batched runs
+    // recorded above, on the blockade-heavy cases. Makespan is fully
+    // deterministic per (scenario, planner, flag), so one run per cell
+    // suffices — this measures *outcomes*, not wall clocks.
+    let aware_config = EatpConfig {
+        anticipation: true,
+        ..EatpConfig::default()
+    };
+    let mut anticipation = Vec::new();
+    for scenario in scenarios() {
+        if !ANTICIPATION_CASES.contains(&scenario.name) {
+            continue;
+        }
+        eprintln!("== anticipation study {} ==", scenario.name);
+        let reactive_cells = &scenario_reports
+            .iter()
+            .find(|s| s.name == scenario.name)
+            .expect("anticipation case was timed above")
+            .planners;
+        let mut cells = Vec::new();
+        for name in PLANNER_NAMES {
+            let (_, aware) = timed_run(&scenario, name, &aware_config, &batched_engine);
+            let reactive_makespan = reactive_cells
+                .iter()
+                .find(|c| c.planner == name)
+                .expect("planner timed above")
+                .makespan;
+            let ratio = aware.makespan as f64 / reactive_makespan.max(1) as f64;
+            eprintln!(
+                "  {name:<5} reactive {reactive_makespan:>6} -> aware {:>6} ticks \
+                 (ratio {ratio:.3}, {} hits)",
+                aware.makespan, aware.anticipation_hits
+            );
+            cells.push(AnticipationCell {
+                planner: name.to_string(),
+                reactive_makespan,
+                aware_makespan: aware.makespan,
+                makespan_ratio: ratio,
+                anticipation_hits: aware.anticipation_hits,
+            });
+        }
+        anticipation.push(AnticipationReport {
+            case: scenario.name.to_string(),
+            planners: cells,
+        });
+    }
+
     let ns_of = |planner: &str| -> u64 {
         scenario_reports[0]
             .planners
@@ -195,7 +325,7 @@ fn main() {
     let congested_ntp = ns_of("NTP");
 
     let report = BenchReport {
-        schema: "bench_sim/v3",
+        schema: "bench_sim/v4",
         iterations: iters,
         congested_eatp_ns_per_tick: congested_eatp,
         congested_eatp_over_ntp: congested_eatp as f64 / congested_ntp.max(1) as f64,
@@ -208,6 +338,10 @@ fn main() {
                              pre-change engine (commit 340ace9 + scenarios only)",
         scenarios: scenario_reports,
         congested_gate: 1.3,
+        anticipation,
+        anticipation_gate: 1.0,
+        anticipation_gate_planner: "EATP",
+        anticipation_gate_case: ANTICIPATION_CASES[0],
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");

@@ -234,8 +234,109 @@ pub fn disrupted_outage_surge() -> SimScenario {
     }
 }
 
+/// Blockade storm: a dozen corridors of the congested floor close almost
+/// simultaneously, each for most of the run. This is the *anticipation*
+/// case: with that many live blockades, which rack a planner commits to
+/// matters more than how it routes — disruption-aware selection
+/// (`EatpConfig::anticipation`) is measured against reactive-only here
+/// (`bench_sim` schema v4) and gated in CI for EATP.
+pub fn disrupted_blockade_storm() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-blockade-storm".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 36,
+        n_robots: 14,
+        n_pickers: 7,
+        // Travel-bound on purpose: fast pickers (4-8 ticks/item) and spread
+        // arrivals keep the floor transport-limited, so a robot committed
+        // into a blockaded corridor costs makespan instead of vanishing
+        // into picker-queue slack.
+        workload: WorkloadConfig {
+            processing_min: 4,
+            processing_max: 8,
+            ..WorkloadConfig::poisson(120, 0.35)
+        },
+        disruptions: Some(DisruptionConfig {
+            breakdowns: 0,
+            breakdown_ticks: (1, 1),
+            blockades: 12,
+            blockade_ticks: (300, 500),
+            closures: 0,
+            closure_ticks: (1, 1),
+            removals: 0,
+            removal_ticks: (1, 1),
+            window: (60, 240),
+        }),
+        seed: 84,
+    }
+    .build()
+    .expect("blockade storm scenario builds");
+    SimScenario {
+        name: "disrupted-blockade-storm-44x32",
+        description: "a travel-bound walled floor (14 robots, 7 fast \
+                      pickers, spread arrivals) with 12 aisle cells \
+                      blockaded for 300-500 ticks starting almost at once \
+                      (window 60-240): most of the run has many corridors \
+                      closed, so *which* rack selection commits a robot to \
+                      dominates makespan — the aware-vs-reactive \
+                      anticipation case",
+        instance,
+    }
+}
+
+/// Rolling blockades: many shorter closures scattered across the whole
+/// run, so the blockade set keeps changing and the outlook must track a
+/// moving target (also the second aware-vs-reactive measurement case).
+pub fn disrupted_blockade_rolling() -> SimScenario {
+    let instance = ScenarioSpec {
+        name: "bench-blockade-rolling".into(),
+        layout: LayoutConfig {
+            width: 44,
+            height: 32,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 36,
+        n_robots: 14,
+        n_pickers: 7,
+        workload: WorkloadConfig {
+            processing_min: 4,
+            processing_max: 8,
+            ..WorkloadConfig::poisson(120, 0.35)
+        },
+        disruptions: Some(DisruptionConfig {
+            breakdowns: 0,
+            breakdown_ticks: (1, 1),
+            blockades: 16,
+            blockade_ticks: (100, 220),
+            closures: 0,
+            closure_ticks: (1, 1),
+            removals: 0,
+            removal_ticks: (1, 1),
+            window: (50, 600),
+        }),
+        seed: 85,
+    }
+    .build()
+    .expect("rolling blockade scenario builds");
+    SimScenario {
+        name: "disrupted-blockade-rolling-44x32",
+        description: "the same travel-bound floor with 16 aisle cells \
+                      blockading for 100-220 ticks each, rolling across \
+                      ticks 50-600: the live blockade set keeps shifting, \
+                      so anticipation scores a moving target",
+        instance,
+    }
+}
+
 /// All benchmark scenarios in gate order (congested first — the CI gate
-/// reads index 0 — then sparse, then the three disrupted cases).
+/// reads index 0 — then sparse, then the disrupted cases; the two
+/// blockade-heavy anticipation cases come last).
 pub fn scenarios() -> Vec<SimScenario> {
     vec![
         congested(),
@@ -243,8 +344,17 @@ pub fn scenarios() -> Vec<SimScenario> {
         disrupted_breakdowns(),
         disrupted_blockades(),
         disrupted_outage_surge(),
+        disrupted_blockade_storm(),
+        disrupted_blockade_rolling(),
     ]
 }
+
+/// The scenario names on which `bench_sim` measures (and CI gates)
+/// anticipation-on vs reactive-only makespan.
+pub const ANTICIPATION_CASES: [&str; 2] = [
+    "disrupted-blockade-storm-44x32",
+    "disrupted-blockade-rolling-44x32",
+];
 
 /// The deterministic projection of a report: every field that the batched
 /// execution path must reproduce bit-identically. Delegates to
@@ -261,7 +371,7 @@ mod tests {
     #[test]
     fn scenarios_build_and_differ() {
         let all = scenarios();
-        assert_eq!(all.len(), 5);
+        assert_eq!(all.len(), 7);
         let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -279,6 +389,18 @@ mod tests {
         for s in &all[2..] {
             assert!(!s.instance.disruptions.is_empty(), "{}", s.name);
             s.instance.validate().unwrap();
+        }
+        // The anticipation gate cases exist and are blockade-only.
+        for name in ANTICIPATION_CASES {
+            let s = all
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing anticipation case {name}"));
+            assert!(s.instance.disruptions.iter().all(|e| matches!(
+                e.event,
+                tprw_warehouse::DisruptionEvent::CellBlocked { .. }
+                    | tprw_warehouse::DisruptionEvent::CellUnblocked { .. }
+            )));
         }
     }
 }

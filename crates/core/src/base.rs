@@ -8,17 +8,29 @@
 //! strategies differ, the path-finding layer is shared.
 
 use crate::config::EatpConfig;
+use crate::outlook::DisruptionOutlook;
 use crate::planner::{LegRequest, PlannerStats};
+use crate::world::WorldView;
 use std::time::Instant;
 use tprw_pathfinding::astar::{plan_path_with, PlanOptions};
 use tprw_pathfinding::bfs::{DistanceOracle, ReferenceDistanceOracle};
 use tprw_pathfinding::{
-    ConflictDetectionTable, KNearestRacks, MemoryFootprint, Path, PathCache, ReservationSystem,
-    SearchScratch, SpatioTemporalGraph,
+    ConflictDetectionTable, KNearestRacks, KnnChange, MemoryFootprint, Path, PathCache,
+    ReservationSystem, SearchScratch, SpatioTemporalGraph,
 };
 use tprw_warehouse::{
     CellKind, DisruptionEvent, GridMap, GridPos, Instance, RackId, RobotId, Tick,
 };
+
+/// Cap on the oracle-detour factor of one anticipation penalty term: keeps
+/// an unreachable pair (`dist == u64::MAX`) from overflowing the score
+/// while still dominating every reachable detour.
+const DETOUR_CAP: u64 = 1 << 20;
+
+/// Per-cell weight of the corridor *trend* term (historically blockaded,
+/// currently open cells on the corridor): a mild tie-break against live
+/// blockades' detour-weighted term.
+const BLOCKADE_TREND_WEIGHT: u64 = 1;
 
 /// `d(·,·)` backend: the flat generation-stamped oracle, or the seed's
 /// grid-cloning `HashMap`-memoized one (kept, like `reference.rs` for A*,
@@ -87,6 +99,23 @@ pub struct SelectionScratch {
     pub robot_flags: Vec<bool>,
     /// Per-robot candidate rack list (K entries at most).
     pub candidates: Vec<RackId>,
+    /// Anticipation reorder keys `(penalty, original index)`.
+    pub order: Vec<(u64, u32)>,
+    /// Anticipation reorder output buffer.
+    pub reordered: Vec<RackId>,
+    /// Snapshot of the outlook's live blockades for one selection pass
+    /// (copied so corridor scans don't hold a borrow of the outlook).
+    pub blockades: Vec<GridPos>,
+    /// Snapshot of the outlook's historically-blockaded-but-open cells for
+    /// one selection pass (the corridor trend term).
+    pub pressured: Vec<GridPos>,
+    /// Per-rack delivery-side penalty memo of one anticipation pass
+    /// (`u64::MAX` = not yet computed; real penalties are bounded far
+    /// below it by `DETOUR_CAP`).
+    pub rack_penalty: Vec<u64>,
+    /// Whether a [`PlannerBase::begin_anticipation_pass`] bracket is open
+    /// (snapshot + memo shared across per-robot reorders).
+    pub pass_active: bool,
 }
 
 /// Marker constructors so `PlannerBase` can build its reservation structure
@@ -138,10 +167,14 @@ pub struct PlannerBase<R: ReservationBackend> {
     pub scratch: SearchScratch,
     /// Reusable selection buffers (flip-side bitmaps and candidate list).
     pub sel: SelectionScratch,
-    /// Set when a grid mutation invalidated the KNN index; the `O(HW·K)`
-    /// rebuild runs lazily via [`PlannerBase::refresh_knn`], so a batch of
-    /// same-tick blockades costs one BFS pass, not one per cell.
-    knn_dirty: bool,
+    /// Digest of observed disruptions backing disruption-aware selection
+    /// (fed unconditionally; consulted only under `config.anticipation`).
+    pub outlook: DisruptionOutlook,
+    /// Grid/liveness mutations not yet folded into the KNN index; the
+    /// incremental [`KNearestRacks::update`] runs lazily via
+    /// [`PlannerBase::refresh_knn`], so a batch of same-tick events costs
+    /// one affected-region pass, not one per mutation.
+    knn_pending: Vec<KnnChange>,
     /// Mutual-exclusion groups already satisfied within the current
     /// [`PlannerBase::plan_legs`] batch (indexed by group id).
     group_done: Vec<bool>,
@@ -168,6 +201,12 @@ impl<R: ReservationBackend> PlannerBase<R> {
         } else {
             Oracle::Flat(DistanceOracle::new(&grid))
         };
+        let outlook = DisruptionOutlook::new(
+            grid.width(),
+            grid.cell_count(),
+            instance.pickers.len(),
+            instance.racks.len(),
+        );
         Self {
             oracle,
             resv,
@@ -177,7 +216,8 @@ impl<R: ReservationBackend> PlannerBase<R> {
             stats: PlannerStats::default(),
             scratch: SearchScratch::new(),
             sel: SelectionScratch::default(),
-            knn_dirty: false,
+            outlook,
+            knn_pending: Vec::new(),
             group_done: Vec::new(),
             grid,
             last_gc: 0,
@@ -302,15 +342,18 @@ impl<R: ReservationBackend> PlannerBase<R> {
     ///
     /// Cell blockades / reopenings mutate the working grid copy, flip the
     /// distance oracle's passability snapshot (evicting its memoized BFS
-    /// fields), invalidate the path cache, and rebuild the K-nearest-rack
-    /// index — stale state in any of them would route robots through walls
-    /// or to the wrong rack. Rack removals / restorations flip the rack's
-    /// liveness in the K-nearest index (a dead rack must stop occupying a
-    /// K slot) behind the same lazy one-rebuild-per-batch gate. Robot and
-    /// station events carry no planner-side structure: the engine routes
-    /// their consequences through the world view and
-    /// [`PlannerBase::cancel_path`].
+    /// fields), invalidate the path cache, and queue an incremental update
+    /// of the K-nearest-rack index — stale state in any of them would route
+    /// robots through walls or to the wrong rack. Rack removals /
+    /// restorations flip the rack's liveness in the K-nearest index (a dead
+    /// rack must stop occupying a K slot) behind the same lazy
+    /// one-update-per-batch gate. Robot and station events carry no
+    /// planner-side structure: the engine routes their consequences through
+    /// the world view and [`PlannerBase::cancel_path`]. Every event is
+    /// additionally folded into the [`DisruptionOutlook`] so
+    /// disruption-aware selection can anticipate the mutated floor.
     pub fn apply_disruption(&mut self, event: &DisruptionEvent, _t: Tick) {
+        self.outlook.observe(event);
         match *event {
             DisruptionEvent::CellBlocked { pos } => self.set_cell_blocked(pos, true),
             DisruptionEvent::CellUnblocked { pos } => self.set_cell_blocked(pos, false),
@@ -327,7 +370,7 @@ impl<R: ReservationBackend> PlannerBase<R> {
         if let Some(knn) = &mut self.knn {
             if knn.is_alive(rack) != alive {
                 knn.set_alive(rack, alive);
-                self.knn_dirty = true;
+                self.knn_pending.push(KnnChange::Rack(rack));
             }
         }
     }
@@ -348,20 +391,210 @@ impl<R: ReservationBackend> PlannerBase<R> {
         if let Some(cache) = &mut self.cache {
             cache.set_passable(pos, !blocked);
         }
-        // The KNN rebuild is deferred to the next index read: however many
-        // cells a tick's events mutate, the multi-source BFS runs once.
-        self.knn_dirty = self.knn.is_some();
+        // The KNN refresh is deferred to the next index read: however many
+        // cells a tick's events mutate, the incremental pass runs once.
+        if self.knn.is_some() {
+            self.knn_pending.push(KnnChange::Cell(pos));
+        }
     }
 
-    /// Rebuild the KNN index if a grid mutation dirtied it. Index readers
-    /// (EATP's flip-side selection) call this before `knn.nearest`.
+    /// Fold pending grid/liveness mutations into the KNN index via the
+    /// incremental affected-region pass. Index readers (EATP's flip-side
+    /// selection) call this before `knn.nearest`.
     pub fn refresh_knn(&mut self) {
-        if self.knn_dirty {
-            if let Some(knn) = &mut self.knn {
-                knn.rebuild(&self.grid);
-            }
-            self.knn_dirty = false;
+        if self.knn_pending.is_empty() {
+            return;
         }
+        if let Some(knn) = &mut self.knn {
+            knn.update(&self.grid, &self.knn_pending);
+        }
+        self.knn_pending.clear();
+    }
+
+    /// The anticipation penalty of one corridor `(a, b)`, two terms:
+    ///
+    /// * **live** — the number of *live* blockades on the corridor's
+    ///   Manhattan band (`manhattan(a, c) + manhattan(c, b) ≤
+    ///   manhattan(a, b) + config.anticipation_slack` — the band describes
+    ///   the routes the pair would take on a clean floor, which is the
+    ///   right membership question: post-blockade paths by construction
+    ///   route *around* live blockades, so probing them would always say
+    ///   "no"), weighted by the oracle's actual detour
+    ///   (`d(a, b) − manhattan(a, b)`, which already reflects the mutated
+    ///   floor);
+    /// * **trend** — historically blockaded but currently *open* cells the
+    ///   corridor runs through: membership is exact where the path cache
+    ///   memoizes the pair (per-entry cell bloom + scan — open cells do
+    ///   appear in cached paths, unlike live blockades) and the Manhattan
+    ///   band otherwise. A corridor that keeps blockading is a worse bet
+    ///   even while clear.
+    ///
+    /// Callers must have snapshotted the outlook's cell lists into
+    /// `sel.blockades` / `sel.pressured`, and should pass the endpoint that
+    /// *recurs* across their calls as `a`: the detour query roots the
+    /// oracle's memoized BFS field there, so one field serves every call
+    /// sharing that endpoint (the station across a tick's racks, the robot
+    /// cell across its K candidates) instead of thrashing the field LRU.
+    fn corridor_term(&mut self, a: GridPos, b: GridPos) -> u64 {
+        let base_d = a.manhattan(b);
+        let slack = self.config.anticipation_slack;
+        let in_band = |c: GridPos| a.manhattan(c) + c.manhattan(b) <= base_d + slack;
+        let mut crossings = 0u64;
+        for i in 0..self.sel.blockades.len() {
+            if in_band(self.sel.blockades[i]) {
+                crossings += 1;
+            }
+        }
+        let mut trend = 0u64;
+        for i in 0..self.sel.pressured.len() {
+            let c = self.sel.pressured[i];
+            // Cached-path membership is direction-agnostic — probe both
+            // orders, since legs memoize only their travel direction.
+            let cached = self.cache.as_ref().and_then(|pc| {
+                pc.path_crosses(a, b, c)
+                    .or_else(|| pc.path_crosses(b, a, c))
+            });
+            if cached.unwrap_or_else(|| in_band(c)) {
+                trend += 1;
+            }
+        }
+        if crossings == 0 {
+            return trend * BLOCKADE_TREND_WEIGHT;
+        }
+        // `dist` roots its field at the second argument — pass `a` there
+        // (see the rooting note above; distance itself is symmetric).
+        let detour = self
+            .oracle
+            .dist(b, a)
+            .saturating_sub(base_d)
+            .min(DETOUR_CAP);
+        crossings * (1 + detour) + trend * BLOCKADE_TREND_WEIGHT
+    }
+
+    /// The robot-independent ("delivery-side") anticipation penalty of
+    /// `rack`: delivery corridor + the outlook's station and rack risk
+    /// terms. A pure function of static world geometry and the outlook, so
+    /// [`PlannerBase::begin_anticipation_pass`] can memoize it per rack
+    /// across one tick's per-robot reorders.
+    fn delivery_penalty(&mut self, world: &WorldView<'_>, rack: RackId) -> u64 {
+        let r = world.rack(rack);
+        let picker = world.picker_of(r);
+        self.outlook
+            .station_risk(r.picker)
+            .saturating_add(self.outlook.rack_risk(rack))
+            // Station first: it is the endpoint shared across the tick's
+            // racks, so the oracle's detour field roots there.
+            .saturating_add(self.corridor_term(picker.pos, r.home))
+    }
+
+    /// Snapshot the outlook's cell lists into the selection scratch (the
+    /// corridor scans must not hold a borrow of the outlook).
+    fn snapshot_outlook(&mut self) {
+        self.sel.blockades.clear();
+        self.sel
+            .blockades
+            .extend_from_slice(self.outlook.live_blockades());
+        self.sel.pressured.clear();
+        for i in 0..self.outlook.pressured_cells().len() {
+            let c = self.outlook.pressured_cells()[i];
+            if !self.outlook.is_blocked(c) {
+                self.sel.pressured.push(c);
+            }
+        }
+    }
+
+    /// Begin a multi-reorder anticipation pass: EATP's flip side reorders
+    /// once per idle robot within one tick, but the outlook snapshot and
+    /// every rack's delivery-side penalty are constant across the pass —
+    /// snapshot once and reset the per-rack memo instead of recomputing
+    /// both per robot. Bracketed by
+    /// [`PlannerBase::end_anticipation_pass`]; single-reorder planners
+    /// skip the bracket and snapshot per call.
+    pub fn begin_anticipation_pass(&mut self, world: &WorldView<'_>) {
+        if !self.config.anticipation || !self.outlook.has_signal() {
+            self.sel.pass_active = false;
+            return;
+        }
+        self.snapshot_outlook();
+        self.sel.rack_penalty.clear();
+        self.sel.rack_penalty.resize(world.racks.len(), u64::MAX);
+        self.sel.pass_active = true;
+    }
+
+    /// Close the bracket opened by [`PlannerBase::begin_anticipation_pass`]
+    /// (the memo does not survive into other selection paths).
+    pub fn end_anticipation_pass(&mut self) {
+        self.sel.pass_active = false;
+    }
+
+    /// Disruption-aware reorder of a selection candidate list (the
+    /// anticipation layer, Sec. "adaptive" done on the supply side): racks
+    /// are stably re-sorted by ascending anticipation penalty, so clean
+    /// corridors and healthy stations are committed first while the
+    /// relative order of equally-risky racks — and therefore every
+    /// downstream tie-break — is preserved. `from` adds the approach
+    /// corridor of a specific robot (EATP's flip side); rack-list planners
+    /// pass `None`.
+    ///
+    /// No-ops (bit-identically, allocation-free) when the flag is off, the
+    /// outlook has never seen an event, or every penalty is equal —
+    /// clean-world runs are identical flag-on vs flag-off.
+    /// `stats.anticipation_hits` counts the racks promoted past a riskier
+    /// one.
+    pub fn reorder_by_anticipation(
+        &mut self,
+        world: &WorldView<'_>,
+        from: Option<GridPos>,
+        racks: &mut Vec<RackId>,
+    ) {
+        if !self.config.anticipation || racks.len() <= 1 || !self.outlook.has_signal() {
+            return;
+        }
+        if !self.sel.pass_active {
+            self.snapshot_outlook();
+        }
+        let mut memo = std::mem::take(&mut self.sel.rack_penalty);
+        let mut order = std::mem::take(&mut self.sel.order);
+        order.clear();
+        for (i, &rid) in racks.iter().enumerate() {
+            let delivery = if self.sel.pass_active {
+                let slot = &mut memo[rid.index()];
+                if *slot == u64::MAX {
+                    *slot = self.delivery_penalty(world, rid);
+                }
+                *slot
+            } else {
+                self.delivery_penalty(world, rid)
+            };
+            let penalty = match from {
+                Some(from) => {
+                    delivery.saturating_add(self.corridor_term(from, world.rack(rid).home))
+                }
+                None => delivery,
+            };
+            order.push((penalty, i as u32));
+        }
+        self.sel.rack_penalty = memo;
+        if order.iter().all(|&(p, _)| p == order[0].0) {
+            self.sel.order = order;
+            return;
+        }
+        // (penalty, original index) sorts stably by penalty.
+        order.sort_unstable();
+        let mut reordered = std::mem::take(&mut self.sel.reordered);
+        reordered.clear();
+        let mut hits = 0u64;
+        for (new_pos, &(_, orig)) in order.iter().enumerate() {
+            reordered.push(racks[orig as usize]);
+            if (orig as usize) > new_pos {
+                hits += 1; // promoted past at least one riskier rack
+            }
+        }
+        racks.clear();
+        racks.extend_from_slice(&reordered);
+        self.stats.anticipation_hits += hits;
+        self.sel.order = order;
+        self.sel.reordered = reordered;
     }
 
     /// Cancel `robot`'s active path (the
@@ -394,10 +627,12 @@ impl<R: ReservationBackend> PlannerBase<R> {
             + self.cache.as_ref().map_or(0, |c| c.memory_bytes())
             + self.knn.as_ref().map_or(0, |k| k.memory_bytes())
             + extra_bytes;
-        // The search arena and the distance oracle are identical machinery
-        // for every planner, so they are reported separately and not folded
-        // into the Fig. 12 MC comparison of reservation structures.
-        s.scratch_bytes = self.scratch.memory_bytes() + self.oracle.memory_bytes();
+        // The search arena, the distance oracle and the disruption outlook
+        // are identical machinery for every planner, so they are reported
+        // separately and not folded into the Fig. 12 MC comparison of
+        // reservation structures.
+        s.scratch_bytes =
+            self.scratch.memory_bytes() + self.oracle.memory_bytes() + self.outlook.memory_bytes();
         s
     }
 }
@@ -549,35 +784,51 @@ mod tests {
                 inst.racks.iter().all(|r| r.home != c) && inst.robots.iter().all(|r| r.pos != c)
             })
             .expect("aisle cell available");
-        let knn_rebuilds = base.knn.as_ref().unwrap().rebuild_count();
         base.apply_disruption(&DisruptionEvent::CellBlocked { pos }, 5);
         assert_eq!(base.grid.kind(pos), CellKind::Blocked);
         assert!(!base.oracle.obstacle_free(), "oracle sees the blockade");
         assert_eq!(base.oracle.field_count(), 0, "fields evicted");
-        // The KNN rebuild is lazy: a batch of events costs one pass at the
-        // next index read, however many cells changed.
+        // The KNN refresh is lazy *and incremental*: a batch of events
+        // costs one affected-region pass at the next index read, however
+        // many cells changed, and never a full O(HW*K) rebuild.
         let second = GridPos::new(pos.x, pos.y + 1);
         if base.grid.kind(second) == CellKind::Aisle {
             base.apply_disruption(&DisruptionEvent::CellBlocked { pos: second }, 5);
             base.apply_disruption(&DisruptionEvent::CellUnblocked { pos: second }, 5);
         }
         assert_eq!(
-            base.knn.as_ref().unwrap().rebuild_count(),
-            knn_rebuilds,
-            "no eager rebuild per event"
+            base.knn.as_ref().unwrap().update_count(),
+            0,
+            "no eager index pass per event"
         );
         base.refresh_knn();
         assert_eq!(
+            base.knn.as_ref().unwrap().update_count(),
+            1,
+            "one incremental pass per event batch"
+        );
+        assert_eq!(
             base.knn.as_ref().unwrap().rebuild_count(),
-            knn_rebuilds + 1,
-            "one rebuild per event batch"
+            0,
+            "disruptions never trigger the full O(HW*K) rebuild"
         );
         base.refresh_knn();
         assert_eq!(
-            base.knn.as_ref().unwrap().rebuild_count(),
-            knn_rebuilds + 1,
+            base.knn.as_ref().unwrap().update_count(),
+            1,
             "refresh is a no-op while clean"
         );
+        // The incrementally maintained lists equal a fresh masked build.
+        {
+            let knn = base.knn.as_ref().unwrap();
+            let homes: Vec<GridPos> = inst.racks.iter().map(|r| r.home).collect();
+            let fresh =
+                tprw_pathfinding::KNearestRacks::build(&base.grid, &homes, base.config.k_nearest);
+            for i in 0..base.grid.cell_count() {
+                let cell = GridPos::from_index(i, base.grid.width());
+                assert_eq!(knn.nearest(cell), fresh.nearest(cell), "differs at {cell}");
+            }
+        }
         // Paths must now avoid the cell.
         let robot = inst.robots[0].id;
         if let Some(p) =
@@ -590,7 +841,7 @@ mod tests {
         assert_eq!(base.grid.kind(pos), CellKind::Aisle);
         assert!(base.oracle.obstacle_free());
         base.refresh_knn();
-        assert_eq!(base.knn.as_ref().unwrap().rebuild_count(), knn_rebuilds + 2);
+        assert_eq!(base.knn.as_ref().unwrap().update_count(), 2);
         // Robot/station events are structure-neutral on the base.
         base.apply_disruption(&DisruptionEvent::RobotBreakdown { robot }, 10);
         assert_eq!(base.grid.kind(pos), CellKind::Aisle);
@@ -603,13 +854,12 @@ mod tests {
         let mut base: PlannerBase<ConflictDetectionTable> =
             PlannerBase::new(&inst, EatpConfig::default(), true, true);
         let rack = RackId::new(0);
-        let rebuilds = base.knn.as_ref().unwrap().rebuild_count();
         base.apply_disruption(&DisruptionEvent::RackRemoved { rack }, 3);
         assert!(!base.knn.as_ref().unwrap().is_alive(rack));
         base.refresh_knn();
         assert_eq!(
-            base.knn.as_ref().unwrap().rebuild_count(),
-            rebuilds + 1,
+            base.knn.as_ref().unwrap().update_count(),
+            1,
             "removal dirties the index once"
         );
         let home = inst.racks[0].home;
@@ -620,11 +870,120 @@ mod tests {
         // Idempotent re-removal is free; restoration flips it back.
         base.apply_disruption(&DisruptionEvent::RackRemoved { rack }, 4);
         base.refresh_knn();
-        assert_eq!(base.knn.as_ref().unwrap().rebuild_count(), rebuilds + 1);
+        assert_eq!(base.knn.as_ref().unwrap().update_count(), 1);
         base.apply_disruption(&DisruptionEvent::RackRestored { rack }, 5);
         base.refresh_knn();
         assert!(base.knn.as_ref().unwrap().is_alive(rack));
         assert!(base.knn.as_ref().unwrap().nearest(home).contains(&rack));
+    }
+
+    #[test]
+    fn anticipation_reorder_prefers_clean_corridors() {
+        let inst = instance();
+        let config = EatpConfig {
+            anticipation: true,
+            ..EatpConfig::default()
+        };
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, config, false, false);
+        let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
+        // Rack 0 plus the rack whose home is farthest from rack 0's.
+        let near = inst.racks[0].id;
+        let far = inst
+            .racks
+            .iter()
+            .max_by_key(|r| (r.home.manhattan(inst.racks[0].home), r.id))
+            .unwrap()
+            .id;
+        let selectable = vec![near, far];
+        let world = WorldView {
+            t: 0,
+            racks: &inst.racks,
+            pickers: &inst.pickers,
+            robots: &inst.robots,
+            idle_robots: &idle,
+            selectable_racks: &selectable,
+        };
+        // No signal yet: the pass must be a strict no-op.
+        let mut order = vec![near, far];
+        base.reorder_by_anticipation(&world, None, &mut order);
+        assert_eq!(order, vec![near, far]);
+        assert_eq!(base.stats.anticipation_hits, 0);
+
+        // Blockade an aisle neighbour of rack 0's home: it sits on the
+        // rack's delivery corridor band, so the far rack must be promoted.
+        let home = inst.racks[0].home;
+        let pos = inst
+            .grid
+            .passable_neighbors(home)
+            .find(|&c| {
+                inst.grid.kind(c) == CellKind::Aisle
+                    && inst.racks.iter().all(|r| r.home != c)
+                    && inst.robots.iter().all(|r| r.pos != c)
+            })
+            .expect("aisle neighbour available");
+        base.apply_disruption(&DisruptionEvent::CellBlocked { pos }, 1);
+        let mut order = vec![near, far];
+        base.reorder_by_anticipation(&world, None, &mut order);
+        assert_eq!(order, vec![far, near], "risky corridor is deprioritized");
+        assert_eq!(base.stats.anticipation_hits, 1, "one rack was promoted");
+
+        // Flag off: same world, no reordering.
+        base.config.anticipation = false;
+        let mut order = vec![near, far];
+        base.reorder_by_anticipation(&world, None, &mut order);
+        assert_eq!(order, vec![near, far]);
+        assert_eq!(base.stats.anticipation_hits, 1, "no further hits");
+    }
+
+    #[test]
+    fn anticipation_reorder_deprioritizes_trending_stations() {
+        use tprw_warehouse::PickerId;
+        let inst = instance();
+        let config = EatpConfig {
+            anticipation: true,
+            ..EatpConfig::default()
+        };
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, config, false, false);
+        let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
+        let rack_p0 = inst
+            .racks
+            .iter()
+            .find(|r| r.picker == PickerId::new(0))
+            .unwrap()
+            .id;
+        let rack_p1 = inst
+            .racks
+            .iter()
+            .find(|r| r.picker == PickerId::new(1))
+            .unwrap()
+            .id;
+        let selectable = vec![rack_p0, rack_p1];
+        let world = WorldView {
+            t: 0,
+            racks: &inst.racks,
+            pickers: &inst.pickers,
+            robots: &inst.robots,
+            idle_robots: &idle,
+            selectable_racks: &selectable,
+        };
+        // Picker 0 closed once and reopened: its racks trend riskier.
+        base.apply_disruption(
+            &DisruptionEvent::StationClosed {
+                picker: PickerId::new(0),
+            },
+            1,
+        );
+        base.apply_disruption(
+            &DisruptionEvent::StationReopened {
+                picker: PickerId::new(0),
+            },
+            2,
+        );
+        let mut order = vec![rack_p0, rack_p1];
+        base.reorder_by_anticipation(&world, None, &mut order);
+        assert_eq!(order, vec![rack_p1, rack_p0], "trending station demoted");
     }
 
     #[test]

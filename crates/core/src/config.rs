@@ -61,6 +61,22 @@ pub struct EatpConfig {
     /// ILP baseline: cap on new racks admitted per picker per timestamp
     /// (the "picker status" extension of \[12\]).
     pub ilp_picker_capacity: usize,
+    /// Disruption-aware selection (the anticipation layer): planners fold a
+    /// [`crate::outlook::DisruptionOutlook`] penalty into rack/station
+    /// scoring — racks whose corridor crosses live blockades, stations that
+    /// are closed or trending closed and churn-prone racks are
+    /// deprioritized *before* robots commit to them. Off by default; with
+    /// the flag off (or on a clean world) selection is bit-identical to the
+    /// reactive-only behaviour.
+    pub anticipation: bool,
+    /// Corridor band slack of the anticipation term: a cell `c` counts as
+    /// "on the corridor" of `(a, b)` when
+    /// `manhattan(a, c) + manhattan(c, b) ≤ manhattan(a, b) + slack`. The
+    /// band is the membership test for *live* blockades (they describe the
+    /// clean-floor routes the pair would take) and the fallback for the
+    /// historically-blockaded trend term, whose membership is exact where
+    /// the path cache memoizes the pair.
+    pub anticipation_slack: u64,
     /// Use the seed's grid-cloning `HashMap`-memoized distance oracle
     /// instead of the flat generation-stamped one. Distances are identical
     /// (property-tested); only speed and memory behaviour differ. Exists so
@@ -80,6 +96,8 @@ impl Default for EatpConfig {
             gc_period: 64,
             ilp_max_nodes: 600,
             ilp_picker_capacity: 3,
+            anticipation: false,
+            anticipation_slack: 4,
             reference_oracle: false,
         }
     }

@@ -73,7 +73,7 @@ impl Planner for LeastExpirationFirst {
         {
             let arrivals = &self.arrivals;
             let base = self.base.as_mut().expect("init() must be called first");
-            base.timed_selection(|_| {
+            base.timed_selection(|base| {
                 let mut ranked: Vec<(Tick, RackId)> = world
                     .selectable_racks
                     .iter()
@@ -89,6 +89,8 @@ impl Planner for LeastExpirationFirst {
                     .collect();
                 ranked.sort_unstable();
                 selected = ranked.into_iter().take(cap).map(|(_, r)| r).collect();
+                // Disruption-aware pass (no-op unless enabled + disrupted).
+                base.reorder_by_anticipation(world, None, &mut selected);
             });
         }
         let base = self.base.as_mut().expect("initialized");

@@ -79,6 +79,10 @@ pub struct PlannerStats {
     pub paths_failed: u64,
     /// Paths whose tail came from the path cache (EATP only).
     pub cache_spliced: u64,
+    /// Selection decisions changed by the disruption-anticipation term
+    /// (candidate racks promoted past a riskier one). Always 0 with
+    /// [`crate::config::EatpConfig::anticipation`] off or on a clean world.
+    pub anticipation_hits: u64,
     /// Distinct explored Q-states (ATP/EATP only).
     pub q_states: usize,
 }

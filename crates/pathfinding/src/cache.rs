@@ -270,6 +270,18 @@ impl PathCache {
         Some(path)
     }
 
+    /// Whether the *memoized* `(from, to)` path crosses `pos`: `Some(bool)`
+    /// when an entry exists (64-bit cell bloom prefilter, exact scan on a
+    /// bloom hit), `None` when the pair is not cached. Read-only — never
+    /// computes a path — so disruption-aware selection can probe corridor
+    /// membership for free and fall back to a geometric band on a miss.
+    #[inline]
+    pub fn path_crosses(&self, from: GridPos, to: GridPos, pos: GridPos) -> Option<bool> {
+        self.map
+            .get(&(from, to))
+            .map(|e| e.bloom & cell_bit(pos) != 0 && e.path.contains(&pos))
+    }
+
     /// `(hits, misses)` counters (diagnostics).
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
@@ -514,6 +526,21 @@ mod tests {
         cache.set_passable(p(5, 3), true);
         assert_eq!(cache.len(), survivors - 1, "only the detour entry dies");
         assert_eq!(cache.partial_evictions(), 2);
+    }
+
+    #[test]
+    fn path_crosses_probes_cached_entries_only() {
+        let mut cache = PathCache::new(&open_grid(), 64);
+        assert_eq!(
+            cache.path_crosses(p(0, 0), p(6, 0), p(3, 0)),
+            None,
+            "uncached pair yields no verdict"
+        );
+        cache.shortest(p(0, 0), p(6, 0)).unwrap();
+        assert_eq!(cache.path_crosses(p(0, 0), p(6, 0), p(3, 0)), Some(true));
+        assert_eq!(cache.path_crosses(p(0, 0), p(6, 0), p(3, 5)), Some(false));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (0, 1), "probing is not a cache access");
     }
 
     #[test]

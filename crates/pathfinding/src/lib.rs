@@ -46,7 +46,7 @@ pub use cache::PathCache;
 pub use cdt::ConflictDetectionTable;
 pub use conflict::{find_conflicts, Conflict};
 pub use footprint::MemoryFootprint;
-pub use knn::KNearestRacks;
+pub use knn::{KNearestRacks, KnnChange};
 pub use path::Path;
 pub use reservation::ReservationSystem;
 pub use scratch::SearchScratch;

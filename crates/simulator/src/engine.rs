@@ -303,6 +303,7 @@ impl<'a> Engine<'a> {
             events_applied: self.events_applied,
             events_deferred: self.events_deferred,
             disruption_violations: self.disruption_violations,
+            anticipation_hits: stats.anticipation_hits,
             planner_stats: stats,
         }
     }
@@ -1321,6 +1322,55 @@ mod tests {
             "some rack must have been in flight mid-run, so the deferral \
              path must actually run"
         );
+    }
+
+    #[test]
+    fn terminal_rack_removal_is_legal_and_run_completes_when_demand_allows() {
+        use tprw_warehouse::{DisruptionEvent, TimedEvent};
+        let mut inst = small_instance(6, 42);
+        // Find a rack that never receives an item, remove it forever (no
+        // paired restore — legal per the events module's terminal rule):
+        // the run must validate and complete with every item served.
+        let demanded: std::collections::HashSet<usize> =
+            inst.items.iter().map(|i| i.rack.index()).collect();
+        let idle_rack = (0..inst.racks.len())
+            .find(|i| !demanded.contains(i))
+            .expect("some rack has no demand at 6 items over 10 racks");
+        inst.disruptions.push(TimedEvent {
+            t: 3,
+            event: DisruptionEvent::RackRemoved {
+                rack: RackId::new(idle_rack),
+            },
+        });
+        inst.validate()
+            .expect("terminal removal is a legal schedule");
+        let report = run_default(&inst);
+        assert!(report.completed, "no demand on the removed rack");
+        assert_eq!(report.items_processed, 6);
+        assert_eq!(report.disruption_violations, 0);
+        assert_eq!(report.events_applied, 1);
+
+        // Removing a *demanded* rack forever keeps the run safe but
+        // incomplete: its items can never be fulfilled (the documented
+        // workload caveat of the terminal rule).
+        let mut starved = small_instance(6, 42);
+        let victim = *demanded.iter().min().unwrap();
+        starved.disruptions.push(TimedEvent {
+            t: 0,
+            event: DisruptionEvent::RackRemoved {
+                rack: RackId::new(victim),
+            },
+        });
+        starved.validate().unwrap();
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let config = EngineConfig {
+            max_ticks: 2_000,
+            ..EngineConfig::default()
+        };
+        let report = run_simulation(&starved, &mut planner, &config);
+        assert!(!report.completed, "starved demand cannot complete");
+        assert!(report.items_processed < 6);
+        assert_eq!(report.disruption_violations, 0, "still safe");
     }
 
     #[test]

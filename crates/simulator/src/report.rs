@@ -55,6 +55,12 @@ pub struct SimulationReport {
     /// Disruption-safety violations: a robot occupying a blockaded cell, or
     /// a plan naming a broken robot / a closed station's rack (must be 0).
     pub disruption_violations: usize,
+    /// Selection decisions changed by the disruption-anticipation term
+    /// (racks promoted past a riskier candidate; 0 unless
+    /// `EatpConfig::anticipation` is on *and* the run is disrupted). The
+    /// makespan delta it buys is measured by `bench_sim`'s aware-vs-reactive
+    /// comparison.
+    pub anticipation_hits: u64,
     /// Final cumulative planner statistics.
     #[serde(skip)]
     pub planner_stats: PlannerStats,
@@ -96,8 +102,9 @@ pub struct DeterministicFingerprint {
     pub checkpoints: Vec<(usize, Tick, u64, u64)>,
     /// Bottleneck series: `(t, transport, queuing, processing)`.
     pub bottleneck: Vec<(Tick, u64, u64, u64)>,
-    /// Planner counters: expansions, planned, failed, spliced, q-states.
-    pub planner_counters: (u64, u64, u64, u64, usize),
+    /// Planner counters: expansions, planned, failed, spliced, q-states,
+    /// anticipation hits.
+    pub planner_counters: (u64, u64, u64, u64, usize, u64),
 }
 
 impl SimulationReport {
@@ -133,6 +140,7 @@ impl SimulationReport {
                 self.planner_stats.paths_failed,
                 self.planner_stats.cache_spliced,
                 self.planner_stats.q_states,
+                self.planner_stats.anticipation_hits,
             ),
         }
     }
@@ -230,6 +238,7 @@ mod tests {
             events_applied: 0,
             events_deferred: 0,
             disruption_violations: 0,
+            anticipation_hits: 0,
             planner_stats: PlannerStats::default(),
         }
     }

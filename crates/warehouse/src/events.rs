@@ -32,6 +32,27 @@
 //! per entity, and blockades only target [`CellKind::Aisle`] cells —
 //! blocking a storage cell would strand a rack and blocking a station would
 //! make its queue unserviceable forever.
+//!
+//! # Terminal events
+//!
+//! Pairing is required *while the schedule runs* — but what may remain open
+//! at the schedule tail differs by kind, because the kinds differ in what
+//! an unrecovered disruption does to the fleet:
+//!
+//! * an unrecovered **breakdown**, a permanent **blockade** or a permanent
+//!   **closure** can livelock the whole simulation (a frozen robot blocks
+//!   an aisle forever, a walled corridor strands traffic, a closed
+//!   station's queue never drains) — these must always be paired and are
+//!   rejected at the tail;
+//! * an unpaired terminal **rack removal** is **legal**: a rack
+//!   de-commissioned for good (re-slotting, damage) is a real scenario,
+//!   and a missing rack can never trap the fleet — the engine withholds it
+//!   from selection and everything else routes normally. The one
+//!   consequence is a *workload* property, not a safety one: items pending
+//!   on (or still arriving at) a permanently removed rack are never
+//!   fulfilled, so such a run completes only if the removed rack's demand
+//!   is empty — that trade-off belongs to the scenario author.
+//!   [`DisruptionConfig::generate`] itself always emits paired removals.
 
 use crate::geometry::GridPos;
 use crate::grid::{CellKind, GridMap};
@@ -288,9 +309,13 @@ impl DisruptionConfig {
 
 /// Check the structural invariants of an event schedule against its world:
 /// sorted by tick, ids in range, blockades on in-bounds aisle cells, and
-/// strict disrupt/recover alternation per entity (no unmatched or nested
-/// disruptions — an unrecovered breakdown or blockade could livelock a
-/// simulation that needs the robot or corridor).
+/// strict disrupt/recover alternation per entity (no nested disruptions).
+/// Breakdowns, blockades and closures must be recovered before the
+/// schedule ends — left open they can livelock a simulation that needs the
+/// robot, corridor or station. A `RackRemoved` with no paired
+/// `RackRestored` at the schedule tail is **legal**: permanent
+/// de-commissioning cannot trap the fleet (see the module docs, *Terminal
+/// events*, for the rule and its completion caveat).
 ///
 /// # Errors
 ///
@@ -395,9 +420,8 @@ pub fn validate_events(
     if let Some(i) = picker_closed.iter().position(|&c| c) {
         return Err(format!("picker#{i} never reopens"));
     }
-    if let Some(i) = rack_removed.iter().position(|&r| r) {
-        return Err(format!("rack#{i} never restored"));
-    }
+    // `rack_removed` intentionally unchecked at the tail: unpaired terminal
+    // removals are legal (module docs, *Terminal events*).
     if let Some(i) = cell_blocked.iter().position(|&b| b) {
         return Err(format!(
             "cell {} never unblocks",
@@ -553,7 +577,6 @@ mod tests {
         assert!(
             validate_events(&[remove(1, 0), remove(2, 0), restore(3, 0)], &g, 2, 1, 1).is_err()
         );
-        assert!(validate_events(&[remove(1, 0)], &g, 2, 1, 1).is_err());
         assert!(validate_events(&[restore(1, 0)], &g, 2, 1, 1).is_err());
         assert!(validate_events(&[remove(1, 5), restore(2, 5)], &g, 2, 1, 1).is_err());
         // Blockade on a non-aisle cell.
@@ -573,6 +596,61 @@ mod tests {
         };
         assert!(validate_events(&[block, unblock], &walled, 2, 1, 1).is_err());
         assert!(validate_events(&[block, unblock], &g, 2, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn terminal_removals_are_legal_other_terminal_events_are_not() {
+        // The tail rule (module docs, *Terminal events*): a rack may stay
+        // removed past the end of the schedule — permanent de-commissioning
+        // cannot livelock the fleet — while every other disruption kind
+        // must be recovered.
+        let g = grid();
+        let remove = |t, r| TimedEvent {
+            t,
+            event: DisruptionEvent::RackRemoved {
+                rack: RackId::new(r),
+            },
+        };
+        let restore = |t, r| TimedEvent {
+            t,
+            event: DisruptionEvent::RackRestored {
+                rack: RackId::new(r),
+            },
+        };
+        // Unpaired terminal removal: legal, alone or after a full cycle.
+        assert!(validate_events(&[remove(1, 0)], &g, 2, 1, 2).is_ok());
+        assert!(validate_events(
+            &[remove(1, 0), restore(2, 0), remove(5, 0), remove(6, 1)],
+            &g,
+            2,
+            1,
+            2
+        )
+        .is_ok());
+        // Nesting is still rejected even with the tail open.
+        assert!(validate_events(&[remove(1, 0), remove(2, 0)], &g, 2, 1, 2).is_err());
+        // Terminal breakdown / blockade / closure stay illegal.
+        let breakdown = TimedEvent {
+            t: 1,
+            event: DisruptionEvent::RobotBreakdown {
+                robot: RobotId::new(0),
+            },
+        };
+        assert!(validate_events(&[breakdown], &g, 2, 1, 1).is_err());
+        let block = TimedEvent {
+            t: 1,
+            event: DisruptionEvent::CellBlocked {
+                pos: GridPos::new(2, 2),
+            },
+        };
+        assert!(validate_events(&[block], &g, 2, 1, 1).is_err());
+        let close = TimedEvent {
+            t: 1,
+            event: DisruptionEvent::StationClosed {
+                picker: PickerId::new(0),
+            },
+        };
+        assert!(validate_events(&[close], &g, 2, 1, 1).is_err());
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct Instance {
     pub items: Vec<Item>,
     /// Disruption event schedule, sorted by tick (empty = static world).
     /// Generated from the spec's [`DisruptionConfig`] or scripted directly.
+    /// Scripted schedules must satisfy [`crate::events::validate_events`];
+    /// note that an unpaired *terminal* rack removal is legal (permanent
+    /// de-commissioning — see the `events` module docs), while every other
+    /// disruption kind must be recovered before the schedule ends.
     pub disruptions: Vec<TimedEvent>,
 }
 
