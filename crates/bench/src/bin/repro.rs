@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Subcommands: `table3`, `fig10`, `fig11`, `fig12`, `fig13`, `badcase`,
-//! `ablation-delta`, `ablation-l`, `ablation-k`, `all`.
+//! `disrupted`, `ablation-delta`, `ablation-l`, `ablation-k`, `all`.
 //!
 //! Output goes to stdout as aligned text tables (the same rows/series the
 //! paper reports) and to `results/*.json` for archival. A counting global
@@ -15,7 +15,8 @@
 //! complementing the logical MC metric (DESIGN.md §3).
 
 use eatp_bench::{
-    run_cell, run_cell_with, scale_from_env, skipped_in_paper, write_json, DEFAULT_SEED,
+    run_cell, run_cell_disrupted, run_cell_with, scale_from_env, skipped_in_paper, write_json,
+    DEFAULT_SEED,
 };
 use eatp_core::{planner_by_name, EatpConfig, PLANNER_NAMES};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -68,6 +69,7 @@ fn main() {
         "fig12" => fig12(&full_grid(scale)),
         "fig13" => fig13(scale),
         "badcase" => badcase(),
+        "disrupted" => disrupted(scale),
         "ablation-delta" => ablation_delta(scale),
         "ablation-l" => ablation_l(scale),
         "ablation-k" => ablation_k(scale),
@@ -80,13 +82,14 @@ fn main() {
             fig12(&grid);
             fig13(scale);
             badcase();
+            disrupted(scale);
             ablation_delta(scale);
             ablation_l(scale);
             ablation_k(scale);
         }
         other => {
             eprintln!(
-                "unknown command {other}; use table3|fig10|fig11|fig12|fig13|badcase|ablation-delta|ablation-l|ablation-k|all"
+                "unknown command {other}; use table3|fig10|fig11|fig12|fig13|badcase|disrupted|ablation-delta|ablation-l|ablation-k|all"
             );
             std::process::exit(2);
         }
@@ -292,6 +295,52 @@ fn badcase() {
             rows[1].2,
         );
     }
+    println!();
+}
+
+fn disrupted(scale: f64) {
+    println!("== Disrupted sweep: makespan inflation under a fleet-scaled wave ==");
+    println!("   (breakdowns ≈ fleet/4, aisle blockades, one closure, rack removals)");
+    let mut reports = Vec::new();
+    for dataset in Dataset::ALL {
+        println!("-- {} --", dataset.name());
+        println!(
+            "  {:<5} {:>10} {:>12} {:>10} {:>8} {:>9}",
+            "", "clean M", "disrupted M", "inflation", "events", "deferred"
+        );
+        for name in PLANNER_NAMES {
+            if skipped_in_paper(name, dataset, scale) {
+                println!("  {name:<5} {:>10}", "-");
+                continue;
+            }
+            reset_peak();
+            let clean = run_cell(dataset, name, scale, DEFAULT_SEED);
+            let wave =
+                run_cell_disrupted(dataset, name, scale, DEFAULT_SEED, &EatpConfig::default());
+            // The sweep is also a safety gate: a disrupted cell that stalls,
+            // violates a disruption invariant or executes a conflict is a
+            // reproduction failure, not a data point.
+            assert!(
+                wave.completed,
+                "{name} on {} must drain the wave",
+                dataset.name()
+            );
+            assert_eq!(wave.disruption_violations, 0, "{name}: violation-free");
+            assert_eq!(wave.executed_conflicts, 0, "{name}: conflict-free");
+            let inflation = wave.makespan as f64 / clean.makespan.max(1) as f64;
+            println!(
+                "  {:<5} {:>10} {:>12} {:>9.2}x {:>8} {:>9}",
+                name,
+                clean.makespan,
+                wave.makespan,
+                inflation,
+                wave.events_applied,
+                wave.events_deferred
+            );
+            reports.push(wave);
+        }
+    }
+    write_json("disrupted", &reports);
     println!();
 }
 

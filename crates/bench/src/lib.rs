@@ -10,7 +10,7 @@
 use eatp_core::{planner_by_name, EatpConfig, PLANNER_NAMES};
 use serde::Serialize;
 use tprw_simulator::{run_simulation, EngineConfig, SimulationReport};
-use tprw_warehouse::Dataset;
+use tprw_warehouse::{Dataset, DisruptionConfig, ScenarioSpec};
 
 pub mod sim_cases;
 
@@ -75,6 +75,47 @@ pub fn run_cell_with(
     run_simulation(&instance, &mut *planner, &EngineConfig::default())
 }
 
+/// The disruption wave used by the `repro disrupted` sweep, sized to one
+/// dataset cell: breakdowns hit about a quarter of the (scaled) fleet, a
+/// handful of aisle blockades and one station closure land inside an
+/// early-run window, so even laptop-scale cells feel the wave while robots
+/// are still mid-cycle. Everything recovers well before the engine's
+/// horizon; expansion from the spec's seed keeps the schedule reproducible.
+pub fn disruption_wave(spec: &ScenarioSpec) -> DisruptionConfig {
+    DisruptionConfig {
+        breakdowns: (spec.n_robots / 4).max(1),
+        breakdown_ticks: (40, 120),
+        blockades: (spec.n_racks / 12).clamp(2, 10),
+        blockade_ticks: (60, 160),
+        closures: 1,
+        closure_ticks: (60, 140),
+        removals: (spec.n_racks / 25).min(4),
+        removal_ticks: (40, 120),
+        window: (20, 200),
+    }
+}
+
+/// [`run_cell_with`] under the [`disruption_wave`]: the same dataset cell
+/// with a fleet-scaled wave of breakdowns, blockades, a closure and rack
+/// removals folded into the schedule.
+pub fn run_cell_disrupted(
+    dataset: Dataset,
+    planner_name: &str,
+    scale: f64,
+    seed: u64,
+    config: &EatpConfig,
+) -> SimulationReport {
+    let mut spec = dataset.spec(scale, seed);
+    spec.disruptions = Some(disruption_wave(&spec));
+    spec.name = format!("{}+wave", spec.name);
+    let instance = spec
+        .build()
+        .unwrap_or_else(|e| panic!("{} failed to build disrupted: {e}", dataset.name()));
+    let mut planner =
+        planner_by_name(planner_name, config).unwrap_or_else(|| panic!("unknown {planner_name}"));
+    run_simulation(&instance, &mut *planner, &EngineConfig::default())
+}
+
 /// One Table III-style sweep: all planners × all datasets.
 pub fn run_table3(scale: f64, seed: u64) -> Vec<SimulationReport> {
     let mut reports = Vec::new();
@@ -126,6 +167,15 @@ mod tests {
     fn run_cell_smoke() {
         let report = run_cell(Dataset::SynA, "EATP", 0.004, 3);
         assert!(report.completed);
+        assert_eq!(report.executed_conflicts, 0);
+    }
+
+    #[test]
+    fn run_cell_disrupted_smoke() {
+        let report = run_cell_disrupted(Dataset::SynA, "EATP", 0.004, 3, &EatpConfig::default());
+        assert!(report.completed, "the wave must still drain");
+        assert!(report.events_applied > 0, "the wave must actually fire");
+        assert_eq!(report.disruption_violations, 0);
         assert_eq!(report.executed_conflicts, 0);
     }
 }

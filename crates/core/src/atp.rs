@@ -20,10 +20,19 @@ use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::ntp::most_slack_picker_selection;
 use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
-use crate::qlearning::QTable;
+use crate::qlearning::{QTable, QTableSnapshot};
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
+
+/// Canonical state of a learning planner (ATP/EATP): the shared base slice
+/// plus the Q-table (entries, RNG stream position, update count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LearningSnapshot {
+    pub(crate) base: crate::base::BaseSnapshot,
+    pub(crate) q: QTableSnapshot,
+}
 
 /// Algorithm 2: Q-learning rack selection + spatiotemporal A*.
 pub struct AdaptiveTaskPlanner {
@@ -202,6 +211,13 @@ impl Planner for AdaptiveTaskPlanner {
             .apply_disruption(event, t);
     }
 
+    fn on_maintenance_notice(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .announce_maintenance(pos, from, until);
+    }
+
     fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
         self.base
             .as_mut()
@@ -221,6 +237,27 @@ impl Planner for AdaptiveTaskPlanner {
             .unwrap_or_default();
         s.q_states = self.q.state_count();
         s
+    }
+
+    fn export_snapshot(&self) -> serde::Value {
+        let Some(base) = self.base.as_ref() else {
+            return serde::Value::Null;
+        };
+        LearningSnapshot {
+            base: base.export_base_snapshot(),
+            q: self.q.export_snapshot(),
+        }
+        .serialize()
+    }
+
+    fn import_snapshot(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snap = LearningSnapshot::deserialize(state)?;
+        let base = self
+            .base
+            .as_mut()
+            .ok_or_else(|| serde::Error::msg("ATP: import before init"))?;
+        base.import_base_snapshot(&snap.base);
+        self.q.import_snapshot(&snap.q)
     }
 }
 

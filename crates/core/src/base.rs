@@ -11,12 +11,13 @@ use crate::config::EatpConfig;
 use crate::outlook::DisruptionOutlook;
 use crate::planner::{LegRequest, PlannerStats};
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use tprw_pathfinding::astar::{plan_path_with, PlanOptions};
 use tprw_pathfinding::bfs::{DistanceOracle, ReferenceDistanceOracle};
 use tprw_pathfinding::{
     ConflictDetectionTable, KNearestRacks, KnnChange, MemoryFootprint, Path, PathCache,
-    ReservationSystem, SearchScratch, SpatioTemporalGraph,
+    ReservationContent, ReservationSystem, SearchScratch, SpatioTemporalGraph,
 };
 use tprw_warehouse::{
     CellKind, DisruptionEvent, GridMap, GridPos, Instance, RackId, RobotId, Tick,
@@ -143,6 +144,32 @@ impl ReservationBackend for ConflictDetectionTable {
     fn backend_name() -> &'static str {
         "CDT"
     }
+}
+
+/// The canonical (checkpoint-persisted) slice of a [`PlannerBase`]: the
+/// reservation content, the memoized path-cache entries, the cumulative
+/// counters and the GC cursor. Everything else the base owns — grid copy,
+/// distance oracle, KNN index, disruption outlook, scratch arenas — is
+/// *derived*: the restore protocol rebuilds it via
+/// [`crate::planner::Planner::init`] plus a replay of the applied-event
+/// journal, then overwrites this canonical slice (see
+/// `docs/snapshot-format.md` for the full decision table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseSnapshot {
+    /// Logical reservation content (timed + parked, canonical order).
+    pub resv: ReservationContent,
+    /// Memoized path-cache entries as `((from, to), cells)`, key-sorted;
+    /// empty when the planner runs without a cache.
+    pub cache: Vec<((GridPos, GridPos), Vec<GridPos>)>,
+    /// Cumulative STC/PTC counters.
+    pub stats: PlannerStats,
+    /// Last reservation-GC tick (GC timing is behaviorally observable).
+    pub last_gc: Tick,
+    /// Scheduled-maintenance predictions `(cell, from, until)` in
+    /// announcement order. Canonical, unlike the rest of the outlook:
+    /// notices arrive through `Planner::on_maintenance_notice`, not through
+    /// applied events, so the journal replay cannot rebuild them.
+    pub maintenance: Vec<(GridPos, Tick, Tick)>,
 }
 
 /// Shared planner state (built at [`crate::planner::Planner::init`] time).
@@ -487,9 +514,22 @@ impl<R: ReservationBackend> PlannerBase<R> {
             .saturating_add(self.corridor_term(picker.pos, r.home))
     }
 
+    /// Accept a scheduled-maintenance notice (the
+    /// [`crate::planner::Planner::on_maintenance_notice`] contract): `pos`
+    /// is expected to blockade during the inclusive `[from, until]` window.
+    /// Dropped on the floor unless `config.maintenance_outlook` is on, so
+    /// flag-off runs are bit-identical to runs that never received notices.
+    pub fn announce_maintenance(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        if !self.config.maintenance_outlook {
+            return;
+        }
+        self.outlook.observe_prediction(pos, from, until);
+    }
+
     /// Snapshot the outlook's cell lists into the selection scratch (the
-    /// corridor scans must not hold a borrow of the outlook).
-    fn snapshot_outlook(&mut self) {
+    /// corridor scans must not hold a borrow of the outlook). `now` expires
+    /// scheduled-maintenance windows.
+    fn snapshot_outlook(&mut self, now: Tick) {
         self.sel.blockades.clear();
         self.sel
             .blockades
@@ -500,6 +540,22 @@ impl<R: ReservationBackend> PlannerBase<R> {
             if !self.outlook.is_blocked(c) {
                 self.sel.pressured.push(c);
             }
+        }
+        // Scheduled-maintenance predictions join the trend term while their
+        // window is still pending or live (`until ≥ now`): a corridor about
+        // to close is a worse bet even while clear. Cells already counted —
+        // blocked right now, historically pressured, or announced twice —
+        // are skipped so no cell is charged double.
+        let first_predicted = self.sel.pressured.len();
+        for i in 0..self.outlook.predicted_cells().len() {
+            let (c, _, until) = self.outlook.predicted_cells()[i];
+            if until < now || self.outlook.is_blocked(c) || self.outlook.pressure(c) > 0 {
+                continue;
+            }
+            if self.sel.pressured[first_predicted..].contains(&c) {
+                continue;
+            }
+            self.sel.pressured.push(c);
         }
     }
 
@@ -515,7 +571,7 @@ impl<R: ReservationBackend> PlannerBase<R> {
             self.sel.pass_active = false;
             return;
         }
-        self.snapshot_outlook();
+        self.snapshot_outlook(world.t);
         self.sel.rack_penalty.clear();
         self.sel.rack_penalty.resize(world.racks.len(), u64::MAX);
         self.sel.pass_active = true;
@@ -551,7 +607,7 @@ impl<R: ReservationBackend> PlannerBase<R> {
             return;
         }
         if !self.sel.pass_active {
-            self.snapshot_outlook();
+            self.snapshot_outlook(world.t);
         }
         let mut memo = std::mem::take(&mut self.sel.rack_penalty);
         let mut order = std::mem::take(&mut self.sel.order);
@@ -618,6 +674,73 @@ impl<R: ReservationBackend> PlannerBase<R> {
     /// Remove the parked entry of a robot that docked into a station bay.
     pub fn on_dock(&mut self, robot: RobotId) {
         self.resv.unpark(robot);
+    }
+
+    /// Export the canonical slice of this base (see [`BaseSnapshot`]).
+    pub fn export_base_snapshot(&self) -> BaseSnapshot {
+        BaseSnapshot {
+            resv: self.resv.export_content(),
+            cache: self
+                .cache
+                .as_ref()
+                .map_or_else(Vec::new, |c| c.export_entries()),
+            stats: self.stats.clone(),
+            last_gc: self.last_gc,
+            maintenance: self.outlook.predicted_cells().to_vec(),
+        }
+    }
+
+    /// Overwrite this base's canonical slice with an exported snapshot.
+    ///
+    /// Precondition: the base was freshly built via
+    /// [`crate::planner::Planner::init`] and the applied-disruption journal
+    /// has been replayed through
+    /// [`crate::planner::Planner::on_disruption`], so the grid, oracle,
+    /// cache passability and KNN liveness already match the checkpointed
+    /// world. This method then replaces the reservation table's logical
+    /// content (clearing the spawn parking `init` left behind), the cache's
+    /// memoized entries, the counters and the GC cursor.
+    pub fn import_base_snapshot(&mut self, snap: &BaseSnapshot) {
+        // Clear every robot the table currently knows (post-`init` that is
+        // the spawn-parked fleet) plus, defensively, every robot the
+        // snapshot mentions.
+        let current = self.resv.export_content();
+        let mut robots: Vec<RobotId> = current
+            .timed
+            .iter()
+            .chain(snap.resv.timed.iter())
+            .map(|r| r.robot)
+            .chain(
+                current
+                    .parked
+                    .iter()
+                    .chain(snap.resv.parked.iter())
+                    .map(|&(r, _, _)| r),
+            )
+            .collect();
+        robots.sort_unstable();
+        robots.dedup();
+        for robot in robots {
+            self.resv.release_robot(robot);
+            self.resv.unpark(robot);
+        }
+        self.resv.import_content(&snap.resv);
+        if let Some(cache) = &mut self.cache {
+            cache.clear_entries();
+            for ((from, to), path) in &snap.cache {
+                cache.import_entry(*from, *to, path.clone());
+            }
+        }
+        self.stats = snap.stats.clone();
+        self.last_gc = snap.last_gc;
+        // Re-feed the checkpointed maintenance notices into the freshly
+        // rebuilt outlook (journal replay restored the event-derived part;
+        // predictions have no event to replay). Fed unconditionally — the
+        // snapshot only carries notices the exporting run accepted, so the
+        // flag gate already happened at announcement time.
+        for &(pos, from, until) in &snap.maintenance {
+            self.outlook.observe_prediction(pos, from, until);
+        }
     }
 
     /// Snapshot stats with the current memory footprint filled in.

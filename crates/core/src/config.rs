@@ -77,6 +77,15 @@ pub struct EatpConfig {
     /// historically-blockaded trend term, whose membership is exact where
     /// the path cache memoizes the pair.
     pub anticipation_slack: u64,
+    /// Scheduled-maintenance outlook: accept advance notices of future
+    /// blockades (see `Planner::on_maintenance_notice`) and fold the
+    /// announced cells into the anticipation trend term while their window
+    /// is pending — a corridor about to close is a worse bet even while
+    /// clear. Off by default; with the flag off notices are dropped on the
+    /// floor and every run is bit-identical to one that never received
+    /// them. Only observable when [`EatpConfig::anticipation`] is also on
+    /// (the notices feed the same outlook the anticipation reorder reads).
+    pub maintenance_outlook: bool,
     /// Use the seed's grid-cloning `HashMap`-memoized distance oracle
     /// instead of the flat generation-stamped one. Distances are identical
     /// (property-tested); only speed and memory behaviour differ. Exists so
@@ -98,6 +107,7 @@ impl Default for EatpConfig {
             ilp_picker_capacity: 3,
             anticipation: false,
             anticipation_slack: 4,
+            maintenance_outlook: false,
             reference_oracle: false,
         }
     }

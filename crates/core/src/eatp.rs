@@ -13,12 +13,13 @@
 //!    Manhattan distance `L`) are spliced from a conflict-agnostic shortest-
 //!    path cache with waits instead of expanding the open set.
 
-use crate::atp::greedy_bootstrap_select;
+use crate::atp::{greedy_bootstrap_select, LearningSnapshot};
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::qlearning::QTable;
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
@@ -226,6 +227,13 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             .apply_disruption(event, t);
     }
 
+    fn on_maintenance_notice(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .announce_maintenance(pos, from, until);
+    }
+
     fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
         self.base
             .as_mut()
@@ -245,6 +253,27 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             .unwrap_or_default();
         s.q_states = self.q.state_count();
         s
+    }
+
+    fn export_snapshot(&self) -> serde::Value {
+        let Some(base) = self.base.as_ref() else {
+            return serde::Value::Null;
+        };
+        LearningSnapshot {
+            base: base.export_base_snapshot(),
+            q: self.q.export_snapshot(),
+        }
+        .serialize()
+    }
+
+    fn import_snapshot(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snap = LearningSnapshot::deserialize(state)?;
+        let base = self
+            .base
+            .as_mut()
+            .ok_or_else(|| serde::Error::msg("EATP: import before init"))?;
+        base.import_base_snapshot(&snap.base);
+        self.q.import_snapshot(&snap.q)
     }
 }
 

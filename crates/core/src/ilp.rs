@@ -24,6 +24,7 @@ use crate::makespan::queuing_delay;
 use crate::ntp::most_slack_picker_selection;
 use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, ReservationSystem, SpatioTemporalGraph};
 use tprw_solver::{assign_min_cost, solve_binary_min, IlpLimits, IlpProblem};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
@@ -270,6 +271,13 @@ impl Planner for IlpPlanner {
             .apply_disruption(event, t);
     }
 
+    fn on_maintenance_notice(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .announce_maintenance(pos, from, until);
+    }
+
     fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
         self.base
             .as_mut()
@@ -287,6 +295,36 @@ impl Planner for IlpPlanner {
             .map(|b| b.stats_snapshot(0))
             .unwrap_or_default()
     }
+
+    fn export_snapshot(&self) -> serde::Value {
+        let Some(base) = self.base.as_ref() else {
+            return serde::Value::Null;
+        };
+        IlpSnapshot {
+            base: base.export_base_snapshot(),
+            total_nodes: self.total_nodes,
+        }
+        .serialize()
+    }
+
+    fn import_snapshot(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snap = IlpSnapshot::deserialize(state)?;
+        let base = self
+            .base
+            .as_mut()
+            .ok_or_else(|| serde::Error::msg("ILP: import before init"))?;
+        base.import_base_snapshot(&snap.base);
+        self.total_nodes = snap.total_nodes;
+        Ok(())
+    }
+}
+
+/// Canonical ILP state: the shared base slice plus the cumulative
+/// branch-and-bound node counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IlpSnapshot {
+    base: crate::base::BaseSnapshot,
+    total_nodes: u64,
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
@@ -129,6 +130,13 @@ impl Planner for LeastExpirationFirst {
             .apply_disruption(event, t);
     }
 
+    fn on_maintenance_notice(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .announce_maintenance(pos, from, until);
+    }
+
     fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
         self.base
             .as_mut()
@@ -145,6 +153,24 @@ impl Planner for LeastExpirationFirst {
             .as_ref()
             .map(|b| b.stats_snapshot(self.arrivals.len() * std::mem::size_of::<Tick>()))
             .unwrap_or_default()
+    }
+
+    // `arrivals` is derived from the instance at `init` time, so the base
+    // snapshot is the whole canonical state.
+    fn export_snapshot(&self) -> serde::Value {
+        self.base
+            .as_ref()
+            .map_or(serde::Value::Null, |b| b.export_base_snapshot().serialize())
+    }
+
+    fn import_snapshot(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snap = crate::base::BaseSnapshot::deserialize(state)?;
+        let base = self
+            .base
+            .as_mut()
+            .ok_or_else(|| serde::Error::msg("LEF: import before init"))?;
+        base.import_base_snapshot(&snap);
+        Ok(())
     }
 }
 

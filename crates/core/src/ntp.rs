@@ -12,6 +12,7 @@ use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
@@ -118,6 +119,13 @@ impl Planner for NaiveTaskPlanner {
             .apply_disruption(event, t);
     }
 
+    fn on_maintenance_notice(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .announce_maintenance(pos, from, until);
+    }
+
     fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
         self.base
             .as_mut()
@@ -134,6 +142,22 @@ impl Planner for NaiveTaskPlanner {
             .as_ref()
             .map(|b| b.stats_snapshot(0))
             .unwrap_or_default()
+    }
+
+    fn export_snapshot(&self) -> serde::Value {
+        self.base
+            .as_ref()
+            .map_or(serde::Value::Null, |b| b.export_base_snapshot().serialize())
+    }
+
+    fn import_snapshot(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let snap = crate::base::BaseSnapshot::deserialize(state)?;
+        let base = self
+            .base
+            .as_mut()
+            .ok_or_else(|| serde::Error::msg("NTP: import before init"))?;
+        base.import_base_snapshot(&snap);
+        Ok(())
     }
 }
 

@@ -28,7 +28,7 @@
 //! so clean-world runs are bit-identical either way (equivalence-pinned by
 //! `tests/anticipation.rs`).
 
-use tprw_warehouse::{DisruptionEvent, GridPos, PickerId, RackId};
+use tprw_warehouse::{DisruptionEvent, GridPos, PickerId, RackId, Tick};
 
 /// Penalty charged to a rack whose station is closed right now. Defensive:
 /// the engine already withholds closed stations' racks from the selectable
@@ -67,6 +67,17 @@ pub struct DisruptionOutlook {
     /// Total events observed (0 ⇒ every penalty is 0 ⇒ selection skips the
     /// anticipation pass entirely).
     events_seen: u64,
+    /// Scheduled-maintenance predictions `(cell, from, until)` in
+    /// announcement order: the cell is expected to blockade during the
+    /// inclusive window. Fed through `Planner::on_maintenance_notice` (so
+    /// only under `EatpConfig::maintenance_outlook`), never by applied
+    /// events — and therefore *canonical* planner state: a checkpoint
+    /// cannot rebuild it from the event journal, so `BaseSnapshot` carries
+    /// it (see `docs/snapshot-format.md`).
+    scheduled: Vec<(GridPos, Tick, Tick)>,
+    /// Total predictions observed (counted into [`Self::has_signal`] so a
+    /// pending notice alone activates the anticipation pass).
+    predictions_seen: u64,
 }
 
 impl DisruptionOutlook {
@@ -84,7 +95,18 @@ impl DisruptionOutlook {
             rack_removed: vec![false; n_racks],
             rack_removals: vec![0; n_racks],
             events_seen: 0,
+            scheduled: Vec::new(),
+            predictions_seen: 0,
         }
+    }
+
+    /// Fold one scheduled-maintenance notice into the digest: `pos` is
+    /// expected to be blockaded during the inclusive `[from, until]` window.
+    /// Advisory only — nothing here mutates the floor; the prediction is
+    /// consulted by the anticipation trend term until the window expires.
+    pub fn observe_prediction(&mut self, pos: GridPos, from: Tick, until: Tick) {
+        self.predictions_seen += 1;
+        self.scheduled.push((pos, from, until));
     }
 
     /// Fold one applied disruption event into the digest.
@@ -129,17 +151,31 @@ impl DisruptionOutlook {
         }
     }
 
-    /// Whether any event has ever been observed. `false` guarantees every
-    /// penalty below is zero, letting selection skip the anticipation pass
-    /// (and making flag-on clean-world runs bit-identical to flag-off).
+    /// Whether any event — or scheduled-maintenance prediction — has ever
+    /// been observed. `false` guarantees every penalty below is zero,
+    /// letting selection skip the anticipation pass (and making flag-on
+    /// clean-world runs bit-identical to flag-off).
     #[inline]
     pub fn has_signal(&self) -> bool {
-        self.events_seen > 0
+        self.events_seen > 0 || self.predictions_seen > 0
     }
 
     /// Total events observed.
     pub fn events_seen(&self) -> u64 {
         self.events_seen
+    }
+
+    /// Total scheduled-maintenance predictions observed.
+    pub fn predictions_seen(&self) -> u64 {
+        self.predictions_seen
+    }
+
+    /// Every scheduled-maintenance prediction `(cell, from, until)` in
+    /// announcement order (expired windows included — callers filter by
+    /// their current tick).
+    #[inline]
+    pub fn predicted_cells(&self) -> &[(GridPos, Tick, Tick)] {
+        &self.scheduled
     }
 
     /// Approximate heap bytes held by the digest (reported through the
@@ -154,6 +190,7 @@ impl DisruptionOutlook {
             + self.station_closures.capacity() * std::mem::size_of::<u32>()
             + self.rack_removed.capacity()
             + self.rack_removals.capacity() * std::mem::size_of::<u32>()
+            + self.scheduled.capacity() * std::mem::size_of::<(GridPos, Tick, Tick)>()
     }
 
     /// The currently blocked cells, in application order.
@@ -263,6 +300,21 @@ mod tests {
         o.observe(&DisruptionEvent::RackRestored { rack });
         let trending = o.rack_risk(rack);
         assert!(trending > 0 && trending < REMOVED_RACK_PENALTY);
+    }
+
+    #[test]
+    fn predictions_mark_signal_without_touching_live_state() {
+        let mut o = outlook();
+        let pos = GridPos::new(4, 1);
+        o.observe_prediction(pos, 10, 40);
+        assert!(o.has_signal(), "a pending notice alone is a signal");
+        assert_eq!(o.events_seen(), 0, "no event was applied");
+        assert_eq!(o.predictions_seen(), 1);
+        assert!(!o.is_blocked(pos), "predictions never mutate the floor");
+        assert_eq!(o.pressure(pos), 0, "nor the historical pressure");
+        assert_eq!(o.predicted_cells(), &[(pos, 10, 40)]);
+        o.observe_prediction(pos, 60, 90);
+        assert_eq!(o.predicted_cells().len(), 2, "windows accumulate");
     }
 
     #[test]

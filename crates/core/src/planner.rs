@@ -8,6 +8,7 @@
 //! already reserved in the planner's conflict-avoidance structure.
 
 use crate::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::Path;
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
@@ -57,7 +58,7 @@ impl LegRequest {
 }
 
 /// Cumulative efficiency counters (the STC/PTC/MC metrics of Sec. VII-A).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlannerStats {
     /// Nanoseconds spent in rack selection (STC).
     pub selection_ns: u64,
@@ -158,6 +159,17 @@ pub trait Planner {
     /// selectable pool) and through [`Planner::on_path_cancelled`].
     fn on_disruption(&mut self, _event: &DisruptionEvent, _t: Tick) {}
 
+    /// Advance notice of scheduled maintenance: cell `pos` is expected to
+    /// be blockaded during the inclusive `[from, until]` tick window.
+    /// Advisory only — the notice never mutates the world (the blockade
+    /// itself still arrives as a [`DisruptionEvent`], if it happens at
+    /// all); planners fold it into disruption-aware selection so robots
+    /// stop committing to corridors about to close. Gated behind
+    /// [`crate::config::EatpConfig::maintenance_outlook`] (default off):
+    /// with the flag off the default no-op applies and runs are
+    /// bit-identical to ones that never received the notice.
+    fn on_maintenance_notice(&mut self, _pos: GridPos, _from: Tick, _until: Tick) {}
+
     /// The engine cancelled `robot`'s active path at tick `t`: the robot
     /// broke down or its route was invalidated, and it now stands still at
     /// `pos`. Release every outstanding timed reservation of the robot and
@@ -172,6 +184,29 @@ pub trait Planner {
 
     /// Current cumulative statistics.
     fn stats(&self) -> PlannerStats;
+
+    /// Export the planner's *canonical* internal state for a checkpoint:
+    /// everything that cannot be reconstructed from the instance plus the
+    /// applied-disruption journal (reservation content, learned Q-values,
+    /// cumulative counters, memoized cache entries, accepted maintenance
+    /// notices). Derived structures — search scratch, distance-oracle
+    /// fields, KNN indexes, the event-derived half of the disruption
+    /// outlook — are *not* exported: the restore protocol rebuilds them by
+    /// calling [`Planner::init`] and replaying the journal through
+    /// [`Planner::on_disruption`] before importing this value (see
+    /// `docs/snapshot-format.md`). The default (for stateless planners) is
+    /// [`serde::Value::Null`].
+    fn export_snapshot(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restore the canonical state produced by [`Planner::export_snapshot`].
+    /// Called after `init` + journal replay; must leave the planner
+    /// bit-identical to the one that exported. Malformed input yields a
+    /// typed error, never a panic.
+    fn import_snapshot(&mut self, _state: &serde::Value) -> Result<(), serde::Error> {
+        Ok(())
+    }
 }
 
 /// Convenience: does this planner learn (ATP/EATP)? Used by benches to

@@ -287,6 +287,46 @@ impl PathCache {
         (self.hits, self.misses)
     }
 
+    /// Every memoized entry as `((from, to), path cells)`, sorted by key —
+    /// the canonical enumeration used by checkpoint export. The memoized
+    /// *pair set* is behaviorally observable (`path_crosses` answers `None`
+    /// for uncached pairs) and entries surviving partial eviction need not
+    /// equal a fresh trace on the mutated grid, so the actual cells are
+    /// exported, not recomputed on restore. Step fields, the bloom words
+    /// and the hit/miss counters are derived and rebuilt on demand.
+    pub fn export_entries(&self) -> Vec<((GridPos, GridPos), Vec<GridPos>)> {
+        let width = self.grid.width();
+        let mut entries: Vec<_> = self
+            .map
+            .iter()
+            .map(|(&k, e)| (k, e.path.to_vec()))
+            .collect();
+        entries.sort_by_key(|&((a, b), _)| (a.to_index(width), b.to_index(width)));
+        entries
+    }
+
+    /// Re-insert one exported entry, recomputing its bloom word. Restores
+    /// assume the importing cache's grid already matches the grid the entry
+    /// was exported under (callers replay the disruption journal first).
+    pub fn import_entry(&mut self, from: GridPos, to: GridPos, path: Vec<GridPos>) {
+        debug_assert_eq!(path.first(), Some(&from));
+        debug_assert_eq!(path.last(), Some(&to));
+        let bloom = path.iter().fold(0u64, |acc, &c| acc | cell_bit(c));
+        self.map.insert(
+            (from, to),
+            CacheEntry {
+                path: path.into_boxed_slice(),
+                bloom,
+            },
+        );
+    }
+
+    /// Drop every memoized entry (checkpoint import begins from a clean
+    /// map before re-inserting the exported pairs).
+    pub fn clear_entries(&mut self) {
+        self.map.clear();
+    }
+
     /// Number of cached pairs.
     pub fn len(&self) -> usize {
         self.map.len()

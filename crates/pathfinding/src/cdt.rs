@@ -56,7 +56,7 @@
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
-use crate::reservation::{ParkingBoard, ReservationSystem};
+use crate::reservation::{ParkingBoard, ReservationContent, ReservationSystem, TimedReservation};
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
 /// Entries a cell stores inline before spilling into the pool.
@@ -661,6 +661,32 @@ impl ReservationSystem for ConflictDetectionTable {
     fn reservation_count(&self) -> usize {
         self.reservations
     }
+
+    fn restore_timed(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.insert(robot, pos, t);
+    }
+
+    fn export_content(&self) -> ReservationContent {
+        let width = self.width as usize;
+        let mut timed = Vec::with_capacity(self.reservations);
+        for idx in 0..self.cells.len() {
+            let pos = GridPos::new((idx % width) as u16, (idx / width) as u16);
+            for &e in self.window(idx) {
+                timed.push(TimedReservation {
+                    t: tick_of(e),
+                    pos,
+                    robot: robot_of(e),
+                });
+            }
+        }
+        // Canonical (t, cell index, robot) order: the per-cell windows are
+        // tick-sorted but interleave across cells.
+        timed.sort_by_key(|r| (r.t, r.pos.to_index(self.width), r.robot.index()));
+        ReservationContent {
+            timed,
+            parked: self.parked.entries(),
+        }
+    }
 }
 
 impl MemoryFootprint for ConflictDetectionTable {
@@ -1063,6 +1089,36 @@ mod tests {
                     stg.can_move(probe, from, to, qt),
                     "disagree for {} -> {} @ {}", from, to, qt
                 );
+            }
+        }
+
+        /// Checkpoint restore: exporting a table's logical content and
+        /// importing it into a fresh table — of the same or the other
+        /// backend — preserves every occupancy query and re-exports
+        /// identical canonical content.
+        #[test]
+        fn exported_content_roundtrips(
+            ops in proptest::collection::vec(
+                (0u8..5, 0usize..8, 0u16..8, 0u16..8, 0u64..40), 1..40),
+        ) {
+            use crate::reservation::ReservationContent;
+            let (pooled, _) = apply_soup(&ops);
+            let content: ReservationContent = pooled.export_content();
+            let mut restored = ConflictDetectionTable::new(8, 8);
+            restored.import_content(&content);
+            prop_assert_eq!(restored.reservation_count(), pooled.reservation_count());
+            prop_assert_eq!(&restored.export_content(), &content);
+            let mut stg = SpatioTemporalGraph::new(8, 8);
+            stg.import_content(&content);
+            prop_assert_eq!(&stg.export_content(), &content);
+            for x in 0..8u16 {
+                for y in 0..8u16 {
+                    for t in 0..44u64 {
+                        let want = pooled.occupant(p(x, y), t);
+                        prop_assert_eq!(restored.occupant(p(x, y), t), want);
+                        prop_assert_eq!(stg.occupant(p(x, y), t), want);
+                    }
+                }
             }
         }
 

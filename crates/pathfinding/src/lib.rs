@@ -48,6 +48,6 @@ pub use conflict::{find_conflicts, Conflict};
 pub use footprint::MemoryFootprint;
 pub use knn::{KNearestRacks, KnnChange};
 pub use path::Path;
-pub use reservation::ReservationSystem;
+pub use reservation::{ReservationContent, ReservationSystem, TimedReservation};
 pub use scratch::SearchScratch;
 pub use stg::SpatioTemporalGraph;

@@ -12,7 +12,7 @@
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
-use crate::reservation::{ParkingBoard, ReservationSystem};
+use crate::reservation::{ParkingBoard, ReservationContent, ReservationSystem, TimedReservation};
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
 /// Per-cell sorted reservation windows, one heap `Vec` per cell.
@@ -185,6 +185,26 @@ impl ReservationSystem for ReferenceConflictDetectionTable {
 
     fn reservation_count(&self) -> usize {
         self.reservations
+    }
+
+    fn restore_timed(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.insert(robot, pos, t);
+    }
+
+    fn export_content(&self) -> ReservationContent {
+        let width = self.width as usize;
+        let mut timed = Vec::with_capacity(self.reservations);
+        for (idx, window) in self.cells.iter().enumerate() {
+            let pos = GridPos::new((idx % width) as u16, (idx / width) as u16);
+            for &(t, robot) in window {
+                timed.push(TimedReservation { t, pos, robot });
+            }
+        }
+        timed.sort_by_key(|r| (r.t, r.pos.to_index(self.width), r.robot.index()));
+        ReservationContent {
+            timed,
+            parked: self.parked.entries(),
+        }
     }
 }
 

@@ -27,7 +27,7 @@
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
-use crate::reservation::{ParkingBoard, ReservationSystem};
+use crate::reservation::{ParkingBoard, ReservationContent, ReservationSystem, TimedReservation};
 use std::collections::VecDeque;
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
@@ -201,6 +201,46 @@ impl ReservationSystem for SpatioTemporalGraph {
 
     fn reservation_count(&self) -> usize {
         self.reservations
+    }
+
+    fn restore_timed(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        assert!(
+            robot.index() <= MAX_STG_ROBOTS,
+            "robot {robot} exceeds the u16 STG layer encoding \
+             (MAX_STG_ROBOTS = {MAX_STG_ROBOTS}); shard the fleet or widen the layers"
+        );
+        let id = robot.index() as u16;
+        let width = self.width;
+        let layer = self.ensure_layer(t);
+        let slot = &mut layer.cells[pos.to_index(width)];
+        let added = *slot == EMPTY;
+        if added {
+            layer.occupied += 1;
+        }
+        *slot = id;
+        self.reservations += usize::from(added);
+    }
+
+    fn export_content(&self) -> ReservationContent {
+        let width = self.width as usize;
+        let mut timed = Vec::with_capacity(self.reservations);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let t = self.base + i as Tick;
+            for (idx, &r) in layer.cells.iter().enumerate() {
+                if r != EMPTY {
+                    timed.push(TimedReservation {
+                        t,
+                        pos: GridPos::new((idx % width) as u16, (idx / width) as u16),
+                        robot: RobotId::from(r as u32),
+                    });
+                }
+            }
+        }
+        // Layer-then-cell iteration already yields (t, cell index) order.
+        ReservationContent {
+            timed,
+            parked: self.parked.entries(),
+        }
     }
 }
 

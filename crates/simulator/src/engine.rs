@@ -62,19 +62,20 @@
 //! [`SimulationReport::disruption_violations`] — the invariant tests pin
 //! this to zero.
 
-use crate::metrics::{Checkpoint, MetricsCollector};
+use crate::metrics::{Checkpoint, MetricsCollector, MetricsSnapshot};
 use crate::report::SimulationReport;
-use crate::validate::TrajectoryValidator;
+use crate::validate::{TrajectoryValidator, ValidatorSnapshot};
 use eatp_core::planner::{LegRequest, Planner};
 use eatp_core::world::WorldView;
+use serde::{Deserialize, Serialize};
 use tprw_pathfinding::Path;
 use tprw_warehouse::{
     DisruptionEvent, Duration, GridPos, Instance, Picker, QueueEntry, Rack, RackId, Robot, RobotId,
-    RobotPhase, Tick,
+    RobotPhase, Tick, TimedEvent,
 };
 
 /// Engine knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Hard tick budget; `0` derives `128 × (last arrival + HW)` — generous
     /// enough for every planner yet finite on livelock.
@@ -114,10 +115,76 @@ pub fn run_simulation(
     planner: &mut dyn Planner,
     config: &EngineConfig,
 ) -> SimulationReport {
-    Engine::new(instance, config).run(planner)
+    let mut engine = Engine::new(instance, config);
+    engine.start(planner);
+    engine.run_to_completion(planner);
+    engine.report(planner)
 }
 
-struct Engine<'a> {
+/// The canonical (checkpoint-persisted) state of a mid-run [`Engine`]: every
+/// field a resumed engine cannot re-derive from the instance and config.
+///
+/// Deliberately excluded as *derived* (see `docs/snapshot-format.md` for the
+/// full decision table):
+///
+/// * the instance and config — the snapshot container carries them beside
+///   this struct;
+/// * `max_ticks` and the bottleneck bucket width — recomputed from the
+///   config and instance in [`Engine::new`];
+/// * the per-tick scratch buffers (`used_stations`, `idle_buf`,
+///   `selectable_buf`, `leg_requests`, `leg_results`, `on_grid_buf`) —
+///   cleared and refilled within a single tick;
+/// * `freeze_queue` — the path-invalidation cascade always drains to empty
+///   within the events phase, so it is empty at every tick boundary
+///   (asserted on export).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Current tick (the next `tick_once` executes this tick).
+    pub t: Tick,
+    /// All items fulfilled and the fleet idle.
+    pub completed: bool,
+    /// The run has ended (completion or tick-budget exhaustion).
+    pub finished: bool,
+    /// Every disruption event actually applied so far, at its application
+    /// tick (deferred events appear when they land, not when scheduled).
+    /// Replayed through [`Planner::on_disruption`] on resume to rebuild the
+    /// planner's derived world model (grid overlay, KNN liveness, outlook).
+    pub journal: Vec<TimedEvent>,
+    pub racks: Vec<Rack>,
+    pub pickers: Vec<Picker>,
+    pub robots: Vec<Robot>,
+    pub paths: Vec<Option<Path>>,
+    pub carried_work: Vec<Duration>,
+    pub carried_items: Vec<u32>,
+    pub serving: Vec<Option<QueueEntry>>,
+    pub needs_return: Vec<RobotId>,
+    pub needs_delivery: Vec<RobotId>,
+    pub needs_replan: Vec<RobotId>,
+    pub broken: Vec<bool>,
+    pub closed: Vec<bool>,
+    pub removed: Vec<bool>,
+    pub blocked_overlay: Vec<bool>,
+    pub next_event: usize,
+    pub deferred_blockades: Vec<GridPos>,
+    pub deferred_removals: Vec<RackId>,
+    pub events_applied: usize,
+    pub events_deferred: usize,
+    pub disruption_violations: usize,
+    pub next_item: usize,
+    pub items_processed: usize,
+    pub rack_trips: usize,
+    pub metrics: MetricsSnapshot,
+    pub validator: ValidatorSnapshot,
+    pub last_return: Tick,
+    pub peak_memory: usize,
+    pub peak_scratch: usize,
+    pub next_checkpoint: usize,
+}
+
+/// The discrete-time simulation engine, steppable one tick at a time so runs
+/// can be checkpointed mid-flight and resumed bit-identically (see
+/// [`crate::snapshot`]).
+pub struct Engine<'a> {
     instance: &'a Instance,
     config: EngineConfig,
     racks: Vec<Rack>,
@@ -188,10 +255,19 @@ struct Engine<'a> {
     peak_memory: usize,
     peak_scratch: usize,
     next_checkpoint: usize,
+    /// Current tick; the next `tick_once` call executes this tick.
+    t: Tick,
+    /// All items fulfilled and the fleet idle.
+    completed: bool,
+    /// The run has ended (completion or tick-budget exhaustion).
+    finished: bool,
+    /// Applied-event journal (see [`EngineState::journal`]).
+    journal: Vec<TimedEvent>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(instance: &'a Instance, config: &EngineConfig) -> Self {
+    /// Fresh engine at tick 0. Call [`Engine::start`] before stepping.
+    pub fn new(instance: &'a Instance, config: &EngineConfig) -> Self {
         let horizon_guess = instance.last_arrival()
             + (instance.grid.width() as Tick + instance.grid.height() as Tick) * 8
             + instance.total_work() / (instance.pickers.len().max(1) as Tick)
@@ -244,37 +320,88 @@ impl<'a> Engine<'a> {
             peak_memory: 0,
             peak_scratch: 0,
             next_checkpoint: 1,
+            t: 0,
+            completed: false,
+            finished: false,
+            journal: Vec::new(),
             instance,
             config: config.clone(),
         }
     }
 
-    fn run(mut self, planner: &mut dyn Planner) -> SimulationReport {
+    /// Initialise the planner for this run. Must be called exactly once
+    /// before stepping a fresh engine; resumed engines are initialised by
+    /// [`Engine::resume`] instead.
+    pub fn start(&mut self, planner: &mut dyn Planner) {
         planner.init(self.instance);
-        let total_items = self.instance.items.len();
-        let mut t: Tick = 0;
-        let mut completed = false;
+    }
 
-        loop {
-            self.step_events(t, planner);
-            self.step_arrivals(t);
-            self.step_picking(t, planner);
-            self.step_transitions(t, planner);
-            self.step_planning(t, planner);
-            self.step_movement(t);
-            self.step_bookkeeping(t, planner, total_items);
-
-            if self.is_done() {
-                completed = true;
-                break;
-            }
-            if t >= self.max_ticks {
-                break;
-            }
-            t += 1;
+    /// Execute one full tick (all seven phases) and advance the clock.
+    /// No-op once the run has finished.
+    pub fn tick_once(&mut self, planner: &mut dyn Planner) {
+        if self.finished {
+            return;
         }
+        let t = self.t;
+        self.step_events(t, planner);
+        self.step_arrivals(t);
+        self.step_picking(t, planner);
+        self.step_transitions(t, planner);
+        self.step_planning(t, planner);
+        self.step_movement(t);
+        self.step_bookkeeping(t, planner, self.instance.items.len());
 
-        let makespan = if completed { self.last_return } else { t };
+        if self.is_done() {
+            self.completed = true;
+            self.finished = true;
+        } else if t >= self.max_ticks {
+            self.finished = true;
+        } else {
+            self.t = t + 1;
+        }
+    }
+
+    /// Step until the run finishes (completion or tick-budget exhaustion).
+    pub fn run_to_completion(&mut self, planner: &mut dyn Planner) {
+        while !self.finished {
+            self.tick_once(planner);
+        }
+    }
+
+    /// The tick the next [`Engine::tick_once`] call will execute (or, once
+    /// finished, the tick the run ended on).
+    pub fn current_tick(&self) -> Tick {
+        self.t
+    }
+
+    /// Whether the run has ended.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The applied-event journal so far (see [`EngineState::journal`]).
+    pub fn journal(&self) -> &[TimedEvent] {
+        &self.journal
+    }
+
+    /// The instance this engine runs on.
+    pub fn instance(&self) -> &'a Instance {
+        self.instance
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Build the final report. Call after [`Engine::run_to_completion`];
+    /// drains the sampled metric series.
+    pub fn report(&mut self, planner: &mut dyn Planner) -> SimulationReport {
+        let makespan = if self.completed {
+            self.last_return
+        } else {
+            self.t
+        };
         let stats = planner.stats();
         let picker_busy: Duration = self.pickers.iter().map(|p| p.busy_ticks).sum();
         let horizon = makespan.max(1);
@@ -282,7 +409,7 @@ impl<'a> Engine<'a> {
             scenario: self.instance.name.clone(),
             planner: planner.name().to_string(),
             makespan,
-            completed,
+            completed: self.completed,
             items_processed: self.items_processed,
             rack_trips: self.rack_trips,
             batch_factor: if self.rack_trips > 0 {
@@ -358,6 +485,7 @@ impl<'a> Engine<'a> {
                 }
                 self.broken[ai] = true;
                 self.events_applied += 1;
+                self.journal.push(TimedEvent { t, event });
                 planner.on_disruption(&event, t);
                 // A robot travelling a live leg freezes mid-route; its
                 // frozen cell may invalidate other planned paths.
@@ -374,6 +502,7 @@ impl<'a> Engine<'a> {
                 }
                 self.broken[ai] = false;
                 self.events_applied += 1;
+                self.journal.push(TimedEvent { t, event });
                 planner.on_disruption(&event, t);
                 // Mid-route robots (frozen, no path) resume via replan;
                 // robots waiting at a rack home or in a station bay resume
@@ -405,6 +534,7 @@ impl<'a> Engine<'a> {
                 }
                 self.blocked_overlay[idx] = false;
                 self.events_applied += 1;
+                self.journal.push(TimedEvent { t, event });
                 planner.on_disruption(&event, t);
             }
             DisruptionEvent::StationClosed { picker } => {
@@ -412,6 +542,7 @@ impl<'a> Engine<'a> {
                 if !self.closed[pi] {
                     self.closed[pi] = true;
                     self.events_applied += 1;
+                    self.journal.push(TimedEvent { t, event });
                     planner.on_disruption(&event, t);
                 }
             }
@@ -420,6 +551,7 @@ impl<'a> Engine<'a> {
                 if self.closed[pi] {
                     self.closed[pi] = false;
                     self.events_applied += 1;
+                    self.journal.push(TimedEvent { t, event });
                     planner.on_disruption(&event, t);
                 }
             }
@@ -439,6 +571,7 @@ impl<'a> Engine<'a> {
                 if self.removed[ri] {
                     self.removed[ri] = false;
                     self.events_applied += 1;
+                    self.journal.push(TimedEvent { t, event });
                     planner.on_disruption(&event, t);
                 }
             }
@@ -456,7 +589,9 @@ impl<'a> Engine<'a> {
         debug_assert!(!self.removed[ri], "schedules alternate per rack");
         self.removed[ri] = true;
         self.events_applied += 1;
-        planner.on_disruption(&DisruptionEvent::RackRemoved { rack }, t);
+        let event = DisruptionEvent::RackRemoved { rack };
+        self.journal.push(TimedEvent { t, event });
+        planner.on_disruption(&event, t);
         true
     }
 
@@ -478,7 +613,9 @@ impl<'a> Engine<'a> {
         debug_assert!(!self.blocked_overlay[idx], "schedules alternate per cell");
         self.blocked_overlay[idx] = true;
         self.events_applied += 1;
-        planner.on_disruption(&DisruptionEvent::CellBlocked { pos }, t);
+        let event = DisruptionEvent::CellBlocked { pos };
+        self.journal.push(TimedEvent { t, event });
+        planner.on_disruption(&event, t);
         self.freeze_queue.clear();
         self.freeze_queue.push(pos);
         self.run_freeze_cascade(t, planner);
@@ -1032,6 +1169,150 @@ impl<'a> Engine<'a> {
             && self.racks.iter().all(|r| !r.in_flight && !r.has_pending())
             && self.robots.iter().all(|r| r.is_idle())
     }
+
+    /// Export the canonical engine state at the current tick boundary.
+    ///
+    /// Only meaningful *between* ticks (before or after a `tick_once`
+    /// call, never during one) — the per-tick scratch buffers and the
+    /// freeze cascade are excluded precisely because they are empty there.
+    pub fn export_state(&self) -> EngineState {
+        debug_assert!(
+            self.freeze_queue.is_empty(),
+            "the freeze cascade drains within the events phase"
+        );
+        EngineState {
+            t: self.t,
+            completed: self.completed,
+            finished: self.finished,
+            journal: self.journal.clone(),
+            racks: self.racks.clone(),
+            pickers: self.pickers.clone(),
+            robots: self.robots.clone(),
+            paths: self.paths.clone(),
+            carried_work: self.carried_work.clone(),
+            carried_items: self.carried_items.clone(),
+            serving: self.serving.clone(),
+            needs_return: self.needs_return.clone(),
+            needs_delivery: self.needs_delivery.clone(),
+            needs_replan: self.needs_replan.clone(),
+            broken: self.broken.clone(),
+            closed: self.closed.clone(),
+            removed: self.removed.clone(),
+            blocked_overlay: self.blocked_overlay.clone(),
+            next_event: self.next_event,
+            deferred_blockades: self.deferred_blockades.clone(),
+            deferred_removals: self.deferred_removals.clone(),
+            events_applied: self.events_applied,
+            events_deferred: self.events_deferred,
+            disruption_violations: self.disruption_violations,
+            next_item: self.next_item,
+            items_processed: self.items_processed,
+            rack_trips: self.rack_trips,
+            metrics: self.metrics.export_snapshot(),
+            validator: self.validator.export_snapshot(),
+            last_return: self.last_return,
+            peak_memory: self.peak_memory,
+            peak_scratch: self.peak_scratch,
+            next_checkpoint: self.next_checkpoint,
+        }
+    }
+
+    /// Overwrite this (freshly constructed) engine's canonical state with
+    /// an exported snapshot. Derived state — `max_ticks`, the bottleneck
+    /// bucket width, the scratch buffers — keeps its `new()` values, which
+    /// are functions of the instance and config alone.
+    pub fn restore_state(&mut self, state: &EngineState) {
+        self.t = state.t;
+        self.completed = state.completed;
+        self.finished = state.finished;
+        self.journal = state.journal.clone();
+        self.racks = state.racks.clone();
+        self.pickers = state.pickers.clone();
+        self.robots = state.robots.clone();
+        self.paths = state.paths.clone();
+        self.carried_work = state.carried_work.clone();
+        self.carried_items = state.carried_items.clone();
+        self.serving = state.serving.clone();
+        self.needs_return = state.needs_return.clone();
+        self.needs_delivery = state.needs_delivery.clone();
+        self.needs_replan = state.needs_replan.clone();
+        self.broken = state.broken.clone();
+        self.closed = state.closed.clone();
+        self.removed = state.removed.clone();
+        self.blocked_overlay = state.blocked_overlay.clone();
+        self.next_event = state.next_event;
+        self.deferred_blockades = state.deferred_blockades.clone();
+        self.deferred_removals = state.deferred_removals.clone();
+        self.events_applied = state.events_applied;
+        self.events_deferred = state.events_deferred;
+        self.disruption_violations = state.disruption_violations;
+        self.next_item = state.next_item;
+        self.items_processed = state.items_processed;
+        self.rack_trips = state.rack_trips;
+        self.metrics.import_snapshot(&state.metrics);
+        self.validator.import_snapshot(&state.validator);
+        self.last_return = state.last_return;
+        self.peak_memory = state.peak_memory;
+        self.peak_scratch = state.peak_scratch;
+        self.next_checkpoint = state.next_checkpoint;
+    }
+
+    /// Rebuild a mid-run engine + planner pair from an exported state.
+    ///
+    /// The restore protocol (documented in `docs/snapshot-format.md`):
+    /// the planner is freshly `init`-ed on the instance, the applied-event
+    /// journal is replayed through [`Planner::on_disruption`] to rebuild
+    /// its derived world model (grid overlay, distance oracle, KNN
+    /// liveness, disruption outlook), and only then is its canonical state
+    /// overwritten via [`Planner::import_snapshot`]. Do **not** call
+    /// [`Engine::start`] on the returned engine.
+    pub fn resume(
+        instance: &'a Instance,
+        config: &EngineConfig,
+        planner: &mut dyn Planner,
+        state: &EngineState,
+        planner_state: &serde::Value,
+    ) -> Result<Self, serde::Error> {
+        let mut engine = Engine::new(instance, config);
+        planner.init(instance);
+        for ev in &state.journal {
+            planner.on_disruption(&ev.event, ev.t);
+        }
+        planner.import_snapshot(planner_state)?;
+        engine.restore_state(state);
+        Ok(engine)
+    }
+
+    /// Order-sensitive FNV-1a hash over the binary encoding of the
+    /// canonical engine state, with the wall-clock-contaminated fields
+    /// (checkpoint `stc_s`/`ptc_s`/`memory_bytes`, the peak-memory
+    /// counters) scrubbed to zero first — they legitimately differ between
+    /// two replays of the same simulation. Two runs that agree on every
+    /// `state_hash` along the way are simulation-identical; the first tick
+    /// where the hashes differ is where they diverged (see
+    /// [`crate::snapshot::hunt_divergence`]).
+    pub fn state_hash(&self) -> u64 {
+        let mut state = self.export_state();
+        state.peak_memory = 0;
+        state.peak_scratch = 0;
+        for c in &mut state.metrics.checkpoints {
+            c.stc_s = 0.0;
+            c.ptc_s = 0.0;
+            c.memory_bytes = 0;
+        }
+        let bytes = serde::binary::to_bytes(&state.serialize());
+        fnv1a(&bytes)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Destination and parking mode for resuming a cancelled leg from the

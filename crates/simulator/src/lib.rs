@@ -15,14 +15,22 @@
 //!   Rate (RWR), Selection/Planning Time Consumption (STC/PTC), Memory
 //!   Consumption (MC) and the Fig. 13 bottleneck decomposition;
 //! * [`report`] — structured result types with text-table rendering;
+//! * [`snapshot`] — versioned, checksummed checkpoint/resume plus the
+//!   fingerprint-journal divergence hunter (see `docs/snapshot-format.md`);
 //! * [`validate`] — independent per-tick re-validation that executed robot
 //!   trajectories are conflict-free (Definition 5).
 
 pub mod engine;
 pub mod metrics;
 pub mod report;
+pub mod snapshot;
 pub mod validate;
 
-pub use engine::{run_simulation, EngineConfig};
+pub use engine::{run_simulation, Engine, EngineConfig, EngineState};
 pub use metrics::{BottleneckSample, Checkpoint};
 pub use report::{DeterministicFingerprint, SimulationReport};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, hunt_divergence, read_snapshot, resume_from,
+    run_with_fingerprints, write_snapshot_atomic, DivergenceReport, FingerprintJournal,
+    PerturbFromTick, SnapshotData, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};

@@ -63,6 +63,22 @@ impl BottleneckSample {
     }
 }
 
+/// The canonical (checkpoint-persisted) state of a [`MetricsCollector`]:
+/// the accumulated per-robot tick counters and both sampled series. The
+/// fleet sizes and bucket width are construction parameters re-derived from
+/// the instance and engine config on restore.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-robot processing-stage ticks (RWR numerator).
+    pub robot_processing_ticks: Vec<Duration>,
+    /// Per-robot any-busy ticks.
+    pub robot_busy_ticks: Vec<Duration>,
+    /// Checkpoints sampled so far.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Bottleneck buckets accumulated so far.
+    pub bottleneck: Vec<BottleneckSample>,
+}
+
 /// Running accumulator for all metrics.
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
@@ -127,6 +143,26 @@ impl MetricsCollector {
         }
         let total: u64 = self.robot_processing_ticks.iter().sum();
         total as f64 / (self.n_robots as f64 * horizon as f64)
+    }
+
+    /// Export the canonical accumulated state (see [`MetricsSnapshot`]).
+    pub fn export_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            robot_processing_ticks: self.robot_processing_ticks.clone(),
+            robot_busy_ticks: self.robot_busy_ticks.clone(),
+            checkpoints: self.checkpoints.clone(),
+            bottleneck: self.bottleneck.clone(),
+        }
+    }
+
+    /// Overwrite the accumulated state with an exported snapshot. The
+    /// collector keeps its construction parameters (fleet sizes, bucket
+    /// width) — callers rebuild those from the instance and engine config.
+    pub fn import_snapshot(&mut self, snap: &MetricsSnapshot) {
+        self.robot_processing_ticks = snap.robot_processing_ticks.clone();
+        self.robot_busy_ticks = snap.robot_busy_ticks.clone();
+        self.checkpoints = snap.checkpoints.clone();
+        self.bottleneck = snap.bottleneck.clone();
     }
 
     /// Any-busy robot fraction (not the paper's RWR; diagnostics).

@@ -1,0 +1,1038 @@
+//! Versioned, checksummed checkpoint/resume and divergence hunting.
+//!
+//! A snapshot captures everything a mid-run simulation cannot re-derive —
+//! the canonical engine state ([`crate::engine::EngineState`]), the
+//! planner's canonical internals ([`eatp_core::planner::Planner::
+//! export_snapshot`]), the instance and the engine config — in a binary
+//! container with a fixed header (magic, endianness marker, schema version,
+//! payload length, CRC32). Resuming from a checkpoint taken at tick `T`
+//! produces a run bit-identical to one that was never interrupted: the
+//! round-trip tests pin `SimulationReport::deterministic_fingerprint`
+//! equality for every planner on clean and disrupted scenarios.
+//!
+//! The canonical-vs-derived split, the header layout and the migration
+//! policy are documented in `docs/snapshot-format.md`.
+//!
+//! The same state-hash machinery powers the *divergence hunter*:
+//! [`run_with_fingerprints`] records periodic engine-state hashes along a
+//! run, and [`hunt_divergence`] binary-searches two builds' replays
+//! (checkpointing and resuming as it narrows the bracket) to report the
+//! first tick at which their simulations differ.
+
+use crate::engine::{fnv1a, Engine, EngineConfig, EngineState};
+use crate::report::SimulationReport;
+use eatp_core::planner::{AssignmentPlan, Planner, PlannerStats};
+use eatp_core::world::WorldView;
+use serde::{Deserialize, Serialize, Value};
+use tprw_pathfinding::Path;
+use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RobotId, Tick};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TPRWSNAP";
+
+/// Current schema version. Version 1 (the initial format) lacked the
+/// top-level `planner_name` tag and the engine's `peak_scratch` counter;
+/// `migrate` upgrades v1 payloads in place. Bump this when the payload
+/// schema changes and teach `migrate` the new hop.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Little-endian sentinel; a big-endian writer would store these bytes
+/// reversed, which the reader detects as [`SnapshotError::WrongEndian`].
+const ENDIAN_MARKER: u32 = 0x0A0B_0C0D;
+
+/// magic(8) + endian(4) + version(4) + payload len(8) + crc32(4).
+const HEADER_LEN: usize = 28;
+
+/// Typed failure modes of snapshot encode/decode/IO. Corrupted input must
+/// surface as one of these — never a panic (the fuzz tests pin this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem-level failure (message carries the `std::io::Error`).
+    Io(String),
+    /// Fewer bytes than the header (or the declared payload) requires.
+    Truncated {
+        /// Bytes the reader needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The endianness sentinel is byte-reversed: the snapshot was written
+    /// on a big-endian machine and cannot be read here.
+    WrongEndian,
+    /// The header is self-consistent but the schema version is unknown.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes.
+        current: u32,
+    },
+    /// The payload bytes do not hash to the header's CRC32.
+    ChecksumMismatch {
+        /// CRC stored in the header.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+    /// The payload passed the checksum but failed structural decoding
+    /// (malformed binary value tree, or a schema/field mismatch).
+    Decode(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Truncated { needed, got } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, got {got}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::WrongEndian => {
+                write!(f, "snapshot written on a big-endian machine")
+            }
+            SnapshotError::UnsupportedVersion { found, current } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (current {current})"
+                )
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: header {expected:#010x}, payload {actual:#010x}"
+                )
+            }
+            SnapshotError::Decode(e) => write!(f, "snapshot decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<serde::Error> for SnapshotError {
+    fn from(e: serde::Error) -> Self {
+        SnapshotError::Decode(e.0)
+    }
+}
+
+/// Everything needed to resume a run: the world it was built from, the
+/// engine knobs, the canonical engine state and the planner's canonical
+/// internals (a planner-defined value tree; `Null` for stateless planners).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotData {
+    /// `Planner::name()` of the planner that produced [`Self::planner`];
+    /// purely informational (tooling/display), not validated on resume.
+    pub planner_name: String,
+    /// The instance the run executes.
+    pub instance: Instance,
+    /// Engine knobs (derived quantities like `max_ticks` are recomputed
+    /// from these on resume).
+    pub config: EngineConfig,
+    /// Canonical engine state at the checkpoint tick boundary.
+    pub engine: EngineState,
+    /// Planner canonical state, from `Planner::export_snapshot`.
+    pub planner: Value,
+}
+
+/// IEEE CRC32 (reflected, polynomial `0xEDB88320`).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Serialize `data` into the framed snapshot byte format.
+pub fn encode_snapshot(data: &SnapshotData) -> Vec<u8> {
+    let payload = serde::binary::to_bytes(&data.serialize());
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Forward-migrate a decoded payload from schema `version` to
+/// [`SNAPSHOT_VERSION`]. Each hop edits the raw value tree so older
+/// snapshots keep loading after schema growth; unknown versions are
+/// rejected, never guessed at.
+fn migrate(version: u32, mut v: Value) -> Result<Value, SnapshotError> {
+    match version {
+        SNAPSHOT_VERSION => Ok(v),
+        1 => {
+            // v1 -> v2: the `planner_name` tag and the engine's
+            // `peak_scratch` counter were added in v2; default them.
+            let Value::Object(fields) = &mut v else {
+                return Err(SnapshotError::Decode(
+                    "v1 snapshot root is not an object".into(),
+                ));
+            };
+            if !fields.iter().any(|(k, _)| k == "planner_name") {
+                fields.push(("planner_name".to_string(), Value::Str(String::new())));
+            }
+            if let Some((_, Value::Object(engine))) = fields.iter_mut().find(|(k, _)| k == "engine")
+            {
+                if !engine.iter().any(|(k, _)| k == "peak_scratch") {
+                    engine.push(("peak_scratch".to_string(), Value::U64(0)));
+                }
+            }
+            Ok(v)
+        }
+        found => Err(SnapshotError::UnsupportedVersion {
+            found,
+            current: SNAPSHOT_VERSION,
+        }),
+    }
+}
+
+/// Parse and validate the framed snapshot byte format. Every malformed
+/// input maps to a typed [`SnapshotError`]; this function must not panic.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let endian = word(8);
+    if endian == ENDIAN_MARKER.swap_bytes() {
+        return Err(SnapshotError::WrongEndian);
+    }
+    if endian != ENDIAN_MARKER {
+        return Err(SnapshotError::Decode(format!(
+            "corrupt endianness marker {endian:#010x}"
+        )));
+    }
+    let version = word(12);
+    if version == 0 || version > SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            current: SNAPSHOT_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+    let expected_crc = word(24);
+    let got = bytes.len() - HEADER_LEN;
+    if got < payload_len {
+        return Err(SnapshotError::Truncated {
+            needed: HEADER_LEN + payload_len,
+            got: bytes.len(),
+        });
+    }
+    if got > payload_len {
+        return Err(SnapshotError::Decode(format!(
+            "{} trailing bytes after payload",
+            got - payload_len
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
+    }
+    let value = serde::binary::from_bytes(payload)?;
+    let value = migrate(version, value)?;
+    Ok(SnapshotData::deserialize(&value)?)
+}
+
+/// Write `data` to `path` atomically: the bytes land in a sibling
+/// `<path>.tmp` first and are renamed over the target, so a crash mid-write
+/// can never leave a half-written snapshot under the real name.
+pub fn write_snapshot_atomic(
+    path: &std::path::Path,
+    data: &SnapshotData,
+) -> Result<(), SnapshotError> {
+    let bytes = encode_snapshot(data);
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        // Leave no orphan on a failed rename.
+        let _ = std::fs::remove_file(&tmp);
+        SnapshotError::Io(e.to_string())
+    })?;
+    Ok(())
+}
+
+/// Read and validate a snapshot file written by [`write_snapshot_atomic`].
+pub fn read_snapshot(path: &std::path::Path) -> Result<SnapshotData, SnapshotError> {
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    decode_snapshot(&bytes)
+}
+
+impl<'a> Engine<'a> {
+    /// Capture the full run state (engine + planner) as a [`SnapshotData`].
+    /// Only meaningful at a tick boundary (see [`Engine::export_state`]).
+    pub fn snapshot(&self, planner: &dyn Planner) -> SnapshotData {
+        SnapshotData {
+            planner_name: planner.name().to_string(),
+            instance: self.instance().clone(),
+            config: self.config().clone(),
+            engine: self.export_state(),
+            planner: planner.export_snapshot(),
+        }
+    }
+
+    /// Checkpoint the run to `path` (atomic write; see
+    /// [`write_snapshot_atomic`]).
+    pub fn save_snapshot(
+        &self,
+        planner: &dyn Planner,
+        path: &std::path::Path,
+    ) -> Result<(), SnapshotError> {
+        write_snapshot_atomic(path, &self.snapshot(planner))
+    }
+}
+
+/// Rebuild an engine + planner pair from a decoded snapshot. The engine
+/// borrows the instance and config out of `data`, so the snapshot must
+/// outlive the resumed run. `planner` must be a fresh instance of the same
+/// planner type that was checkpointed; do **not** call [`Engine::start`]
+/// on the returned engine.
+pub fn resume_from<'a>(
+    data: &'a SnapshotData,
+    planner: &mut dyn Planner,
+) -> Result<Engine<'a>, SnapshotError> {
+    Ok(Engine::resume(
+        &data.instance,
+        &data.config,
+        planner,
+        &data.engine,
+        &data.planner,
+    )?)
+}
+
+/// Periodic engine-state hashes along one run: the raw material for
+/// divergence hunting. Hashes are recorded *after* executing each tick `t`
+/// with `t % every == 0` (and cover the canonical engine state only — the
+/// planner's influence shows up through the paths and robot states it
+/// produces).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FingerprintJournal {
+    /// Recording period in ticks.
+    pub every: Tick,
+    /// `(tick, state hash after that tick)`, in tick order.
+    pub records: Vec<(Tick, u64)>,
+}
+
+impl FingerprintJournal {
+    /// The first recorded tick at which `self` and `other` disagree —
+    /// either differing hashes at the same tick, or one journal ending
+    /// (run finishing) before the other. `None` means the journals agree
+    /// over their full common coverage and have equal length.
+    pub fn first_mismatch(&self, other: &FingerprintJournal) -> Option<Tick> {
+        for (a, b) in self.records.iter().zip(other.records.iter()) {
+            if a.0 != b.0 {
+                return Some(a.0.min(b.0));
+            }
+            if a.1 != b.1 {
+                return Some(a.0);
+            }
+        }
+        match self.records.len().cmp(&other.records.len()) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Less => other.records.get(self.records.len()).map(|r| r.0),
+            std::cmp::Ordering::Greater => self.records.get(other.records.len()).map(|r| r.0),
+        }
+    }
+
+    /// Combined order-sensitive hash of all records (for quick equality).
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.records.len() * 16 + 8);
+        bytes.extend_from_slice(&self.every.to_le_bytes());
+        for (t, h) in &self.records {
+            bytes.extend_from_slice(&t.to_le_bytes());
+            bytes.extend_from_slice(&h.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+}
+
+/// Run a full simulation while recording an engine-state hash every
+/// `every` ticks. The report is bit-identical to [`crate::run_simulation`]
+/// (hashing only reads state).
+pub fn run_with_fingerprints(
+    instance: &Instance,
+    planner: &mut dyn Planner,
+    config: &EngineConfig,
+    every: Tick,
+) -> (SimulationReport, FingerprintJournal) {
+    let every = every.max(1);
+    let mut engine = Engine::new(instance, config);
+    engine.start(planner);
+    let mut records = Vec::new();
+    while !engine.is_finished() {
+        let t = engine.current_tick();
+        engine.tick_once(planner);
+        if t.is_multiple_of(every) {
+            records.push((t, engine.state_hash()));
+        }
+    }
+    (
+        engine.report(planner),
+        FingerprintJournal { every, records },
+    )
+}
+
+/// Step `engine` until tick `t` has been executed (or the run finishes
+/// first, in which case the state — and its hash — is terminal).
+fn run_to_tick(engine: &mut Engine<'_>, planner: &mut dyn Planner, t: Tick) {
+    while !engine.is_finished() && engine.current_tick() <= t {
+        engine.tick_once(planner);
+    }
+}
+
+/// Outcome of a successful [`hunt_divergence`] search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// The first tick whose execution left the two builds' engine states
+    /// unequal (every tick before it hashes identically).
+    pub first_divergent_tick: Tick,
+    /// Lockstep replay probes the binary search spent.
+    pub probes: usize,
+}
+
+/// Locate the first tick at which two builds of a planner diverge on the
+/// same instance and config.
+///
+/// `journal` is the fingerprint trail of the *baseline* build (from
+/// [`run_with_fingerprints`], typically persisted beside a nightly run).
+/// The hunt proceeds in two stages:
+///
+/// 1. **bracket** — replay the suspect build once, hashing at the
+///    journal's record ticks; the first mismatching record brackets the
+///    divergence between the last matching record and itself.
+/// 2. **binary search** — probe the bracket's midpoint by replaying *both*
+///    builds to that tick and comparing state hashes, re-checkpointing at
+///    each matching midpoint (via the snapshot machinery) so later probes
+///    resume instead of replaying from tick zero. This narrows to the
+///    exact first divergent tick in `O(log bracket)` probes.
+///
+/// Returns `Ok(None)` when the suspect build matches every record in the
+/// journal — no divergence within its coverage. Both factories must
+/// produce deterministic planners (two calls, same behaviour).
+pub fn hunt_divergence(
+    instance: &Instance,
+    config: &EngineConfig,
+    journal: &FingerprintJournal,
+    make_baseline: &mut dyn FnMut() -> Box<dyn Planner>,
+    make_suspect: &mut dyn FnMut() -> Box<dyn Planner>,
+) -> Result<Option<DivergenceReport>, SnapshotError> {
+    // Stage 1: one suspect replay over the journal's record ticks.
+    let (mut lo, mut hi): (Option<Tick>, Tick) = {
+        let mut planner = make_suspect();
+        let mut engine = Engine::new(instance, config);
+        engine.start(planner.as_mut());
+        let mut bracket = None;
+        let mut prev_match: Option<Tick> = None;
+        for &(t, expected) in &journal.records {
+            run_to_tick(&mut engine, planner.as_mut(), t);
+            if engine.state_hash() != expected {
+                bracket = Some((prev_match, t));
+                break;
+            }
+            prev_match = Some(t);
+        }
+        match bracket {
+            Some(b) => b,
+            None => return Ok(None),
+        }
+    };
+
+    // Stage 2: lockstep binary search inside (lo, hi], resuming both
+    // builds from the tightest matching checkpoint found so far.
+    let mut checkpoint: Option<(SnapshotData, SnapshotData)> = None;
+    let mut probes = 0usize;
+
+    // Engines at the end of tick `t`, resumed from the checkpoint pair
+    // when one exists (fresh runs otherwise).
+    let mut probe = |t: Tick,
+                     checkpoint: &Option<(SnapshotData, SnapshotData)>|
+     -> Result<(SnapshotData, SnapshotData, bool), SnapshotError> {
+        let mut base_planner = make_baseline();
+        let mut susp_planner = make_suspect();
+        let (mut base_engine, mut susp_engine) = match checkpoint {
+            Some((b, s)) => (
+                resume_from(b, base_planner.as_mut())?,
+                resume_from(s, susp_planner.as_mut())?,
+            ),
+            None => {
+                let mut be = Engine::new(instance, config);
+                be.start(base_planner.as_mut());
+                let mut se = Engine::new(instance, config);
+                se.start(susp_planner.as_mut());
+                (be, se)
+            }
+        };
+        run_to_tick(&mut base_engine, base_planner.as_mut(), t);
+        run_to_tick(&mut susp_engine, susp_planner.as_mut(), t);
+        let matches = base_engine.state_hash() == susp_engine.state_hash();
+        Ok((
+            base_engine.snapshot(base_planner.as_ref()),
+            susp_engine.snapshot(susp_planner.as_ref()),
+            matches,
+        ))
+    };
+
+    loop {
+        let done = match lo {
+            None => hi == 0,
+            Some(l) => hi - l <= 1,
+        };
+        if done {
+            break;
+        }
+        let mid = match lo {
+            None => hi / 2,
+            Some(l) => l + (hi - l) / 2,
+        };
+        probes += 1;
+        let (base_snap, susp_snap, matches) = probe(mid, &checkpoint)?;
+        if matches {
+            lo = Some(mid);
+            checkpoint = Some((base_snap, susp_snap));
+        } else {
+            hi = mid;
+        }
+    }
+
+    Ok(Some(DivergenceReport {
+        first_divergent_tick: hi,
+        probes,
+    }))
+}
+
+/// A deterministic single-perturbation wrapper: behaves exactly like the
+/// inner planner until the first tick `>= trigger` at which the inner
+/// planner returns a non-empty assignment batch, then drops that batch's
+/// last assignment (releasing its reservation through
+/// [`Planner::on_path_cancelled`]) and records the tick. From that point
+/// the two builds' worlds evolve differently, so the divergence hunter
+/// must report exactly [`PerturbFromTick::perturbed_at`]. Used by the CI
+/// self-test; useful for exercising the hunter against any real planner.
+pub struct PerturbFromTick<P> {
+    /// The planner being perturbed.
+    pub inner: P,
+    /// Earliest tick the perturbation may fire.
+    pub trigger: Tick,
+    /// The tick the perturbation actually fired, once it has.
+    pub perturbed_at: Option<Tick>,
+}
+
+impl<P> PerturbFromTick<P> {
+    /// Wrap `inner`, arming the perturbation at `trigger`.
+    pub fn new(inner: P, trigger: Tick) -> Self {
+        Self {
+            inner,
+            trigger,
+            perturbed_at: None,
+        }
+    }
+}
+
+impl<P: Planner> Planner for PerturbFromTick<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn init(&mut self, instance: &Instance) {
+        self.perturbed_at = None;
+        self.inner.init(instance);
+    }
+
+    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+        let mut plans = self.inner.plan(world);
+        if self.perturbed_at.is_none() && world.t >= self.trigger && !plans.is_empty() {
+            self.perturbed_at = Some(world.t);
+            let dropped = plans.pop().expect("non-empty");
+            // Undo the dropped assignment's reservation so the inner
+            // planner's tables stay consistent with the executed world.
+            self.inner
+                .on_path_cancelled(dropped.robot, dropped.path.first(), world.t);
+        }
+        plans
+    }
+
+    fn plan_leg(
+        &mut self,
+        robot: RobotId,
+        from: GridPos,
+        to: GridPos,
+        start: Tick,
+        park: bool,
+    ) -> Option<Path> {
+        self.inner.plan_leg(robot, from, to, start, park)
+    }
+
+    fn plan_legs(
+        &mut self,
+        requests: &[eatp_core::planner::LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) {
+        self.inner.plan_legs(requests, start, results);
+    }
+
+    fn on_dock(&mut self, robot: RobotId) {
+        self.inner.on_dock(robot);
+    }
+
+    fn on_disruption(&mut self, event: &DisruptionEvent, t: Tick) {
+        self.inner.on_disruption(event, t);
+    }
+
+    fn on_path_cancelled(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
+        self.inner.on_path_cancelled(robot, pos, t);
+    }
+
+    fn housekeeping(&mut self, t: Tick) {
+        self.inner.housekeeping(t);
+    }
+
+    fn stats(&self) -> PlannerStats {
+        self.inner.stats()
+    }
+
+    fn export_snapshot(&self) -> Value {
+        self.inner.export_snapshot()
+    }
+
+    fn import_snapshot(&mut self, state: &Value) -> Result<(), serde::Error> {
+        self.inner.import_snapshot(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_simulation;
+    use eatp_core::{
+        AdaptiveTaskPlanner, EatpConfig, EfficientAdaptiveTaskPlanner, IlpPlanner,
+        LeastExpirationFirst, NaiveTaskPlanner,
+    };
+    use tprw_warehouse::{DisruptionConfig, LayoutConfig, ScenarioSpec, WorkloadConfig};
+
+    const PLANNERS: [&str; 5] = ["NTP", "LEF", "ILP", "ATP", "EATP"];
+
+    fn make(name: &str) -> Box<dyn Planner> {
+        let cfg = EatpConfig::default();
+        match name {
+            "NTP" => Box::new(NaiveTaskPlanner::new(cfg)),
+            "LEF" => Box::new(LeastExpirationFirst::new(cfg)),
+            "ILP" => Box::new(IlpPlanner::new(cfg)),
+            "ATP" => Box::new(AdaptiveTaskPlanner::new(cfg)),
+            "EATP" => Box::new(EfficientAdaptiveTaskPlanner::new(cfg)),
+            other => panic!("unknown planner {other}"),
+        }
+    }
+
+    fn scenario(disruptions: Option<DisruptionConfig>, seed: u64) -> Instance {
+        ScenarioSpec {
+            name: "snapshot-test".into(),
+            layout: LayoutConfig::sized(24, 16),
+            n_racks: 10,
+            n_robots: 4,
+            n_pickers: 2,
+            workload: WorkloadConfig::poisson(20, 0.5),
+            disruptions,
+            seed,
+        }
+        .build()
+        .unwrap()
+    }
+
+    fn blockade_storm() -> Option<DisruptionConfig> {
+        Some(DisruptionConfig {
+            breakdowns: 0,
+            breakdown_ticks: (30, 80),
+            blockades: 4,
+            blockade_ticks: (30, 90),
+            closures: 1,
+            closure_ticks: (30, 60),
+            removals: 1,
+            removal_ticks: (30, 60),
+            window: (10, 120),
+        })
+    }
+
+    fn breakdown_wave() -> Option<DisruptionConfig> {
+        Some(DisruptionConfig {
+            breakdowns: 3,
+            breakdown_ticks: (20, 90),
+            blockades: 0,
+            blockade_ticks: (30, 80),
+            closures: 0,
+            closure_ticks: (30, 60),
+            removals: 2,
+            removal_ticks: (30, 60),
+            window: (10, 120),
+        })
+    }
+
+    /// Checkpoint at roughly mid-run through the full byte format, resume
+    /// with a fresh planner, and require a bit-identical final report.
+    fn assert_roundtrip(inst: &Instance, name: &str) {
+        let config = EngineConfig::default();
+        let mut p = make(name);
+        let base = run_simulation(inst, p.as_mut(), &config);
+        assert!(base.completed, "{name}: baseline must finish");
+        let split = (base.makespan / 2).max(1);
+
+        let mut p2 = make(name);
+        let mut engine = Engine::new(inst, &config);
+        engine.start(p2.as_mut());
+        while !engine.is_finished() && engine.current_tick() < split {
+            engine.tick_once(p2.as_mut());
+        }
+        assert!(!engine.is_finished(), "{name}: checkpoint must be mid-run");
+        let bytes = encode_snapshot(&engine.snapshot(p2.as_ref()));
+        drop(engine);
+        drop(p2);
+
+        let data = decode_snapshot(&bytes).expect("wire round-trip");
+        assert_eq!(data.planner_name, name);
+        let mut p3 = make(name);
+        let mut resumed = resume_from(&data, p3.as_mut()).expect("resume");
+        resumed.run_to_completion(p3.as_mut());
+        let report = resumed.report(p3.as_mut());
+        assert_eq!(
+            base.deterministic_fingerprint(),
+            report.deterministic_fingerprint(),
+            "{name} on {}: resumed run must be bit-identical",
+            inst.name
+        );
+    }
+
+    #[test]
+    fn resume_equals_uninterrupted_clean() {
+        let inst = scenario(None, 42);
+        for name in PLANNERS {
+            assert_roundtrip(&inst, name);
+        }
+    }
+
+    #[test]
+    fn resume_equals_uninterrupted_blockade_storm() {
+        let inst = scenario(blockade_storm(), 7);
+        assert!(!inst.disruptions.is_empty());
+        for name in PLANNERS {
+            assert_roundtrip(&inst, name);
+        }
+    }
+
+    #[test]
+    fn resume_equals_uninterrupted_breakdown_wave() {
+        let inst = scenario(breakdown_wave(), 11);
+        assert!(!inst.disruptions.is_empty());
+        for name in PLANNERS {
+            assert_roundtrip(&inst, name);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The standard IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_snapshot_bytes() -> Vec<u8> {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p.as_mut());
+        for _ in 0..40 {
+            engine.tick_once(p.as_mut());
+        }
+        encode_snapshot(&engine.snapshot(p.as_ref()))
+    }
+
+    #[test]
+    fn corrupted_snapshots_yield_typed_errors_never_panics() {
+        let good = sample_snapshot_bytes();
+        assert!(decode_snapshot(&good).is_ok());
+
+        // Truncation at every header boundary and a sweep of payload cuts.
+        for cut in (0..HEADER_LEN).chain((HEADER_LEN..good.len()).step_by(97)) {
+            let err = decode_snapshot(&good[..cut]).expect_err("truncated");
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(decode_snapshot(&bad).unwrap_err(), SnapshotError::BadMagic);
+
+        // Byte-swapped endianness marker.
+        let mut bad = good.clone();
+        bad[8..12].reverse();
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotError::WrongEndian
+        );
+
+        // Unknown future version.
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotError::UnsupportedVersion {
+                found: 99,
+                current: SNAPSHOT_VERSION
+            }
+        );
+
+        // Version zero.
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotError::UnsupportedVersion { found: 0, .. }
+        ));
+
+        // Payload bit flips: checksum must catch every one of them.
+        for at in (HEADER_LEN..good.len()).step_by(131) {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            let err = decode_snapshot(&bad).expect_err("flipped payload byte");
+            assert!(
+                matches!(err, SnapshotError::ChecksumMismatch { .. }),
+                "flip at {at} gave {err:?}"
+            );
+        }
+
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.extend_from_slice(b"junk");
+        assert!(matches!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotError::Decode(_)
+        ));
+
+        // A checksum-consistent but structurally bogus payload.
+        let payload = b"\xFFnot a value tree";
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&SNAPSHOT_MAGIC);
+        bad.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+        bad.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bad.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bad.extend_from_slice(&crc32(payload).to_le_bytes());
+        bad.extend_from_slice(payload);
+        assert!(matches!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotError::Decode(_)
+        ));
+    }
+
+    #[test]
+    fn migrates_v1_payload_and_resumes_from_it() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let base = run_simulation(&inst, p.as_mut(), &config);
+
+        let mut p2 = make("NTP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p2.as_mut());
+        for _ in 0..40 {
+            engine.tick_once(p2.as_mut());
+        }
+        let data = engine.snapshot(p2.as_ref());
+
+        // Regress the payload to schema v1: strip the fields v2 added.
+        let Value::Object(mut fields) = data.serialize() else {
+            panic!("snapshot value must be an object");
+        };
+        fields.retain(|(k, _)| k != "planner_name");
+        if let Some((_, Value::Object(engine_fields))) =
+            fields.iter_mut().find(|(k, _)| k == "engine")
+        {
+            engine_fields.retain(|(k, _)| k != "peak_scratch");
+        } else {
+            panic!("engine field must be an object");
+        }
+        let payload = serde::binary::to_bytes(&Value::Object(fields));
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        v1.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&crc32(&payload).to_le_bytes());
+        v1.extend_from_slice(&payload);
+
+        let migrated = decode_snapshot(&v1).expect("v1 must migrate forward");
+        assert_eq!(migrated.planner_name, "", "migration defaults the tag");
+        assert_eq!(migrated.engine.peak_scratch, 0, "migration defaults it");
+        assert_eq!(migrated.engine.t, data.engine.t, "payload preserved");
+
+        let mut p3 = make("NTP");
+        let mut resumed = resume_from(&migrated, p3.as_mut()).expect("resume");
+        resumed.run_to_completion(p3.as_mut());
+        let report = resumed.report(p3.as_mut());
+        // peak_scratch feeds only wall-clock-ish memory reporting, which the
+        // deterministic fingerprint excludes — the run itself is identical.
+        assert_eq!(
+            base.deterministic_fingerprint(),
+            report.deterministic_fingerprint()
+        );
+    }
+
+    #[test]
+    fn atomic_write_reads_back_and_leaves_no_temp() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p.as_mut());
+        for _ in 0..20 {
+            engine.tick_once(p.as_mut());
+        }
+
+        let dir = std::env::temp_dir().join(format!("tprw-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.snap");
+        engine.save_snapshot(p.as_ref(), &path).expect("save");
+        assert!(path.exists());
+        assert!(
+            !dir.join("run.snap.tmp").exists(),
+            "temp file must be renamed away"
+        );
+
+        let data = read_snapshot(&path).expect("read back");
+        assert_eq!(
+            encode_snapshot(&data),
+            encode_snapshot(&engine.snapshot(p.as_ref())),
+            "file round-trip re-encodes identically"
+        );
+
+        // Overwriting an existing snapshot also goes through the temp file.
+        engine.tick_once(p.as_mut());
+        engine.save_snapshot(p.as_ref(), &path).expect("overwrite");
+        let newer = read_snapshot(&path).expect("read newer");
+        assert_eq!(newer.engine.t, engine.current_tick());
+
+        let missing = read_snapshot(&dir.join("absent.snap"));
+        assert!(matches!(missing, Err(SnapshotError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_journal_mismatch_detection() {
+        let j1 = FingerprintJournal {
+            every: 8,
+            records: vec![(0, 1), (8, 2), (16, 3)],
+        };
+        assert_eq!(j1.first_mismatch(&j1), None);
+        let mut j2 = j1.clone();
+        j2.records[1].1 = 99;
+        assert_eq!(j1.first_mismatch(&j2), Some(8));
+        let mut j3 = j1.clone();
+        j3.records.pop();
+        assert_eq!(j1.first_mismatch(&j3), Some(16), "shorter run mismatches");
+        assert_eq!(j3.first_mismatch(&j1), Some(16), "symmetric");
+        assert_ne!(j1.digest(), j2.digest());
+    }
+
+    #[test]
+    fn identical_builds_produce_identical_journals() {
+        let inst = scenario(blockade_storm(), 7);
+        let config = EngineConfig::default();
+        let mut p1 = make("EATP");
+        let (r1, j1) = run_with_fingerprints(&inst, p1.as_mut(), &config, 16);
+        let mut p2 = make("EATP");
+        let (r2, j2) = run_with_fingerprints(&inst, p2.as_mut(), &config, 16);
+        assert!(r1.completed);
+        assert_eq!(
+            r1.deterministic_fingerprint(),
+            r2.deterministic_fingerprint()
+        );
+        assert_eq!(j1, j2);
+        assert!(!j1.records.is_empty());
+
+        // And the journal rides along with the plain runner's results.
+        let mut p3 = make("EATP");
+        let plain = run_simulation(&inst, p3.as_mut(), &config);
+        assert_eq!(
+            plain.deterministic_fingerprint(),
+            r1.deterministic_fingerprint(),
+            "hashing must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn hunter_reports_none_without_divergence() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let (_, journal) = run_with_fingerprints(&inst, p.as_mut(), &config, 16);
+        let found = hunt_divergence(&inst, &config, &journal, &mut || make("NTP"), &mut || {
+            make("NTP")
+        })
+        .expect("hunt");
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn hunter_localizes_injected_perturbation_exactly() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let trigger = 25;
+
+        let mut base = make("NTP");
+        let (base_report, journal) = run_with_fingerprints(&inst, base.as_mut(), &config, 16);
+        assert!(base_report.completed);
+
+        // Find the tick the perturbation actually fires (first non-empty
+        // assignment batch at or after `trigger`).
+        let mut probe_planner =
+            PerturbFromTick::new(NaiveTaskPlanner::new(EatpConfig::default()), trigger);
+        let _ = run_simulation(&inst, &mut probe_planner, &config);
+        let expected = probe_planner
+            .perturbed_at
+            .expect("perturbation must fire mid-run");
+        assert!(expected >= trigger);
+
+        let report = hunt_divergence(&inst, &config, &journal, &mut || make("NTP"), &mut || {
+            Box::new(PerturbFromTick::new(
+                NaiveTaskPlanner::new(EatpConfig::default()),
+                trigger,
+            ))
+        })
+        .expect("hunt")
+        .expect("divergence must be found");
+        assert_eq!(
+            report.first_divergent_tick, expected,
+            "hunter must localize the injected perturbation to its exact tick"
+        );
+        assert!(report.probes > 0, "the bracket is wider than one tick");
+    }
+}

@@ -5,11 +5,12 @@
 //! violation is a planner bug, never workload-dependent behaviour, so the
 //! engine surfaces it loudly in the report.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
 /// A conflict observed during execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecutedConflict {
     /// Two robots occupied the same cell at the same tick.
     Vertex {
@@ -67,6 +68,24 @@ pub struct TrajectoryValidator {
 #[inline]
 fn cell_key(p: GridPos) -> u32 {
     ((p.x as u32) << 16) | p.y as u32
+}
+
+/// The canonical (checkpoint-persisted) state of a
+/// [`TrajectoryValidator`]: the previous tick's positions for both checking
+/// paths, the previous tick itself, and every conflict observed so far.
+/// The generation counter, dense-array capacities and sort buffer are
+/// physical layout, not logical state, and are rebuilt on import.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ValidatorSnapshot {
+    /// Previous checked tick (`None` before the first check).
+    pub prev_t: Option<Tick>,
+    /// Conflicts observed so far, in recording order.
+    pub conflicts: Vec<ExecutedConflict>,
+    /// Seed-path previous positions, robot-sorted for canonical bytes.
+    pub prev_seed: Vec<(RobotId, GridPos)>,
+    /// Fast-path previous positions (entries live at the current
+    /// generation), robot-sorted.
+    pub prev_fast: Vec<(RobotId, GridPos)>,
 }
 
 impl TrajectoryValidator {
@@ -215,6 +234,52 @@ impl TrajectoryValidator {
     pub fn conflict_count(&self) -> usize {
         self.conflicts.len()
     }
+
+    /// Export the canonical state (see [`ValidatorSnapshot`]).
+    pub fn export_snapshot(&self) -> ValidatorSnapshot {
+        let mut prev_seed: Vec<(RobotId, GridPos)> =
+            self.prev.iter().map(|(&r, &p)| (r, p)).collect();
+        prev_seed.sort_unstable_by_key(|&(r, _)| r);
+        let mut prev_fast: Vec<(RobotId, GridPos)> = self
+            .prev_mark
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == self.mark && self.mark != 0)
+            .map(|(i, _)| (RobotId::new(i), self.prev_pos[i]))
+            .collect();
+        prev_fast.sort_unstable_by_key(|&(r, _)| r);
+        ValidatorSnapshot {
+            prev_t: self.prev_t,
+            conflicts: self.conflicts.clone(),
+            prev_seed,
+            prev_fast,
+        }
+    }
+
+    /// Rebuild a validator from an exported snapshot: the restored instance
+    /// reaches exactly the verdicts the exporting one would from the next
+    /// `check_tick`/`check_tick_fast` call onward.
+    pub fn import_snapshot(&mut self, snap: &ValidatorSnapshot) {
+        *self = Self::default();
+        self.prev_t = snap.prev_t;
+        self.conflicts = snap.conflicts.clone();
+        self.prev = snap.prev_seed.iter().copied().collect();
+        if !snap.prev_fast.is_empty() {
+            self.mark = 1;
+            let max_index = snap
+                .prev_fast
+                .iter()
+                .map(|&(r, _)| r.index())
+                .max()
+                .expect("non-empty");
+            self.prev_pos.resize(max_index + 1, GridPos::new(0, 0));
+            self.prev_mark.resize(max_index + 1, 0);
+            for &(robot, pos) in &snap.prev_fast {
+                self.prev_pos[robot.index()] = pos;
+                self.prev_mark[robot.index()] = self.mark;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +378,39 @@ mod tests {
         // A tick gap resets the edge check.
         v.check_tick_fast(5, &[(id(0), p(1, 0)), (id(1), p(2, 0))]);
         assert_eq!(v.conflict_count(), 0);
+    }
+
+    /// A validator restored from a snapshot must reach exactly the verdicts
+    /// the original would on every subsequent tick, on both checking paths.
+    #[test]
+    fn snapshot_roundtrip_preserves_verdicts() {
+        let mut fast = TrajectoryValidator::new();
+        fast.check_tick_fast(0, &[(id(0), p(0, 0)), (id(1), p(1, 0))]);
+        let mut restored_fast = TrajectoryValidator::new();
+        restored_fast.import_snapshot(&fast.export_snapshot());
+        // The swap verdict depends on the previous tick's positions.
+        let swap = [(id(0), p(1, 0)), (id(1), p(0, 0))];
+        fast.check_tick_fast(1, &swap);
+        restored_fast.check_tick_fast(1, &swap);
+        assert_eq!(fast.conflicts, restored_fast.conflicts);
+        assert_eq!(fast.conflict_count(), 1);
+        assert_eq!(
+            fast.export_snapshot(),
+            restored_fast.export_snapshot(),
+            "re-exports agree after further checking"
+        );
+
+        let mut seed = TrajectoryValidator::new();
+        seed.check_tick(0, &[(id(0), p(0, 0)), (id(1), p(1, 0))]);
+        let mut restored_seed = TrajectoryValidator::new();
+        restored_seed.import_snapshot(&seed.export_snapshot());
+        seed.check_tick(1, &swap);
+        restored_seed.check_tick(1, &swap);
+        assert_eq!(seed.conflicts, restored_seed.conflicts);
+
+        // An untouched validator round-trips to the empty snapshot.
+        let empty = TrajectoryValidator::new().export_snapshot();
+        assert_eq!(empty, ValidatorSnapshot::default());
     }
 
     /// The two checking paths must agree on every conflict count across a

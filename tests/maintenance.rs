@@ -1,0 +1,199 @@
+//! Acceptance invariants of the scheduled-maintenance outlook
+//! (`EatpConfig::maintenance_outlook`): advance notices of future blockades
+//! folded into disruption-aware selection.
+//!
+//! * **Flag-off equivalence** — with the flag off, notices are dropped on
+//!   the floor: a run that received them is *bit-identical* to one that
+//!   never did, for every planner. This is what makes the hook safe to
+//!   expose default-off.
+//! * **Expired windows are inert** — a notice whose window closed before
+//!   selection ever consults it changes nothing, even with the flag on.
+//! * **Predictions alone steer selection** — on a clean world (zero applied
+//!   events) notices along a delivery corridor produce `anticipation_hits`,
+//!   deterministically and without hurting safety.
+//! * **Notices survive checkpoint/resume** — they are canonical planner
+//!   state (no journal event to replay), carried by the planner snapshot:
+//!   a resumed run keeps anticipating and stays fingerprint-identical to
+//!   the uninterrupted one.
+
+use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::simulator::{resume_from, Engine, EngineConfig, SimulationReport};
+use eatp::warehouse::{GridPos, LayoutConfig, ScenarioSpec, Tick, WorkloadConfig};
+
+fn clean_spec(seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        name: format!("maintenance-clean-{seed}"),
+        layout: LayoutConfig {
+            width: 32,
+            height: 24,
+            border_walls: true,
+            ..LayoutConfig::default()
+        },
+        n_racks: 16,
+        n_robots: 8,
+        n_pickers: 3,
+        workload: WorkloadConfig::poisson(50, 0.7),
+        disruptions: None,
+        seed,
+    }
+}
+
+fn config(anticipation: bool, maintenance_outlook: bool) -> EatpConfig {
+    EatpConfig {
+        anticipation,
+        maintenance_outlook,
+        ..EatpConfig::default()
+    }
+}
+
+/// Cells on the L-shaped walk from `a` to `b` (all on the Manhattan band of
+/// the pair, so they are guaranteed corridor members for any slack).
+fn l_path_cells(a: GridPos, b: GridPos) -> Vec<GridPos> {
+    let mut cells = Vec::new();
+    let mut x = a.x;
+    while x != b.x {
+        x = if b.x > x { x + 1 } else { x - 1 };
+        cells.push(GridPos::new(x, a.y));
+    }
+    let mut y = a.y;
+    while y != b.y {
+        y = if b.y > y { y + 1 } else { y - 1 };
+        cells.push(GridPos::new(b.x, y));
+    }
+    cells
+}
+
+/// Run `spec` under `config`, announcing `notices` to the planner right
+/// after `init` (the engine's `start`), before the first planning tick.
+fn run_with_notices(
+    spec: &ScenarioSpec,
+    name: &str,
+    config: &EatpConfig,
+    notices: &[(GridPos, Tick, Tick)],
+) -> SimulationReport {
+    let inst = spec.build().unwrap();
+    inst.validate().unwrap();
+    let mut planner = planner_by_name(name, config).unwrap();
+    let mut engine = Engine::new(&inst, &EngineConfig::default());
+    engine.start(&mut *planner);
+    for &(pos, from, until) in notices {
+        planner.on_maintenance_notice(pos, from, until);
+    }
+    engine.run_to_completion(&mut *planner);
+    engine.report(&mut *planner)
+}
+
+/// The notice set used throughout: every cell of rack 0's delivery corridor
+/// (station → rack home), windowed over the whole run.
+fn corridor_notices(spec: &ScenarioSpec) -> Vec<(GridPos, Tick, Tick)> {
+    let inst = spec.build().unwrap();
+    let rack = &inst.racks[0];
+    let station = inst.pickers[rack.picker.index()].pos;
+    l_path_cells(station, rack.home)
+        .into_iter()
+        .map(|c| (c, 0, 100_000))
+        .collect()
+}
+
+#[test]
+fn flag_off_drops_notices_bit_identically() {
+    let spec = clean_spec(11);
+    let notices = corridor_notices(&spec);
+    assert!(!notices.is_empty());
+    for name in PLANNER_NAMES {
+        // Anticipation on in both runs — the claim is that the *notices*
+        // are invisible, not that the whole layer is off.
+        let without = run_with_notices(&spec, name, &config(true, false), &[]);
+        let with = run_with_notices(&spec, name, &config(true, false), &notices);
+        assert!(without.completed, "{name} must complete the clean run");
+        assert_eq!(
+            without.deterministic_fingerprint(),
+            with.deterministic_fingerprint(),
+            "{name}: flag-off notices must be dropped bit-identically"
+        );
+        assert_eq!(with.anticipation_hits, 0, "{name}: dropped ⇒ no signal");
+    }
+}
+
+#[test]
+fn expired_windows_are_inert() {
+    let spec = clean_spec(11);
+    // Window [0, 0] closes before the first selection consults it: the
+    // outlook gains a signal but the pending-window filter yields nothing,
+    // so every penalty stays zero and the stable reorder is a no-op.
+    let expired: Vec<(GridPos, Tick, Tick)> = corridor_notices(&spec)
+        .into_iter()
+        .map(|(c, _, _)| (c, 0, 0))
+        .collect();
+    for name in PLANNER_NAMES {
+        let without = run_with_notices(&spec, name, &config(true, true), &[]);
+        let with = run_with_notices(&spec, name, &config(true, true), &expired);
+        assert_eq!(
+            without.deterministic_fingerprint(),
+            with.deterministic_fingerprint(),
+            "{name}: an expired window must change nothing"
+        );
+        assert_eq!(with.anticipation_hits, 0, "{name}: expired ⇒ no hits");
+    }
+}
+
+#[test]
+fn predictions_alone_steer_selection_safely() {
+    let spec = clean_spec(11);
+    let notices = corridor_notices(&spec);
+    let mut any_hits = 0u64;
+    for name in PLANNER_NAMES {
+        let a = run_with_notices(&spec, name, &config(true, true), &notices);
+        let b = run_with_notices(&spec, name, &config(true, true), &notices);
+        assert!(a.completed, "{name} must complete with notices pending");
+        assert_eq!(a.executed_conflicts, 0, "{name}: conflict-free");
+        assert_eq!(
+            a.deterministic_fingerprint(),
+            b.deterministic_fingerprint(),
+            "{name}: prediction-aware replay must stay deterministic"
+        );
+        assert_eq!(a.events_applied, 0, "{name}: the world itself is clean");
+        any_hits += a.anticipation_hits;
+    }
+    assert!(
+        any_hits > 0,
+        "pending notices alone must promote some rack past the risky corridor"
+    );
+}
+
+#[test]
+fn notices_survive_checkpoint_resume() {
+    let spec = clean_spec(11);
+    let notices = corridor_notices(&spec);
+    let inst = spec.build().unwrap();
+    for name in PLANNER_NAMES {
+        let cfg = config(true, true);
+        // Straight-through baseline.
+        let baseline = run_with_notices(&spec, name, &cfg, &notices);
+        // Checkpointed run: snapshot at roughly half the makespan, drop the
+        // engine and planner, resume a fresh pair from the snapshot alone.
+        let mut planner = planner_by_name(name, &cfg).unwrap();
+        let mut engine = Engine::new(&inst, &EngineConfig::default());
+        engine.start(&mut *planner);
+        for &(pos, from, until) in &notices {
+            planner.on_maintenance_notice(pos, from, until);
+        }
+        let half = baseline.makespan / 2;
+        while !engine.is_finished() && engine.current_tick() < half {
+            engine.tick_once(&mut *planner);
+        }
+        let data = engine.snapshot(&*planner);
+        drop(engine);
+        drop(planner);
+        // No re-announcement here: the snapshot must carry the notices.
+        let mut resumed = planner_by_name(name, &cfg).unwrap();
+        let mut engine = resume_from(&data, &mut *resumed).unwrap();
+        engine.run_to_completion(&mut *resumed);
+        let report = engine.report(&mut *resumed);
+        assert_eq!(
+            baseline.deterministic_fingerprint(),
+            report.deterministic_fingerprint(),
+            "{name}: resumed run must keep anticipating identically"
+        );
+    }
+}

@@ -175,6 +175,25 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Restoring
+        /// via [`StdRng::from_state`] continues the stream exactly where it
+        /// left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words previously captured by
+        /// [`StdRng::state`]. An all-zero state is invalid for xoshiro and
+        /// is coerced to the same fallback as [`SeedableRng::from_seed`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s.iter().all(|&w| w == 0) {
+                return Self { s: [1, 2, 3, 4] };
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

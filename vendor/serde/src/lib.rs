@@ -283,6 +283,29 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::deserialize(&items[0])?,
+                B::deserialize(&items[1])?,
+                C::deserialize(&items[2])?,
+            )),
+            other => Err(Error::msg(format!("expected 3-tuple, got {other:?}"))),
+        }
+    }
+}
+
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn serialize(&self) -> Value {
         // Maps serialize as arrays of [key, value] pairs: keys need not be
@@ -308,6 +331,185 @@ where
     }
 }
 
+/// Compact binary encoding of the [`Value`] tree, for checkpoint files.
+///
+/// The format is a tagged, little-endian, length-prefixed tree:
+///
+/// | tag | payload                                              |
+/// |-----|------------------------------------------------------|
+/// | 0   | `Null` — none                                        |
+/// | 1   | `Bool(false)` — none                                 |
+/// | 2   | `Bool(true)` — none                                  |
+/// | 3   | `U64` — 8 bytes LE                                   |
+/// | 4   | `I64` — 8 bytes LE (two's complement)                |
+/// | 5   | `F64` — 8 bytes LE of `f64::to_bits` (bit-exact)     |
+/// | 6   | `Str` — u32 LE byte length + UTF-8 bytes             |
+/// | 7   | `Array` — u32 LE element count + elements            |
+/// | 8   | `Object` — u32 LE pair count + (key as tag-6 string payload, value) pairs |
+///
+/// Floats travel as raw bit patterns, so NaN payloads and signed zeros
+/// round-trip exactly — required for bit-identical checkpoint/resume.
+/// Decoding is hardened for untrusted input: every read is bounds-checked,
+/// declared lengths are sanity-checked against the remaining input, and
+/// nesting depth is capped, so corrupt bytes yield an [`Error`], never a
+/// panic or runaway allocation.
+pub mod binary {
+    use super::{Error, Value};
+
+    /// Maximum nesting depth accepted by [`from_bytes`]. Snapshot trees are
+    /// a handful of levels deep; anything past this is corrupt input.
+    const MAX_DEPTH: u32 = 128;
+
+    fn encode_into(v: &Value, out: &mut Vec<u8>) {
+        match v {
+            Value::Null => out.push(0),
+            Value::Bool(false) => out.push(1),
+            Value::Bool(true) => out.push(2),
+            Value::U64(n) => {
+                out.push(3);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Value::I64(n) => {
+                out.push(4);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Value::F64(x) => {
+                out.push(5);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(6);
+                encode_str(s, out);
+            }
+            Value::Array(items) => {
+                out.push(7);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for item in items {
+                    encode_into(item, out);
+                }
+            }
+            Value::Object(pairs) => {
+                out.push(8);
+                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for (k, val) in pairs {
+                    encode_str(k, out);
+                    encode_into(val, out);
+                }
+            }
+        }
+    }
+
+    fn encode_str(s: &str, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    /// Encode a value tree to bytes.
+    pub fn to_bytes(v: &Value) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_into(v, &mut out);
+        out
+    }
+
+    struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+            let end = self
+                .pos
+                .checked_add(n)
+                .filter(|&e| e <= self.buf.len())
+                .ok_or_else(|| Error::msg("binary value truncated"))?;
+            let slice = &self.buf[self.pos..end];
+            self.pos = end;
+            Ok(slice)
+        }
+
+        fn u8(&mut self) -> Result<u8, Error> {
+            Ok(self.take(1)?[0])
+        }
+
+        fn u32(&mut self) -> Result<u32, Error> {
+            Ok(u32::from_le_bytes(
+                self.take(4)?.try_into().expect("4 bytes"),
+            ))
+        }
+
+        fn u64(&mut self) -> Result<u64, Error> {
+            Ok(u64::from_le_bytes(
+                self.take(8)?.try_into().expect("8 bytes"),
+            ))
+        }
+
+        fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        fn str(&mut self) -> Result<String, Error> {
+            let len = self.u32()? as usize;
+            let bytes = self.take(len)?;
+            String::from_utf8(bytes.to_vec())
+                .map_err(|_| Error::msg("binary value string is not UTF-8"))
+        }
+
+        fn value(&mut self, depth: u32) -> Result<Value, Error> {
+            if depth > MAX_DEPTH {
+                return Err(Error::msg("binary value nesting too deep"));
+            }
+            match self.u8()? {
+                0 => Ok(Value::Null),
+                1 => Ok(Value::Bool(false)),
+                2 => Ok(Value::Bool(true)),
+                3 => Ok(Value::U64(self.u64()?)),
+                4 => Ok(Value::I64(self.u64()? as i64)),
+                5 => Ok(Value::F64(f64::from_bits(self.u64()?))),
+                6 => Ok(Value::Str(self.str()?)),
+                7 => {
+                    let len = self.u32()? as usize;
+                    // Each element occupies at least one tag byte, so a count
+                    // beyond the remaining bytes is corrupt — reject before
+                    // reserving memory for it.
+                    if len > self.remaining() {
+                        return Err(Error::msg("binary array length exceeds input"));
+                    }
+                    let mut items = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        items.push(self.value(depth + 1)?);
+                    }
+                    Ok(Value::Array(items))
+                }
+                8 => {
+                    let len = self.u32()? as usize;
+                    if len > self.remaining() {
+                        return Err(Error::msg("binary object length exceeds input"));
+                    }
+                    let mut pairs = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let k = self.str()?;
+                        let v = self.value(depth + 1)?;
+                        pairs.push((k, v));
+                    }
+                    Ok(Value::Object(pairs))
+                }
+                tag => Err(Error::msg(format!("unknown binary value tag {tag}"))),
+            }
+        }
+    }
+
+    /// Decode a value tree from bytes. Rejects trailing garbage.
+    pub fn from_bytes(buf: &[u8]) -> Result<Value, Error> {
+        let mut r = Reader { buf, pos: 0 };
+        let v = r.value(0)?;
+        if r.pos != buf.len() {
+            return Err(Error::msg("trailing bytes after binary value"));
+        }
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +532,73 @@ mod tests {
         assert_eq!(Vec::<u32>::deserialize(&v.serialize()), Ok(v));
         let o: Option<u8> = None;
         assert_eq!(Option::<u8>::deserialize(&o.serialize()), Ok(None));
+    }
+
+    fn sample_tree() -> Value {
+        Value::Object(vec![
+            ("null".into(), Value::Null),
+            ("flag".into(), Value::Bool(true)),
+            ("count".into(), Value::U64(u64::MAX)),
+            ("delta".into(), Value::I64(-42)),
+            ("ratio".into(), Value::F64(-0.0)),
+            (
+                "nan".into(),
+                Value::F64(f64::from_bits(0x7ff8_dead_beef_0001)),
+            ),
+            ("name".into(), Value::Str("snapshot".into())),
+            (
+                "items".into(),
+                Value::Array(vec![Value::U64(1), Value::Bool(false), Value::Null]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let tree = sample_tree();
+        let bytes = binary::to_bytes(&tree);
+        let back = binary::from_bytes(&bytes).expect("decodes");
+        // PartialEq on F64 compares by value, so check the NaN bits directly.
+        match (tree.get("nan"), back.get("nan")) {
+            (Some(Value::F64(a)), Some(Value::F64(b))) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "NaN payload must survive");
+            }
+            other => panic!("nan field mangled: {other:?}"),
+        }
+        match (tree.get("ratio"), back.get("ratio")) {
+            (Some(Value::F64(a)), Some(Value::F64(b))) => {
+                assert_eq!(a.to_bits(), b.to_bits(), "-0.0 must survive");
+            }
+            other => panic!("ratio field mangled: {other:?}"),
+        }
+        assert_eq!(back.get("count"), Some(&Value::U64(u64::MAX)));
+        assert_eq!(back.get("delta"), Some(&Value::I64(-42)));
+    }
+
+    #[test]
+    fn binary_rejects_corruption_without_panicking() {
+        let bytes = binary::to_bytes(&sample_tree());
+        // Every truncation fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(binary::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(binary::from_bytes(&extended).is_err());
+        // A hostile length prefix cannot trigger huge allocation or panic.
+        let mut hostile = vec![7u8]; // Array tag
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(binary::from_bytes(&hostile).is_err());
+        // Unknown tag.
+        assert!(binary::from_bytes(&[99]).is_err());
+        // Deep nesting is capped: 1000 nested single-element arrays.
+        let mut deep = Vec::new();
+        for _ in 0..1000 {
+            deep.push(7u8);
+            deep.extend_from_slice(&1u32.to_le_bytes());
+        }
+        deep.push(0); // innermost Null
+        assert!(binary::from_bytes(&deep).is_err());
     }
 }
