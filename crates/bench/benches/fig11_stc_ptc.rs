@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
                         idle_robots: &idle,
                         selectable_racks: &selectable,
                     };
-                    planner.plan(&world).len()
+                    planner.plan(&world).unwrap().len()
                 },
                 criterion::BatchSize::LargeInput,
             )

@@ -40,13 +40,23 @@
 //! * `BENCH_SIM_FP_OUT=<path>` — *determinism soak*: skip timing entirely,
 //!   run every disrupted scenario once per planner (batched mode) and write
 //!   one fingerprint line per run. CI runs this twice and `diff`s the
-//!   files: any nondeterminism in the disruption replay fails the job.
+//!   files: any nondeterminism in the disruption replay fails the job. The
+//!   output is also diffed against the committed
+//!   `results/fingerprints_faults_off.txt`, pinning faults-off runs to
+//!   their pre-fault-injection behaviour bit for bit.
+//! * `BENCH_SIM_CHAOS_FP_OUT=<path>` — the same soak under the chaos fault
+//!   plan (`BENCH_SIM_CHAOS_SEED`, default 4242) with graceful degradation
+//!   armed: every run must stay violation-free while visibly degrading, and
+//!   CI diffs two independent processes to prove fixed-fault-seed
+//!   determinism.
 
 use eatp_bench::sim_cases::{deterministic_fields, scenarios, SimScenario, ANTICIPATION_CASES};
 use eatp_core::{planner_by_name, EatpConfig, PLANNER_NAMES};
 use serde::Serialize;
 use std::time::Instant;
-use tprw_simulator::{run_simulation, EngineConfig, SimulationReport};
+use tprw_simulator::{
+    run_simulation, DegradationPolicy, EngineConfig, FaultConfig, SimulationReport,
+};
 
 #[derive(Debug, Serialize)]
 struct PlannerCell {
@@ -159,9 +169,28 @@ fn timed_run(
 }
 
 /// Determinism-soak mode: one batched run per (disrupted scenario, planner),
-/// one fingerprint line each. CI invokes this twice and diffs the outputs.
-fn write_fingerprints(path: &str) {
-    let engine = EngineConfig::default();
+/// one fingerprint line each. CI invokes this twice and diffs the outputs —
+/// and, for the faults-off flavour, against the committed
+/// `results/fingerprints_faults_off.txt` so fault-injection plumbing can
+/// never silently move a clean run.
+///
+/// With `chaos = Some(seed)` every run additionally executes under the
+/// seed-deterministic chaos fault plan with graceful degradation armed: the
+/// run must still be violation-free, must visibly degrade
+/// (`degraded_ticks > 0`), and its fingerprint — degradation counters
+/// included — must be byte-identical across independent processes.
+fn write_fingerprints(path: &str, chaos: Option<u64>) {
+    let engine = match chaos {
+        None => EngineConfig::default(),
+        Some(seed) => EngineConfig {
+            faults: FaultConfig::chaos(seed, (5, 400)),
+            degradation: DegradationPolicy {
+                enabled: true,
+                max_expansions_per_tick: 0,
+            },
+            ..EngineConfig::default()
+        },
+    };
     let config = EatpConfig::default();
     let mut out = String::new();
     for scenario in scenarios() {
@@ -176,6 +205,24 @@ fn write_fingerprints(path: &str) {
                 "{name} on {} violated a disruption invariant",
                 scenario.name
             );
+            assert_eq!(
+                report.executed_conflicts, 0,
+                "{name} on {} executed a conflict",
+                scenario.name
+            );
+            if chaos.is_some() {
+                assert!(
+                    report.degraded_ticks > 0,
+                    "{name} on {}: the chaos fault plan never tripped degradation",
+                    scenario.name
+                );
+            } else {
+                assert_eq!(
+                    report.degraded_ticks, 0,
+                    "{name} on {} degraded with faults off",
+                    scenario.name
+                );
+            }
             out.push_str(&format!(
                 "{} {} {:?}\n",
                 scenario.name,
@@ -185,12 +232,24 @@ fn write_fingerprints(path: &str) {
         }
     }
     std::fs::write(path, &out).expect("write fingerprint file");
-    eprintln!("wrote disruption fingerprints to {path}");
+    let flavour = match chaos {
+        Some(seed) => format!("chaos (fault seed {seed})"),
+        None => "disruption".into(),
+    };
+    eprintln!("wrote {flavour} fingerprints to {path}");
 }
 
 fn main() {
     if let Ok(path) = std::env::var("BENCH_SIM_FP_OUT") {
-        write_fingerprints(&path);
+        write_fingerprints(&path, None);
+        return;
+    }
+    if let Ok(path) = std::env::var("BENCH_SIM_CHAOS_FP_OUT") {
+        let seed = std::env::var("BENCH_SIM_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(4242);
+        write_fingerprints(&path, Some(seed));
         return;
     }
     let iters: usize = std::env::var("BENCH_SIM_ITERS")

@@ -19,7 +19,9 @@ use crate::assignment::match_and_plan;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::ntp::most_slack_picker_selection;
-use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
+use crate::planner::{
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+};
 use crate::qlearning::{QTable, QTableSnapshot};
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
@@ -159,10 +161,13 @@ impl Planner for AdaptiveTaskPlanner {
         ));
     }
 
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError> {
         let base = self.base.as_mut().expect("init() must be called first");
+        if let Some(e) = base.take_armed_decision_fault() {
+            return Err(e);
+        }
         if !world.has_work() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let cap = world.idle_robots.len();
         let q = &mut self.q;
@@ -176,7 +181,7 @@ impl Planner for AdaptiveTaskPlanner {
             base.reorder_by_anticipation(world, None, &mut selected);
             selected
         });
-        match_and_plan(base, world, &selected)
+        Ok(match_and_plan(base, world, &selected))
     }
 
     fn plan_leg(
@@ -193,11 +198,27 @@ impl Planner for AdaptiveTaskPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results);
+            .plan_legs(requests, start, results)
+    }
+
+    fn inject_fault(&mut self, fault: &InjectedFault) -> bool {
+        self.base.as_mut().expect("initialized").inject_fault(fault)
+    }
+
+    fn recover_degraded(&mut self) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .invalidate_derived();
     }
 
     fn on_dock(&mut self, robot: RobotId) {
@@ -312,7 +333,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable: Vec<RackId> = (0..4).map(RackId::new).collect();
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         // With default ε = 0.1 and optimistic init, most racks get selected.
         assert!(!plans.is_empty());
         assert!(planner.q_table().update_count() > 0, "q must be trained");
@@ -331,7 +352,7 @@ mod tests {
         let idle: Vec<RobotId> = vec![inst.robots[0].id, inst.robots[1].id];
         let selectable: Vec<RackId> = (0..8).map(RackId::new).collect();
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert!(plans.len() <= 2, "cannot exceed idle fleet");
     }
 
@@ -346,7 +367,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable = vec![inst.racks[0].id];
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert_eq!(plans.len(), 1, "greedy arm selects eagerly");
         assert_eq!(planner.q_table().update_count(), 1);
     }
@@ -363,7 +384,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable = vec![inst.racks[0].id];
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         // Unexplored states tie-break toward requesting.
         assert_eq!(plans.len(), 1);
     }
@@ -386,7 +407,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable = vec![inst.racks[0].id];
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert!(plans.is_empty(), "policy defers when request value is bad");
     }
 }

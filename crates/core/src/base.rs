@@ -9,7 +9,7 @@
 
 use crate::config::EatpConfig;
 use crate::outlook::DisruptionOutlook;
-use crate::planner::{LegRequest, PlannerStats};
+use crate::planner::{InjectedFault, LegRequest, PlannerError, PlannerStats};
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -84,6 +84,34 @@ impl Oracle {
         match self {
             Oracle::Flat(o) => o.set_passable(pos, passable),
             Oracle::Reference(o) => o.set_passable(pos, passable),
+        }
+    }
+
+    /// Drop every memoized field (degradation recovery; distances recompute
+    /// identically on demand).
+    pub fn evict_all_fields(&mut self) {
+        match self {
+            Oracle::Flat(o) => o.evict_all_fields(),
+            Oracle::Reference(o) => o.evict_all_fields(),
+        }
+    }
+
+    /// Deterministically corrupt one memoized field (fault injection).
+    /// Only the flat oracle exposes poisoning; the reference baseline
+    /// reports `false` (nothing poisoned).
+    pub fn poison_field(&mut self, salt: u64) -> bool {
+        match self {
+            Oracle::Flat(o) => o.poison_field(salt),
+            Oracle::Reference(_) => false,
+        }
+    }
+
+    /// Integrity sweep over the memoized fields; returns how many corrupt
+    /// fields were found (all fields are evicted when any is).
+    pub fn verify_fields(&mut self) -> usize {
+        match self {
+            Oracle::Flat(o) => o.verify_fields(),
+            Oracle::Reference(_) => 0,
         }
     }
 }
@@ -206,6 +234,21 @@ pub struct PlannerBase<R: ReservationBackend> {
     /// [`PlannerBase::plan_legs`] batch (indexed by group id).
     group_done: Vec<bool>,
     last_gc: Tick,
+    /// Armed decision fault: the next `plan` entry (via
+    /// [`PlannerBase::take_armed_decision_fault`]) returns it. Transient
+    /// within a tick — the engine only arms faults it fires the same tick,
+    /// so this never crosses a snapshot boundary.
+    armed_decision: Option<PlannerError>,
+    /// Armed leg-batch fault; same in-tick transience as `armed_decision`.
+    armed_leg: Option<PlannerError>,
+    /// Poison injections since the last integrity sweep: the sweep in
+    /// [`PlannerBase::housekeeping`] is gated on this so the faults-off hot
+    /// path never pays for verification. Cleared the same tick it is set
+    /// (poison lands in the bookkeeping phase, right before housekeeping).
+    poison_pending: u32,
+    /// Corrupt entries/fields detected and evicted by integrity sweeps
+    /// (diagnostic, like the cache hit/miss counters — not snapshotted).
+    pub poison_evictions: u64,
 }
 
 impl<R: ReservationBackend> PlannerBase<R> {
@@ -248,6 +291,10 @@ impl<R: ReservationBackend> PlannerBase<R> {
             group_done: Vec::new(),
             grid,
             last_gc: 0,
+            armed_decision: None,
+            armed_leg: None,
+            poison_pending: 0,
+            poison_evictions: 0,
         }
     }
 
@@ -336,10 +383,13 @@ impl<R: ReservationBackend> PlannerBase<R> {
         requests: &[LegRequest],
         start: Tick,
         results: &mut Vec<Option<Path>>,
-    ) {
+    ) -> Result<(), PlannerError> {
         results.clear();
+        if let Some(e) = self.armed_leg.take() {
+            return Err(e);
+        }
         if requests.is_empty() {
-            return;
+            return Ok(());
         }
         let t0 = Instant::now();
         self.group_done.clear();
@@ -362,6 +412,71 @@ impl<R: ReservationBackend> PlannerBase<R> {
             results.push(path);
         }
         self.stats.planning_ns += t0.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// Arm or apply an [`InjectedFault`] (the
+    /// [`crate::planner::Planner::inject_fault`] contract for base-backed
+    /// planners). Decision/leg faults arm and fire on the next matching
+    /// call; poison faults corrupt the targeted memoized structure now and
+    /// schedule the integrity sweep.
+    pub fn inject_fault(&mut self, fault: &InjectedFault) -> bool {
+        match *fault {
+            InjectedFault::SelectionFailure => {
+                self.armed_decision = Some(PlannerError::SelectionFailed {
+                    reason: "injected selection fault".into(),
+                });
+                true
+            }
+            InjectedFault::BudgetOverrun => {
+                self.armed_decision = Some(PlannerError::BudgetExceeded {
+                    used: self.stats.expansions,
+                    budget: self.config.max_expansions as u64,
+                });
+                true
+            }
+            InjectedFault::LegFailure => {
+                self.armed_leg = Some(PlannerError::LegBatchFailed {
+                    reason: "injected leg-batch fault".into(),
+                });
+                true
+            }
+            InjectedFault::CachePoison { salt } => {
+                let poisoned = self
+                    .cache
+                    .as_mut()
+                    .is_some_and(|cache| cache.poison_entry(salt));
+                if poisoned {
+                    self.poison_pending += 1;
+                }
+                poisoned
+            }
+            InjectedFault::OraclePoison { salt } => {
+                let poisoned = self.oracle.poison_field(salt);
+                if poisoned {
+                    self.poison_pending += 1;
+                }
+                poisoned
+            }
+        }
+    }
+
+    /// The armed decision fault, if any — base-backed planners call this at
+    /// the top of `plan` and return the error instead of selecting.
+    pub fn take_armed_decision_fault(&mut self) -> Option<PlannerError> {
+        self.armed_decision.take()
+    }
+
+    /// Degradation recovery (the
+    /// [`crate::planner::Planner::recover_degraded`] contract): drop every
+    /// derived structure the failed tick might have left suspect. Cache
+    /// entries and oracle fields recompute identically on demand, so on a
+    /// clean world this is behaviorally free.
+    pub fn invalidate_derived(&mut self) {
+        if let Some(cache) = &mut self.cache {
+            cache.clear_entries();
+        }
+        self.oracle.evict_all_fields();
     }
 
     /// Apply a disruption event to every grid-derived structure this base
@@ -660,11 +775,39 @@ impl<R: ReservationBackend> PlannerBase<R> {
     /// frozen position — from `t` onward so survivors route *around* it.
     pub fn cancel_path(&mut self, robot: RobotId, pos: GridPos, t: Tick) {
         self.resv.release_robot(robot);
+        // A robot frozen mid-transit may stand on a cell another robot
+        // holds an *advance* park on (its leg goal, arrival still in the
+        // future). That robot's path necessarily visits this cell at or
+        // after `t`, so the engine's freeze cascade is about to cancel it
+        // too and re-park it where it actually stands; evict the stale
+        // advance claim so the frozen robot can take the cell it
+        // physically occupies. A claim with `from <= t` is a robot really
+        // standing here — that would be an executed vertex conflict, and
+        // the board's own assert keeps rejecting it.
+        if let Some((other, from)) = self.resv.parked_at(pos) {
+            if other != robot && from > t {
+                self.resv.unpark(other);
+            }
+        }
         self.resv.park(robot, pos, t);
     }
 
-    /// Reservation GC, self-gated on the configured period.
+    /// Reservation GC, self-gated on the configured period — plus the
+    /// poison integrity sweep when an injected fault corrupted a memoized
+    /// structure this tick. The sweep is gated on `poison_pending`, so the
+    /// faults-off hot path never pays for verification, and it runs in the
+    /// same tick the poison landed, so corruption never survives into a
+    /// read or a snapshot.
     pub fn housekeeping(&mut self, t: Tick) {
+        if self.poison_pending > 0 {
+            self.poison_pending = 0;
+            let mut evicted = 0;
+            if let Some(cache) = &mut self.cache {
+                evicted += cache.verify_entries() as u64;
+            }
+            evicted += self.oracle.verify_fields() as u64;
+            self.poison_evictions += evicted;
+        }
         if t >= self.last_gc + self.config.gc_period {
             self.resv.release_before(t);
             self.last_gc = t;
@@ -1141,7 +1284,7 @@ mod tests {
         let mut batched: PlannerBase<SpatioTemporalGraph> =
             PlannerBase::new(&inst, EatpConfig::default(), false, false);
         let mut batched_paths = Vec::new();
-        batched.plan_legs(&requests, 0, &mut batched_paths);
+        batched.plan_legs(&requests, 0, &mut batched_paths).unwrap();
 
         assert_eq!(serial_paths, batched_paths, "identical paths either way");
         assert_eq!(serial.stats.paths_planned, batched.stats.paths_planned);
@@ -1174,9 +1317,109 @@ mod tests {
         let mut base: PlannerBase<SpatioTemporalGraph> =
             PlannerBase::new(&inst, EatpConfig::default(), false, false);
         let mut results = Vec::new();
-        base.plan_legs(&requests, 0, &mut results);
+        base.plan_legs(&requests, 0, &mut results).unwrap();
         assert!(results[0].is_some());
         assert!(results[1].is_none(), "group satisfied by the first leg");
         assert_eq!(base.stats.paths_planned, 1, "second leg never attempted");
+    }
+
+    #[test]
+    fn armed_decision_fault_fires_once() {
+        let inst = instance();
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        assert!(base.inject_fault(&InjectedFault::SelectionFailure));
+        let e = base.take_armed_decision_fault().expect("armed");
+        assert!(matches!(e, PlannerError::SelectionFailed { .. }));
+        assert!(base.take_armed_decision_fault().is_none(), "one-shot");
+        assert!(base.inject_fault(&InjectedFault::BudgetOverrun));
+        let e = base.take_armed_decision_fault().expect("armed");
+        assert!(matches!(e, PlannerError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn armed_leg_fault_fails_the_batch_then_clears() {
+        let inst = instance();
+        let requests = vec![LegRequest {
+            robot: inst.robots[0].id,
+            from: inst.robots[0].pos,
+            to: inst.racks[0].home,
+            park: true,
+            group: None,
+        }];
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        assert!(base.inject_fault(&InjectedFault::LegFailure));
+        let mut results = Vec::new();
+        let err = base.plan_legs(&requests, 0, &mut results).unwrap_err();
+        assert!(matches!(err, PlannerError::LegBatchFailed { .. }));
+        assert!(results.is_empty(), "nothing committed on a failed batch");
+        assert_eq!(base.stats.paths_planned, 0);
+        // The fault is one-shot: the retry succeeds.
+        base.plan_legs(&requests, 1, &mut results).unwrap();
+        assert!(results[0].is_some());
+    }
+
+    #[test]
+    fn cache_poison_is_swept_by_housekeeping() {
+        let inst = instance();
+        let mut base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), true, false);
+        // No cache entries yet: the poison cannot take hold.
+        assert!(!base.inject_fault(&InjectedFault::CachePoison { salt: 5 }));
+        let cache = base.cache.as_mut().unwrap();
+        let from = inst.robots[0].pos;
+        let to = inst.racks[0].home;
+        cache.shortest(from, to).expect("reachable");
+        assert!(base.inject_fault(&InjectedFault::CachePoison { salt: 5 }));
+        base.housekeeping(0);
+        assert_eq!(base.poison_evictions, 1, "sweep evicted the rotten entry");
+        assert_eq!(base.cache.as_ref().unwrap().len(), 0);
+        // The next housekeeping has nothing pending and sweeps nothing.
+        base.housekeeping(1);
+        assert_eq!(base.poison_evictions, 1);
+    }
+
+    #[test]
+    fn oracle_poison_is_swept_by_housekeeping() {
+        let mut inst = instance();
+        // Block a cell so the oracle memoizes BFS fields instead of taking
+        // the Manhattan fast path.
+        inst.grid.set_kind(GridPos::new(3, 3), CellKind::Blocked);
+        let mut base: PlannerBase<SpatioTemporalGraph> =
+            PlannerBase::new(&inst, EatpConfig::default(), false, false);
+        base.dist(inst.robots[0].pos, inst.racks[0].home);
+        assert!(base.inject_fault(&InjectedFault::OraclePoison { salt: 11 }));
+        base.housekeeping(0);
+        assert_eq!(base.poison_evictions, 1, "corrupt field detected");
+        assert_eq!(base.oracle.field_count(), 0, "all fields evicted");
+    }
+
+    #[test]
+    fn invalidate_derived_is_behaviorally_free() {
+        let inst = instance();
+        let mut base: PlannerBase<ConflictDetectionTable> =
+            PlannerBase::new(&inst, EatpConfig::default(), true, false);
+        let from = inst.robots[0].pos;
+        let to = inst.racks[0].home;
+        let clean = base
+            .cache
+            .as_mut()
+            .unwrap()
+            .shortest(from, to)
+            .unwrap()
+            .to_vec();
+        base.dist(from, to);
+        base.invalidate_derived();
+        assert_eq!(base.cache.as_ref().unwrap().len(), 0);
+        assert_eq!(base.oracle.field_count(), 0);
+        let rebuilt = base
+            .cache
+            .as_mut()
+            .unwrap()
+            .shortest(from, to)
+            .unwrap()
+            .to_vec();
+        assert_eq!(rebuilt, clean, "recomputation is bit-identical");
     }
 }

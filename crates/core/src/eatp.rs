@@ -16,7 +16,9 @@
 use crate::atp::{greedy_bootstrap_select, LearningSnapshot};
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
-use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
+use crate::planner::{
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+};
 use crate::qlearning::QTable;
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
@@ -134,10 +136,13 @@ impl Planner for EfficientAdaptiveTaskPlanner {
         self.base = Some(PlannerBase::new(instance, self.config.clone(), true, true));
     }
 
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError> {
         let base = self.base.as_mut().expect("init() must be called first");
+        if let Some(e) = base.take_armed_decision_fault() {
+            return Err(e);
+        }
         if !world.has_work() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let q = &mut self.q;
         // Selection step (timed as STC).
@@ -192,7 +197,7 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             }
         }
         base.sel.robot_flags = used;
-        plans
+        Ok(plans)
     }
 
     fn plan_leg(
@@ -209,11 +214,27 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results);
+            .plan_legs(requests, start, results)
+    }
+
+    fn inject_fault(&mut self, fault: &InjectedFault) -> bool {
+        self.base.as_mut().expect("initialized").inject_fault(fault)
+    }
+
+    fn recover_degraded(&mut self) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .invalidate_derived();
     }
 
     fn on_dock(&mut self, robot: RobotId) {
@@ -341,7 +362,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable: Vec<RackId> = (0..6).map(RackId::new).collect();
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert!(!plans.is_empty());
         // Every assignment's rack must be within the robot's K-nearest list.
         let base = planner.base.as_ref().unwrap();
@@ -368,7 +389,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable: Vec<RackId> = (0..10).map(RackId::new).collect();
         let world = world_of(&inst, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         let mut robots: Vec<_> = plans.iter().map(|p| p.robot).collect();
         robots.sort();
         robots.dedup();
@@ -388,7 +409,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable = vec![inst.racks[0].id];
         let world = world_of(&inst, &idle, &selectable);
-        let _ = planner.plan(&world);
+        let _ = planner.plan(&world).unwrap();
         let stats = planner.stats();
         assert!(stats.memory_bytes > 0);
         assert!(stats.selection_ns > 0);

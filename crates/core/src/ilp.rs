@@ -22,7 +22,9 @@ use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::makespan::queuing_delay;
 use crate::ntp::most_slack_picker_selection;
-use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
+use crate::planner::{
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+};
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, ReservationSystem, SpatioTemporalGraph};
@@ -187,10 +189,13 @@ impl Planner for IlpPlanner {
         ));
     }
 
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError> {
         let base = self.base.as_mut().expect("init() must be called first");
+        if let Some(e) = base.take_armed_decision_fault() {
+            return Err(e);
+        }
         if !world.has_work() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let max_nodes = self.config.ilp_max_nodes;
         let capacity = self.config.ilp_picker_capacity.max(1);
@@ -236,7 +241,7 @@ impl Planner for IlpPlanner {
                 plans.push(AssignmentPlan { robot, rack, path });
             }
         }
-        plans
+        Ok(plans)
     }
 
     fn plan_leg(
@@ -253,11 +258,27 @@ impl Planner for IlpPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results);
+            .plan_legs(requests, start, results)
+    }
+
+    fn inject_fault(&mut self, fault: &InjectedFault) -> bool {
+        self.base.as_mut().expect("initialized").inject_fault(fault)
+    }
+
+    fn recover_degraded(&mut self) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .invalidate_derived();
     }
 
     fn on_dock(&mut self, robot: RobotId) {
@@ -379,7 +400,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable: Vec<RackId> = (0..4).map(RackId::new).collect();
         let world = world_of(&inst, 0, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert!(!plans.is_empty());
         let mut robots: Vec<_> = plans.iter().map(|p| p.robot).collect();
         robots.sort();
@@ -411,7 +432,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable: Vec<RackId> = p0_racks.iter().map(|&i| inst.racks[i].id).collect();
         let world = world_of(&inst, 0, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert!(
             plans.len() <= 1,
             "capacity 1 admits at most one rack for picker 0, got {}",
@@ -425,7 +446,7 @@ mod tests {
         let mut planner = IlpPlanner::new(EatpConfig::default());
         planner.init(&inst);
         let world = world_of(&inst, 0, &[], &[]);
-        assert!(planner.plan(&world).is_empty());
+        assert!(planner.plan(&world).unwrap().is_empty());
     }
 
     #[test]
@@ -447,7 +468,7 @@ mod tests {
         let idle: Vec<RobotId> = inst.robots.iter().map(|r| r.id).collect();
         let selectable = vec![inst.racks[0].id];
         let world = world_of(&inst, 0, &idle, &selectable);
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].robot, inst.robots[2].id);
     }

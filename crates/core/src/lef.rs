@@ -9,7 +9,9 @@
 use crate::assignment::match_and_plan;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
-use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
+use crate::planner::{
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+};
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
@@ -63,9 +65,17 @@ impl Planner for LeastExpirationFirst {
         ));
     }
 
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError> {
+        if let Some(e) = self
+            .base
+            .as_mut()
+            .expect("init() must be called first")
+            .take_armed_decision_fault()
+        {
+            return Err(e);
+        }
         if !world.has_work() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let cap = world.idle_robots.len() * 2;
         // Split borrows: selection needs &self.arrivals, planning needs
@@ -95,7 +105,7 @@ impl Planner for LeastExpirationFirst {
             });
         }
         let base = self.base.as_mut().expect("initialized");
-        match_and_plan(base, world, &selected)
+        Ok(match_and_plan(base, world, &selected))
     }
 
     fn plan_leg(
@@ -112,11 +122,27 @@ impl Planner for LeastExpirationFirst {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results);
+            .plan_legs(requests, start, results)
+    }
+
+    fn inject_fault(&mut self, fault: &InjectedFault) -> bool {
+        self.base.as_mut().expect("initialized").inject_fault(fault)
+    }
+
+    fn recover_degraded(&mut self) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .invalidate_derived();
     }
 
     fn on_dock(&mut self, robot: RobotId) {
@@ -218,7 +244,7 @@ mod tests {
             idle_robots: &idle,
             selectable_racks: &selectable,
         };
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert_eq!(plans.len(), 1, "single idle robot");
         assert_eq!(
             plans[0].rack, inst.racks[1].id,

@@ -70,7 +70,7 @@ pub use ilp::IlpPlanner;
 pub use lef::LeastExpirationFirst;
 pub use ntp::NaiveTaskPlanner;
 pub use outlook::DisruptionOutlook;
-pub use planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
+pub use planner::{AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats};
 pub use world::WorldView;
 
 pub mod atp;

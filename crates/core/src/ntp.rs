@@ -10,7 +10,9 @@
 use crate::assignment::match_and_plan;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
-use crate::planner::{AssignmentPlan, LegRequest, Planner, PlannerStats};
+use crate::planner::{
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+};
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
 use tprw_pathfinding::{Path, SpatioTemporalGraph};
@@ -69,10 +71,13 @@ impl Planner for NaiveTaskPlanner {
         ));
     }
 
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError> {
         let base = self.base.as_mut().expect("init() must be called first");
+        if let Some(e) = base.take_armed_decision_fault() {
+            return Err(e);
+        }
         if !world.has_work() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // Over-select 2× the idle fleet so failed path queries can fall
         // through to the next candidate rack.
@@ -84,7 +89,7 @@ impl Planner for NaiveTaskPlanner {
             base.reorder_by_anticipation(world, None, &mut selected);
             selected
         });
-        match_and_plan(base, world, &selected)
+        Ok(match_and_plan(base, world, &selected))
     }
 
     fn plan_leg(
@@ -101,11 +106,27 @@ impl Planner for NaiveTaskPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results);
+            .plan_legs(requests, start, results)
+    }
+
+    fn inject_fault(&mut self, fault: &InjectedFault) -> bool {
+        self.base.as_mut().expect("initialized").inject_fault(fault)
+    }
+
+    fn recover_degraded(&mut self) {
+        self.base
+            .as_mut()
+            .expect("initialized")
+            .invalidate_derived();
     }
 
     fn on_dock(&mut self, robot: RobotId) {
@@ -244,7 +265,7 @@ mod tests {
             idle_robots: &idle,
             selectable_racks: &selectable,
         };
-        let plans = planner.plan(&world);
+        let plans = planner.plan(&world).unwrap();
         assert_eq!(plans.len(), 2);
         for p in &plans {
             assert_eq!(p.path.last(), inst.racks[p.rack.index()].home);
@@ -270,7 +291,7 @@ mod tests {
             idle_robots: &[],
             selectable_racks: &[],
         };
-        assert!(planner.plan(&world).is_empty());
+        assert!(planner.plan(&world).unwrap().is_empty());
     }
 
     #[test]

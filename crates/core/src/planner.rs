@@ -88,6 +88,81 @@ pub struct PlannerStats {
     pub q_states: usize,
 }
 
+/// Typed failure of a planner decision boundary. The engine never panics on
+/// these: it counts the error, degrades the tick to the greedy fallback
+/// ([`crate::ntp`]-style nearest assignment) and recovers the primary
+/// planner on the next tick with invalidated derived state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlannerError {
+    /// Rack selection failed outright (injected, or a future real failure
+    /// path such as a poisoned index that cannot self-heal in-tick).
+    SelectionFailed {
+        /// Human-readable cause, for the report only — never matched on.
+        reason: String,
+    },
+    /// The per-tick planning budget was exhausted before a decision landed.
+    BudgetExceeded {
+        /// A* expansions spent when the breach was declared.
+        used: u64,
+        /// The configured per-tick expansion budget.
+        budget: u64,
+    },
+    /// Batched leg planning failed wholesale; every leg of the batch is
+    /// retried on a later tick.
+    LegBatchFailed {
+        /// Human-readable cause, for the report only — never matched on.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannerError::SelectionFailed { reason } => {
+                write!(f, "rack selection failed: {reason}")
+            }
+            PlannerError::BudgetExceeded { used, budget } => {
+                write!(f, "planning budget exceeded: {used} expansions > {budget}")
+            }
+            PlannerError::LegBatchFailed { reason } => {
+                write!(f, "leg batch failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {}
+
+/// A fault the engine injects into a planner at a subsystem boundary (see
+/// `tprw-simulator`'s `faults` module for how plans are drawn). Armed
+/// faults are *sticky*: they fire on the next matching call, however many
+/// ticks later that is, so a fault scheduled during a quiet stretch still
+/// lands deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The next [`Planner::plan`] call returns
+    /// [`PlannerError::SelectionFailed`].
+    SelectionFailure,
+    /// The next [`Planner::plan`] call returns
+    /// [`PlannerError::BudgetExceeded`].
+    BudgetOverrun,
+    /// The next [`Planner::plan_legs`] call returns
+    /// [`PlannerError::LegBatchFailed`].
+    LegFailure,
+    /// Corrupt one memoized path-cache entry (salt-selected); the planner's
+    /// integrity sweep must detect and evict it before the next read.
+    CachePoison {
+        /// Deterministic selector for which entry rots.
+        salt: u64,
+    },
+    /// Corrupt one memoized distance-oracle field (salt-selected); same
+    /// detect-and-evict contract as `CachePoison`.
+    OraclePoison {
+        /// Deterministic selector for which field rots.
+        salt: u64,
+    },
+}
+
 /// A task planner for the TPRW problem.
 pub trait Planner {
     /// Paper-facing name (`"NTP"`, `"LEF"`, `"ILP"`, `"ATP"`, `"EATP"`).
@@ -99,8 +174,11 @@ pub trait Planner {
     fn init(&mut self, instance: &Instance);
 
     /// The per-timestamp planning step: select racks, match idle robots,
-    /// plan and reserve conflict-free pickup paths.
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan>;
+    /// plan and reserve conflict-free pickup paths. `Err` means the
+    /// decision boundary failed *before committing anything* — no
+    /// reservations were made — and the engine degrades the tick to its
+    /// greedy fallback instead of aborting.
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError>;
 
     /// Plan and reserve a delivery (`park = false`; the robot docks into the
     /// station bay on arrival) or return (`park = true`) leg starting at
@@ -125,7 +203,14 @@ pub trait Planner {
     /// simulation outcome is bit-identical either way. `PlannerBase`-backed
     /// planners override this to share one timing bracket and the warm
     /// search arena across the batch instead of paying per-leg overhead.
-    fn plan_legs(&mut self, requests: &[LegRequest], start: Tick, results: &mut Vec<Option<Path>>) {
+    /// `Err` means the whole batch failed before committing anything; the
+    /// engine treats every leg as blocked and retries on a later tick.
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
         results.clear();
         let mut done_groups: Vec<u32> = Vec::new();
         for req in requests {
@@ -143,6 +228,7 @@ pub trait Planner {
             }
             results.push(path);
         }
+        Ok(())
     }
 
     /// Notification that `robot` docked at a station and left the grid.
@@ -176,6 +262,24 @@ pub trait Planner {
     /// park it at `pos` from `t` onward, so surviving robots plan around the
     /// obstacle instead of through the robot's abandoned route.
     fn on_path_cancelled(&mut self, _robot: RobotId, _pos: GridPos, _t: Tick) {}
+
+    /// Arm or apply an [`InjectedFault`] (deterministic fault injection;
+    /// test/chaos harness only). Decision faults arm and fire on the next
+    /// matching `plan`/`plan_legs` call; poison faults corrupt a memoized
+    /// structure immediately. Returns whether the fault took hold (a
+    /// planner without the targeted structure reports `false` and the
+    /// fault is a no-op). The default ignores every fault, so planners
+    /// outside the harness are unaffected.
+    fn inject_fault(&mut self, _fault: &InjectedFault) -> bool {
+        false
+    }
+
+    /// The engine degraded the previous tick after this planner failed or
+    /// overran its budget; the planner must invalidate derived state it
+    /// can no longer trust (memoized caches, oracle fields) before
+    /// resuming as the primary. Rebuilt-on-demand structures make this
+    /// behaviorally free; the default is a no-op for stateless planners.
+    fn recover_degraded(&mut self) {}
 
     /// Periodic maintenance: reservation garbage collection (the paper's
     /// `update` operation). Called every tick; implementations self-gate on
@@ -248,8 +352,11 @@ mod tests {
             "MOCK"
         }
         fn init(&mut self, _instance: &Instance) {}
-        fn plan(&mut self, _world: &crate::world::WorldView<'_>) -> Vec<AssignmentPlan> {
-            Vec::new()
+        fn plan(
+            &mut self,
+            _world: &crate::world::WorldView<'_>,
+        ) -> Result<Vec<AssignmentPlan>, PlannerError> {
+            Ok(Vec::new())
         }
         fn plan_leg(
             &mut self,
@@ -287,7 +394,7 @@ mod tests {
         };
         let requests = vec![req(0, 1, None), req(1, 9, None), req(2, 2, None)];
         let mut results = Vec::new();
-        p.plan_legs(&requests, 7, &mut results);
+        p.plan_legs(&requests, 7, &mut results).unwrap();
         assert_eq!(results.len(), 3);
         assert!(results[0].is_some() && results[2].is_some());
         assert!(results[1].is_none(), "blocked leg fails");
@@ -310,11 +417,51 @@ mod tests {
             req(3, 3, Some(2)),
         ];
         let mut results = Vec::new();
-        p.plan_legs(&requests, 0, &mut results);
+        p.plan_legs(&requests, 0, &mut results).unwrap();
         assert!(results[0].is_none());
         assert!(results[1].is_some(), "group retries after a failure");
         assert!(results[2].is_some());
         assert!(results[3].is_none(), "group already satisfied");
         assert_eq!(p.calls, 3, "the satisfied group is not re-attempted");
+    }
+
+    #[test]
+    fn planner_error_display_is_informative() {
+        let e = PlannerError::BudgetExceeded {
+            used: 70_000,
+            budget: 60_000,
+        };
+        assert!(e.to_string().contains("70000"));
+        assert!(e.to_string().contains("60000"));
+        let e = PlannerError::SelectionFailed {
+            reason: "injected".into(),
+        };
+        assert!(e.to_string().contains("injected"));
+    }
+
+    #[test]
+    fn default_fault_hooks_are_noops() {
+        let mut p = MockPlanner {
+            blocked: GridPos::new(9, 0),
+            calls: 0,
+        };
+        assert!(!p.inject_fault(&InjectedFault::SelectionFailure));
+        assert!(!p.inject_fault(&InjectedFault::CachePoison { salt: 5 }));
+        p.recover_degraded();
+        let world_plans = {
+            let racks = [];
+            let pickers = [];
+            let robots = [];
+            let world = crate::world::WorldView {
+                t: 0,
+                racks: &racks,
+                pickers: &pickers,
+                robots: &robots,
+                idle_robots: &[],
+                selectable_racks: &[],
+            };
+            p.plan(&world)
+        };
+        assert!(world_plans.unwrap().is_empty(), "no armed fault fires");
     }
 }

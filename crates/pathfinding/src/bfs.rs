@@ -188,6 +188,13 @@ impl DistanceOracle {
         self.slots.clear();
     }
 
+    /// Externally drop every memoized field — degradation recovery
+    /// invalidates derived state wholesale; distances recompute identically
+    /// on demand, so this is behaviorally free.
+    pub fn evict_all_fields(&mut self) {
+        self.evict_fields();
+    }
+
     /// `d(a, b)`: uncongested travel delay between two cells (`u64::MAX`
     /// when disconnected).
     pub fn dist(&mut self, a: GridPos, b: GridPos) -> u64 {
@@ -350,6 +357,82 @@ impl DistanceOracle {
             queue.push_back(j as u32);
         }
     }
+
+    /// Deterministically corrupt one memoized BFS field (fault injection):
+    /// the `salt`-selected live slot gets one stamped distance bumped — the
+    /// silent bit-rot [`DistanceOracle::verify_fields`] must catch. Returns
+    /// `false` when no field is live (nothing to poison).
+    pub fn poison_field(&mut self, salt: u64) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        let idx = (salt as usize) % self.slots.len();
+        let slot = &mut self.slots[idx];
+        let generation = slot.generation;
+        let stamped: Vec<usize> = (0..slot.dist.len())
+            .filter(|&i| slot.stamp[i] == generation)
+            .collect();
+        if stamped.is_empty() {
+            return false;
+        }
+        let i = stamped[((salt >> 8) as usize) % stamped.len()];
+        slot.dist[i] = slot.dist[i].wrapping_add(1 + (salt % 5) as u32);
+        true
+    }
+
+    /// Integrity sweep: re-derive every live field by a fresh BFS over the
+    /// current passability snapshot and compare against the stamped
+    /// distances. Any mismatch evicts *all* fields — mirroring
+    /// [`DistanceOracle::set_passable`]: once one memoized field lies, none
+    /// can be trusted, and dropping a single slot would dangle the
+    /// `slot_of` indices of the slots behind it. Returns how many corrupt
+    /// fields were found (fields rebuild lazily on the next queries).
+    pub fn verify_fields(&mut self) -> usize {
+        let width = self.width as usize;
+        let height = self.height as usize;
+        let mut dist = vec![u32::MAX; self.passable.len()];
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut corrupt = 0;
+        for slot in &self.slots {
+            dist.fill(u32::MAX);
+            queue.clear();
+            let source = slot.source as usize;
+            if self.passable[source] {
+                dist[source] = 0;
+                queue.push_back(slot.source);
+            }
+            while let Some(i) = queue.pop_front() {
+                let i = i as usize;
+                let d = dist[i] + 1;
+                let (x, y) = (i % width, i / width);
+                for j in [
+                    (x > 0).then(|| i - 1),
+                    (x + 1 < width).then(|| i + 1),
+                    (y > 0).then(|| i - width),
+                    (y + 1 < height).then(|| i + width),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if self.passable[j] && dist[j] == u32::MAX {
+                        dist[j] = d;
+                        queue.push_back(j as u32);
+                    }
+                }
+            }
+            // Unstamped cells read as "unknown" and are recomputed on
+            // demand, so only stamped entries can lie.
+            let ok = (0..dist.len())
+                .all(|i| slot.stamp[i] != slot.generation || slot.dist[i] == dist[i]);
+            if !ok {
+                corrupt += 1;
+            }
+        }
+        if corrupt > 0 {
+            self.evict_fields();
+        }
+        corrupt
+    }
 }
 
 impl MemoryFootprint for DistanceOracle {
@@ -426,6 +509,12 @@ impl ReferenceDistanceOracle {
     /// Number of memoized BFS fields (diagnostics).
     pub fn field_count(&self) -> usize {
         self.fields.len()
+    }
+
+    /// Drop every memoized field (degradation recovery; see
+    /// [`DistanceOracle::evict_all_fields`]).
+    pub fn evict_all_fields(&mut self) {
+        self.fields.clear();
     }
 }
 
@@ -605,6 +694,41 @@ mod tests {
             oracle.memory_bytes() >= empty + 16 * 16 * 8,
             "one field adds dist+stamp arrays"
         );
+    }
+
+    #[test]
+    fn poisoned_field_is_detected_evicted_and_recomputed() {
+        let mut grid = GridMap::filled(10, 10, CellKind::Aisle);
+        grid.set_kind(p(5, 5), CellKind::Blocked);
+        let mut oracle = DistanceOracle::new(&grid);
+        assert_eq!(oracle.verify_fields(), 0, "nothing live yet");
+        assert!(!oracle.poison_field(7), "no field to poison");
+        let clean = oracle.dist(p(0, 0), p(9, 9));
+        assert_eq!(oracle.field_count(), 1);
+        assert_eq!(oracle.verify_fields(), 0, "fresh field is consistent");
+        assert!(oracle.poison_field(7));
+        assert_eq!(oracle.verify_fields(), 1, "corruption detected");
+        assert_eq!(oracle.field_count(), 0, "all fields evicted");
+        assert_eq!(oracle.dist(p(0, 0), p(9, 9)), clean, "recomputed exactly");
+        assert_eq!(oracle.verify_fields(), 0);
+    }
+
+    #[test]
+    fn poison_salt_selects_deterministically() {
+        let mut grid = GridMap::filled(10, 10, CellKind::Aisle);
+        grid.set_kind(p(5, 5), CellKind::Blocked);
+        let build = |salt: u64| {
+            let mut oracle = DistanceOracle::new(&grid);
+            oracle.dist(p(0, 0), p(9, 9));
+            oracle.dist(p(0, 9), p(9, 0));
+            assert!(oracle.poison_field(salt));
+            oracle
+        };
+        let a = build(123);
+        let b = build(123);
+        for (sa, sb) in a.slots.iter().zip(&b.slots) {
+            assert_eq!(sa.dist, sb.dist, "same salt corrupts the same cell");
+        }
     }
 
     /// Scatter obstacles deterministically from a small seed, keeping the

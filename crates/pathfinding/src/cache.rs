@@ -336,6 +336,49 @@ impl PathCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Deterministically corrupt one memoized entry (fault injection): the
+    /// `salt`-selected entry in canonical key order gets its bloom word
+    /// flipped and, when longer than one cell, its final cell overwritten —
+    /// exactly the kind of silent bit-rot [`PathCache::verify_entries`]
+    /// must catch. Returns `false` when there is nothing to poison.
+    pub fn poison_entry(&mut self, salt: u64) -> bool {
+        if self.map.is_empty() {
+            return false;
+        }
+        let width = self.grid.width();
+        let mut keys: Vec<(GridPos, GridPos)> = self.map.keys().copied().collect();
+        keys.sort_by_key(|&(a, b)| (a.to_index(width), b.to_index(width)));
+        let key = keys[(salt as usize) % keys.len()];
+        let entry = self.map.get_mut(&key).expect("key just enumerated");
+        entry.bloom ^= 1u64 << (salt % 64);
+        if entry.path.len() >= 2 {
+            let first = entry.path[0];
+            let last = entry.path.len() - 1;
+            entry.path[last] = first;
+        }
+        true
+    }
+
+    /// Integrity sweep over every memoized entry: an entry survives only if
+    /// its endpoints match its key, consecutive cells are grid-adjacent,
+    /// every cell is passable on the cache's current grid, and its bloom
+    /// word re-derives from its cells. Violators are evicted (they rebuild
+    /// on the next miss); returns how many were dropped.
+    pub fn verify_entries(&mut self) -> usize {
+        let grid = &self.grid;
+        let before = self.map.len();
+        self.map.retain(|&(from, to), entry| {
+            entry.path.first() == Some(&from)
+                && entry.path.last() == Some(&to)
+                && entry.path.windows(2).all(|w| w[0].manhattan(w[1]) == 1)
+                && entry.path.iter().all(|&c| grid.passable(c))
+                && entry.path.iter().fold(0u64, |acc, &c| acc | cell_bit(c)) == entry.bloom
+        });
+        let evicted = before - self.map.len();
+        self.partial_evictions += evicted as u64;
+        evicted
+    }
 }
 
 /// Destination-rooted BFS over passable cells: `step[cell]` becomes the
@@ -589,6 +632,32 @@ mod tests {
         let before = cache.memory_bytes();
         cache.shortest(p(0, 0), p(9, 9));
         assert!(cache.memory_bytes() > before);
+    }
+
+    #[test]
+    fn poisoned_entry_is_detected_evicted_and_recomputed() {
+        let mut cache = PathCache::new(&open_grid(), 64);
+        assert!(!cache.poison_entry(3), "empty cache has nothing to poison");
+        let clean = cache.shortest(p(0, 0), p(6, 0)).unwrap().to_vec();
+        cache.shortest(p(2, 2), p(8, 2)).unwrap();
+        assert_eq!(cache.verify_entries(), 0, "fresh entries are consistent");
+        assert!(cache.poison_entry(3));
+        assert_eq!(cache.verify_entries(), 1, "corruption detected");
+        assert_eq!(cache.len(), 1, "only the poisoned entry evicted");
+        // The evicted pair recomputes to the exact clean path on demand.
+        let again = cache.shortest(p(0, 0), p(6, 0)).unwrap().to_vec();
+        let other = cache.shortest(p(2, 2), p(8, 2)).unwrap().to_vec();
+        assert!(again == clean || other == clean);
+        assert_eq!(cache.verify_entries(), 0);
+    }
+
+    #[test]
+    fn poison_single_cell_entry_breaks_bloom_only() {
+        let mut cache = PathCache::new(&open_grid(), 64);
+        cache.shortest(p(4, 4), p(4, 4)).unwrap();
+        assert!(cache.poison_entry(9));
+        assert_eq!(cache.verify_entries(), 1, "bloom flip alone is caught");
+        assert!(cache.is_empty());
     }
 
     proptest! {

@@ -62,10 +62,11 @@
 //! [`SimulationReport::disruption_violations`] — the invariant tests pin
 //! this to zero.
 
+use crate::faults::{DegradationPolicy, FaultConfig, FaultPlan};
 use crate::metrics::{Checkpoint, MetricsCollector, MetricsSnapshot};
 use crate::report::SimulationReport;
 use crate::validate::{TrajectoryValidator, ValidatorSnapshot};
-use eatp_core::planner::{LegRequest, Planner};
+use eatp_core::planner::{InjectedFault, LegRequest, Planner};
 use eatp_core::world::WorldView;
 use serde::{Deserialize, Serialize};
 use tprw_pathfinding::Path;
@@ -94,6 +95,13 @@ pub struct EngineConfig {
     /// it); this switch exists so the baseline stays measurable in-process.
     /// Leave `false` everywhere else.
     pub reference_exec: bool,
+    /// Deterministic fault injection (see [`crate::faults`]). The default
+    /// is fully disabled, which is bit-identical to not having the fault
+    /// machinery at all.
+    pub faults: FaultConfig,
+    /// How planner errors and budget overruns degrade the tick (see
+    /// [`DegradationPolicy`]). Disabled by default.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +112,8 @@ impl Default for EngineConfig {
             checkpoints: 10,
             bottleneck_bucket: 0,
             reference_exec: false,
+            faults: FaultConfig::default(),
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -179,6 +189,25 @@ pub struct EngineState {
     pub peak_memory: usize,
     pub peak_scratch: usize,
     pub next_checkpoint: usize,
+    /// Ticks whose planning phase ran the greedy fallback instead of the
+    /// primary planner (degradation).
+    pub degraded_ticks: u64,
+    /// Assignments committed by the greedy fallback.
+    pub fallback_assignments: u64,
+    /// Planner `plan`/`plan_legs` errors observed (injected or real).
+    pub planner_errors: u64,
+    /// The previous planning tick overran its expansion budget; the next
+    /// planning tick degrades pre-emptively.
+    pub degrade_next: bool,
+    /// A degraded tick just ran; the primary planner is restored (derived
+    /// state invalidated) at the start of the next tick.
+    pub recover_next: bool,
+    /// Cursor into the fault plan's decision-fault schedule.
+    pub next_decision_fault: usize,
+    /// Cursor into the fault plan's leg-fault schedule.
+    pub next_leg_fault: usize,
+    /// Cursor into the fault plan's poison schedule.
+    pub next_poison_fault: usize,
 }
 
 /// The discrete-time simulation engine, steppable one tick at a time so runs
@@ -263,6 +292,26 @@ pub struct Engine<'a> {
     finished: bool,
     /// Applied-event journal (see [`EngineState::journal`]).
     journal: Vec<TimedEvent>,
+    /// The materialized fault schedule, regenerated from
+    /// [`EngineConfig::faults`] (like the instance's disruption schedule);
+    /// only the cursors below are canonical state.
+    fault_plan: FaultPlan,
+    /// See [`EngineState::degraded_ticks`].
+    degraded_ticks: u64,
+    /// See [`EngineState::fallback_assignments`].
+    fallback_assignments: u64,
+    /// See [`EngineState::planner_errors`].
+    planner_errors: u64,
+    /// See [`EngineState::degrade_next`].
+    degrade_next: bool,
+    /// See [`EngineState::recover_next`].
+    recover_next: bool,
+    /// Cursor into `fault_plan.decision`.
+    next_decision_fault: usize,
+    /// Cursor into `fault_plan.leg`.
+    next_leg_fault: usize,
+    /// Cursor into `fault_plan.poison`.
+    next_poison_fault: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -324,6 +373,15 @@ impl<'a> Engine<'a> {
             completed: false,
             finished: false,
             journal: Vec::new(),
+            fault_plan: FaultPlan::generate(&config.faults),
+            degraded_ticks: 0,
+            fallback_assignments: 0,
+            planner_errors: 0,
+            degrade_next: false,
+            recover_next: false,
+            next_decision_fault: 0,
+            next_leg_fault: 0,
+            next_poison_fault: 0,
             instance,
             config: config.clone(),
         }
@@ -341,6 +399,14 @@ impl<'a> Engine<'a> {
     pub fn tick_once(&mut self, planner: &mut dyn Planner) {
         if self.finished {
             return;
+        }
+        // A degraded tick just ran: restore the primary planner before
+        // anything else this tick, with its derived state (path cache,
+        // memoized distance fields) invalidated — whatever made it fail
+        // must not survive into this tick's decisions.
+        if self.recover_next {
+            self.recover_next = false;
+            planner.recover_degraded();
         }
         let t = self.t;
         self.step_events(t, planner);
@@ -431,6 +497,9 @@ impl<'a> Engine<'a> {
             events_deferred: self.events_deferred,
             disruption_violations: self.disruption_violations,
             anticipation_hits: stats.anticipation_hits,
+            degraded_ticks: self.degraded_ticks,
+            fallback_assignments: self.fallback_assignments,
+            planner_errors: self.planner_errors,
             planner_stats: stats,
         }
     }
@@ -838,7 +907,27 @@ impl<'a> Engine<'a> {
             return;
         }
 
-        planner.plan_legs(&self.leg_requests, t, &mut self.leg_results);
+        // Leg faults are consumed only by a tick that actually batches
+        // legs — an armed fault must fire (and clear) within this tick so
+        // no fault state ever crosses a snapshot boundary.
+        while self.next_leg_fault < self.fault_plan.leg.len()
+            && self.fault_plan.leg[self.next_leg_fault] <= t
+        {
+            self.next_leg_fault += 1;
+            planner.inject_fault(&InjectedFault::LegFailure);
+        }
+        if planner
+            .plan_legs(&self.leg_requests, t, &mut self.leg_results)
+            .is_err()
+        {
+            // The batch failed as a unit before reserving anything. Count
+            // it and hand the retain loops all-`None` results: every
+            // pending leg stays queued and retries next tick, exactly like
+            // individually blocked legs.
+            self.planner_errors += 1;
+            self.leg_results.clear();
+            self.leg_results.resize(self.leg_requests.len(), None);
+        }
         debug_assert_eq!(self.leg_results.len(), self.leg_requests.len());
 
         let mut i = 0;
@@ -1010,6 +1099,24 @@ impl<'a> Engine<'a> {
         if self.idle_buf.is_empty() || self.selectable_buf.is_empty() {
             return;
         }
+        // A budget overrun on the previous planning tick degrades this one
+        // pre-emptively: the primary planner is skipped outright.
+        if self.degrade_next {
+            self.degrade_next = false;
+            self.degraded_ticks += 1;
+            self.recover_next = true;
+            self.greedy_fallback(t, planner);
+            return;
+        }
+        // Decision faults are consumed only by a tick that actually plans,
+        // so an armed fault always fires within the tick that armed it.
+        while self.next_decision_fault < self.fault_plan.decision.len()
+            && self.fault_plan.decision[self.next_decision_fault].0 <= t
+        {
+            let fault = self.fault_plan.decision[self.next_decision_fault].1;
+            self.next_decision_fault += 1;
+            planner.inject_fault(&fault);
+        }
         let world = WorldView {
             t,
             racks: &self.racks,
@@ -1018,7 +1125,42 @@ impl<'a> Engine<'a> {
             idle_robots: &self.idle_buf,
             selectable_racks: &self.selectable_buf,
         };
-        let plans = planner.plan(&world);
+        // The real (non-injected) budget check measures the A* expansions
+        // this `plan()` call performs — a deterministic proxy for its cost
+        // (wall-clock would make degradation nondeterministic). Faults-off
+        // runs with no budget never call `stats()` here.
+        let budget = if self.config.degradation.enabled {
+            self.config.degradation.max_expansions_per_tick
+        } else {
+            0
+        };
+        let expansions_before = if budget > 0 {
+            planner.stats().expansions
+        } else {
+            0
+        };
+        let plans = match planner.plan(&world) {
+            Ok(plans) => plans,
+            Err(_e) => {
+                // The planner failed before committing any reservation.
+                // Degrade the tick to the greedy fallback (or, with
+                // degradation off, just lose this tick's planning phase)
+                // and restore the primary planner next tick.
+                self.planner_errors += 1;
+                if self.config.degradation.enabled {
+                    self.degraded_ticks += 1;
+                    self.recover_next = true;
+                    self.greedy_fallback(t, planner);
+                }
+                return;
+            }
+        };
+        if budget > 0 {
+            let used = planner.stats().expansions.saturating_sub(expansions_before);
+            if used > budget {
+                self.degrade_next = true;
+            }
+        }
         for plan in plans {
             let ai = plan.robot.index();
             debug_assert!(self.robots[ai].is_idle(), "planner assigned a busy robot");
@@ -1048,6 +1190,84 @@ impl<'a> Engine<'a> {
             self.racks[plan.rack.index()].in_flight = true;
             self.paths[ai] = Some(plan.path);
         }
+    }
+
+    /// The degradation fallback: NTP-style nearest assignment, run by the
+    /// engine itself so it cannot depend on the failed planner's selection
+    /// machinery. For each selectable rack (engine offer order) it applies
+    /// the planners' parked-home rule — an idle robot standing on the rack
+    /// home must take the job itself — then falls back to the closest
+    /// unused idle robot by `(manhattan, id)`. Pickup legs still go through
+    /// [`Planner::plan_legs`], the same batched reservation-backed path the
+    /// primary planner uses, so fallback trajectories stay conflict-checked
+    /// like any other.
+    fn greedy_fallback(&mut self, t: Tick, planner: &mut dyn Planner) {
+        let idle = std::mem::take(&mut self.idle_buf);
+        let selectable = std::mem::take(&mut self.selectable_buf);
+        let mut used = vec![false; self.robots.len()];
+        let mut assigned = 0usize;
+        for &rid in &selectable {
+            if assigned >= idle.len() {
+                break;
+            }
+            let ri = rid.index();
+            let home = self.racks[ri].home;
+            // Parked-home rule. A non-idle on-grid robot on the home cell
+            // (frozen or passing) makes the rack unservable this tick.
+            let chosen =
+                if let Some(&a) = idle.iter().find(|&&a| self.robots[a.index()].pos == home) {
+                    if used[a.index()] {
+                        continue; // the parked robot already took a rack
+                    }
+                    Some(a)
+                } else if self.robots.iter().any(|r| {
+                    r.pos == home
+                        && !r.is_idle()
+                        && !matches!(
+                            r.phase,
+                            RobotPhase::Queuing { .. } | RobotPhase::Processing { .. }
+                        )
+                }) {
+                    continue;
+                } else {
+                    idle.iter()
+                        .copied()
+                        .filter(|a| !used[a.index()])
+                        .min_by_key(|a| {
+                            let pos = self.robots[a.index()].pos;
+                            (pos.manhattan(home), a.index())
+                        })
+                };
+            let Some(robot_id) = chosen else {
+                continue;
+            };
+            let ai = robot_id.index();
+            let from = self.robots[ai].pos;
+            self.leg_requests.clear();
+            self.leg_requests
+                .push(LegRequest::new(robot_id, from, home, true));
+            if planner
+                .plan_legs(&self.leg_requests, t, &mut self.leg_results)
+                .is_err()
+            {
+                self.planner_errors += 1;
+                continue;
+            }
+            let Some(path) = self.leg_results.first_mut().and_then(|r| r.take()) else {
+                continue; // blocked; the rack waits for the next tick
+            };
+            let (items, work) = self.racks[ri].take_pending();
+            self.carried_work[ai] = work;
+            self.carried_items[ai] = items.len() as u32;
+            self.robots[ai].phase = RobotPhase::ToRack { rack: rid };
+            self.racks[ri].in_flight = true;
+            self.paths[ai] = Some(path);
+            used[ai] = true;
+            assigned += 1;
+            self.fallback_assignments += 1;
+        }
+        self.idle_buf = idle;
+        self.selectable_buf = selectable;
     }
 
     /// Phase 5: advance robots along their paths; validate positions.
@@ -1160,6 +1380,18 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // Poison faults land immediately before housekeeping, whose sweep
+        // must detect, evict and recompute the corrupted entries — the
+        // corruption never survives past this tick (and therefore never
+        // crosses a snapshot boundary).
+        while self.next_poison_fault < self.fault_plan.poison.len()
+            && self.fault_plan.poison[self.next_poison_fault].0 <= t
+        {
+            let fault = self.fault_plan.poison[self.next_poison_fault].1;
+            self.next_poison_fault += 1;
+            planner.inject_fault(&fault);
+        }
+
         planner.housekeeping(t);
     }
 
@@ -1214,6 +1446,14 @@ impl<'a> Engine<'a> {
             peak_memory: self.peak_memory,
             peak_scratch: self.peak_scratch,
             next_checkpoint: self.next_checkpoint,
+            degraded_ticks: self.degraded_ticks,
+            fallback_assignments: self.fallback_assignments,
+            planner_errors: self.planner_errors,
+            degrade_next: self.degrade_next,
+            recover_next: self.recover_next,
+            next_decision_fault: self.next_decision_fault,
+            next_leg_fault: self.next_leg_fault,
+            next_poison_fault: self.next_poison_fault,
         }
     }
 
@@ -1255,6 +1495,14 @@ impl<'a> Engine<'a> {
         self.peak_memory = state.peak_memory;
         self.peak_scratch = state.peak_scratch;
         self.next_checkpoint = state.next_checkpoint;
+        self.degraded_ticks = state.degraded_ticks;
+        self.fallback_assignments = state.fallback_assignments;
+        self.planner_errors = state.planner_errors;
+        self.degrade_next = state.degrade_next;
+        self.recover_next = state.recover_next;
+        self.next_decision_fault = state.next_decision_fault;
+        self.next_leg_fault = state.next_leg_fault;
+        self.next_poison_fault = state.next_poison_fault;
     }
 
     /// Rebuild a mid-run engine + planner pair from an exported state.
@@ -1703,5 +1951,100 @@ mod tests {
             .map(|b| b.transport + b.queuing + b.processing)
             .sum();
         assert!(total > 0, "robots did spend time in the cycle");
+    }
+
+    fn chaos_config(fault_seed: u64) -> EngineConfig {
+        EngineConfig {
+            faults: crate::faults::FaultConfig::chaos(fault_seed, (5, 150)),
+            degradation: crate::faults::DegradationPolicy {
+                enabled: true,
+                max_expansions_per_tick: 0,
+            },
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_faults_degrade_gracefully_and_stay_safe() {
+        let inst = small_instance(25, 42);
+        let config = chaos_config(1234);
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let report = run_simulation(&inst, &mut planner, &config);
+        assert!(report.completed, "faults must not wedge the run");
+        assert_eq!(report.executed_conflicts, 0, "fallback plans stay safe");
+        assert!(report.planner_errors > 0, "injected errors must surface");
+        assert!(report.degraded_ticks > 0, "errors must degrade ticks");
+        assert!(
+            report.fallback_assignments > 0,
+            "the greedy fallback must commit work on degraded ticks"
+        );
+
+        // Same fault seed, fresh planner: bit-identical replay, injected
+        // degradations included.
+        let mut p2 = NaiveTaskPlanner::new(EatpConfig::default());
+        let r2 = run_simulation(&inst, &mut p2, &config);
+        assert_eq!(
+            report.deterministic_fingerprint(),
+            r2.deterministic_fingerprint(),
+            "fault injection must be seed-deterministic"
+        );
+    }
+
+    #[test]
+    fn faults_off_means_zero_degraded_ticks_and_unchanged_run() {
+        let inst = small_instance(20, 7);
+        let mut p1 = NaiveTaskPlanner::new(EatpConfig::default());
+        let clean = run_simulation(&inst, &mut p1, &EngineConfig::default());
+        assert_eq!(clean.degraded_ticks, 0);
+        assert_eq!(clean.fallback_assignments, 0);
+        assert_eq!(clean.planner_errors, 0);
+
+        // Arming the degradation policy without faults (and without an
+        // expansion budget) must not perturb the run at all.
+        let armed = EngineConfig {
+            degradation: crate::faults::DegradationPolicy {
+                enabled: true,
+                max_expansions_per_tick: 0,
+            },
+            ..EngineConfig::default()
+        };
+        let mut p2 = NaiveTaskPlanner::new(EatpConfig::default());
+        let r2 = run_simulation(&inst, &mut p2, &armed);
+        assert_eq!(
+            clean.deterministic_fingerprint(),
+            r2.deterministic_fingerprint(),
+            "an idle degradation policy is a no-op"
+        );
+    }
+
+    #[test]
+    fn expansion_budget_overrun_degrades_next_planning_tick() {
+        let inst = small_instance(25, 13);
+        let config = EngineConfig {
+            degradation: crate::faults::DegradationPolicy {
+                enabled: true,
+                max_expansions_per_tick: 1,
+            },
+            ..EngineConfig::default()
+        };
+        let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
+        let report = run_simulation(&inst, &mut planner, &config);
+        assert!(report.completed, "budget pressure must not wedge the run");
+        assert_eq!(report.executed_conflicts, 0);
+        assert!(
+            report.degraded_ticks > 0,
+            "a one-expansion budget must trip the overrun latch"
+        );
+        assert_eq!(
+            report.planner_errors, 0,
+            "budget overruns degrade without counting as planner errors"
+        );
+
+        let mut p2 = NaiveTaskPlanner::new(EatpConfig::default());
+        let r2 = run_simulation(&inst, &mut p2, &config);
+        assert_eq!(
+            report.deterministic_fingerprint(),
+            r2.deterministic_fingerprint()
+        );
     }
 }

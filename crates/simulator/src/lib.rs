@@ -11,6 +11,9 @@
 //! * [`engine`] — the discrete-time loop executing a
 //!   [`eatp_core::planner::Planner`] over an instance, driving the full
 //!   fulfilment cycle (pickup → delivery → queuing → processing → return);
+//! * [`faults`] — seed-deterministic fault plans (planner decision/leg
+//!   failures, cache/oracle poisoning, snapshot I/O errors) plus the
+//!   graceful-degradation policy (see `docs/fault-injection.md`);
 //! * [`metrics`] — makespan (M), Picker Processing Rate (PPR), Robot Working
 //!   Rate (RWR), Selection/Planning Time Consumption (STC/PTC), Memory
 //!   Consumption (MC) and the Fig. 13 bottleneck decomposition;
@@ -21,16 +24,19 @@
 //!   trajectories are conflict-free (Definition 5).
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod snapshot;
 pub mod validate;
 
 pub use engine::{run_simulation, Engine, EngineConfig, EngineState};
+pub use faults::{DegradationPolicy, FaultConfig, FaultPlan, IoFaultKind};
 pub use metrics::{BottleneckSample, Checkpoint};
 pub use report::{DeterministicFingerprint, SimulationReport};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, hunt_divergence, read_snapshot, resume_from,
     run_with_fingerprints, write_snapshot_atomic, DivergenceReport, FingerprintJournal,
-    PerturbFromTick, SnapshotData, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    PerturbFromTick, ResilientSnapshotWriter, SnapshotData, SnapshotError, JOURNAL_MAGIC,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

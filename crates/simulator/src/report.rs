@@ -61,6 +61,14 @@ pub struct SimulationReport {
     /// makespan delta it buys is measured by `bench_sim`'s aware-vs-reactive
     /// comparison.
     pub anticipation_hits: u64,
+    /// Ticks whose planning phase degraded to the engine's greedy fallback
+    /// (planner error or expansion-budget overrun; 0 with faults off and
+    /// degradation disabled).
+    pub degraded_ticks: u64,
+    /// Assignments committed by the greedy fallback during degraded ticks.
+    pub fallback_assignments: u64,
+    /// Planner `plan`/`plan_legs` errors observed (injected or real).
+    pub planner_errors: u64,
     /// Final cumulative planner statistics.
     #[serde(skip)]
     pub planner_stats: PlannerStats,
@@ -105,6 +113,13 @@ pub struct DeterministicFingerprint {
     /// Planner counters: expansions, planned, failed, spliced, q-states,
     /// anticipation hits.
     pub planner_counters: (u64, u64, u64, u64, usize, u64),
+    /// Degraded ticks (greedy-fallback planning phases). Appended after
+    /// `planner_counters` so pre-fault fingerprint prefixes stay stable.
+    pub degraded_ticks: u64,
+    /// Fallback assignments committed during degraded ticks.
+    pub fallback_assignments: u64,
+    /// Planner errors observed (injected or real).
+    pub planner_errors: u64,
 }
 
 impl SimulationReport {
@@ -142,6 +157,9 @@ impl SimulationReport {
                 self.planner_stats.q_states,
                 self.planner_stats.anticipation_hits,
             ),
+            degraded_ticks: self.degraded_ticks,
+            fallback_assignments: self.fallback_assignments,
+            planner_errors: self.planner_errors,
         }
     }
 
@@ -239,6 +257,9 @@ mod tests {
             events_deferred: 0,
             disruption_violations: 0,
             anticipation_hits: 0,
+            degraded_ticks: 0,
+            fallback_assignments: 0,
+            planner_errors: 0,
             planner_stats: PlannerStats::default(),
         }
     }

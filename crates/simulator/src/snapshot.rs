@@ -20,8 +20,9 @@
 //! first tick at which their simulations differ.
 
 use crate::engine::{fnv1a, Engine, EngineConfig, EngineState};
+use crate::faults::{DegradationPolicy, FaultConfig, IoFaultKind};
 use crate::report::SimulationReport;
-use eatp_core::planner::{AssignmentPlan, Planner, PlannerStats};
+use eatp_core::planner::{AssignmentPlan, Planner, PlannerError, PlannerStats};
 use eatp_core::world::WorldView;
 use serde::{Deserialize, Serialize, Value};
 use tprw_pathfinding::Path;
@@ -30,11 +31,16 @@ use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RobotId, Tick};
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TPRWSNAP";
 
+/// Magic bytes opening every serialized fingerprint journal.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"TPRWFPJ1";
+
 /// Current schema version. Version 1 (the initial format) lacked the
 /// top-level `planner_name` tag and the engine's `peak_scratch` counter;
-/// `migrate` upgrades v1 payloads in place. Bump this when the payload
-/// schema changes and teach `migrate` the new hop.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// version 2 predated fault injection (no `faults`/`degradation` config
+/// and none of the engine's degradation counters or fault cursors).
+/// `migrate` upgrades older payloads in place, one hop at a time. Bump
+/// this when the payload schema changes and teach `migrate` the new hop.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Little-endian sentinel; a big-endian writer would store these bytes
 /// reversed, which the reader detects as [`SnapshotError::WrongEndian`].
@@ -170,36 +176,79 @@ pub fn encode_snapshot(data: &SnapshotData) -> Vec<u8> {
 }
 
 /// Forward-migrate a decoded payload from schema `version` to
-/// [`SNAPSHOT_VERSION`]. Each hop edits the raw value tree so older
-/// snapshots keep loading after schema growth; unknown versions are
-/// rejected, never guessed at.
+/// [`SNAPSHOT_VERSION`]. Hops apply in sequence (v1 → v2 → v3 → …), each
+/// editing the raw value tree so older snapshots keep loading after schema
+/// growth; unknown versions are rejected, never guessed at.
 fn migrate(version: u32, mut v: Value) -> Result<Value, SnapshotError> {
-    match version {
-        SNAPSHOT_VERSION => Ok(v),
-        1 => {
-            // v1 -> v2: the `planner_name` tag and the engine's
-            // `peak_scratch` counter were added in v2; default them.
-            let Value::Object(fields) = &mut v else {
-                return Err(SnapshotError::Decode(
-                    "v1 snapshot root is not an object".into(),
-                ));
-            };
-            if !fields.iter().any(|(k, _)| k == "planner_name") {
-                fields.push(("planner_name".to_string(), Value::Str(String::new())));
+    if version == 0 || version > SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            current: SNAPSHOT_VERSION,
+        });
+    }
+    let mut at = version;
+    if at == 1 {
+        // v1 -> v2: the `planner_name` tag and the engine's
+        // `peak_scratch` counter were added in v2; default them.
+        let Value::Object(fields) = &mut v else {
+            return Err(SnapshotError::Decode(
+                "v1 snapshot root is not an object".into(),
+            ));
+        };
+        if !fields.iter().any(|(k, _)| k == "planner_name") {
+            fields.push(("planner_name".to_string(), Value::Str(String::new())));
+        }
+        if let Some((_, Value::Object(engine))) = fields.iter_mut().find(|(k, _)| k == "engine") {
+            if !engine.iter().any(|(k, _)| k == "peak_scratch") {
+                engine.push(("peak_scratch".to_string(), Value::U64(0)));
             }
-            if let Some((_, Value::Object(engine))) = fields.iter_mut().find(|(k, _)| k == "engine")
-            {
-                if !engine.iter().any(|(k, _)| k == "peak_scratch") {
-                    engine.push(("peak_scratch".to_string(), Value::U64(0)));
+        }
+        at = 2;
+    }
+    if at == 2 {
+        // v2 -> v3: fault injection. The config gains `faults` and
+        // `degradation` (both disabled — a v2 run had neither); the
+        // engine gains the degradation counters, the degrade/recover
+        // latches and the fault-plan cursors, all zero.
+        let Value::Object(fields) = &mut v else {
+            return Err(SnapshotError::Decode(
+                "v2 snapshot root is not an object".into(),
+            ));
+        };
+        if let Some((_, Value::Object(config))) = fields.iter_mut().find(|(k, _)| k == "config") {
+            if !config.iter().any(|(k, _)| k == "faults") {
+                config.push(("faults".to_string(), FaultConfig::default().serialize()));
+            }
+            if !config.iter().any(|(k, _)| k == "degradation") {
+                config.push((
+                    "degradation".to_string(),
+                    DegradationPolicy::default().serialize(),
+                ));
+            }
+        }
+        if let Some((_, Value::Object(engine))) = fields.iter_mut().find(|(k, _)| k == "engine") {
+            for counter in [
+                "degraded_ticks",
+                "fallback_assignments",
+                "planner_errors",
+                "next_decision_fault",
+                "next_leg_fault",
+                "next_poison_fault",
+            ] {
+                if !engine.iter().any(|(k, _)| k == counter) {
+                    engine.push((counter.to_string(), Value::U64(0)));
                 }
             }
-            Ok(v)
+            for latch in ["degrade_next", "recover_next"] {
+                if !engine.iter().any(|(k, _)| k == latch) {
+                    engine.push((latch.to_string(), Value::Bool(false)));
+                }
+            }
         }
-        found => Err(SnapshotError::UnsupportedVersion {
-            found,
-            current: SNAPSHOT_VERSION,
-        }),
+        at = 3;
     }
+    debug_assert_eq!(at, SNAPSHOT_VERSION, "every hop must be applied");
+    Ok(v)
 }
 
 /// Parse and validate the framed snapshot byte format. Every malformed
@@ -259,17 +308,31 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SnapshotData, SnapshotError> {
     Ok(SnapshotData::deserialize(&value)?)
 }
 
+/// The sibling temp path `write_snapshot_atomic` stages its bytes in.
+fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    std::path::PathBuf::from(tmp_name)
+}
+
 /// Write `data` to `path` atomically: the bytes land in a sibling
 /// `<path>.tmp` first and are renamed over the target, so a crash mid-write
-/// can never leave a half-written snapshot under the real name.
+/// can never leave a half-written snapshot under the real name. A stale
+/// `.tmp` left by a crashed earlier attempt is removed first — it must
+/// never be mistaken for progress, and readers ([`read_snapshot`]) only
+/// ever look at the real name, so the last good snapshot stays loadable
+/// throughout.
 pub fn write_snapshot_atomic(
     path: &std::path::Path,
     data: &SnapshotData,
 ) -> Result<(), SnapshotError> {
     let bytes = encode_snapshot(data);
-    let mut tmp_name = path.as_os_str().to_os_string();
-    tmp_name.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp_name);
+    let tmp = tmp_sibling(path);
+    // Clean up after any crashed predecessor before staging anew; a failed
+    // open below must not leave its torn bytes behind either.
+    if tmp.exists() {
+        std::fs::remove_file(&tmp).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    }
     std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
     std::fs::rename(&tmp, path).map_err(|e| {
         // Leave no orphan on a failed rename.
@@ -277,6 +340,124 @@ pub fn write_snapshot_atomic(
         SnapshotError::Io(e.to_string())
     })?;
     Ok(())
+}
+
+/// A checkpoint writer that rides out transient I/O failures: each save
+/// retries the atomic write up to `max_attempts` times, accumulating a
+/// deterministic simulated backoff (`backoff_base << attempt` ticks per
+/// retry — bookkeeping only, nothing sleeps), and the reader side recovers
+/// from the last good file because half-written bytes only ever live under
+/// the `.tmp` sibling.
+///
+/// Fault injection: [`ResilientSnapshotWriter::with_fault_script`] scripts
+/// one [`IoFaultKind`] per write *attempt* (from
+/// [`crate::faults::FaultPlan::io`]); attempts beyond the script succeed
+/// normally. This is how the chaos suite exercises the retry and recovery
+/// paths deterministically.
+pub struct ResilientSnapshotWriter {
+    path: std::path::PathBuf,
+    max_attempts: u32,
+    backoff_base: Tick,
+    script: Vec<IoFaultKind>,
+    cursor: usize,
+    /// Total write attempts across all saves.
+    pub attempts: u64,
+    /// Attempts that failed (injected or real).
+    pub failures: u64,
+    /// Simulated backoff accumulated across retries, in ticks.
+    pub backoff_ticks: Tick,
+}
+
+impl ResilientSnapshotWriter {
+    /// A writer targeting `path`, retrying each save up to `max_attempts`
+    /// times (min 1) with `backoff_base` ticks of simulated backoff,
+    /// doubled per retry.
+    pub fn new(path: impl Into<std::path::PathBuf>, max_attempts: u32, backoff_base: Tick) -> Self {
+        Self {
+            path: path.into(),
+            max_attempts: max_attempts.max(1),
+            backoff_base,
+            script: Vec::new(),
+            cursor: 0,
+            attempts: 0,
+            failures: 0,
+            backoff_ticks: 0,
+        }
+    }
+
+    /// Attach a scripted fault plan, consumed one entry per write attempt.
+    pub fn with_fault_script(mut self, script: Vec<IoFaultKind>) -> Self {
+        self.script = script;
+        self.cursor = 0;
+        self
+    }
+
+    /// The target path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+
+    /// Save `data`, retrying through scripted/real failures. On total
+    /// failure the last good file (if any) is untouched and still loads.
+    pub fn save(&mut self, data: &SnapshotData) -> Result<(), SnapshotError> {
+        let mut last_err = SnapshotError::Io("no write attempted".into());
+        for attempt in 0..self.max_attempts {
+            self.attempts += 1;
+            let fault = self.script.get(self.cursor).copied();
+            if fault.is_some() {
+                self.cursor += 1;
+            }
+            match self.try_write(data, fault) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    self.failures += 1;
+                    self.backoff_ticks += self.backoff_base << attempt.min(16);
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Load the last successfully renamed snapshot. Stale `.tmp` siblings
+    /// (torn writes) are never consulted.
+    pub fn load_last_good(&self) -> Result<SnapshotData, SnapshotError> {
+        read_snapshot(&self.path)
+    }
+
+    /// One write attempt, with `fault` injected at the scripted boundary.
+    fn try_write(
+        &self,
+        data: &SnapshotData,
+        fault: Option<IoFaultKind>,
+    ) -> Result<(), SnapshotError> {
+        match fault {
+            None => write_snapshot_atomic(&self.path, data),
+            Some(IoFaultKind::TmpWriteError) => {
+                // The open itself fails: nothing lands on disk.
+                Err(SnapshotError::Io("injected EIO writing tmp file".into()))
+            }
+            Some(IoFaultKind::ShortWrite) => {
+                // A torn write: half the bytes land in the tmp file and the
+                // "process" dies before the rename — the stale tmp survives
+                // for the next attempt to clean up.
+                let bytes = encode_snapshot(data);
+                let tmp = tmp_sibling(&self.path);
+                std::fs::write(&tmp, &bytes[..bytes.len() / 2])
+                    .map_err(|e| SnapshotError::Io(e.to_string()))?;
+                Err(SnapshotError::Io("injected short write".into()))
+            }
+            Some(IoFaultKind::RenameError) => {
+                // The tmp write completes but the rename fails; like the
+                // real rename-failure path, no orphan is left behind.
+                let bytes = encode_snapshot(data);
+                let tmp = tmp_sibling(&self.path);
+                std::fs::write(&tmp, &bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+                let _ = std::fs::remove_file(&tmp);
+                Err(SnapshotError::Io("injected rename failure".into()))
+            }
+        }
+    }
 }
 
 /// Read and validate a snapshot file written by [`write_snapshot_atomic`].
@@ -371,6 +552,72 @@ impl FingerprintJournal {
         }
         fnv1a(&bytes)
     }
+
+    /// Ticks must be strictly increasing (records are appended in tick
+    /// order along one run); the first offender, if any.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        for w in self.records.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(SnapshotError::Decode(format!(
+                    "fingerprint journal out of order: tick {} after tick {}",
+                    w[1].0, w[0].0
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the flat on-disk format: magic, `every`, record count,
+    /// then one `(tick, hash)` pair of little-endian `u64`s per record.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.records.len() * 16);
+        out.extend_from_slice(&JOURNAL_MAGIC);
+        out.extend_from_slice(&self.every.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
+        for (t, h) in &self.records {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the [`FingerprintJournal::to_bytes`] format. Truncated,
+    /// odd-length or out-of-order input maps to a typed [`SnapshotError`]
+    /// — never a panic (nightly journals travel through CI artifacts and
+    /// arrive damaged often enough to matter).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 24 {
+            return Err(SnapshotError::Truncated {
+                needed: 24,
+                got: bytes.len(),
+            });
+        }
+        if bytes[..8] != JOURNAL_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let every = u64_at(8);
+        let count = u64_at(16) as usize;
+        let needed = count.saturating_mul(16).saturating_add(24);
+        if bytes.len() < needed {
+            return Err(SnapshotError::Truncated {
+                needed,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > needed {
+            return Err(SnapshotError::Decode(format!(
+                "{} trailing bytes after {count} journal records",
+                bytes.len() - needed
+            )));
+        }
+        let records = (0..count)
+            .map(|i| (u64_at(24 + i * 16), u64_at(32 + i * 16)))
+            .collect();
+        let journal = Self { every, records };
+        journal.validate()?;
+        Ok(journal)
+    }
 }
 
 /// Run a full simulation while recording an engine-state hash every
@@ -443,6 +690,10 @@ pub fn hunt_divergence(
     make_baseline: &mut dyn FnMut() -> Box<dyn Planner>,
     make_suspect: &mut dyn FnMut() -> Box<dyn Planner>,
 ) -> Result<Option<DivergenceReport>, SnapshotError> {
+    // A malformed journal (tick order violated — e.g. assembled from a
+    // truncated or interleaved artifact) would send the bracket search
+    // chasing ghosts; reject it up front with a typed error.
+    journal.validate()?;
     // Stage 1: one suspect replay over the journal's record ticks.
     let (mut lo, mut hi): (Option<Tick>, Tick) = {
         let mut planner = make_suspect();
@@ -565,8 +816,8 @@ impl<P: Planner> Planner for PerturbFromTick<P> {
         self.inner.init(instance);
     }
 
-    fn plan(&mut self, world: &WorldView<'_>) -> Vec<AssignmentPlan> {
-        let mut plans = self.inner.plan(world);
+    fn plan(&mut self, world: &WorldView<'_>) -> Result<Vec<AssignmentPlan>, PlannerError> {
+        let mut plans = self.inner.plan(world)?;
         if self.perturbed_at.is_none() && world.t >= self.trigger && !plans.is_empty() {
             self.perturbed_at = Some(world.t);
             let dropped = plans.pop().expect("non-empty");
@@ -575,7 +826,7 @@ impl<P: Planner> Planner for PerturbFromTick<P> {
             self.inner
                 .on_path_cancelled(dropped.robot, dropped.path.first(), world.t);
         }
-        plans
+        Ok(plans)
     }
 
     fn plan_leg(
@@ -594,8 +845,16 @@ impl<P: Planner> Planner for PerturbFromTick<P> {
         requests: &[eatp_core::planner::LegRequest],
         start: Tick,
         results: &mut Vec<Option<Path>>,
-    ) {
-        self.inner.plan_legs(requests, start, results);
+    ) -> Result<(), PlannerError> {
+        self.inner.plan_legs(requests, start, results)
+    }
+
+    fn inject_fault(&mut self, fault: &eatp_core::planner::InjectedFault) -> bool {
+        self.inner.inject_fault(fault)
+    }
+
+    fn recover_degraded(&mut self) {
+        self.inner.recover_degraded();
     }
 
     fn on_dock(&mut self, robot: RobotId) {
@@ -907,6 +1166,79 @@ mod tests {
     }
 
     #[test]
+    fn migrates_v2_payload_and_resumes_from_it() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("EATP");
+        let base = run_simulation(&inst, p.as_mut(), &config);
+
+        let mut p2 = make("EATP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p2.as_mut());
+        for _ in 0..40 {
+            engine.tick_once(p2.as_mut());
+        }
+        let data = engine.snapshot(p2.as_ref());
+
+        // Regress the payload to schema v2: strip everything v3 added.
+        let Value::Object(mut fields) = data.serialize() else {
+            panic!("snapshot value must be an object");
+        };
+        if let Some((_, Value::Object(config_fields))) =
+            fields.iter_mut().find(|(k, _)| k == "config")
+        {
+            config_fields.retain(|(k, _)| k != "faults" && k != "degradation");
+        } else {
+            panic!("config field must be an object");
+        }
+        if let Some((_, Value::Object(engine_fields))) =
+            fields.iter_mut().find(|(k, _)| k == "engine")
+        {
+            engine_fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "degraded_ticks"
+                        | "fallback_assignments"
+                        | "planner_errors"
+                        | "degrade_next"
+                        | "recover_next"
+                        | "next_decision_fault"
+                        | "next_leg_fault"
+                        | "next_poison_fault"
+                )
+            });
+        } else {
+            panic!("engine field must be an object");
+        }
+        let payload = serde::binary::to_bytes(&Value::Object(fields));
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&SNAPSHOT_MAGIC);
+        v2.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v2.extend_from_slice(&crc32(&payload).to_le_bytes());
+        v2.extend_from_slice(&payload);
+
+        let migrated = decode_snapshot(&v2).expect("v2 must migrate forward");
+        assert!(!migrated.config.faults.enabled, "defaults to faults off");
+        assert!(!migrated.config.degradation.enabled);
+        assert_eq!(migrated.engine.degraded_ticks, 0);
+        assert_eq!(migrated.engine.planner_errors, 0);
+        assert!(!migrated.engine.degrade_next);
+        assert_eq!(migrated.engine.t, data.engine.t, "payload preserved");
+
+        let mut p3 = make("EATP");
+        let mut resumed = resume_from(&migrated, p3.as_mut()).expect("resume");
+        resumed.run_to_completion(p3.as_mut());
+        let report = resumed.report(p3.as_mut());
+        assert_eq!(
+            base.deterministic_fingerprint(),
+            report.deterministic_fingerprint(),
+            "a fault-free v2 snapshot must resume bit-identically"
+        );
+    }
+
+    #[test]
     fn atomic_write_reads_back_and_leaves_no_temp() {
         let inst = scenario(None, 42);
         let config = EngineConfig::default();
@@ -943,6 +1275,208 @@ mod tests {
         let missing = read_snapshot(&dir.join("absent.snap"));
         assert!(matches!(missing, Err(SnapshotError::Io(_))));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_tmp_never_shadows_last_good_snapshot() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p.as_mut());
+        for _ in 0..20 {
+            engine.tick_once(p.as_mut());
+        }
+
+        let dir = std::env::temp_dir().join(format!("tprw-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.snap");
+        let tmp = dir.join("run.snap.tmp");
+
+        // A good snapshot lands, then a later attempt "crashes" between the
+        // tmp write and the rename, stranding torn bytes under `.tmp`.
+        engine.save_snapshot(p.as_ref(), &path).expect("save");
+        let good_tick = engine.current_tick();
+        engine.tick_once(p.as_mut());
+        let newer = encode_snapshot(&engine.snapshot(p.as_ref()));
+        std::fs::write(&tmp, &newer[..newer.len() / 2]).unwrap();
+
+        // The reader never consults the tmp sibling: the last good snapshot
+        // stays loadable as-is.
+        let recovered = read_snapshot(&path).expect("last good must load");
+        assert_eq!(recovered.engine.t, good_tick);
+
+        // The next atomic write cleans the stale tmp up and lands whole.
+        engine.save_snapshot(p.as_ref(), &path).expect("overwrite");
+        assert!(!tmp.exists(), "stale tmp must be swept by the next write");
+        let latest = read_snapshot(&path).expect("fresh write loads");
+        assert_eq!(latest.engine.t, engine.current_tick());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_writer_retries_through_scripted_faults() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p.as_mut());
+        for _ in 0..20 {
+            engine.tick_once(p.as_mut());
+        }
+        let data = engine.snapshot(p.as_ref());
+
+        let dir = std::env::temp_dir().join(format!("tprw-resil-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.snap");
+
+        // Two scripted failures, then the third attempt succeeds.
+        let mut writer = ResilientSnapshotWriter::new(&path, 3, 4)
+            .with_fault_script(vec![IoFaultKind::ShortWrite, IoFaultKind::TmpWriteError]);
+        writer.save(&data).expect("third attempt must land");
+        assert_eq!(writer.attempts, 3);
+        assert_eq!(writer.failures, 2);
+        // Deterministic simulated backoff: 4<<0 + 4<<1 ticks.
+        assert_eq!(writer.backoff_ticks, 12);
+        assert!(!dir.join("run.snap.tmp").exists(), "no torn tmp left");
+        let loaded = writer.load_last_good().expect("load");
+        assert_eq!(loaded.engine.t, data.engine.t);
+
+        // Re-running the same script is bit-for-bit repeatable.
+        let mut writer2 = ResilientSnapshotWriter::new(&path, 3, 4)
+            .with_fault_script(vec![IoFaultKind::ShortWrite, IoFaultKind::TmpWriteError]);
+        writer2.save(&data).expect("same script, same outcome");
+        assert_eq!(
+            (writer2.attempts, writer2.failures, writer2.backoff_ticks),
+            (writer.attempts, writer.failures, writer.backoff_ticks),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_writer_total_failure_leaves_last_good_loadable() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("NTP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p.as_mut());
+        for _ in 0..20 {
+            engine.tick_once(p.as_mut());
+        }
+        let first = engine.snapshot(p.as_ref());
+        engine.tick_once(p.as_mut());
+        let second = engine.snapshot(p.as_ref());
+
+        let dir = std::env::temp_dir().join(format!("tprw-resil2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.snap");
+
+        // First save lands clean; the next save exhausts every attempt.
+        let mut writer = ResilientSnapshotWriter::new(&path, 2, 1).with_fault_script(vec![
+            IoFaultKind::RenameError,
+            IoFaultKind::ShortWrite,
+            IoFaultKind::TmpWriteError,
+        ]);
+        // Script entries are consumed per attempt, so push a clean save
+        // through a separate writer first.
+        let mut clean = ResilientSnapshotWriter::new(&path, 1, 1);
+        clean.save(&first).expect("clean save");
+
+        let err = writer
+            .save(&second)
+            .expect_err("all attempts scripted to fail");
+        assert!(matches!(err, SnapshotError::Io(_)));
+        assert_eq!(writer.attempts, 2);
+        assert_eq!(writer.failures, 2);
+
+        // The earlier good file is untouched (the ShortWrite attempt's torn
+        // bytes only ever live under `.tmp`).
+        let recovered = writer.load_last_good().expect("last good survives");
+        assert_eq!(recovered.engine.t, first.engine.t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_byte_format_roundtrips_and_rejects_damage() {
+        let journal = FingerprintJournal {
+            every: 16,
+            records: vec![(0, 0xDEAD), (16, 0xBEEF), (32, 0xF00D)],
+        };
+        let bytes = journal.to_bytes();
+        assert_eq!(bytes.len(), 24 + 3 * 16);
+        assert_eq!(
+            FingerprintJournal::from_bytes(&bytes).expect("roundtrip"),
+            journal
+        );
+
+        // Empty journals are legal on disk too.
+        let empty = FingerprintJournal {
+            every: 16,
+            records: vec![],
+        };
+        assert_eq!(
+            FingerprintJournal::from_bytes(&empty.to_bytes()).expect("empty"),
+            empty
+        );
+
+        // Truncation anywhere — header cuts, mid-record (odd-length) cuts,
+        // whole-record cuts — yields a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let err = FingerprintJournal::from_bytes(&bytes[..cut]).expect_err("truncated");
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            FingerprintJournal::from_bytes(&bad).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        // Trailing garbage after the declared record count.
+        let mut bad = bytes.clone();
+        bad.extend_from_slice(&[0u8; 7]);
+        assert!(matches!(
+            FingerprintJournal::from_bytes(&bad).unwrap_err(),
+            SnapshotError::Decode(_)
+        ));
+
+        // Out-of-order ticks (an interleaved or misassembled artifact).
+        let shuffled = FingerprintJournal {
+            every: 16,
+            records: vec![(16, 1), (0, 2)],
+        };
+        assert!(matches!(
+            FingerprintJournal::from_bytes(&shuffled.to_bytes()).unwrap_err(),
+            SnapshotError::Decode(_)
+        ));
+
+        // An absurd record count must not overflow the length check.
+        let mut bad = empty.to_bytes();
+        bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            FingerprintJournal::from_bytes(&bad).unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn hunter_rejects_malformed_journal_with_typed_error() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let journal = FingerprintJournal {
+            every: 16,
+            records: vec![(32, 7), (16, 9)],
+        };
+        let err = hunt_divergence(&inst, &config, &journal, &mut || make("NTP"), &mut || {
+            make("NTP")
+        })
+        .expect_err("out-of-order journal must be rejected");
+        assert!(matches!(err, SnapshotError::Decode(_)));
     }
 
     #[test]

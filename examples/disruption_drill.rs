@@ -16,36 +16,52 @@
 //! drill asserts the final fingerprint is bit-identical to the
 //! straight-through run.
 //!
+//! With `--chaos SEED` the disrupted run additionally layers the
+//! seed-deterministic fault plan of `docs/fault-injection.md` on top of the
+//! disruption schedule: injected planner failures and poisoned derived
+//! state degrade individual planning ticks to the greedy fallback while the
+//! run must stay conflict- and violation-free. The drill reruns each chaos
+//! run and asserts the final fingerprint is bit-identical — and when both
+//! flags are given, the checkpoint segments run *under* chaos, proving the
+//! fault cursors survive the snapshot boundary.
+//!
 //! ```text
 //! cargo run --release --example disruption_drill
 //! cargo run --release --example disruption_drill -- --checkpoint-every 64
+//! cargo run --release --example disruption_drill -- --chaos 99 --checkpoint-every 64
 //! ```
 
 use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
-use eatp::simulator::{read_snapshot, run_simulation, Engine, EngineConfig, SimulationReport};
+use eatp::simulator::{
+    read_snapshot, run_simulation, DegradationPolicy, Engine, EngineConfig, FaultConfig,
+    SimulationReport,
+};
 use eatp::warehouse::{
     CellKind, DisruptionConfig, DisruptionEvent, GridPos, Instance, LayoutConfig, ScenarioSpec,
     Tick, TimedEvent, WorkloadConfig,
 };
 
-/// Parse `--checkpoint-every N` (or `--checkpoint-every=N`) from the
-/// command line; `None` when absent.
-fn checkpoint_every_arg() -> Option<Tick> {
+/// Parse `--<flag> N` (or `--<flag>=N`) from the command line; `None` when
+/// absent. `min` guards nonsense values (a zero checkpoint period would
+/// never advance).
+fn numeric_arg(flag: &str, min: u64) -> Option<u64> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let long = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
-        let value = if arg == "--checkpoint-every" {
+        let value = if *arg == long {
             i += 1;
             args.get(i).cloned()
         } else {
-            arg.strip_prefix("--checkpoint-every=").map(str::to_owned)
+            arg.strip_prefix(&prefixed).map(str::to_owned)
         };
         if let Some(v) = value {
-            match v.parse::<Tick>() {
-                Ok(n) if n > 0 => return Some(n),
+            match v.parse::<u64>() {
+                Ok(n) if n >= min => return Some(n),
                 _ => {
-                    eprintln!("--checkpoint-every wants a positive tick count, got {v:?}");
+                    eprintln!("--{flag} wants an integer >= {min}, got {v:?}");
                     std::process::exit(2);
                 }
             }
@@ -63,8 +79,9 @@ fn checkpointed_run(
     name: &str,
     every: Tick,
     path: &std::path::Path,
+    config: &EngineConfig,
 ) -> (SimulationReport, usize) {
-    let config = EngineConfig::default();
+    let config = config.clone();
     let mut saves = 0usize;
     {
         let mut planner = planner_by_name(name, &EatpConfig::default()).expect("known planner");
@@ -102,7 +119,8 @@ fn checkpointed_run(
 }
 
 fn main() {
-    let checkpoint_every = checkpoint_every_arg();
+    let checkpoint_every = numeric_arg("checkpoint-every", 1);
+    let chaos_seed = numeric_arg("chaos", 0);
     let wave = DisruptionConfig {
         breakdowns: 6,
         breakdown_ticks: (120, 260),
@@ -186,21 +204,74 @@ fn main() {
             disrupted_report.events_applied,
             disrupted_report.planner_stats.paths_failed,
         );
+        // Chaos layer: the same disrupted floor with the seed-deterministic
+        // fault plan armed (window matched to the disruption wave) and
+        // graceful degradation on. Run twice; the fingerprints — degraded
+        // ticks and fallback assignments included — must match exactly.
+        let chaos_config = chaos_seed.map(|seed| EngineConfig {
+            faults: FaultConfig::chaos(seed, (80, 420)),
+            degradation: DegradationPolicy {
+                enabled: true,
+                max_expansions_per_tick: 0,
+            },
+            ..EngineConfig::default()
+        });
+        if let Some(config) = &chaos_config {
+            let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+            let chaos_report = run_simulation(&disrupted, &mut *p, config);
+            assert!(chaos_report.completed, "{name}: chaos run must complete");
+            assert_eq!(
+                chaos_report.executed_conflicts, 0,
+                "{name}: chaos stays safe"
+            );
+            assert_eq!(
+                chaos_report.disruption_violations, 0,
+                "{name}: chaos stays legal"
+            );
+            assert!(
+                chaos_report.degraded_ticks > 0,
+                "{name}: the chaos fault plan must trip degradation"
+            );
+            let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+            let rerun = run_simulation(&disrupted, &mut *p, config);
+            assert_eq!(
+                chaos_report.deterministic_fingerprint(),
+                rerun.deterministic_fingerprint(),
+                "{name}: chaos rerun diverged — fault injection must be seed-deterministic"
+            );
+            println!(
+                "       chaos drill: {} degraded ticks, {} fallback assignments, \
+                 {} planner errors; rerun fingerprint identical",
+                chaos_report.degraded_ticks,
+                chaos_report.fallback_assignments,
+                chaos_report.planner_errors,
+            );
+        }
         if let Some(every) = checkpoint_every {
+            // Under --chaos the checkpoint segments run with faults armed:
+            // the straight-through reference is then the chaos run itself.
+            let config = chaos_config.clone().unwrap_or_default();
+            let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+            let reference = run_simulation(&disrupted, &mut *p, &config);
             let path = std::env::temp_dir().join(format!(
                 "disruption-drill-{}-{name}.tprwsnap",
                 std::process::id()
             ));
-            let (resumed, saves) = checkpointed_run(&disrupted, name, every, &path);
+            let (resumed, saves) = checkpointed_run(&disrupted, name, every, &path, &config);
             let _ = std::fs::remove_file(&path);
             assert_eq!(
-                disrupted_report.deterministic_fingerprint(),
+                reference.deterministic_fingerprint(),
                 resumed.deterministic_fingerprint(),
                 "{name}: checkpointed run diverged from the straight-through run"
             );
             println!(
-                "       checkpoint drill: {saves} save/drop/resume cycles every {every} \
-                 ticks, final fingerprint identical"
+                "       checkpoint drill{}: {saves} save/drop/resume cycles every {every} \
+                 ticks, final fingerprint identical",
+                if chaos_config.is_some() {
+                    " (under chaos)"
+                } else {
+                    ""
+                },
             );
         }
     }
@@ -208,6 +279,12 @@ fn main() {
         "\nevery planner absorbed the identical breakdown/blockade/closure \
          schedule with zero conflicts and zero blocked-cell occupations."
     );
+    if chaos_seed.is_some() {
+        println!(
+            "chaos drill held: every injected fault degraded gracefully and \
+             replayed bit-identically under its seed."
+        );
+    }
     if checkpoint_every.is_some() {
         println!(
             "checkpoint/resume held under fire: every segment boundary crossed \
