@@ -41,6 +41,8 @@ fn bench(c: &mut Criterion) {
                         robots: &instance.robots,
                         idle_robots: &idle,
                         selectable_racks: &selectable,
+                        backlog_depth: 0,
+                        live_arrivals: &[],
                     };
                     planner.plan(&world).unwrap().len()
                 },

@@ -109,6 +109,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = match_and_plan(&mut base, &world, &selectable);
         assert_eq!(plans.len(), 1);
@@ -140,6 +142,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = match_and_plan(&mut base, &world, &selectable);
         assert_eq!(plans.len(), 1);
@@ -170,6 +174,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = match_and_plan(&mut base, &world, &selectable);
         assert!(plans.is_empty(), "home blocked by busy robot: defer");
@@ -192,6 +198,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = match_and_plan(&mut base, &world, &selectable);
         assert!(plans.len() <= 3);
@@ -217,6 +225,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = match_and_plan(&mut base, &world, &selectable);
         let path = &plans[0].path;

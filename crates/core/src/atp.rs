@@ -319,6 +319,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: idle,
             selectable_racks: selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         }
     }
 

@@ -1169,6 +1169,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         // No signal yet: the pass must be a strict no-op.
         let mut order = vec![near, far];
@@ -1233,6 +1235,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         // Picker 0 closed once and reopened: its racks trend riskier.
         base.apply_disruption(

@@ -45,9 +45,19 @@ impl LeastExpirationFirst {
             .rack(rack)
             .pending
             .first()
-            .map(|item| self.arrivals[item.index()])
+            .map(|item| arrival_of(&self.arrivals, world, item.index()))
             .unwrap_or(Tick::MAX)
     }
+}
+
+/// Arrival tick of item `idx`: pregenerated items come from the planner's
+/// instance-derived table, live-landed items (dense ids past the
+/// pregenerated range) from the world's [`WorldView::live_arrivals`].
+fn arrival_of(arrivals: &[Tick], world: &WorldView<'_>, idx: usize) -> Tick {
+    arrivals
+        .get(idx)
+        .copied()
+        .unwrap_or_else(|| world.live_arrivals[idx - arrivals.len()])
 }
 
 impl Planner for LeastExpirationFirst {
@@ -93,7 +103,7 @@ impl Planner for LeastExpirationFirst {
                             .rack(rid)
                             .pending
                             .first()
-                            .map(|item| arrivals[item.index()])
+                            .map(|item| arrival_of(arrivals, world, item.index()))
                             .unwrap_or(Tick::MAX);
                         (oldest, rid)
                     })
@@ -243,6 +253,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = planner.plan(&world).unwrap();
         assert_eq!(plans.len(), 1, "single idle robot");
@@ -267,6 +279,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &[],
             selectable_racks: &[],
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         assert_eq!(planner.oldest_pending(&world, inst.racks[0].id), Tick::MAX);
     }

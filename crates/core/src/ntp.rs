@@ -240,6 +240,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let selected = most_slack_picker_selection(&world, 10);
         assert_eq!(
@@ -264,6 +266,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         let plans = planner.plan(&world).unwrap();
         assert_eq!(plans.len(), 2);
@@ -290,6 +294,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &[],
             selectable_racks: &[],
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         assert!(planner.plan(&world).unwrap().is_empty());
     }
@@ -309,6 +315,8 @@ mod tests {
             robots: &inst.robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         assert_eq!(most_slack_picker_selection(&world, 3).len(), 3);
     }

@@ -459,6 +459,8 @@ mod tests {
                 robots: &robots,
                 idle_robots: &[],
                 selectable_racks: &[],
+                backlog_depth: 0,
+                live_arrivals: &[],
             };
             p.plan(&world)
         };

@@ -24,6 +24,21 @@ pub struct WorldView<'a> {
     /// Racks with pending items and no robot committed
     /// (`τ_r ≠ ∅ ∧ ¬in_flight`).
     pub selectable_racks: &'a [RackId],
+    /// Orders known to be outstanding but not yet emerged on their racks:
+    /// pregenerated items still to arrive plus live-ingested backlog
+    /// entries. Demand pressure the planner can see *before* it
+    /// materialises as pending items — selection heuristics may use it to
+    /// tune batching without breaking the bit-identical live≡pregenerated
+    /// contract, because the unified definition makes the depth series
+    /// identical between a live run and its pregenerated equivalent.
+    pub backlog_depth: u64,
+    /// Arrival (emergence) tick of every live-landed item, indexed by
+    /// `item id − pregenerated item count` (live items are issued dense
+    /// ids after the instance's item range). Together with the planner's
+    /// own per-instance arrival table this covers the full item id space,
+    /// so per-item lookups stay total under live ingestion. Empty for
+    /// purely pregenerated runs.
+    pub live_arrivals: &'a [Tick],
 }
 
 impl<'a> WorldView<'a> {
@@ -78,6 +93,8 @@ mod tests {
             robots: &robots,
             idle_robots: &idle,
             selectable_racks: &selectable,
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         assert_eq!(view.rack(RackId::new(0)).home, GridPos::new(2, 2));
         assert_eq!(view.robot(RobotId::new(0)).pos, GridPos::new(1, 1));
@@ -98,6 +115,8 @@ mod tests {
             robots: &robots,
             idle_robots: &[],
             selectable_racks: &[RackId::new(0)],
+            backlog_depth: 0,
+            live_arrivals: &[],
         };
         assert!(!view.has_work());
     }

@@ -62,6 +62,7 @@
 //! [`SimulationReport::disruption_violations`] — the invariant tests pin
 //! this to zero.
 
+use crate::commands::{Ack, BacklogOrder, Command, RejectReason, SequencedCommand};
 use crate::faults::{DegradationPolicy, FaultConfig, FaultPlan};
 use crate::metrics::{Checkpoint, MetricsCollector, MetricsSnapshot};
 use crate::report::SimulationReport;
@@ -71,8 +72,8 @@ use eatp_core::world::WorldView;
 use serde::{Deserialize, Serialize};
 use tprw_pathfinding::Path;
 use tprw_warehouse::{
-    DisruptionEvent, Duration, GridPos, Instance, Picker, QueueEntry, Rack, RackId, Robot, RobotId,
-    RobotPhase, Tick, TimedEvent,
+    CellKind, DisruptionEvent, Duration, GridPos, Instance, Item, ItemId, OrderId, Picker,
+    QueueEntry, Rack, RackId, Robot, RobotId, RobotPhase, Tick, TimedEvent,
 };
 
 /// Engine knobs.
@@ -102,6 +103,12 @@ pub struct EngineConfig {
     /// How planner errors and budget overruns degrade the tick (see
     /// [`DegradationPolicy`]). Disabled by default.
     pub degradation: DegradationPolicy,
+    /// Live-ingestion mode: the run is fed orders through
+    /// [`Engine::tick_with_commands`] and only completes once a
+    /// [`Command::Shutdown`] has been accepted *and* the backlog and floor
+    /// have drained. Off (the default), completion keeps its pregenerated
+    /// semantics: the run ends when the instance's item list is fulfilled.
+    pub live: bool,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +121,7 @@ impl Default for EngineConfig {
             reference_exec: false,
             faults: FaultConfig::default(),
             degradation: DegradationPolicy::default(),
+            live: false,
         }
     }
 }
@@ -208,6 +216,48 @@ pub struct EngineState {
     pub next_leg_fault: usize,
     /// Cursor into the fault plan's poison schedule.
     pub next_poison_fault: usize,
+    /// A [`Command::Shutdown`] was accepted: no new orders are admitted
+    /// and the run completes once backlog and floor drain. (Schema v4;
+    /// appended so v3 payloads migrate by defaulting the tail.)
+    pub shutdown: bool,
+    /// Idempotency cursor: commands with `seq` below this were already
+    /// applied and are skipped on redelivery after a resume.
+    pub next_command_seq: u64,
+    /// Accepted orders whose items have not yet emerged, sorted by
+    /// `(arrival, order)`.
+    pub backlog: Vec<BacklogOrder>,
+    /// Order handle of every live-landed item, indexed by
+    /// `item id − instance.items.len()` (live items are issued dense ids
+    /// after the pregenerated range).
+    pub live_item_orders: Vec<OrderId>,
+    /// Arrival (emergence) tick of every live-landed item, parallel to
+    /// `live_item_orders`. Exposed to planners through
+    /// [`eatp_core::WorldView::live_arrivals`] so per-item lookups (e.g.
+    /// LEF's oldest-pending ranking) stay total under live ingestion.
+    pub live_item_arrivals: Vec<Tick>,
+    /// Live orders riding on each robot's carried batch (completion acks
+    /// fire when the batch finishes processing).
+    pub carried_orders: Vec<Vec<OrderId>>,
+    /// Orders submitted: live acceptances plus the pregenerated item list,
+    /// which is modelled as an order book submitted at tick 0 (that
+    /// unification is what makes a live run bit-identical to its
+    /// pregenerated equivalent — see `docs/order-stream.md`).
+    pub orders_submitted: u64,
+    /// Orders withdrawn from the backlog before landing.
+    pub orders_cancelled: u64,
+    /// Commands rejected (duplicate/unknown orders, post-shutdown
+    /// submissions, invalid disruption injections).
+    pub orders_rejected: u64,
+    /// Orders whose items finished processing (pregenerated items count —
+    /// they are orders submitted at tick 0).
+    pub orders_completed: u64,
+    /// Peak backlog depth observed at bookkeeping: not-yet-emerged
+    /// pregenerated items plus live backlog entries.
+    pub peak_backlog: u64,
+    /// Total order age accrued at landing: `Σ (landing tick − submission
+    /// tick)` over all landed items (pregenerated items are submitted at
+    /// tick 0 and land at their arrival tick).
+    pub total_order_age: u64,
 }
 
 /// The discrete-time simulation engine, steppable one tick at a time so runs
@@ -312,6 +362,37 @@ pub struct Engine<'a> {
     next_leg_fault: usize,
     /// Cursor into `fault_plan.poison`.
     next_poison_fault: usize,
+    /// See [`EngineState::shutdown`].
+    shutdown: bool,
+    /// See [`EngineState::next_command_seq`].
+    next_command_seq: u64,
+    /// See [`EngineState::backlog`].
+    backlog: Vec<BacklogOrder>,
+    /// See [`EngineState::live_item_orders`].
+    live_item_orders: Vec<OrderId>,
+    /// See [`EngineState::live_item_arrivals`].
+    live_item_arrivals: Vec<Tick>,
+    /// See [`EngineState::carried_orders`].
+    carried_orders: Vec<Vec<OrderId>>,
+    /// See [`EngineState::orders_submitted`].
+    orders_submitted: u64,
+    /// See [`EngineState::orders_cancelled`].
+    orders_cancelled: u64,
+    /// See [`EngineState::orders_rejected`].
+    orders_rejected: u64,
+    /// See [`EngineState::orders_completed`].
+    orders_completed: u64,
+    /// See [`EngineState::peak_backlog`].
+    peak_backlog: u64,
+    /// See [`EngineState::total_order_age`].
+    total_order_age: u64,
+    /// Per-tick scratch: acknowledgements produced while the current tick
+    /// executes, drained into the `tick_with_commands` caller's sink
+    /// before the call returns (empty at every tick boundary, hence never
+    /// part of the snapshot).
+    acks_out: Vec<Ack>,
+    /// Per-tick scratch: the sorted command batch being applied.
+    cmd_buf: Vec<SequencedCommand>,
 }
 
 impl<'a> Engine<'a> {
@@ -382,6 +463,23 @@ impl<'a> Engine<'a> {
             next_decision_fault: 0,
             next_leg_fault: 0,
             next_poison_fault: 0,
+            shutdown: false,
+            next_command_seq: 0,
+            backlog: Vec::new(),
+            live_item_orders: Vec::new(),
+            live_item_arrivals: Vec::new(),
+            carried_orders: vec![Vec::new(); instance.robots.len()],
+            // The pregenerated item list is an order book submitted at
+            // tick 0 — counting it here is what keeps the order counters
+            // identical between a live run and its pregenerated equivalent.
+            orders_submitted: instance.items.len() as u64,
+            orders_cancelled: 0,
+            orders_rejected: 0,
+            orders_completed: 0,
+            peak_backlog: 0,
+            total_order_age: 0,
+            acks_out: Vec::new(),
+            cmd_buf: Vec::new(),
             instance,
             config: config.clone(),
         }
@@ -395,8 +493,31 @@ impl<'a> Engine<'a> {
     }
 
     /// Execute one full tick (all seven phases) and advance the clock.
-    /// No-op once the run has finished.
+    /// No-op once the run has finished. Equivalent to
+    /// [`Engine::tick_with_commands`] with an empty batch (acks produced
+    /// by earlier submissions — e.g. completions — are discarded).
     pub fn tick_once(&mut self, planner: &mut dyn Planner) {
+        let mut acks = std::mem::take(&mut self.acks_out);
+        self.tick_with_commands(planner, &mut [], &mut acks);
+        acks.clear();
+        self.acks_out = acks;
+    }
+
+    /// Execute one full tick, applying `commands` at phase 0 first.
+    ///
+    /// The batch is applied in **canonical order** — ascending sequence
+    /// number, regardless of slice order — and commands whose `seq` is
+    /// below the engine's idempotency cursor are silently skipped (at-
+    /// least-once redelivery after a resume is safe). Acknowledgements for
+    /// every command applied this tick, plus [`Ack::Completed`] for live
+    /// orders whose items finished processing, are appended to `acks`
+    /// before the call returns. No-op once the run has finished.
+    pub fn tick_with_commands(
+        &mut self,
+        planner: &mut dyn Planner,
+        commands: &mut [SequencedCommand],
+        acks: &mut Vec<Ack>,
+    ) {
         if self.finished {
             return;
         }
@@ -409,13 +530,27 @@ impl<'a> Engine<'a> {
             planner.recover_degraded();
         }
         let t = self.t;
+        if !commands.is_empty() {
+            commands.sort_by_key(|c| c.seq);
+            let mut batch = std::mem::take(&mut self.cmd_buf);
+            batch.clear();
+            batch.extend(commands.iter().cloned());
+            for cmd in &batch {
+                if cmd.seq < self.next_command_seq {
+                    continue; // already applied before the snapshot
+                }
+                self.next_command_seq = cmd.seq + 1;
+                self.apply_command(cmd.seq, &cmd.command, t, planner);
+            }
+            self.cmd_buf = batch;
+        }
         self.step_events(t, planner);
         self.step_arrivals(t);
         self.step_picking(t, planner);
         self.step_transitions(t, planner);
         self.step_planning(t, planner);
         self.step_movement(t);
-        self.step_bookkeeping(t, planner, self.instance.items.len());
+        self.step_bookkeeping(t, planner);
 
         if self.is_done() {
             self.completed = true;
@@ -424,6 +559,140 @@ impl<'a> Engine<'a> {
             self.finished = true;
         } else {
             self.t = t + 1;
+        }
+        acks.append(&mut self.acks_out);
+    }
+
+    /// Apply one command at tick `t`, pushing its acknowledgement.
+    fn apply_command(&mut self, seq: u64, command: &Command, t: Tick, planner: &mut dyn Planner) {
+        match command {
+            Command::SubmitOrder { spec } => {
+                let reason = if self.shutdown {
+                    Some(RejectReason::ShuttingDown)
+                } else if spec.rack.index() >= self.racks.len() {
+                    Some(RejectReason::UnknownRack)
+                } else if self.backlog.iter().any(|b| b.order == spec.order)
+                    || self.live_item_orders.contains(&spec.order)
+                {
+                    Some(RejectReason::DuplicateOrder)
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    self.orders_rejected += 1;
+                    self.acks_out.push(Ack::Rejected {
+                        seq,
+                        reason,
+                        tick: t,
+                    });
+                    return;
+                }
+                let entry = BacklogOrder {
+                    order: spec.order,
+                    rack: spec.rack,
+                    processing: spec.processing,
+                    // An order cannot arrive in the past: the effective
+                    // arrival is clamped to the submission tick, keeping
+                    // the backlog's `(arrival, order)` sort meaningful.
+                    arrival: spec.arrival.max(t),
+                    submitted: t,
+                };
+                let at = self
+                    .backlog
+                    .partition_point(|b| (b.arrival, b.order) < (entry.arrival, entry.order));
+                self.backlog.insert(at, entry);
+                self.orders_submitted += 1;
+                self.acks_out.push(Ack::Accepted {
+                    seq,
+                    order: spec.order,
+                    tick: t,
+                });
+            }
+            Command::CancelOrder { order } => {
+                if let Some(at) = self.backlog.iter().position(|b| b.order == *order) {
+                    self.backlog.remove(at);
+                    self.orders_cancelled += 1;
+                    self.acks_out.push(Ack::Cancelled {
+                        seq,
+                        order: *order,
+                        tick: t,
+                    });
+                } else {
+                    let reason = if self.live_item_orders.contains(order) {
+                        RejectReason::AlreadyLanded
+                    } else {
+                        RejectReason::UnknownOrder
+                    };
+                    self.orders_rejected += 1;
+                    self.acks_out.push(Ack::Rejected {
+                        seq,
+                        reason,
+                        tick: t,
+                    });
+                }
+            }
+            Command::InjectDisruption { event } => {
+                if self.injection_is_valid(*event) {
+                    self.apply_event(*event, t, planner);
+                    self.acks_out.push(Ack::Injected { seq, tick: t });
+                } else {
+                    self.orders_rejected += 1;
+                    self.acks_out.push(Ack::Rejected {
+                        seq,
+                        reason: RejectReason::InvalidDisruption,
+                        tick: t,
+                    });
+                }
+            }
+            Command::RequestSnapshot => {
+                self.acks_out.push(Ack::SnapshotRequested { seq, tick: t });
+            }
+            Command::Shutdown => {
+                self.shutdown = true;
+                self.acks_out.push(Ack::ShutdownStarted { seq, tick: t });
+            }
+        }
+    }
+
+    /// Whether an injected disruption is consistent with the current
+    /// world. Scheduled streams guarantee this by construction
+    /// (`validate_events`); injected ones are checked here so a confused
+    /// producer cannot corrupt engine invariants (nested disruptions,
+    /// blockades on storage cells, out-of-range ids).
+    fn injection_is_valid(&self, event: DisruptionEvent) -> bool {
+        match event {
+            DisruptionEvent::RobotBreakdown { robot } => {
+                robot.index() < self.robots.len() && !self.broken[robot.index()]
+            }
+            DisruptionEvent::RobotRecover { robot } => {
+                robot.index() < self.robots.len() && self.broken[robot.index()]
+            }
+            DisruptionEvent::CellBlocked { pos } => {
+                self.instance.grid.in_bounds(pos)
+                    && self.instance.grid.kind(pos) == CellKind::Aisle
+                    && !self.blocked_overlay[self.cell_index(pos)]
+                    && !self.deferred_blockades.contains(&pos)
+            }
+            DisruptionEvent::CellUnblocked { pos } => {
+                self.instance.grid.in_bounds(pos)
+                    && (self.blocked_overlay[self.cell_index(pos)]
+                        || self.deferred_blockades.contains(&pos))
+            }
+            DisruptionEvent::StationClosed { picker } => {
+                picker.index() < self.pickers.len() && !self.closed[picker.index()]
+            }
+            DisruptionEvent::StationReopened { picker } => {
+                picker.index() < self.pickers.len() && self.closed[picker.index()]
+            }
+            DisruptionEvent::RackRemoved { rack } => {
+                rack.index() < self.racks.len()
+                    && !self.removed[rack.index()]
+                    && !self.deferred_removals.contains(&rack)
+            }
+            DisruptionEvent::RackRestored { rack } => {
+                rack.index() < self.racks.len()
+                    && (self.removed[rack.index()] || self.deferred_removals.contains(&rack))
+            }
         }
     }
 
@@ -448,6 +717,22 @@ impl<'a> Engine<'a> {
     /// The applied-event journal so far (see [`EngineState::journal`]).
     pub fn journal(&self) -> &[TimedEvent] {
         &self.journal
+    }
+
+    /// Orders accepted but not yet emerged on their racks.
+    pub fn backlog_depth(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Whether a [`Command::Shutdown`] has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown
+    }
+
+    /// The idempotency cursor: the lowest command sequence number the
+    /// engine has not yet applied (see [`EngineState::next_command_seq`]).
+    pub fn next_command_seq(&self) -> u64 {
+        self.next_command_seq
     }
 
     /// The instance this engine runs on.
@@ -500,6 +785,12 @@ impl<'a> Engine<'a> {
             degraded_ticks: self.degraded_ticks,
             fallback_assignments: self.fallback_assignments,
             planner_errors: self.planner_errors,
+            orders_submitted: self.orders_submitted,
+            orders_cancelled: self.orders_cancelled,
+            orders_rejected: self.orders_rejected,
+            orders_completed: self.orders_completed,
+            peak_backlog: self.peak_backlog,
+            total_order_age: self.total_order_age,
             planner_stats: stats,
         }
     }
@@ -727,7 +1018,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Phase 1: items emerging at tick `t` land on their racks.
+    /// Phase 1: items emerging at tick `t` land on their racks —
+    /// pregenerated items first (instance order), then due backlog orders
+    /// in `(arrival, order)` order. An instance's item list is sorted by
+    /// arrival with dense ids in sorted order, so a live run submitting
+    /// the same demand pre-tick-0 lands items in the identical sequence.
     fn step_arrivals(&mut self, t: Tick) {
         while self.next_item < self.instance.items.len() {
             let item = &self.instance.items[self.next_item];
@@ -735,7 +1030,26 @@ impl<'a> Engine<'a> {
                 break;
             }
             self.racks[item.rack.index()].push_item(item);
+            // Pregenerated items are orders submitted at tick 0; they land
+            // exactly at their arrival tick (`t == item.arrival` here).
+            self.total_order_age += t;
             self.next_item += 1;
+        }
+        while self.backlog.first().is_some_and(|b| b.arrival <= t) {
+            let b = self.backlog.remove(0);
+            // Live items get dense ids after the pregenerated range, in
+            // landing order; the order handle is kept for acks/cancels.
+            let id = ItemId::new(self.instance.items.len() + self.live_item_orders.len());
+            let item = Item {
+                id,
+                rack: b.rack,
+                arrival: b.arrival,
+                processing: b.processing,
+            };
+            self.racks[b.rack.index()].push_item(&item);
+            self.live_item_orders.push(b.order);
+            self.live_item_arrivals.push(b.arrival);
+            self.total_order_age += t - b.submitted;
         }
     }
 
@@ -760,8 +1074,18 @@ impl<'a> Engine<'a> {
                 let finished = self.pickers[pi].tick();
                 self.racks[entry.rack.index()].accum_processing += 1;
                 if finished {
-                    self.items_processed += self.carried_items[entry.robot.index()] as usize;
-                    self.carried_items[entry.robot.index()] = 0;
+                    let ai = entry.robot.index();
+                    self.items_processed += self.carried_items[ai] as usize;
+                    self.orders_completed += self.carried_items[ai] as u64;
+                    self.carried_items[ai] = 0;
+                    // Live orders riding on the batch are fulfilled now.
+                    for i in 0..self.carried_orders[ai].len() {
+                        self.acks_out.push(Ack::Completed {
+                            order: self.carried_orders[ai][i],
+                            tick: _t,
+                        });
+                    }
+                    self.carried_orders[ai].clear();
                     self.needs_return.push(entry.robot);
                     self.serving[pi] = None;
                 }
@@ -1124,6 +1448,9 @@ impl<'a> Engine<'a> {
             robots: &self.robots,
             idle_robots: &self.idle_buf,
             selectable_racks: &self.selectable_buf,
+            live_arrivals: &self.live_item_arrivals,
+            backlog_depth: (self.instance.items.len() - self.next_item) as u64
+                + self.backlog.len() as u64,
         };
         // The real (non-injected) budget check measures the A* expansions
         // this `plan()` call performs — a deterministic proxy for its cost
@@ -1186,6 +1513,7 @@ impl<'a> Engine<'a> {
             let (items, work) = self.racks[plan.rack.index()].take_pending();
             self.carried_work[ai] = work;
             self.carried_items[ai] = items.len() as u32;
+            self.record_carried_orders(ai, &items);
             self.robots[ai].phase = RobotPhase::ToRack { rack: plan.rack };
             self.racks[plan.rack.index()].in_flight = true;
             self.paths[ai] = Some(plan.path);
@@ -1259,6 +1587,7 @@ impl<'a> Engine<'a> {
             let (items, work) = self.racks[ri].take_pending();
             self.carried_work[ai] = work;
             self.carried_items[ai] = items.len() as u32;
+            self.record_carried_orders(ai, &items);
             self.robots[ai].phase = RobotPhase::ToRack { rack: rid };
             self.racks[ri].in_flight = true;
             self.paths[ai] = Some(path);
@@ -1268,6 +1597,20 @@ impl<'a> Engine<'a> {
         }
         self.idle_buf = idle;
         self.selectable_buf = selectable;
+    }
+
+    /// Remember which live orders ride on robot `ai`'s freshly taken
+    /// batch, so completion acks can name them when processing finishes.
+    /// Pregenerated items (ids below the instance's item count) have no
+    /// order handle to acknowledge.
+    fn record_carried_orders(&mut self, ai: usize, items: &[ItemId]) {
+        self.carried_orders[ai].clear();
+        let pregenerated = self.instance.items.len();
+        for id in items {
+            if id.index() >= pregenerated {
+                self.carried_orders[ai].push(self.live_item_orders[id.index() - pregenerated]);
+            }
+        }
     }
 
     /// Phase 5: advance robots along their paths; validate positions.
@@ -1329,7 +1672,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Phase 6: metrics, checkpoints, reservation GC.
-    fn step_bookkeeping(&mut self, t: Tick, planner: &mut dyn Planner, total_items: usize) {
+    fn step_bookkeeping(&mut self, t: Tick, planner: &mut dyn Planner) {
         let mut transport = 0u64;
         let mut queuing = 0u64;
         let mut processing = 0u64;
@@ -1355,7 +1698,17 @@ impl<'a> Engine<'a> {
         self.metrics
             .record_bottleneck(t, transport, queuing, processing);
 
-        // Item-progress checkpoints (the x-axes of Figs. 10-12).
+        // Backlog-depth watermark: pregenerated items not yet emerged plus
+        // live backlog entries. Sampled after this tick's arrivals, so a
+        // live run and its pregenerated equivalent agree at every tick.
+        let depth = (self.instance.items.len() - self.next_item) as u64 + self.backlog.len() as u64;
+        self.peak_backlog = self.peak_backlog.max(depth);
+
+        // Item-progress checkpoints (the x-axes of Figs. 10-12). The
+        // denominator is the live order book — submissions minus
+        // cancellations — which for a pregenerated run is exactly the
+        // instance's item count.
+        let total_items = (self.orders_submitted - self.orders_cancelled) as usize;
         let n = self.config.checkpoints.max(1);
         let threshold = (self.next_checkpoint * total_items) / n;
         if self.next_checkpoint <= n && self.items_processed >= threshold && threshold > 0 {
@@ -1395,9 +1748,13 @@ impl<'a> Engine<'a> {
         planner.housekeeping(t);
     }
 
-    /// All items arrived, fulfilled, and every robot idle again.
+    /// All items arrived, fulfilled, and every robot idle again. In live
+    /// mode the floor being momentarily drained is not completion — more
+    /// orders may arrive — so a shutdown must have been accepted too.
     fn is_done(&self) -> bool {
         self.next_item == self.instance.items.len()
+            && self.backlog.is_empty()
+            && (!self.config.live || self.shutdown)
             && self.racks.iter().all(|r| !r.in_flight && !r.has_pending())
             && self.robots.iter().all(|r| r.is_idle())
     }
@@ -1454,6 +1811,18 @@ impl<'a> Engine<'a> {
             next_decision_fault: self.next_decision_fault,
             next_leg_fault: self.next_leg_fault,
             next_poison_fault: self.next_poison_fault,
+            shutdown: self.shutdown,
+            next_command_seq: self.next_command_seq,
+            backlog: self.backlog.clone(),
+            live_item_orders: self.live_item_orders.clone(),
+            live_item_arrivals: self.live_item_arrivals.clone(),
+            carried_orders: self.carried_orders.clone(),
+            orders_submitted: self.orders_submitted,
+            orders_cancelled: self.orders_cancelled,
+            orders_rejected: self.orders_rejected,
+            orders_completed: self.orders_completed,
+            peak_backlog: self.peak_backlog,
+            total_order_age: self.total_order_age,
         }
     }
 
@@ -1503,6 +1872,18 @@ impl<'a> Engine<'a> {
         self.next_decision_fault = state.next_decision_fault;
         self.next_leg_fault = state.next_leg_fault;
         self.next_poison_fault = state.next_poison_fault;
+        self.shutdown = state.shutdown;
+        self.next_command_seq = state.next_command_seq;
+        self.backlog = state.backlog.clone();
+        self.live_item_orders = state.live_item_orders.clone();
+        self.live_item_arrivals = state.live_item_arrivals.clone();
+        self.carried_orders = state.carried_orders.clone();
+        self.orders_submitted = state.orders_submitted;
+        self.orders_cancelled = state.orders_cancelled;
+        self.orders_rejected = state.orders_rejected;
+        self.orders_completed = state.orders_completed;
+        self.peak_backlog = state.peak_backlog;
+        self.total_order_age = state.total_order_age;
     }
 
     /// Rebuild a mid-run engine + planner pair from an exported state.
@@ -1587,13 +1968,13 @@ fn resume_destination(
     }
 }
 
+/// Tiny deterministic instances shared by the engine and service unit
+/// tests (compiled only under `cfg(test)`).
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use eatp_core::{EatpConfig, NaiveTaskPlanner};
-    use tprw_warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
+pub(crate) mod test_support {
+    use tprw_warehouse::{Instance, LayoutConfig, ScenarioSpec, WorkloadConfig};
 
-    fn small_instance(n_items: usize, seed: u64) -> Instance {
+    pub(crate) fn small_instance(n_items: usize, seed: u64) -> Instance {
         ScenarioSpec {
             name: "engine-test".into(),
             layout: LayoutConfig::sized(24, 16),
@@ -1607,6 +1988,14 @@ mod tests {
         .build()
         .unwrap()
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::small_instance;
+    use super::*;
+    use eatp_core::{EatpConfig, NaiveTaskPlanner};
+    use tprw_warehouse::{LayoutConfig, ScenarioSpec, WorkloadConfig};
 
     #[test]
     fn ntp_completes_small_run() {

@@ -8,9 +8,17 @@
 //! performance of task planning algorithms in terms of effectiveness and
 //! efficiency."*
 //!
+//! * [`commands`] — the typed command-queue boundary of the order-stream
+//!   ingestion service (submit/cancel orders, inject disruptions, request
+//!   snapshots, shut down) with deterministic per-tick apply semantics;
 //! * [`engine`] — the discrete-time loop executing a
 //!   [`eatp_core::planner::Planner`] over an instance, driving the full
-//!   fulfilment cycle (pickup → delivery → queuing → processing → return);
+//!   fulfilment cycle (pickup → delivery → queuing → processing → return),
+//!   including the live order backlog fed through
+//!   [`engine::Engine::tick_with_commands`];
+//! * [`service`] — the multi-tenant headless runner: N isolated warehouse
+//!   instances on worker threads behind per-tenant command queues (see
+//!   `docs/order-stream.md`);
 //! * [`faults`] — seed-deterministic fault plans (planner decision/leg
 //!   failures, cache/oracle poisoning, snapshot I/O errors) plus the
 //!   graceful-degradation policy (see `docs/fault-injection.md`);
@@ -23,17 +31,21 @@
 //! * [`validate`] — independent per-tick re-validation that executed robot
 //!   trajectories are conflict-free (Definition 5).
 
+pub mod commands;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
 pub mod report;
+pub mod service;
 pub mod snapshot;
 pub mod validate;
 
+pub use commands::{Ack, BacklogOrder, Command, OrderSpec, RejectReason, SequencedCommand};
 pub use engine::{run_simulation, Engine, EngineConfig, EngineState};
 pub use faults::{DegradationPolicy, FaultConfig, FaultPlan, IoFaultKind};
 pub use metrics::{BottleneckSample, Checkpoint};
 pub use report::{DeterministicFingerprint, SimulationReport};
+pub use service::{ServiceBench, ServiceQueue, Tenant, TenantOutcome, TickBatch};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, hunt_divergence, read_snapshot, resume_from,
     run_with_fingerprints, write_snapshot_atomic, DivergenceReport, FingerprintJournal,

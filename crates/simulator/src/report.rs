@@ -69,6 +69,23 @@ pub struct SimulationReport {
     pub fallback_assignments: u64,
     /// Planner `plan`/`plan_legs` errors observed (injected or real).
     pub planner_errors: u64,
+    /// Orders submitted: live-ingested acceptances plus the pregenerated
+    /// item list, which the engine models as an order book submitted at
+    /// tick 0 (so a live run and its pregenerated equivalent agree).
+    pub orders_submitted: u64,
+    /// Live orders withdrawn from the backlog before their items emerged.
+    pub orders_cancelled: u64,
+    /// Commands rejected (duplicates, unknown orders, post-shutdown
+    /// submissions, invalid disruption injections).
+    pub orders_rejected: u64,
+    /// Orders whose items finished processing.
+    pub orders_completed: u64,
+    /// Peak backlog depth: not-yet-emerged pregenerated items plus live
+    /// backlog entries, sampled every tick.
+    pub peak_backlog: u64,
+    /// Total order age accrued at landing: `Σ (landing tick − submission
+    /// tick)`; pregenerated items are submitted at tick 0.
+    pub total_order_age: u64,
     /// Final cumulative planner statistics.
     #[serde(skip)]
     pub planner_stats: PlannerStats,
@@ -120,6 +137,12 @@ pub struct DeterministicFingerprint {
     pub fallback_assignments: u64,
     /// Planner errors observed (injected or real).
     pub planner_errors: u64,
+    /// Order-lifecycle counters, appended after `planner_errors` so every
+    /// pre-ingestion fingerprint prefix stays stable: submitted,
+    /// cancelled, rejected, completed, peak backlog depth, total order
+    /// age. The live≡pregenerated equivalence tests compare these too —
+    /// the engine's unified order-book accounting makes them identical.
+    pub order_counters: (u64, u64, u64, u64, u64, u64),
 }
 
 impl SimulationReport {
@@ -160,6 +183,14 @@ impl SimulationReport {
             degraded_ticks: self.degraded_ticks,
             fallback_assignments: self.fallback_assignments,
             planner_errors: self.planner_errors,
+            order_counters: (
+                self.orders_submitted,
+                self.orders_cancelled,
+                self.orders_rejected,
+                self.orders_completed,
+                self.peak_backlog,
+                self.total_order_age,
+            ),
         }
     }
 
@@ -260,6 +291,12 @@ mod tests {
             degraded_ticks: 0,
             fallback_assignments: 0,
             planner_errors: 0,
+            orders_submitted: 100,
+            orders_cancelled: 0,
+            orders_rejected: 0,
+            orders_completed: 100,
+            peak_backlog: 40,
+            total_order_age: 900,
             planner_stats: PlannerStats::default(),
         }
     }

@@ -37,10 +37,13 @@ pub const JOURNAL_MAGIC: [u8; 8] = *b"TPRWFPJ1";
 /// Current schema version. Version 1 (the initial format) lacked the
 /// top-level `planner_name` tag and the engine's `peak_scratch` counter;
 /// version 2 predated fault injection (no `faults`/`degradation` config
-/// and none of the engine's degradation counters or fault cursors).
-/// `migrate` upgrades older payloads in place, one hop at a time. Bump
-/// this when the payload schema changes and teach `migrate` the new hop.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// and none of the engine's degradation counters or fault cursors);
+/// version 3 predated order-stream ingestion (no `live` config flag and
+/// none of the engine's backlog/ingestion-cursor/order-counter fields —
+/// see `docs/order-stream.md`). `migrate` upgrades older payloads in
+/// place, one hop at a time. Bump this when the payload schema changes
+/// and teach `migrate` the new hop.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Little-endian sentinel; a big-endian writer would store these bytes
 /// reversed, which the reader detects as [`SnapshotError::WrongEndian`].
@@ -246,6 +249,121 @@ fn migrate(version: u32, mut v: Value) -> Result<Value, SnapshotError> {
             }
         }
         at = 3;
+    }
+    if at == 3 {
+        // v3 -> v4: order-stream ingestion. The config gains the `live`
+        // flag (off — a v3 run had no ingestion); the engine gains the
+        // backlog, the ingestion cursor and the order counters. A v3 run
+        // *is* a pure pregenerated run, and those are modelled as an
+        // order book submitted at tick 0, so the counters are not
+        // defaulted to zero but reconstructed to the exact values a v4
+        // engine would have accumulated by the checkpoint tick:
+        //
+        // * `orders_submitted`  = the instance's item count;
+        // * `orders_completed`  = items already processed;
+        // * `total_order_age`   = Σ arrival over items already landed
+        //   (each pregenerated item lands exactly at its arrival tick);
+        // * `peak_backlog`      = outstanding items after the tick-0
+        //   arrivals, the maximum of the monotonically draining series
+        //   (0 if no tick has executed — nothing was sampled yet).
+        let Value::Object(fields) = &mut v else {
+            return Err(SnapshotError::Decode(
+                "v3 snapshot root is not an object".into(),
+            ));
+        };
+        let get = |obj: &[(String, Value)], key: &str| -> Result<u64, SnapshotError> {
+            match obj.iter().find(|(k, _)| k == key) {
+                Some((_, Value::U64(n))) => Ok(*n),
+                _ => Err(SnapshotError::Decode(format!(
+                    "v3 snapshot engine field {key:?} missing or not a u64"
+                ))),
+            }
+        };
+        let arrivals: Vec<u64> = match fields.iter().find(|(k, _)| k == "instance") {
+            Some((_, Value::Object(instance))) => match instance.iter().find(|(k, _)| k == "items")
+            {
+                Some((_, Value::Array(items))) => items
+                    .iter()
+                    .map(|item| match item {
+                        Value::Object(item) => get(item, "arrival"),
+                        _ => Err(SnapshotError::Decode(
+                            "v3 snapshot instance item is not an object".into(),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?,
+                _ => {
+                    return Err(SnapshotError::Decode(
+                        "v3 snapshot instance has no item array".into(),
+                    ))
+                }
+            },
+            _ => {
+                return Err(SnapshotError::Decode(
+                    "v3 snapshot has no instance object".into(),
+                ))
+            }
+        };
+        if let Some((_, Value::Object(config))) = fields.iter_mut().find(|(k, _)| k == "config") {
+            if !config.iter().any(|(k, _)| k == "live") {
+                config.push(("live".to_string(), Value::Bool(false)));
+            }
+        }
+        if let Some((_, Value::Object(engine))) = fields.iter_mut().find(|(k, _)| k == "engine") {
+            let t = get(engine, "t")?;
+            let next_item = get(engine, "next_item")? as usize;
+            let items_processed = get(engine, "items_processed")?;
+            let n_robots = match engine.iter().find(|(k, _)| k == "robots") {
+                Some((_, Value::Array(robots))) => robots.len(),
+                _ => {
+                    return Err(SnapshotError::Decode(
+                        "v3 snapshot engine has no robot array".into(),
+                    ))
+                }
+            };
+            if next_item > arrivals.len() {
+                return Err(SnapshotError::Decode(format!(
+                    "v3 snapshot next_item {next_item} exceeds item count {}",
+                    arrivals.len()
+                )));
+            }
+            let landed_at_zero = arrivals.iter().take_while(|&&a| a == 0).count() as u64;
+            let peak_backlog = if t > 0 {
+                arrivals.len() as u64 - landed_at_zero
+            } else {
+                0
+            };
+            let total_order_age: u64 = arrivals[..next_item].iter().sum();
+            if !engine.iter().any(|(k, _)| k == "shutdown") {
+                engine.push(("shutdown".to_string(), Value::Bool(false)));
+            }
+            if !engine.iter().any(|(k, _)| k == "next_command_seq") {
+                engine.push(("next_command_seq".to_string(), Value::U64(0)));
+            }
+            for empty in ["backlog", "live_item_orders", "live_item_arrivals"] {
+                if !engine.iter().any(|(k, _)| k == empty) {
+                    engine.push((empty.to_string(), Value::Array(Vec::new())));
+                }
+            }
+            if !engine.iter().any(|(k, _)| k == "carried_orders") {
+                engine.push((
+                    "carried_orders".to_string(),
+                    Value::Array(vec![Value::Array(Vec::new()); n_robots]),
+                ));
+            }
+            for (counter, value) in [
+                ("orders_submitted", arrivals.len() as u64),
+                ("orders_cancelled", 0),
+                ("orders_rejected", 0),
+                ("orders_completed", items_processed),
+                ("peak_backlog", peak_backlog),
+                ("total_order_age", total_order_age),
+            ] {
+                if !engine.iter().any(|(k, _)| k == counter) {
+                    engine.push((counter.to_string(), Value::U64(value)));
+                }
+            }
+        }
+        at = 4;
     }
     debug_assert_eq!(at, SNAPSHOT_VERSION, "every hop must be applied");
     Ok(v)
@@ -1235,6 +1353,93 @@ mod tests {
             base.deterministic_fingerprint(),
             report.deterministic_fingerprint(),
             "a fault-free v2 snapshot must resume bit-identically"
+        );
+    }
+
+    #[test]
+    fn migrates_v3_payload_and_resumes_from_it() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("ATP");
+        let base = run_simulation(&inst, p.as_mut(), &config);
+
+        let mut p2 = make("ATP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p2.as_mut());
+        for _ in 0..40 {
+            engine.tick_once(p2.as_mut());
+        }
+        let data = engine.snapshot(p2.as_ref());
+
+        // Regress the payload to schema v3: strip everything v4 added.
+        let Value::Object(mut fields) = data.serialize() else {
+            panic!("snapshot value must be an object");
+        };
+        if let Some((_, Value::Object(config_fields))) =
+            fields.iter_mut().find(|(k, _)| k == "config")
+        {
+            config_fields.retain(|(k, _)| k != "live");
+        } else {
+            panic!("config field must be an object");
+        }
+        if let Some((_, Value::Object(engine_fields))) =
+            fields.iter_mut().find(|(k, _)| k == "engine")
+        {
+            engine_fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "shutdown"
+                        | "next_command_seq"
+                        | "backlog"
+                        | "live_item_orders"
+                        | "live_item_arrivals"
+                        | "carried_orders"
+                        | "orders_submitted"
+                        | "orders_cancelled"
+                        | "orders_rejected"
+                        | "orders_completed"
+                        | "peak_backlog"
+                        | "total_order_age"
+                )
+            });
+        } else {
+            panic!("engine field must be an object");
+        }
+        let payload = serde::binary::to_bytes(&Value::Object(fields));
+        let mut v3 = Vec::new();
+        v3.extend_from_slice(&SNAPSHOT_MAGIC);
+        v3.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+        v3.extend_from_slice(&3u32.to_le_bytes());
+        v3.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v3.extend_from_slice(&crc32(&payload).to_le_bytes());
+        v3.extend_from_slice(&payload);
+
+        let migrated = decode_snapshot(&v3).expect("v3 must migrate forward");
+        assert!(!migrated.config.live, "migration defaults ingestion off");
+        // A v3 run is a pure pregenerated run, so the hop must reconstruct
+        // the order counters exactly — not default them to zero. The
+        // engine that produced `data` computed the same values natively,
+        // so the migrated state must match it field for field.
+        assert_eq!(
+            migrated.engine.orders_submitted,
+            inst.items.len() as u64,
+            "pregenerated items are orders submitted at tick 0"
+        );
+        assert_eq!(
+            migrated.engine.orders_completed,
+            data.engine.items_processed as u64
+        );
+        assert!(migrated.engine.peak_backlog > 0, "40 ticks were sampled");
+        assert_eq!(migrated.engine, data.engine, "exact reconstruction");
+
+        let mut p3 = make("ATP");
+        let mut resumed = resume_from(&migrated, p3.as_mut()).expect("resume");
+        resumed.run_to_completion(p3.as_mut());
+        let report = resumed.report(p3.as_mut());
+        assert_eq!(
+            base.deterministic_fingerprint(),
+            report.deterministic_fingerprint(),
+            "a v3 snapshot must resume bit-identically"
         );
     }
 

@@ -65,6 +65,13 @@ id_type!(
     ItemId,
     "item#"
 );
+id_type!(
+    /// Identifier of a live-ingested order (one `SubmitOrder` command).
+    /// Orders land as [`ItemId`]s once accepted; the order id is the stable
+    /// handle producers use for cancellation and acknowledgements.
+    OrderId,
+    "order#"
+);
 
 #[cfg(test)]
 mod tests {
@@ -83,6 +90,7 @@ mod tests {
         assert_eq!(PickerId::new(2).to_string(), "picker#2");
         assert_eq!(RobotId::new(3).to_string(), "robot#3");
         assert_eq!(ItemId::new(4).to_string(), "item#4");
+        assert_eq!(OrderId::new(5).to_string(), "order#5");
     }
 
     #[test]

@@ -25,20 +25,32 @@
 //! flags are given, the checkpoint segments run *under* chaos, proving the
 //! fault cursors survive the snapshot boundary.
 //!
+//! With `--live-orders` the disrupted floor additionally runs in **live
+//! ingestion** mode: the pregenerated item list is stripped and resubmitted
+//! as `SubmitOrder` commands (plus a final `Shutdown`), redelivered every
+//! tick — the harshest redelivery schedule the idempotency cursor must
+//! absorb (see `docs/order-stream.md`). The drill asserts the live
+//! fingerprint is bit-identical to the pregenerated run. The flag composes:
+//! under `--chaos` the live stream is ingested with the fault plan armed,
+//! and under `--checkpoint-every` the live run crosses save/drop/resume
+//! boundaries *mid-ingestion*, redelivering the whole stream into every
+//! resumed segment.
+//!
 //! ```text
 //! cargo run --release --example disruption_drill
 //! cargo run --release --example disruption_drill -- --checkpoint-every 64
 //! cargo run --release --example disruption_drill -- --chaos 99 --checkpoint-every 64
+//! cargo run --release --example disruption_drill -- --live-orders --chaos 99 --checkpoint-every 64
 //! ```
 
 use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
 use eatp::simulator::{
-    read_snapshot, run_simulation, DegradationPolicy, Engine, EngineConfig, FaultConfig,
-    SimulationReport,
+    read_snapshot, run_simulation, Ack, Command, DegradationPolicy, Engine, EngineConfig,
+    FaultConfig, OrderSpec, SequencedCommand, SimulationReport,
 };
 use eatp::warehouse::{
-    CellKind, DisruptionConfig, DisruptionEvent, GridPos, Instance, LayoutConfig, ScenarioSpec,
-    Tick, TimedEvent, WorkloadConfig,
+    CellKind, DisruptionConfig, DisruptionEvent, GridPos, Instance, LayoutConfig, OrderId,
+    ScenarioSpec, Tick, TimedEvent, WorkloadConfig,
 };
 
 /// Parse `--<flag> N` (or `--<flag>=N`) from the command line; `None` when
@@ -118,9 +130,100 @@ fn checkpointed_run(
     }
 }
 
+/// The command stream equivalent to `inst`'s pregenerated item list: every
+/// item becomes a `SubmitOrder` (order id = item id, identical
+/// rack/processing/arrival), then a `Shutdown`. Submitting everything at
+/// tick 0 keeps the order-age accounting identical to the pregenerated run.
+fn equivalent_stream(inst: &Instance) -> Vec<SequencedCommand> {
+    let mut commands: Vec<SequencedCommand> = inst
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| SequencedCommand {
+            seq: i as u64,
+            command: Command::SubmitOrder {
+                spec: OrderSpec {
+                    order: OrderId::new(i),
+                    rack: item.rack,
+                    processing: item.processing,
+                    arrival: item.arrival,
+                },
+            },
+        })
+        .collect();
+    commands.push(SequencedCommand {
+        seq: commands.len() as u64,
+        command: Command::Shutdown,
+    });
+    commands
+}
+
+/// Drive a live engine to completion, **redelivering the whole stream at
+/// every tick** — the harshest producer a deployment could present; the
+/// `next_command_seq` cursor must make the redelivered prefix a no-op.
+fn drive_live(
+    engine: &mut Engine<'_>,
+    planner: &mut dyn eatp::core::Planner,
+    stream: &[SequencedCommand],
+    acks: &mut Vec<Ack>,
+) {
+    while !engine.is_finished() {
+        let mut due = stream.to_vec();
+        engine.tick_with_commands(planner, &mut due, acks);
+    }
+}
+
+/// [`checkpointed_run`] for live mode: each segment boundary saves, drops
+/// engine + planner, resumes from the file alone, and the *entire* command
+/// stream is redelivered into every resumed segment.
+fn checkpointed_live_run(
+    twin: &Instance,
+    name: &str,
+    every: Tick,
+    path: &std::path::Path,
+    config: &EngineConfig,
+    stream: &[SequencedCommand],
+) -> (SimulationReport, usize) {
+    let mut saves = 0usize;
+    {
+        let mut planner = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+        let mut engine = Engine::new(twin, config);
+        engine.start(&mut *planner);
+        while !engine.is_finished() && engine.current_tick() < every {
+            let mut due = stream.to_vec();
+            engine.tick_with_commands(&mut *planner, &mut due, &mut Vec::new());
+        }
+        if engine.is_finished() {
+            return (engine.report(&mut *planner), saves);
+        }
+        engine
+            .save_snapshot(&*planner, path)
+            .expect("snapshot saves");
+        saves += 1;
+    }
+    loop {
+        let data = read_snapshot(path).expect("snapshot reads back");
+        let mut planner = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+        let mut engine = eatp::simulator::resume_from(&data, &mut *planner).expect("resumes");
+        let target = engine.current_tick() + every;
+        while !engine.is_finished() && engine.current_tick() < target {
+            let mut due = stream.to_vec();
+            engine.tick_with_commands(&mut *planner, &mut due, &mut Vec::new());
+        }
+        if engine.is_finished() {
+            return (engine.report(&mut *planner), saves);
+        }
+        engine
+            .save_snapshot(&*planner, path)
+            .expect("snapshot saves");
+        saves += 1;
+    }
+}
+
 fn main() {
     let checkpoint_every = numeric_arg("checkpoint-every", 1);
     let chaos_seed = numeric_arg("chaos", 0);
+    let live_orders = std::env::args().skip(1).any(|a| a == "--live-orders");
     let wave = DisruptionConfig {
         breakdowns: 6,
         breakdown_ticks: (120, 260),
@@ -274,6 +377,80 @@ fn main() {
                 },
             );
         }
+        if live_orders {
+            // Live ingestion drill: strip the item list and resubmit it as
+            // a command stream. The horizon quantities normally derived
+            // from the item list must be pinned identically on both sides
+            // of the comparison (the live twin's list is empty).
+            let pregen_config = EngineConfig {
+                max_ticks: 50_000,
+                bottleneck_bucket: 50,
+                ..chaos_config.clone().unwrap_or_default()
+            };
+            let live_config = EngineConfig {
+                live: true,
+                ..pregen_config.clone()
+            };
+            let mut twin = disrupted.clone();
+            twin.items.clear();
+            let stream = equivalent_stream(&disrupted);
+
+            let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+            let reference = run_simulation(&disrupted, &mut *p, &pregen_config);
+            assert!(
+                reference.completed,
+                "{name}: pinned reference must complete"
+            );
+
+            let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
+            let mut engine = Engine::new(&twin, &live_config);
+            engine.start(&mut *p);
+            let mut acks = Vec::new();
+            drive_live(&mut engine, &mut *p, &stream, &mut acks);
+            let live_report = engine.report(&mut *p);
+            assert_eq!(
+                reference.deterministic_fingerprint(),
+                live_report.deterministic_fingerprint(),
+                "{name}: live ingestion diverged from the pregenerated run"
+            );
+            let completed = acks
+                .iter()
+                .filter(|a| matches!(a, Ack::Completed { .. }))
+                .count();
+            assert_eq!(
+                completed,
+                disrupted.items.len(),
+                "{name}: every live order must complete"
+            );
+            println!(
+                "       live-order drill{}: {} orders ingested under redelivery, \
+                 fingerprint matches the pregenerated run",
+                if chaos_config.is_some() {
+                    " (under chaos)"
+                } else {
+                    ""
+                },
+                disrupted.items.len(),
+            );
+            if let Some(every) = checkpoint_every {
+                let path = std::env::temp_dir().join(format!(
+                    "disruption-drill-live-{}-{name}.tprwsnap",
+                    std::process::id()
+                ));
+                let (resumed, saves) =
+                    checkpointed_live_run(&twin, name, every, &path, &live_config, &stream);
+                let _ = std::fs::remove_file(&path);
+                assert_eq!(
+                    reference.deterministic_fingerprint(),
+                    resumed.deterministic_fingerprint(),
+                    "{name}: checkpointed live ingestion diverged"
+                );
+                println!(
+                    "       live checkpoint drill: {saves} save/drop/resume cycles \
+                     mid-ingestion, final fingerprint identical",
+                );
+            }
+        }
     }
     println!(
         "\nevery planner absorbed the identical breakdown/blockade/closure \
@@ -289,6 +466,12 @@ fn main() {
         println!(
             "checkpoint/resume held under fire: every segment boundary crossed \
              through the snapshot file alone."
+        );
+    }
+    if live_orders {
+        println!(
+            "live ingestion held: every command stream replayed bit-identically \
+             to its pregenerated twin, redelivery and all."
         );
     }
 }

@@ -16,16 +16,21 @@
 //! * **Checkpoint/resume under chaos** — snapshotting mid-run with faults
 //!   armed and resuming with a fresh planner replays the remaining faults
 //!   from the persisted cursors bit-identically.
+//! * **Live ingestion under chaos** — a command stream of extra live
+//!   orders (its own arrival seed) on top of the pregenerated workload,
+//!   with the full fault mix armed: the run still terminates safely,
+//!   replays bit-identically, and resumes mid-ingestion bit-identically
+//!   under full command redelivery (see `docs/order-stream.md`).
 //!
 //! `PROPTEST_CASES` scales the soak (default 64 cases per property).
 
-use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::core::{planner_by_name, EatpConfig, Planner, PLANNER_NAMES};
 use eatp::simulator::{
-    decode_snapshot, encode_snapshot, resume_from, run_simulation, DegradationPolicy, Engine,
-    EngineConfig, FaultConfig,
+    decode_snapshot, encode_snapshot, resume_from, run_simulation, Ack, Command, DegradationPolicy,
+    Engine, EngineConfig, FaultConfig, OrderSpec, SequencedCommand,
 };
 use eatp::warehouse::{
-    DisruptionConfig, Instance, LayoutConfig, ScenarioSpec, Tick, WorkloadConfig,
+    DisruptionConfig, Instance, LayoutConfig, OrderId, ScenarioSpec, Tick, WorkloadConfig,
 };
 use proptest::prelude::*;
 
@@ -85,7 +90,164 @@ fn chaos_config(fault_seed: u64) -> EngineConfig {
     }
 }
 
+/// A deterministic live-order stream derived from `order_seed`: `n`
+/// submissions spread across the disruption window, closed by a shutdown.
+/// Each command is scheduled for delivery a few ticks before its order's
+/// requested arrival, so orders actually wait in the backlog.
+fn live_order_stream(inst: &Instance, order_seed: u64, n: usize) -> Vec<(Tick, SequencedCommand)> {
+    let mut x = order_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        // xorshift64 — self-contained so the stream depends on nothing
+        // but the seed.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut orders = Vec::new();
+    for i in 0..n {
+        let rack = (next() as usize) % inst.racks.len();
+        let processing = 4 + (next() % 10);
+        let arrival = 10 + (next() % 140);
+        orders.push((
+            arrival.saturating_sub(5),
+            OrderSpec {
+                order: OrderId::new(i),
+                rack: inst.racks[rack].id,
+                processing,
+                arrival,
+            },
+        ));
+    }
+    // Sequence numbers are assigned at *enqueue* time, so they must be
+    // monotone in delivery order (the idempotency cursor relies on it).
+    orders.sort_by_key(|(tick, spec)| (*tick, spec.order));
+    let mut stream: Vec<(Tick, SequencedCommand)> = orders
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (tick, spec))| {
+            (
+                tick,
+                SequencedCommand {
+                    seq: seq as u64,
+                    command: Command::SubmitOrder { spec },
+                },
+            )
+        })
+        .collect();
+    stream.push((
+        160,
+        SequencedCommand {
+            seq: n as u64,
+            command: Command::Shutdown,
+        },
+    ));
+    stream
+}
+
+/// Drives `engine` to completion, redelivering every already-due command
+/// of `stream` at every tick (the harshest redelivery schedule — the
+/// idempotency cursor must neutralise it).
+fn drive_live(
+    engine: &mut Engine<'_>,
+    planner: &mut dyn Planner,
+    stream: &[(Tick, SequencedCommand)],
+    acks: &mut Vec<Ack>,
+) {
+    while !engine.is_finished() {
+        let t = engine.current_tick();
+        let mut due: Vec<SequencedCommand> = stream
+            .iter()
+            .filter(|(tick, _)| *tick <= t)
+            .map(|(_, c)| c.clone())
+            .collect();
+        engine.tick_with_commands(planner, &mut due, acks);
+    }
+}
+
 proptest! {
+    /// Live command streams on top of the pregenerated workload with the
+    /// full chaos mix armed: safety invariants hold, the same seeds
+    /// replay bit-identically, and a mid-ingestion snapshot resumes
+    /// bit-identically under full command redelivery.
+    #[test]
+    fn live_order_chaos_composes(
+        planner_idx in 0usize..5,
+        kind in 0usize..3,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        order_seed in 0u64..10_000,
+        cut in 5u64..120,
+    ) {
+        let name = PLANNER_NAMES[planner_idx];
+        let inst = scenario(kind, seed);
+        let config = EngineConfig { live: true, ..chaos_config(fault_seed) };
+        let planner_cfg = EatpConfig::default();
+        let stream = live_order_stream(&inst, order_seed, 8);
+
+        let mut p1 = planner_by_name(name, &planner_cfg).unwrap();
+        let mut e1 = Engine::new(&inst, &config);
+        e1.start(p1.as_mut());
+        let mut acks1 = Vec::new();
+        drive_live(&mut e1, p1.as_mut(), &stream, &mut acks1);
+        let r1 = e1.report(p1.as_mut());
+        prop_assert!(
+            r1.completed,
+            "{name} wedged under live chaos (kind {kind}, seed {seed}, faults {fault_seed}, orders {order_seed})"
+        );
+        prop_assert_eq!(r1.executed_conflicts, 0, "live chaos must stay conflict-free");
+        prop_assert_eq!(r1.disruption_violations, 0, "live chaos must respect disruptions");
+        let accepted = acks1.iter().filter(|a| matches!(a, Ack::Accepted { .. })).count();
+        let completed = acks1.iter().filter(|a| matches!(a, Ack::Completed { .. })).count();
+        prop_assert_eq!(accepted, 8, "every live submission must be accepted");
+        prop_assert_eq!(completed, 8, "every live order must complete");
+
+        // Bit-identical replay, order counters included.
+        let mut p2 = planner_by_name(name, &planner_cfg).unwrap();
+        let mut e2 = Engine::new(&inst, &config);
+        e2.start(p2.as_mut());
+        let mut acks2 = Vec::new();
+        drive_live(&mut e2, p2.as_mut(), &stream, &mut acks2);
+        let r2 = e2.report(p2.as_mut());
+        prop_assert_eq!(
+            r1.deterministic_fingerprint(),
+            r2.deterministic_fingerprint(),
+            "{} must replay live chaos bit-identically (orders {})",
+            name, order_seed
+        );
+        prop_assert_eq!(&acks1, &acks2, "ack streams must replay bit-identically");
+
+        // Resume mid-ingestion with full redelivery.
+        let mut p3 = planner_by_name(name, &planner_cfg).unwrap();
+        let mut e3 = Engine::new(&inst, &config);
+        e3.start(p3.as_mut());
+        let mut acks3 = Vec::new();
+        while !e3.is_finished() && e3.current_tick() < cut {
+            let t = e3.current_tick();
+            let mut due: Vec<SequencedCommand> = stream
+                .iter()
+                .filter(|(tick, _)| *tick <= t)
+                .map(|(_, c)| c.clone())
+                .collect();
+            e3.tick_with_commands(p3.as_mut(), &mut due, &mut acks3);
+        }
+        let bytes = encode_snapshot(&e3.snapshot(p3.as_ref()));
+        drop(e3);
+        drop(p3);
+        let data = decode_snapshot(&bytes).expect("live chaos snapshot must decode");
+        let mut fresh = planner_by_name(name, &planner_cfg).unwrap();
+        let mut resumed = resume_from(&data, fresh.as_mut()).expect("must resume");
+        let mut acks4 = Vec::new();
+        drive_live(&mut resumed, fresh.as_mut(), &stream, &mut acks4);
+        let r3 = resumed.report(fresh.as_mut());
+        prop_assert_eq!(
+            r1.deterministic_fingerprint(),
+            r3.deterministic_fingerprint(),
+            "{} diverged resuming live chaos at tick {} (kind {}, seed {}, faults {}, orders {})",
+            name, cut, kind, seed, fault_seed, order_seed
+        );
+    }
+
     /// Random (planner, scenario, fault seed) tuples: the run must
     /// terminate, stay conflict- and violation-free, and replay
     /// bit-identically under the same fault seed.

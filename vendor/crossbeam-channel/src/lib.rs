@@ -1,0 +1,316 @@
+//! Vendored minimal stand-in for the `crossbeam-channel` crate.
+//!
+//! The build container has no network access, so this workspace vendors the
+//! small slice of the crossbeam-channel API the order-stream service layer
+//! needs: an **unbounded MPMC channel** with blocking `recv`, non-blocking
+//! `try_recv`, and disconnect detection on both ends. The implementation is a
+//! `Mutex<VecDeque>` + `Condvar` — not lock-free like the real crate, but
+//! API-compatible for the subset below and entirely sufficient for the
+//! per-tenant command queues (one producer, one consumer, tens of thousands
+//! of messages per run).
+//!
+//! Supported surface:
+//!
+//! * [`unbounded`] — create a channel with no capacity bound;
+//! * [`Sender::send`] — never blocks; fails with [`SendError`] once every
+//!   receiver is gone;
+//! * [`Receiver::recv`] — blocks until a message arrives or every sender is
+//!   gone and the queue is drained ([`RecvError`]);
+//! * [`Receiver::try_recv`] — non-blocking; distinguishes
+//!   [`TryRecvError::Empty`] from [`TryRecvError::Disconnected`].
+//!
+//! Both handles are [`Clone`]; disconnect is tracked by live-handle counts,
+//! matching crossbeam's semantics (a channel is disconnected when all handles
+//! of one side are dropped).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared state behind one channel: the queue plus live-handle counts.
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled on every successful send and on sender disconnect.
+    available: Condvar,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Error returned by [`Sender::send`] when all receivers have been dropped.
+///
+/// The unsent message is handed back so the caller can recover it.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: Send> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders have been dropped.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain connected.
+    Empty,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// The sending half of an [`unbounded`] channel. Cloneable; the channel
+/// disconnects for receivers once the last clone is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an [`unbounded`] channel. Cloneable; the channel
+/// disconnects for senders once the last clone is dropped.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates an unbounded channel, returning the sender/receiver pair.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        available: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Appends a message to the queue. Never blocks; fails only when every
+    /// receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if inner.receivers == 0 {
+            return Err(SendError(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake every blocked receiver so it can observe the disconnect.
+            drop(inner);
+            self.shared.available.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or all senders are gone and the
+    /// queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        if let Some(msg) = inner.queue.pop_front() {
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.inner.lock().unwrap().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_then_recv_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = unbounded();
+        let handle = thread::spawn(move || rx.recv());
+        tx.send(42u32).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn recv_sees_disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(1u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let handle = thread::spawn(move || rx.recv());
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_dropped() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        drop(rx);
+        drop(rx2);
+        assert_eq!(tx.send(7u8), Err(SendError(7)));
+    }
+
+    #[test]
+    fn cloned_senders_keep_channel_alive() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9u8).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_totals_add_up() {
+        let (tx, rx) = unbounded::<u64>();
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..250 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut n = 0u64;
+                while rx.recv().is_ok() {
+                    n += 1;
+                }
+                n
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+}
