@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem, SpatioTemporalGraph};
+use tprw_pathfinding::{
+    ConflictDetectionTable, Path, ReservationProbe, ReservationSystem, SpatioTemporalGraph,
+};
 use tprw_warehouse::{GridPos, RobotId};
 
 const W: u16 = 120;

@@ -71,7 +71,7 @@ pub fn pick_robot<R: ReservationBackend>(
 mod tests {
     use super::*;
     use crate::config::EatpConfig;
-    use tprw_pathfinding::{ConflictDetectionTable, ReservationSystem};
+    use tprw_pathfinding::{ConflictDetectionTable, ReservationProbe};
     use tprw_warehouse::{Instance, ItemId, LayoutConfig, ScenarioSpec, WorkloadConfig};
 
     fn instance() -> Instance {

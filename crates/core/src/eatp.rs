@@ -17,12 +17,12 @@ use crate::atp::{greedy_bootstrap_select, LearningSnapshot};
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::planner::{
-    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats, TentativeLeg,
 };
 use crate::qlearning::QTable;
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
-use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
+use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationProbe};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
 /// Algorithm 3: flip-side Q-selection + CDT + cache-aided A*.
@@ -214,16 +214,36 @@ impl Planner for EfficientAdaptiveTaskPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(
+    fn query_legs(
         &mut self,
         requests: &[LegRequest],
         start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
+    ) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .query_legs(requests, start, tentative)
+    }
+
+    fn commit_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
         results: &mut Vec<Option<Path>>,
     ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results)
+            .commit_legs(requests, start, tentative, results)
+    }
+
+    fn set_parallel_workers(&mut self, workers: usize) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .set_parallel_workers(workers)
     }
 
     fn inject_fault(&mut self, fault: &InjectedFault) -> bool {

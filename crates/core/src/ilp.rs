@@ -23,11 +23,11 @@ use crate::config::EatpConfig;
 use crate::makespan::queuing_delay;
 use crate::ntp::most_slack_picker_selection;
 use crate::planner::{
-    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats, TentativeLeg,
 };
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
-use tprw_pathfinding::{Path, ReservationSystem, SpatioTemporalGraph};
+use tprw_pathfinding::{Path, ReservationProbe, SpatioTemporalGraph};
 use tprw_solver::{assign_min_cost, solve_binary_min, IlpLimits, IlpProblem};
 use tprw_warehouse::{DisruptionEvent, GridPos, Instance, RackId, RobotId, Tick};
 
@@ -258,16 +258,36 @@ impl Planner for IlpPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(
+    fn query_legs(
         &mut self,
         requests: &[LegRequest],
         start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
+    ) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .query_legs(requests, start, tentative)
+    }
+
+    fn commit_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
         results: &mut Vec<Option<Path>>,
     ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results)
+            .commit_legs(requests, start, tentative, results)
+    }
+
+    fn set_parallel_workers(&mut self, workers: usize) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .set_parallel_workers(workers)
     }
 
     fn inject_fault(&mut self, fault: &InjectedFault) -> bool {

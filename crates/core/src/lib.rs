@@ -48,6 +48,18 @@
 //! (equivalence-pinned by `tests/anticipation.rs`); on blockade-heavy
 //! floors the aware planners beat reactive-only makespan (gated in CI via
 //! `bench_sim`).
+//!
+//! # Parallel leg planning (two-phase API)
+//!
+//! [`planner::Planner::plan_legs`] is composed of a read-only
+//! [`planner::Planner::query_legs`] phase — which may speculate every leg
+//! search of a tick's batch concurrently on worker threads — and a
+//! serialized [`planner::Planner::commit_legs`] phase that adopts or
+//! serially retries the tentative results in canonical request order.
+//! Any worker count is bit-identical to the serial path, anticipation
+//! included (selection runs before leg planning and is untouched); see
+//! `docs/parallel-execution.md` for the phase contract and the exact
+//! touch-set argument behind it.
 
 pub mod assignment;
 pub mod badcase;

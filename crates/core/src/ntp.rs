@@ -11,7 +11,7 @@ use crate::assignment::match_and_plan;
 use crate::base::PlannerBase;
 use crate::config::EatpConfig;
 use crate::planner::{
-    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats,
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats, TentativeLeg,
 };
 use crate::world::WorldView;
 use serde::{Deserialize, Serialize};
@@ -106,16 +106,36 @@ impl Planner for NaiveTaskPlanner {
             .plan_and_reserve(robot, from, to, start, park)
     }
 
-    fn plan_legs(
+    fn query_legs(
         &mut self,
         requests: &[LegRequest],
         start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
+    ) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .query_legs(requests, start, tentative)
+    }
+
+    fn commit_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
         results: &mut Vec<Option<Path>>,
     ) -> Result<(), PlannerError> {
         self.base
             .as_mut()
             .expect("init() must be called first")
-            .plan_legs(requests, start, results)
+            .commit_legs(requests, start, tentative, results)
+    }
+
+    fn set_parallel_workers(&mut self, workers: usize) {
+        self.base
+            .as_mut()
+            .expect("init() must be called first")
+            .set_parallel_workers(workers)
     }
 
     fn inject_fault(&mut self, fault: &InjectedFault) -> bool {

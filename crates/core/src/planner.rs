@@ -57,6 +57,46 @@ impl LegRequest {
     }
 }
 
+/// A speculative result of the read-only *query* phase of leg planning
+/// (see [`Planner::query_legs`]): what one search concluded against the
+/// pre-batch reservation state, plus everything the *commit* phase needs to
+/// either adopt the conclusion verbatim or prove it stale.
+///
+/// `touched` is the exact set of cells whose reservations the search
+/// observed (via `tprw_pathfinding::RecordingProbe`); `cache_probes` is the
+/// exact sequence of path-cache lookups it made. A commit earlier in the
+/// batch can only change this search's outcome by mutating a touched cell,
+/// so a tentative whose touched set is disjoint from everything committed
+/// so far is adopted as-is — bit-identical to re-running the search.
+#[derive(Debug, Clone, Default)]
+pub enum TentativeLeg {
+    /// No speculative search ran for this request (serial planners, or the
+    /// request was skipped); the commit phase plans it inline.
+    #[default]
+    Deferred,
+    /// The search found a path against the pre-batch state.
+    Planned {
+        /// The conflict-free path (not yet reserved).
+        path: Path,
+        /// A* expansions the search spent (folded into stats on adoption).
+        expansions: usize,
+        /// Whether the path tail came from the path cache.
+        used_cache: bool,
+        /// Every `(from, to)` pair the search asked the path cache for, in
+        /// call order — replayed on the shared cache on adoption.
+        cache_probes: Vec<(GridPos, GridPos)>,
+        /// Exact cells whose reservations the search observed.
+        touched: Vec<GridPos>,
+    },
+    /// The search concluded "blocked" against the pre-batch state.
+    Blocked {
+        /// Path-cache call sequence (splice attempts run before failing).
+        cache_probes: Vec<(GridPos, GridPos)>,
+        /// Exact cells whose reservations the search observed.
+        touched: Vec<GridPos>,
+    },
+}
+
 /// Cumulative efficiency counters (the STC/PTC/MC metrics of Sec. VII-A).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlannerStats {
@@ -192,23 +232,50 @@ pub trait Planner {
         park: bool,
     ) -> Option<Path>;
 
-    /// Plan a whole tick's delivery/return legs in one call. `results` is
-    /// cleared and refilled 1:1 with `requests` (`Some(path)` = planned and
-    /// reserved, `None` = blocked or group-skipped; the caller retries those
-    /// on a later tick). Requests are processed strictly in order, honouring
-    /// each request's mutual-exclusion [`LegRequest::group`].
+    /// The read-only *query* phase of batched leg planning: speculatively
+    /// search every request against the current (pre-batch) reservation
+    /// state **without reserving anything**, refilling `tentative` 1:1 with
+    /// `requests`. Mutual-exclusion groups are *not* resolved here — group
+    /// membership depends on commit order, so grouped requests are
+    /// speculated like any other and the skip happens in
+    /// [`Planner::commit_legs`].
     ///
-    /// Batching is a *performance* contract only: implementations must
-    /// produce exactly the paths the default serial loop below would, so the
-    /// simulation outcome is bit-identical either way. `PlannerBase`-backed
-    /// planners override this to share one timing bracket and the warm
-    /// search arena across the batch instead of paying per-leg overhead.
-    /// `Err` means the whole batch failed before committing anything; the
-    /// engine treats every leg as blocked and retries on a later tick.
-    fn plan_legs(
+    /// The phase is an optimization seam, not a contract extension: a
+    /// planner may always leave every slot [`TentativeLeg::Deferred`] (the
+    /// default does) and let the commit phase plan serially. Parallel
+    /// planners shard the searches across worker threads; because the phase
+    /// only *reads* reservation state, the shards race nothing.
+    fn query_legs(
+        &mut self,
+        requests: &[LegRequest],
+        _start: Tick,
+        tentative: &mut Vec<TentativeLeg>,
+    ) {
+        tentative.clear();
+        tentative.resize_with(requests.len(), TentativeLeg::default);
+    }
+
+    /// The serialized *commit* phase of batched leg planning: walk
+    /// `requests` strictly in order, adopting still-valid tentatives and
+    /// re-planning the rest inline, reserving every successful path.
+    /// `results` is cleared and refilled 1:1 with `requests` (`Some(path)` =
+    /// planned and reserved, `None` = blocked or group-skipped; the caller
+    /// retries those on a later tick), honouring each request's
+    /// mutual-exclusion [`LegRequest::group`]. `tentative` slots are
+    /// consumed (reset to [`TentativeLeg::Deferred`]); a `tentative` shorter
+    /// than `requests` is padded with deferred slots.
+    ///
+    /// The two-phase split is a *performance* contract only:
+    /// `query_legs` + `commit_legs` must produce exactly the paths the
+    /// serial per-leg loop would, so the simulation outcome is bit-identical
+    /// with any worker count. `Err` means the whole batch failed before
+    /// committing anything; the engine treats every leg as blocked and
+    /// retries on a later tick.
+    fn commit_legs(
         &mut self,
         requests: &[LegRequest],
         start: Tick,
+        _tentative: &mut Vec<TentativeLeg>,
         results: &mut Vec<Option<Path>>,
     ) -> Result<(), PlannerError> {
         results.clear();
@@ -230,6 +297,30 @@ pub trait Planner {
         }
         Ok(())
     }
+
+    /// Plan a whole tick's delivery/return legs in one call: the
+    /// [`Planner::query_legs`] probe pass composed with the
+    /// [`Planner::commit_legs`] reservation pass. Callers that batch every
+    /// tick (the engine) drive the two phases directly with a reusable
+    /// tentative buffer; this composition is the convenience entry point
+    /// and the compatibility surface for pre-split call sites.
+    fn plan_legs(
+        &mut self,
+        requests: &[LegRequest],
+        start: Tick,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
+        let mut tentative = Vec::new();
+        self.query_legs(requests, start, &mut tentative);
+        self.commit_legs(requests, start, &mut tentative, results)
+    }
+
+    /// Size the worker pool [`Planner::query_legs`] shards speculative
+    /// searches across. `0` and `1` both mean "fully serial" (the paths are
+    /// identical either way — workers only change wall-clock time). The
+    /// default ignores the hint: planners without a parallel query phase
+    /// are always serial.
+    fn set_parallel_workers(&mut self, _workers: usize) {}
 
     /// Notification that `robot` docked at a station and left the grid.
     fn on_dock(&mut self, robot: RobotId);

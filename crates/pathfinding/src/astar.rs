@@ -4,8 +4,8 @@
 //! The search runs on the time-expanded graph: a state is a `(cell, tick)`
 //! pair, moves cost one tick, waiting in place costs one tick, and the
 //! heuristic is the Manhattan distance to the destination (admissible on
-//! grids). Conflict constraints come from a [`ReservationSystem`]: a move is
-//! expanded only if [`ReservationSystem::can_move`] allows it, which encodes
+//! grids). Conflict constraints come from a [`ReservationProbe`]: a move is
+//! expanded only if [`ReservationProbe::can_move`] allows it, which encodes
 //! both single-grid and inter-grid conflicts of Definition 5.
 //!
 //! # Hot-path design (see also [`crate::scratch`])
@@ -47,7 +47,7 @@
 
 use crate::cache::PathCache;
 use crate::path::Path;
-use crate::reservation::ReservationSystem;
+use crate::reservation::ReservationProbe;
 use crate::scratch::{SearchScratch, ACTION_MOVE_BASE, ACTION_ROOT, ACTION_WAIT};
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -188,12 +188,12 @@ impl Region {
 ///
 /// Returns `None` when no path exists within the expansion/horizon budget —
 /// callers treat that as "retry on a later tick". The returned path is *not*
-/// yet reserved; call [`ReservationSystem::reserve_path`] to commit it.
+/// yet reserved; call [`ReservationSystem::reserve_path`](crate::reservation::ReservationSystem::reserve_path) to commit it.
 ///
 /// After the scratch has warmed up to the workload's largest query, this
 /// function performs **no heap allocations** on the cache-less path.
 #[allow(clippy::too_many_arguments)]
-pub fn plan_path_into<R: ReservationSystem>(
+pub fn plan_path_into<R: ReservationProbe>(
     scratch: &mut SearchScratch,
     grid: &GridMap,
     resv: &R,
@@ -230,7 +230,7 @@ pub fn plan_path_into<R: ReservationSystem>(
 /// fallback. `force_sparse` exists for tests that pin the two
 /// implementations against each other.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn plan_path_checked<R: ReservationSystem>(
+pub(crate) fn plan_path_checked<R: ReservationProbe>(
     scratch: &mut SearchScratch,
     grid: &GridMap,
     resv: &R,
@@ -287,7 +287,7 @@ pub(crate) fn plan_path_checked<R: ReservationSystem>(
 
 /// [`plan_path_into`] with an owned result path.
 #[allow(clippy::too_many_arguments)]
-pub fn plan_path_with<R: ReservationSystem>(
+pub fn plan_path_with<R: ReservationProbe>(
     scratch: &mut SearchScratch,
     grid: &GridMap,
     resv: &R,
@@ -331,7 +331,7 @@ const LOCAL_SCRATCH_MAX_SLOTS: usize = 1 << 22;
 /// `LOCAL_SCRATCH_MAX_SLOTS` dense slots — oversized tables are released
 /// after the query.
 #[allow(clippy::too_many_arguments)]
-pub fn plan_path<R: ReservationSystem>(
+pub fn plan_path<R: ReservationProbe>(
     grid: &GridMap,
     resv: &R,
     robot: RobotId,
@@ -361,7 +361,7 @@ pub fn plan_path<R: ReservationSystem>(
 
 /// Dense-arena search core.
 #[allow(clippy::too_many_arguments)]
-fn plan_dense<R: ReservationSystem>(
+fn plan_dense<R: ReservationProbe>(
     scratch: &mut SearchScratch,
     region: Region,
     grid: &GridMap,
@@ -558,7 +558,7 @@ fn reconstruct_dense(
 /// [`DENSE_TABLE_CAP`]: the seed's hash-based search with a collision-free
 /// `dt * cell_count + cell_index` key and recycled buffers.
 #[allow(clippy::too_many_arguments)]
-fn plan_sparse<R: ReservationSystem>(
+fn plan_sparse<R: ReservationProbe>(
     scratch: &mut SearchScratch,
     grid: &GridMap,
     resv: &R,
@@ -675,7 +675,7 @@ fn reconstruct_sparse(
 /// the threshold check, the per-query attempt budget and the wait-splice
 /// itself so the two cores cannot drift semantically.
 #[allow(clippy::too_many_arguments)]
-fn splice_completes<R: ReservationSystem>(
+fn splice_completes<R: ReservationProbe>(
     resv: &R,
     robot: RobotId,
     pos: GridPos,
@@ -715,7 +715,7 @@ fn splice_completes<R: ReservationSystem>(
 /// at `(from, t0)`; returns `false` if a wait budget is exceeded or the path
 /// cannot be completed.
 #[allow(clippy::too_many_arguments)]
-fn try_splice_into<R: ReservationSystem>(
+fn try_splice_into<R: ReservationProbe>(
     resv: &R,
     robot: RobotId,
     from: GridPos,
@@ -765,6 +765,7 @@ mod tests {
     use super::*;
     use crate::cdt::ConflictDetectionTable;
     use crate::conflict::find_conflicts;
+    use crate::reservation::ReservationSystem;
     use crate::stg::SpatioTemporalGraph;
     use proptest::prelude::*;
     use tprw_warehouse::CellKind;

@@ -56,7 +56,9 @@
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
-use crate::reservation::{ParkingBoard, ReservationContent, ReservationSystem, TimedReservation};
+use crate::reservation::{
+    ParkingBoard, ReservationContent, ReservationProbe, ReservationSystem, TimedReservation,
+};
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
 /// Entries a cell stores inline before spilling into the pool.
@@ -488,7 +490,7 @@ impl ConflictDetectionTable {
     }
 }
 
-impl ReservationSystem for ConflictDetectionTable {
+impl ReservationProbe for ConflictDetectionTable {
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
         self.timed_occupant(pos, t)
             .or_else(|| self.parked.occupant(pos, t))
@@ -523,19 +525,6 @@ impl ReservationSystem for ConflictDetectionTable {
         true
     }
 
-    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
-        self.check_limits(robot, path.end());
-        self.parked.unpark(robot);
-        for (t, cell) in path.iter_timed() {
-            if self.insert_packed(cell.to_index(self.width), pack(t, robot)) {
-                self.reservations += 1;
-            }
-        }
-        if park_at_end {
-            self.parked.park(robot, path.last(), path.end() + 1);
-        }
-    }
-
     fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
         let rb = robot.index() as u64;
         self.window(pos.to_index(self.width))
@@ -547,6 +536,25 @@ impl ReservationSystem for ConflictDetectionTable {
 
     fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
         self.parked.entry(pos)
+    }
+
+    fn parked_cell(&self, robot: RobotId) -> Option<GridPos> {
+        self.parked.cell_of(robot)
+    }
+}
+
+impl ReservationSystem for ConflictDetectionTable {
+    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
+        self.check_limits(robot, path.end());
+        self.parked.unpark(robot);
+        for (t, cell) in path.iter_timed() {
+            if self.insert_packed(cell.to_index(self.width), pack(t, robot)) {
+                self.reservations += 1;
+            }
+        }
+        if park_at_end {
+            self.parked.park(robot, path.last(), path.end() + 1);
+        }
     }
 
     fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {

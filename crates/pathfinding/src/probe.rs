@@ -1,0 +1,227 @@
+//! Read-only reservation probing with an exact touch footprint.
+//!
+//! The parallel leg planner runs every search of a tick's batch
+//! speculatively against the **pre-batch** reservation state. A speculative
+//! result is only valid at commit time if no reservation it *observed* has
+//! changed since — and a committed path can only change probe answers on
+//! the specific cells it reserves (its timed steps, its new park cell, and
+//! the park cell [`ReservationSystem::reserve_path`] implicitly removes).
+//!
+//! [`RecordingProbe`] wraps a `&R` behind the read-only
+//! [`ReservationProbe`] trait and stamps **every cell a probe touches**
+//! into a [`TouchLog`]. The commit phase then accepts a tentative result
+//! iff none of its touched cells intersects the batch's committed-cell set;
+//! otherwise the request is deterministically re-planned serially. This is
+//! exact (not a spatial over-approximation): a search whose touched cells
+//! are all unchanged would re-run identically, probe for probe.
+//!
+//! The stamp grid is generation-numbered so clearing between requests is
+//! O(1), and the distinct-cell list is deduplicated on the fly, keeping the
+//! per-probe overhead to one array load + compare on the warm path.
+//!
+//! [`ReservationSystem::reserve_path`]: crate::reservation::ReservationSystem::reserve_path
+
+use crate::reservation::ReservationProbe;
+use std::cell::RefCell;
+use tprw_warehouse::{GridPos, RobotId, Tick};
+
+/// Generation-stamped record of the distinct cells a search probed.
+#[derive(Debug, Clone, Default)]
+pub struct TouchLog {
+    width: u16,
+    /// Stamp per cell; a cell is touched this generation iff
+    /// `stamps[i] == gen`.
+    stamps: Vec<u32>,
+    gen: u32,
+    /// Distinct touched cells, in first-touch order.
+    cells: Vec<GridPos>,
+}
+
+impl TouchLog {
+    /// An empty log over a `width`×`height` grid (no cell is contained
+    /// until touched, even before the first [`TouchLog::begin`]).
+    pub fn new(width: u16, height: u16) -> Self {
+        TouchLog {
+            width,
+            stamps: vec![0; width as usize * height as usize],
+            gen: 1,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Resets the log for a new search (O(1); the stamp grid survives).
+    pub fn begin(&mut self) {
+        self.cells.clear();
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                // Generation wrap: hard-clear so stale stamps cannot alias.
+                self.stamps.iter_mut().for_each(|s| *s = 0);
+                1
+            }
+        };
+    }
+
+    /// Record `pos` (idempotent within one generation). Public because the
+    /// commit phase reuses a `TouchLog` as its batch-affected cell set.
+    #[inline]
+    pub fn touch(&mut self, pos: GridPos) {
+        let i = pos.to_index(self.width);
+        if self.stamps[i] != self.gen {
+            self.stamps[i] = self.gen;
+            self.cells.push(pos);
+        }
+    }
+
+    /// Whether `pos` was touched since the last [`TouchLog::begin`].
+    #[inline]
+    pub fn contains(&self, pos: GridPos) -> bool {
+        self.stamps[pos.to_index(self.width)] == self.gen
+    }
+
+    /// The distinct cells touched since the last [`TouchLog::begin`], in
+    /// first-touch order.
+    pub fn cells(&self) -> &[GridPos] {
+        &self.cells
+    }
+
+    /// Moves the touched cells out (the log stays usable after the next
+    /// [`TouchLog::begin`]).
+    pub fn take_cells(&mut self) -> Vec<GridPos> {
+        std::mem::take(&mut self.cells)
+    }
+}
+
+/// A [`ReservationProbe`] view over `&R` that records every touched cell
+/// into a [`TouchLog`] (via `RefCell`: probe methods take `&self`, the
+/// wrapper is used strictly single-threaded within one worker).
+///
+/// `can_move` delegates to the inner implementation — preserving the
+/// backend's specialized fast path — after stamping both endpoints, which
+/// covers every reservation the answer can depend on (`to` at `t`/`t+1`,
+/// `from` at `t+1`).
+#[derive(Debug)]
+pub struct RecordingProbe<'a, R: ReservationProbe> {
+    inner: &'a R,
+    log: &'a RefCell<TouchLog>,
+}
+
+impl<'a, R: ReservationProbe> RecordingProbe<'a, R> {
+    /// Wraps `inner`, appending to `log` (call [`TouchLog::begin`] first).
+    pub fn new(inner: &'a R, log: &'a RefCell<TouchLog>) -> Self {
+        RecordingProbe { inner, log }
+    }
+}
+
+impl<R: ReservationProbe> ReservationProbe for RecordingProbe<'_, R> {
+    #[inline]
+    fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
+        self.log.borrow_mut().touch(pos);
+        self.inner.occupant(pos, t)
+    }
+
+    #[inline]
+    fn can_move(&self, robot: RobotId, from: GridPos, to: GridPos, t: Tick) -> bool {
+        {
+            let mut log = self.log.borrow_mut();
+            log.touch(from);
+            log.touch(to);
+        }
+        self.inner.can_move(robot, from, to, t)
+    }
+
+    #[inline]
+    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
+        self.log.borrow_mut().touch(pos);
+        self.inner.last_reservation_excluding(pos, robot)
+    }
+
+    #[inline]
+    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
+        self.log.borrow_mut().touch(pos);
+        self.inner.parked_at(pos)
+    }
+
+    #[inline]
+    fn parked_cell(&self, robot: RobotId) -> Option<GridPos> {
+        // The answer depends on the robot's park entry, not a fixed cell;
+        // stamp the answer cell itself so a commit that unparks it is seen.
+        let cell = self.inner.parked_cell(robot);
+        if let Some(pos) = cell {
+            self.log.borrow_mut().touch(pos);
+        }
+        cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reservation::ReservationSystem;
+    use crate::stg::SpatioTemporalGraph;
+    use crate::Path;
+
+    fn p(x: u16, y: u16) -> GridPos {
+        GridPos::new(x, y)
+    }
+
+    #[test]
+    fn records_distinct_cells_once_in_first_touch_order() {
+        let stg = SpatioTemporalGraph::new(8, 8);
+        let log = RefCell::new(TouchLog::new(8, 8));
+        log.borrow_mut().begin();
+        let probe = RecordingProbe::new(&stg, &log);
+        probe.occupant(p(1, 1), 0);
+        probe.occupant(p(1, 1), 5);
+        probe.can_move(RobotId::new(0), p(1, 1), p(2, 1), 0);
+        probe.parked_at(p(3, 3));
+        assert_eq!(log.borrow().cells(), &[p(1, 1), p(2, 1), p(3, 3)]);
+    }
+
+    #[test]
+    fn begin_resets_in_constant_generations() {
+        let stg = SpatioTemporalGraph::new(4, 4);
+        let log = RefCell::new(TouchLog::new(4, 4));
+        for _ in 0..3 {
+            log.borrow_mut().begin();
+            let probe = RecordingProbe::new(&stg, &log);
+            probe.occupant(p(0, 0), 0);
+            assert_eq!(log.borrow().cells(), &[p(0, 0)]);
+        }
+    }
+
+    #[test]
+    fn wrapper_answers_match_the_inner_table() {
+        let mut stg = SpatioTemporalGraph::new(8, 8);
+        let path = Path {
+            start: 4,
+            cells: vec![p(0, 0), p(1, 0), p(2, 0)],
+        };
+        stg.reserve_path(RobotId::new(7), &path, true);
+        let log = RefCell::new(TouchLog::new(8, 8));
+        log.borrow_mut().begin();
+        let probe = RecordingProbe::new(&stg, &log);
+        for t in 0..8 {
+            for x in 0..3 {
+                assert_eq!(probe.occupant(p(x, 0), t), stg.occupant(p(x, 0), t));
+            }
+        }
+        assert_eq!(
+            probe.can_move(RobotId::new(1), p(2, 1), p(2, 0), 4),
+            stg.can_move(RobotId::new(1), p(2, 1), p(2, 0), 4)
+        );
+        assert_eq!(probe.parked_cell(RobotId::new(7)), Some(p(2, 0)));
+        assert!(log.borrow().cells().contains(&p(2, 0)));
+    }
+
+    #[test]
+    fn generation_wrap_hard_clears() {
+        let mut log = TouchLog::new(2, 2);
+        log.gen = u32::MAX;
+        log.stamps.iter_mut().for_each(|s| *s = u32::MAX);
+        log.begin();
+        assert_eq!(log.gen, 1);
+        log.touch(p(0, 0));
+        assert_eq!(log.cells(), &[p(0, 0)]);
+    }
+}

@@ -11,7 +11,7 @@ use crate::cdt::ConflictDetectionTable;
 use crate::conflict::find_conflicts;
 use crate::path::Path;
 use crate::reference::plan_path_reference;
-use crate::reservation::ReservationSystem;
+use crate::reservation::{ReservationProbe, ReservationSystem};
 use crate::scratch::SearchScratch;
 use crate::stg::SpatioTemporalGraph;
 use proptest::prelude::*;

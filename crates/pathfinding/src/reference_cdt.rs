@@ -12,7 +12,9 @@
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
-use crate::reservation::{ParkingBoard, ReservationContent, ReservationSystem, TimedReservation};
+use crate::reservation::{
+    ParkingBoard, ReservationContent, ReservationProbe, ReservationSystem, TimedReservation,
+};
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
 /// Per-cell sorted reservation windows, one heap `Vec` per cell.
@@ -85,7 +87,7 @@ fn insert_sorted(window: &mut Vec<(Tick, RobotId)>, t: Tick, robot: RobotId) -> 
     true
 }
 
-impl ReservationSystem for ReferenceConflictDetectionTable {
+impl ReservationProbe for ReferenceConflictDetectionTable {
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
         self.timed_occupant(pos, t)
             .or_else(|| self.parked.occupant(pos, t))
@@ -119,6 +121,24 @@ impl ReservationSystem for ReferenceConflictDetectionTable {
         true
     }
 
+    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
+        self.cells[pos.to_index(self.width)]
+            .iter()
+            .rev()
+            .find(|&&(_, r)| r != robot)
+            .map(|&(t, _)| t)
+    }
+
+    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
+        self.parked.entry(pos)
+    }
+
+    fn parked_cell(&self, robot: RobotId) -> Option<GridPos> {
+        self.parked.cell_of(robot)
+    }
+}
+
+impl ReservationSystem for ReferenceConflictDetectionTable {
     fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
         self.parked.unpark(robot);
         for (t, cell) in path.iter_timed() {
@@ -130,18 +150,6 @@ impl ReservationSystem for ReferenceConflictDetectionTable {
         if park_at_end {
             self.parked.park(robot, path.last(), path.end() + 1);
         }
-    }
-
-    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
-        self.cells[pos.to_index(self.width)]
-            .iter()
-            .rev()
-            .find(|&&(_, r)| r != robot)
-            .map(|&(t, _)| t)
-    }
-
-    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
-        self.parked.entry(pos)
     }
 
     fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {

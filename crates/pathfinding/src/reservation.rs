@@ -45,8 +45,15 @@ pub struct ReservationContent {
     pub parked: Vec<(RobotId, GridPos, Tick)>,
 }
 
-/// Conflict-avoidance bookkeeping for timed paths and parked robots.
-pub trait ReservationSystem {
+/// The **read-only** half of a reservation system: every query the path
+/// search performs. Splitting the probes from the commits (see
+/// [`ReservationSystem`]) is what lets a tick's leg batch run its search
+/// phase on worker threads against a shared `&R` while the commit phase
+/// stays serialized — the search can prove at the type level that it never
+/// mutates the table. Wrappers such as
+/// [`RecordingProbe`](crate::probe::RecordingProbe) implement only this
+/// trait to observe a search's exact probe footprint.
+pub trait ReservationProbe {
     /// The robot reserving `pos` at tick `t`, if any (path step or parked).
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId>;
 
@@ -71,13 +78,6 @@ pub trait ReservationSystem {
         true
     }
 
-    /// Reserve every timed step of `path` for `robot`. With `park_at_end`
-    /// the robot additionally occupies the final cell from the path's end
-    /// onward (pickup/return legs end with the robot standing on the floor);
-    /// delivery legs end at a station where the robot docks into the bay and
-    /// leaves the grid, so they do not park.
-    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool);
-
     /// The latest *timed* reservation on `pos` by any robot other than
     /// `robot`, if one exists. Used to accept parking goals: a robot may only
     /// park on a cell after every already-planned traversal of it.
@@ -85,6 +85,23 @@ pub trait ReservationSystem {
 
     /// The parked occupant of `pos`, with the tick its parking starts.
     fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)>;
+
+    /// The cell `robot` is currently parked on, if any. The commit phase of
+    /// a parallel leg batch uses this to record the cell a
+    /// [`ReservationSystem::reserve_path`] implicitly unparks, so later
+    /// tentative results probing that cell are detected as stale.
+    fn parked_cell(&self, robot: RobotId) -> Option<GridPos>;
+}
+
+/// Conflict-avoidance bookkeeping for timed paths and parked robots: the
+/// probe half ([`ReservationProbe`]) plus the mutating commit operations.
+pub trait ReservationSystem: ReservationProbe {
+    /// Reserve every timed step of `path` for `robot`. With `park_at_end`
+    /// the robot additionally occupies the final cell from the path's end
+    /// onward (pickup/return legs end with the robot standing on the floor);
+    /// delivery legs end at a station where the robot docks into the bay and
+    /// leaves the grid, so they do not park.
+    fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool);
 
     /// Park `robot` at `pos` from tick `from` onward (occupies the cell at
     /// every `t >= from` until [`ReservationSystem::unpark`]).
@@ -224,6 +241,12 @@ impl ParkingBoard {
             "robot id reserved as sentinel"
         );
         self.cells[i] = ((robot.index() as u64) << 32) | (from as u32) as u64;
+    }
+
+    /// The cell `robot` is parked on, if any (reverse-index lookup).
+    #[inline]
+    pub fn cell_of(&self, robot: RobotId) -> Option<GridPos> {
+        self.by_robot.get(&robot).copied()
     }
 
     /// Remove `robot`'s parking reservation, if any.

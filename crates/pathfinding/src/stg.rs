@@ -27,7 +27,9 @@
 
 use crate::footprint::MemoryFootprint;
 use crate::path::Path;
-use crate::reservation::{ParkingBoard, ReservationContent, ReservationSystem, TimedReservation};
+use crate::reservation::{
+    ParkingBoard, ReservationContent, ReservationProbe, ReservationSystem, TimedReservation,
+};
 use std::collections::VecDeque;
 use tprw_warehouse::{GridPos, RobotId, Tick};
 
@@ -107,7 +109,7 @@ impl SpatioTemporalGraph {
     }
 }
 
-impl ReservationSystem for SpatioTemporalGraph {
+impl ReservationProbe for SpatioTemporalGraph {
     fn occupant(&self, pos: GridPos, t: Tick) -> Option<RobotId> {
         if let Some(i) = self.layer_index(t) {
             let r = self.layers[i].cells[pos.to_index(self.width)];
@@ -118,6 +120,28 @@ impl ReservationSystem for SpatioTemporalGraph {
         self.parked.occupant(pos, t)
     }
 
+    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
+        let idx = pos.to_index(self.width);
+        let id = robot.index() as u16;
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let r = layer.cells[idx];
+            if r != EMPTY && r != id {
+                return Some(self.base + i as Tick);
+            }
+        }
+        None
+    }
+
+    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
+        self.parked.entry(pos)
+    }
+
+    fn parked_cell(&self, robot: RobotId) -> Option<GridPos> {
+        self.parked.cell_of(robot)
+    }
+}
+
+impl ReservationSystem for SpatioTemporalGraph {
     fn reserve_path(&mut self, robot: RobotId, path: &Path, park_at_end: bool) {
         self.parked.unpark(robot);
         let width = self.width;
@@ -145,22 +169,6 @@ impl ReservationSystem for SpatioTemporalGraph {
         if park_at_end {
             self.parked.park(robot, path.last(), path.end() + 1);
         }
-    }
-
-    fn last_reservation_excluding(&self, pos: GridPos, robot: RobotId) -> Option<Tick> {
-        let idx = pos.to_index(self.width);
-        let id = robot.index() as u16;
-        for (i, layer) in self.layers.iter().enumerate().rev() {
-            let r = layer.cells[idx];
-            if r != EMPTY && r != id {
-                return Some(self.base + i as Tick);
-            }
-        }
-        None
-    }
-
-    fn parked_at(&self, pos: GridPos) -> Option<(RobotId, Tick)> {
-        self.parked.entry(pos)
     }
 
     fn park(&mut self, robot: RobotId, pos: GridPos, from: Tick) {

@@ -16,7 +16,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationSystem};
+use tprw_pathfinding::{ConflictDetectionTable, Path, ReservationProbe, ReservationSystem};
 use tprw_warehouse::{GridPos, RobotId};
 
 struct CountingAlloc;

@@ -109,6 +109,14 @@ pub struct EngineConfig {
     /// have drained. Off (the default), completion keeps its pregenerated
     /// semantics: the run ends when the instance's item list is fulfilled.
     pub live: bool,
+    /// Worker threads for the planner's speculative leg-query phase
+    /// (`0`/`1` = fully serial). Simulation outputs are bit-identical for
+    /// every value — workers only change wall-clock time (`bench_sim`
+    /// asserts the fingerprint equality and records the speedup).
+    /// Meaningless combined with [`EngineConfig::reference_exec`], whose
+    /// per-leg path never batches; [`EngineConfig::builder`] rejects that
+    /// pairing.
+    pub workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -122,7 +130,121 @@ impl Default for EngineConfig {
             faults: FaultConfig::default(),
             degradation: DegradationPolicy::default(),
             live: false,
+            workers: 0,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Start a validated [`EngineConfigBuilder`] (preferred over filling
+    /// the accreted pub fields by hand: the builder rejects contradictory
+    /// knob combinations at construction instead of leaving them to be
+    /// silently ignored mid-run).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// A contradictory [`EngineConfigBuilder`] knob combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineConfigError {
+    /// `reference_exec` reproduces the pre-batching per-leg execution
+    /// path, which has no batch to shard: parallel workers would be
+    /// silently ignored, so the pairing is rejected outright.
+    ReferenceExecIsSerial {
+        /// The rejected worker count.
+        workers: usize,
+    },
+}
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineConfigError::ReferenceExecIsSerial { workers } => write!(
+                f,
+                "reference_exec replays the serial per-leg path; \
+                 {workers} parallel workers would be ignored"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
+/// Builder for [`EngineConfig`]: the same knobs as the struct literal,
+/// plus cross-field validation at [`EngineConfigBuilder::build`] time.
+/// The struct literal (and `..Default::default()`) keeps working for
+/// existing call sites; new call sites should prefer the builder.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Hard tick budget (`0` derives a generous instance-sized budget).
+    pub fn max_ticks(mut self, ticks: Tick) -> Self {
+        self.config.max_ticks = ticks;
+        self
+    }
+
+    /// Re-validate executed positions every tick.
+    pub fn validate(mut self, on: bool) -> Self {
+        self.config.validate = on;
+        self
+    }
+
+    /// Number of item-progress checkpoints to sample.
+    pub fn checkpoints(mut self, n: usize) -> Self {
+        self.config.checkpoints = n;
+        self
+    }
+
+    /// Bottleneck trace bucket width in ticks (`0` derives).
+    pub fn bottleneck_bucket(mut self, width: Tick) -> Self {
+        self.config.bottleneck_bucket = width;
+        self
+    }
+
+    /// Reproduce the pre-batching execution path (baseline measurement).
+    pub fn reference_exec(mut self, on: bool) -> Self {
+        self.config.reference_exec = on;
+        self
+    }
+
+    /// Deterministic fault injection plan.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Planner-error degradation policy.
+    pub fn degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.config.degradation = policy;
+        self
+    }
+
+    /// Live order-ingestion mode.
+    pub fn live(mut self, on: bool) -> Self {
+        self.config.live = on;
+        self
+    }
+
+    /// Worker threads for the speculative leg-query phase.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Validate the knob combination and produce the config.
+    pub fn build(self) -> Result<EngineConfig, EngineConfigError> {
+        if self.config.reference_exec && self.config.workers > 1 {
+            return Err(EngineConfigError::ReferenceExecIsSerial {
+                workers: self.config.workers,
+            });
+        }
+        Ok(self.config)
     }
 }
 
@@ -150,7 +272,8 @@ pub fn run_simulation(
 /// * `max_ticks` and the bottleneck bucket width — recomputed from the
 ///   config and instance in [`Engine::new`];
 /// * the per-tick scratch buffers (`used_stations`, `idle_buf`,
-///   `selectable_buf`, `leg_requests`, `leg_results`, `on_grid_buf`) —
+///   `selectable_buf`, `leg_requests`, `leg_results`, `leg_tentative`,
+///   `on_grid_buf`) —
 ///   cleared and refilled within a single tick;
 /// * `freeze_queue` — the path-invalidation cascade always drains to empty
 ///   within the events phase, so it is empty at every tick boundary
@@ -322,6 +445,9 @@ pub struct Engine<'a> {
     leg_requests: Vec<LegRequest>,
     /// Per-tick scratch: results of the batched `plan_legs` call.
     leg_results: Vec<Option<Path>>,
+    /// Per-tick scratch: speculative results of the planner's read-only
+    /// leg-query phase, consumed by the serialized commit phase.
+    leg_tentative: Vec<eatp_core::planner::TentativeLeg>,
     /// Per-tick scratch: on-grid positions handed to the validator.
     on_grid_buf: Vec<(RobotId, tprw_warehouse::GridPos)>,
     next_item: usize,
@@ -439,6 +565,7 @@ impl<'a> Engine<'a> {
             selectable_buf: Vec::with_capacity(instance.racks.len()),
             leg_requests: Vec::with_capacity(instance.robots.len()),
             leg_results: Vec::with_capacity(instance.robots.len()),
+            leg_tentative: Vec::with_capacity(instance.robots.len()),
             on_grid_buf: Vec::with_capacity(instance.robots.len()),
             next_item: 0,
             items_processed: 0,
@@ -490,6 +617,7 @@ impl<'a> Engine<'a> {
     /// [`Engine::resume`] instead.
     pub fn start(&mut self, planner: &mut dyn Planner) {
         planner.init(self.instance);
+        planner.set_parallel_workers(self.config.workers);
     }
 
     /// Execute one full tick (all seven phases) and advance the clock.
@@ -1145,8 +1273,8 @@ impl<'a> Engine<'a> {
         }
 
         // 3b/3c: delivery and return legs for waiting robots — one batched
-        // `plan_legs` call per tick, or the pre-change per-leg retain-loops
-        // when baselining.
+        // query+commit leg pass per tick, or the pre-change per-leg
+        // retain-loops when baselining.
         if self.config.reference_exec {
             self.step_legs_serial(t, planner);
         } else {
@@ -1154,10 +1282,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// One `plan_legs` call covering the tick's interrupted-leg resumes,
-    /// delivery and return legs. Requests keep the pending lists' order,
-    /// and the one-undock-per-station rule rides on [`LegRequest::group`],
-    /// so the planner produces exactly the paths the serial loops would.
+    /// One two-phase leg pass ([`Planner::query_legs`] +
+    /// [`Planner::commit_legs`]) covering the tick's interrupted-leg
+    /// resumes, delivery and return legs. Requests keep the pending lists'
+    /// order, and the one-undock-per-station rule rides on
+    /// [`LegRequest::group`], so the planner produces exactly the paths
+    /// the serial loops would — with any worker count.
     /// Broken robots emit no requests — their entries wait for recovery.
     fn step_legs_batched(&mut self, t: Tick, planner: &mut dyn Planner) {
         // Stale entries (the robot left the relevant phase) are dropped
@@ -1240,8 +1370,14 @@ impl<'a> Engine<'a> {
             self.next_leg_fault += 1;
             planner.inject_fault(&InjectedFault::LegFailure);
         }
+        planner.query_legs(&self.leg_requests, t, &mut self.leg_tentative);
         if planner
-            .plan_legs(&self.leg_requests, t, &mut self.leg_results)
+            .commit_legs(
+                &self.leg_requests,
+                t,
+                &mut self.leg_tentative,
+                &mut self.leg_results,
+            )
             .is_err()
         {
             // The batch failed as a unit before reserving anything. Count
@@ -1908,6 +2044,7 @@ impl<'a> Engine<'a> {
             planner.on_disruption(&ev.event, ev.t);
         }
         planner.import_snapshot(planner_state)?;
+        planner.set_parallel_workers(config.workers);
         engine.restore_state(state);
         Ok(engine)
     }

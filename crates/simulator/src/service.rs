@@ -54,6 +54,11 @@ pub struct TickBatch {
     pub commands: Vec<SequencedCommand>,
 }
 
+/// Batches buffered per tenant queue before the producer blocks. Large
+/// enough that a producer staying a few ticks ahead never stalls, small
+/// enough that a multi-thousand-batch script is not held in memory at once.
+pub const TENANT_QUEUE_CAP: usize = 64;
+
 /// Consumer side of a tenant's command queue, implementing the scripted
 /// tick-batch protocol (see the module docs).
 #[derive(Debug)]
@@ -72,6 +77,22 @@ impl ServiceQueue {
     /// tick contract then spans all clones).
     pub fn unbounded() -> (Sender<TickBatch>, ServiceQueue) {
         let (tx, rx) = crossbeam_channel::unbounded();
+        (
+            tx,
+            ServiceQueue {
+                rx,
+                pending: None,
+                closed: false,
+            },
+        )
+    }
+
+    /// Creates a queue that buffers at most `cap` tick batches. A producer
+    /// that runs ahead of the simulation blocks in `send` until the worker
+    /// drains a batch, bounding the memory held by in-flight commands. The
+    /// tick-batch protocol is unchanged; only the producer's pacing differs.
+    pub fn bounded(cap: usize) -> (Sender<TickBatch>, ServiceQueue) {
+        let (tx, rx) = crossbeam_channel::bounded(cap);
         (
             tx,
             ServiceQueue {
@@ -295,7 +316,10 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// the script, runs the engine tick-by-tick against the queue, and collects
 /// acks, latencies and the final report.
 fn run_tenant(tenant: &Tenant) -> TenantOutcome {
-    let (tx, mut queue) = ServiceQueue::unbounded();
+    // Bounded so a producer replaying a long script cannot buffer the whole
+    // stream ahead of the engine; the cap only throttles the producer thread,
+    // it never changes which commands land at which tick.
+    let (tx, mut queue) = ServiceQueue::bounded(TENANT_QUEUE_CAP);
     let script = tenant.script.clone();
     std::thread::scope(|scope| {
         scope.spawn(move || {
@@ -437,6 +461,37 @@ mod tests {
         assert_eq!(out[0].seq, 1);
         queue.drain_due(6, &mut out);
         assert!(queue.is_exhausted());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_changing_delivery() {
+        // A one-slot queue forces the producer to hand over batches one at
+        // a time; the consumer must still observe the exact scripted stream.
+        let (tx, mut queue) = ServiceQueue::bounded(1);
+        let batches: Vec<TickBatch> = (0..20)
+            .map(|t| TickBatch {
+                tick: t,
+                commands: vec![SequencedCommand {
+                    seq: t,
+                    command: Command::RequestSnapshot,
+                }],
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for batch in batches {
+                    tx.send(batch).unwrap();
+                }
+            });
+            let mut out = Vec::new();
+            for t in 0..20 {
+                queue.drain_due(t, &mut out);
+            }
+            queue.drain_due(20, &mut out);
+            assert_eq!(out.len(), 20);
+            assert!(out.iter().enumerate().all(|(i, c)| c.seq == i as u64));
+            assert!(queue.is_exhausted());
+        });
     }
 
     #[test]

@@ -40,10 +40,11 @@ pub const JOURNAL_MAGIC: [u8; 8] = *b"TPRWFPJ1";
 /// and none of the engine's degradation counters or fault cursors);
 /// version 3 predated order-stream ingestion (no `live` config flag and
 /// none of the engine's backlog/ingestion-cursor/order-counter fields —
-/// see `docs/order-stream.md`). `migrate` upgrades older payloads in
-/// place, one hop at a time. Bump this when the payload schema changes
+/// see `docs/order-stream.md`); version 4 predated the parallel leg-query
+/// phase (no `workers` config field). `migrate` upgrades older payloads
+/// in place, one hop at a time. Bump this when the payload schema changes
 /// and teach `migrate` the new hop.
-pub const SNAPSHOT_VERSION: u32 = 4;
+pub const SNAPSHOT_VERSION: u32 = 5;
 
 /// Little-endian sentinel; a big-endian writer would store these bytes
 /// reversed, which the reader detects as [`SnapshotError::WrongEndian`].
@@ -364,6 +365,22 @@ fn migrate(version: u32, mut v: Value) -> Result<Value, SnapshotError> {
             }
         }
         at = 4;
+    }
+    if at == 4 {
+        // v4 -> v5: the engine config gained the parallel worker count.
+        // Worker count never changes simulation outputs, so the serial
+        // default is the faithful reconstruction of any v4 run.
+        let Value::Object(fields) = &mut v else {
+            return Err(SnapshotError::Decode(
+                "v4 snapshot payload is not an object".into(),
+            ));
+        };
+        if let Some((_, Value::Object(config))) = fields.iter_mut().find(|(k, _)| k == "config") {
+            if !config.iter().any(|(k, _)| k == "workers") {
+                config.push(("workers".to_string(), Value::U64(0)));
+            }
+        }
+        at = 5;
     }
     debug_assert_eq!(at, SNAPSHOT_VERSION, "every hop must be applied");
     Ok(v)
@@ -958,6 +975,25 @@ impl<P: Planner> Planner for PerturbFromTick<P> {
         self.inner.plan_leg(robot, from, to, start, park)
     }
 
+    fn query_legs(
+        &mut self,
+        requests: &[eatp_core::planner::LegRequest],
+        start: Tick,
+        tentative: &mut Vec<eatp_core::planner::TentativeLeg>,
+    ) {
+        self.inner.query_legs(requests, start, tentative)
+    }
+
+    fn commit_legs(
+        &mut self,
+        requests: &[eatp_core::planner::LegRequest],
+        start: Tick,
+        tentative: &mut Vec<eatp_core::planner::TentativeLeg>,
+        results: &mut Vec<Option<Path>>,
+    ) -> Result<(), PlannerError> {
+        self.inner.commit_legs(requests, start, tentative, results)
+    }
+
     fn plan_legs(
         &mut self,
         requests: &[eatp_core::planner::LegRequest],
@@ -965,6 +1001,10 @@ impl<P: Planner> Planner for PerturbFromTick<P> {
         results: &mut Vec<Option<Path>>,
     ) -> Result<(), PlannerError> {
         self.inner.plan_legs(requests, start, results)
+    }
+
+    fn set_parallel_workers(&mut self, workers: usize) {
+        self.inner.set_parallel_workers(workers);
     }
 
     fn inject_fault(&mut self, fault: &eatp_core::planner::InjectedFault) -> bool {
@@ -1440,6 +1480,59 @@ mod tests {
             base.deterministic_fingerprint(),
             report.deterministic_fingerprint(),
             "a v3 snapshot must resume bit-identically"
+        );
+    }
+
+    #[test]
+    fn migrates_v4_payload_and_resumes_from_it() {
+        let inst = scenario(None, 42);
+        let config = EngineConfig::default();
+        let mut p = make("EATP");
+        let base = run_simulation(&inst, p.as_mut(), &config);
+
+        let mut p2 = make("EATP");
+        let mut engine = Engine::new(&inst, &config);
+        engine.start(p2.as_mut());
+        for _ in 0..40 {
+            engine.tick_once(p2.as_mut());
+        }
+        let data = engine.snapshot(p2.as_ref());
+
+        // Regress the payload to schema v4: strip the worker count v5 added.
+        let Value::Object(mut fields) = data.serialize() else {
+            panic!("snapshot value must be an object");
+        };
+        if let Some((_, Value::Object(config_fields))) =
+            fields.iter_mut().find(|(k, _)| k == "config")
+        {
+            config_fields.retain(|(k, _)| k != "workers");
+        } else {
+            panic!("config field must be an object");
+        }
+        let payload = serde::binary::to_bytes(&Value::Object(fields));
+        let mut v4 = Vec::new();
+        v4.extend_from_slice(&SNAPSHOT_MAGIC);
+        v4.extend_from_slice(&ENDIAN_MARKER.to_le_bytes());
+        v4.extend_from_slice(&4u32.to_le_bytes());
+        v4.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v4.extend_from_slice(&crc32(&payload).to_le_bytes());
+        v4.extend_from_slice(&payload);
+
+        let migrated = decode_snapshot(&v4).expect("v4 must migrate forward");
+        assert_eq!(
+            migrated.config.workers, 0,
+            "migration defaults to serial planning"
+        );
+        assert_eq!(migrated.engine, data.engine, "payload preserved");
+
+        let mut p3 = make("EATP");
+        let mut resumed = resume_from(&migrated, p3.as_mut()).expect("resume");
+        resumed.run_to_completion(p3.as_mut());
+        let report = resumed.report(p3.as_mut());
+        assert_eq!(
+            base.deterministic_fingerprint(),
+            report.deterministic_fingerprint(),
+            "a v4 snapshot must resume bit-identically"
         );
     }
 

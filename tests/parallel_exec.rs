@@ -1,0 +1,300 @@
+//! Equivalence soak for the parallel leg-planning path (see
+//! `docs/parallel-execution.md`).
+//!
+//! The engine's two-phase planner API (read-only `query_legs`, serialized
+//! `commit_legs`) shards per-tick leg searches across worker threads. The
+//! contract is absolute: **any** worker count must produce bit-identical
+//! reports to the serial path — same fingerprints, same stats counters,
+//! same ack streams — on every planner and under every regime the repo
+//! models (clean floors, disruption storms, chaos fault injection, live
+//! order ingestion). These soaks enforce that contract; the fixed-seed
+//! anchor at the bottom is what the CI parallel gate re-executes.
+//!
+//! `PROPTEST_CASES` scales the soak (default 64 cases per property).
+
+use eatp::core::{planner_by_name, EatpConfig, Planner, PLANNER_NAMES};
+use eatp::simulator::{
+    run_simulation, Ack, Command, DegradationPolicy, Engine, EngineConfig, FaultConfig, OrderSpec,
+    SequencedCommand, SimulationReport,
+};
+use eatp::warehouse::{
+    DisruptionConfig, Instance, LayoutConfig, OrderId, ScenarioSpec, Tick, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// The same scenario shapes the chaos soak uses: a clean floor, a blockade
+/// storm and a breakdown wave, so the parallel path is exercised against
+/// every disruption mechanism.
+fn scenario(kind: usize, seed: u64) -> Instance {
+    let disruptions = match kind {
+        0 => None,
+        1 => Some(DisruptionConfig {
+            breakdowns: 0,
+            breakdown_ticks: (30, 80),
+            blockades: 4,
+            blockade_ticks: (30, 90),
+            closures: 1,
+            closure_ticks: (30, 60),
+            removals: 1,
+            removal_ticks: (30, 60),
+            window: (10, 120),
+        }),
+        _ => Some(DisruptionConfig {
+            breakdowns: 3,
+            breakdown_ticks: (20, 90),
+            blockades: 0,
+            blockade_ticks: (30, 80),
+            closures: 0,
+            closure_ticks: (30, 60),
+            removals: 2,
+            removal_ticks: (30, 60),
+            window: (10, 120),
+        }),
+    };
+    ScenarioSpec {
+        name: format!("parallel-soak-{kind}-{seed}"),
+        layout: LayoutConfig::sized(24, 16),
+        n_racks: 10,
+        n_robots: 6,
+        n_pickers: 2,
+        workload: WorkloadConfig::poisson(20, 0.5),
+        disruptions,
+        seed,
+    }
+    .build()
+    .unwrap()
+}
+
+/// Runs `name` on `inst` with the given worker count layered onto `base`.
+fn run_with_workers(
+    name: &str,
+    inst: &Instance,
+    base: &EngineConfig,
+    workers: usize,
+) -> SimulationReport {
+    let config = EngineConfig {
+        workers,
+        ..base.clone()
+    };
+    let mut p = planner_by_name(name, &EatpConfig::default()).unwrap();
+    run_simulation(inst, &mut *p, &config)
+}
+
+/// A deterministic live-order stream: `n` submissions spread across the
+/// run, closed by a shutdown (same generator shape as the chaos soak).
+fn live_order_stream(inst: &Instance, order_seed: u64, n: usize) -> Vec<(Tick, SequencedCommand)> {
+    let mut x = order_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut orders = Vec::new();
+    for i in 0..n {
+        let rack = (next() as usize) % inst.racks.len();
+        let processing = 4 + (next() % 10);
+        let arrival = 10 + (next() % 140);
+        orders.push((
+            arrival.saturating_sub(5),
+            OrderSpec {
+                order: OrderId::new(i),
+                rack: inst.racks[rack].id,
+                processing,
+                arrival,
+            },
+        ));
+    }
+    orders.sort_by_key(|(tick, spec)| (*tick, spec.order));
+    let mut stream: Vec<(Tick, SequencedCommand)> = orders
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (tick, spec))| {
+            (
+                tick,
+                SequencedCommand {
+                    seq: seq as u64,
+                    command: Command::SubmitOrder { spec },
+                },
+            )
+        })
+        .collect();
+    stream.push((
+        160,
+        SequencedCommand {
+            seq: n as u64,
+            command: Command::Shutdown,
+        },
+    ));
+    stream
+}
+
+/// Drives a live-ingestion engine to completion, redelivering every due
+/// command at every tick, and returns the final report plus acks.
+fn drive_live(
+    name: &str,
+    inst: &Instance,
+    config: &EngineConfig,
+    stream: &[(Tick, SequencedCommand)],
+) -> (SimulationReport, Vec<Ack>) {
+    let mut planner: Box<dyn Planner> = planner_by_name(name, &EatpConfig::default()).unwrap();
+    let mut engine = Engine::new(inst, config);
+    engine.start(planner.as_mut());
+    let mut acks = Vec::new();
+    while !engine.is_finished() {
+        let t = engine.current_tick();
+        let mut due: Vec<SequencedCommand> = stream
+            .iter()
+            .filter(|(tick, _)| *tick <= t)
+            .map(|(_, c)| c.clone())
+            .collect();
+        engine.tick_with_commands(planner.as_mut(), &mut due, &mut acks);
+    }
+    (engine.report(planner.as_mut()), acks)
+}
+
+proptest! {
+    /// Clean and disrupted floors: every planner at 2 and 4 workers must
+    /// reproduce the serial fingerprint bit for bit. The stats counters
+    /// (expansions, planned/failed paths, cache splices) are folded into
+    /// the fingerprint, so a single extra probe anywhere fails this.
+    #[test]
+    fn parallel_matches_serial_on_every_floor(
+        planner_idx in 0usize..5,
+        kind in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let name = PLANNER_NAMES[planner_idx];
+        let inst = scenario(kind, seed);
+        let base = EngineConfig::default();
+        let serial = run_with_workers(name, &inst, &base, 0);
+        for workers in [1, 2, 4] {
+            let parallel = run_with_workers(name, &inst, &base, workers);
+            prop_assert_eq!(
+                serial.deterministic_fingerprint(),
+                parallel.deterministic_fingerprint(),
+                "{} diverged at {} workers (kind {}, seed {})",
+                name, workers, kind, seed
+            );
+        }
+    }
+
+    /// Chaos fault injection composes with the parallel path: armed leg
+    /// faults are committed serially, so the injected failure schedule —
+    /// and everything downstream of it — must replay identically.
+    #[test]
+    fn parallel_matches_serial_under_chaos(
+        planner_idx in 0usize..5,
+        kind in 0usize..3,
+        seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let name = PLANNER_NAMES[planner_idx];
+        let inst = scenario(kind, seed);
+        let base = EngineConfig {
+            faults: FaultConfig::chaos(fault_seed, (5, 150)),
+            degradation: DegradationPolicy {
+                enabled: true,
+                max_expansions_per_tick: 0,
+            },
+            ..EngineConfig::default()
+        };
+        let serial = run_with_workers(name, &inst, &base, 0);
+        for workers in [2, 4] {
+            let parallel = run_with_workers(name, &inst, &base, workers);
+            prop_assert_eq!(
+                serial.deterministic_fingerprint(),
+                parallel.deterministic_fingerprint(),
+                "{} diverged under chaos at {} workers (kind {}, seed {}, faults {})",
+                name, workers, kind, seed, fault_seed
+            );
+        }
+    }
+
+    /// Live order ingestion: the ack stream and the report must both be
+    /// worker-count-invariant under the harshest redelivery schedule.
+    #[test]
+    fn parallel_matches_serial_with_live_orders(
+        planner_idx in 0usize..5,
+        kind in 0usize..3,
+        seed in 0u64..10_000,
+        order_seed in 0u64..10_000,
+    ) {
+        let name = PLANNER_NAMES[planner_idx];
+        let inst = scenario(kind, seed);
+        let base = EngineConfig { live: true, ..EngineConfig::default() };
+        let stream = live_order_stream(&inst, order_seed, 8);
+        let (serial, serial_acks) = drive_live(name, &inst, &base, &stream);
+        for workers in [2, 4] {
+            let config = EngineConfig { workers, ..base.clone() };
+            let (parallel, parallel_acks) = drive_live(name, &inst, &config, &stream);
+            prop_assert_eq!(
+                serial.deterministic_fingerprint(),
+                parallel.deterministic_fingerprint(),
+                "{} diverged on live orders at {} workers (kind {}, seed {}, orders {})",
+                name, workers, kind, seed, order_seed
+            );
+            prop_assert_eq!(
+                &serial_acks, &parallel_acks,
+                "{} ack stream diverged at {} workers", name, workers
+            );
+        }
+    }
+}
+
+/// Fixed-seed anchor over every planner and regime at 1/2/4 workers —
+/// the deterministic case the CI parallel gate re-executes on every push.
+#[test]
+fn fixed_seed_parallel_equivalence_for_all_planners() {
+    for kind in [0usize, 1, 2] {
+        let inst = scenario(kind, 42);
+        let base = EngineConfig::default();
+        for name in PLANNER_NAMES {
+            let serial = run_with_workers(name, &inst, &base, 0);
+            assert!(
+                serial.completed,
+                "{name} kind {kind}: serial run must finish"
+            );
+            for workers in [1, 2, 4] {
+                let parallel = run_with_workers(name, &inst, &base, workers);
+                assert_eq!(
+                    serial.deterministic_fingerprint(),
+                    parallel.deterministic_fingerprint(),
+                    "{name} kind {kind}: {workers} workers must match serial"
+                );
+            }
+        }
+    }
+}
+
+/// The builder is the validated construction path: it must reject the
+/// reference executor paired with parallel workers (the reference path is
+/// the serial oracle) while leaving plain struct literals working.
+#[test]
+fn builder_validates_worker_settings() {
+    let built = EngineConfig::builder()
+        .workers(4)
+        .max_ticks(500)
+        .build()
+        .expect("parallel workers alone are valid");
+    assert_eq!(built.workers, 4);
+    assert_eq!(built.max_ticks, 500);
+
+    let err = EngineConfig::builder()
+        .reference_exec(true)
+        .workers(2)
+        .build()
+        .expect_err("reference executor must stay serial");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("reference") && msg.contains("2"),
+        "error must name the conflict: {msg}"
+    );
+
+    // The accreted struct-literal form keeps working for existing callers.
+    let literal = EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    };
+    assert_eq!(literal.workers, 2);
+}

@@ -2,18 +2,21 @@
 //!
 //! The build container has no network access, so this workspace vendors the
 //! small slice of the crossbeam-channel API the order-stream service layer
-//! needs: an **unbounded MPMC channel** with blocking `recv`, non-blocking
-//! `try_recv`, and disconnect detection on both ends. The implementation is a
-//! `Mutex<VecDeque>` + `Condvar` — not lock-free like the real crate, but
-//! API-compatible for the subset below and entirely sufficient for the
-//! per-tenant command queues (one producer, one consumer, tens of thousands
-//! of messages per run).
+//! needs: an **MPMC channel** (unbounded or capacity-bounded) with blocking
+//! `recv`, non-blocking `try_recv`, and disconnect detection on both ends.
+//! The implementation is a `Mutex<VecDeque>` + two `Condvar`s — not lock-free
+//! like the real crate, but API-compatible for the subset below and entirely
+//! sufficient for the per-tenant command queues (one producer, one consumer,
+//! tens of thousands of messages per run).
 //!
 //! Supported surface:
 //!
 //! * [`unbounded`] — create a channel with no capacity bound;
-//! * [`Sender::send`] — never blocks; fails with [`SendError`] once every
-//!   receiver is gone;
+//! * [`bounded`] — create a channel holding at most `cap` messages; senders
+//!   block while the queue is full, providing backpressure to producers that
+//!   outrun the simulation loop;
+//! * [`Sender::send`] — blocks only on a full bounded channel; fails with
+//!   [`SendError`] once every receiver is gone;
 //! * [`Receiver::recv`] — blocks until a message arrives or every sender is
 //!   gone and the queue is drained ([`RecvError`]);
 //! * [`Receiver::try_recv`] — non-blocking; distinguishes
@@ -32,6 +35,11 @@ struct Shared<T> {
     inner: Mutex<Inner<T>>,
     /// Signalled on every successful send and on sender disconnect.
     available: Condvar,
+    /// Signalled on every successful recv and on receiver disconnect;
+    /// unused (never waited on) by unbounded channels.
+    vacant: Condvar,
+    /// `None` for unbounded channels, `Some(cap)` for bounded ones.
+    cap: Option<usize>,
 }
 
 struct Inner<T> {
@@ -121,6 +129,24 @@ impl<T> fmt::Debug for Receiver<T> {
 
 /// Creates an unbounded channel, returning the sender/receiver pair.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Creates a channel holding at most `cap` messages. [`Sender::send`] blocks
+/// while the queue is full, so a producer that outpaces its consumer is
+/// throttled instead of growing the queue without bound.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero. The real crate treats `bounded(0)` as a
+/// rendezvous channel; this stand-in does not implement rendezvous
+/// hand-off, and refusing the capacity loudly beats silently deadlocking.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+    channel(Some(cap))
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
             queue: VecDeque::new(),
@@ -128,6 +154,8 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
             receivers: 1,
         }),
         available: Condvar::new(),
+        vacant: Condvar::new(),
+        cap,
     });
     (
         Sender {
@@ -138,12 +166,23 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
-    /// Appends a message to the queue. Never blocks; fails only when every
-    /// receiver has been dropped.
+    /// Appends a message to the queue. On an unbounded channel this never
+    /// blocks; on a [`bounded`] channel it blocks while the queue is full.
+    /// Fails only when every receiver has been dropped — including while
+    /// blocked on a full queue, so a send can never deadlock on a dead
+    /// consumer.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut inner = self.shared.inner.lock().unwrap();
-        if inner.receivers == 0 {
-            return Err(SendError(msg));
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.shared.cap {
+                Some(cap) if inner.queue.len() >= cap => {
+                    inner = self.shared.vacant.wait(inner).unwrap();
+                }
+                _ => break,
+            }
         }
         inner.queue.push_back(msg);
         drop(inner);
@@ -180,6 +219,8 @@ impl<T> Receiver<T> {
         let mut inner = self.shared.inner.lock().unwrap();
         loop {
             if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.vacant.notify_one();
                 return Ok(msg);
             }
             if inner.senders == 0 {
@@ -193,6 +234,8 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut inner = self.shared.inner.lock().unwrap();
         if let Some(msg) = inner.queue.pop_front() {
+            drop(inner);
+            self.shared.vacant.notify_one();
             return Ok(msg);
         }
         if inner.senders == 0 {
@@ -214,7 +257,14 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.inner.lock().unwrap().receivers -= 1;
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            // Wake every sender blocked on a full bounded queue so it can
+            // observe the disconnect instead of waiting forever.
+            drop(inner);
+            self.shared.vacant.notify_all();
+        }
     }
 }
 
@@ -280,6 +330,58 @@ mod tests {
         drop(tx2);
         assert_eq!(rx.recv(), Ok(9));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded(2);
+        tx.send(1u8).unwrap();
+        tx.send(2).unwrap();
+        let started = std::time::Instant::now();
+        let handle = thread::spawn(move || {
+            tx.send(3).unwrap();
+            started.elapsed()
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(rx.recv(), Ok(1));
+        let blocked_for = handle.join().unwrap();
+        assert!(
+            blocked_for >= std::time::Duration::from_millis(20),
+            "send must have blocked on the full queue, waited {blocked_for:?}"
+        );
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_preserves_order_under_backpressure() {
+        let (tx, rx) = bounded(4);
+        let producer = thread::spawn(move || {
+            for i in 0..1000u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        for i in 0..1000 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_bounded_send_wakes_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        let handle = thread::spawn(move || tx.send(1));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), Err(SendError(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded(0)")]
+    fn zero_capacity_is_refused() {
+        let _ = bounded::<u8>(0);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Vendored minimal stand-in for a scoped thread pool (the
+//! `scoped_threadpool` crate shape). The build container has no network
+//! access, so this workspace vendors the small slice the parallel leg
+//! planner needs:
+//!
+//! * [`Pool::new`] — spawn N **persistent** worker threads once (per-tick
+//!   dispatch must not pay thread spawn cost);
+//! * [`Pool::scoped`] — open a scope whose jobs may borrow from the caller's
+//!   stack (`&'scope` data, including `&mut` disjoint slices). The call does
+//!   not return until every job submitted in the scope has finished, which
+//!   is what makes the lifetime-erasure below sound;
+//! * [`Scope::execute`] — submit one job to the shared queue.
+//!
+//! Implementation: a `Mutex<VecDeque>` job queue with two condvars (worker
+//! wakeup, scope completion). Not work-stealing like a real pool — callers
+//! are expected to submit pre-chunked jobs, one per worker — but entirely
+//! sufficient for the planner's per-tick fan-out. A panicking job is caught
+//! on the worker (the worker thread survives), recorded, and re-raised from
+//! `scoped` on the submitting thread once the scope has drained, so borrow
+//! lifetimes hold even on the unwind path.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job whose borrows have been erased to `'static`. Soundness contract:
+/// the erased closure only ever runs while its true `'scope` lifetime is
+/// still live, because [`Pool::scoped`] blocks until the queue drains.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Signalled when a job is queued or shutdown begins (workers wait).
+    ready: Condvar,
+    /// Signalled when the in-flight job count of the current scope hits
+    /// zero (the scoping thread waits).
+    drained: Condvar,
+}
+
+struct Inner {
+    queue: VecDeque<Job>,
+    /// Jobs queued or currently running in the open scope.
+    pending: usize,
+    /// First panic payload caught from a job in the open scope.
+    panic: Option<Box<dyn Any + Send + 'static>>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of persistent worker threads supporting scoped
+/// (stack-borrowing) job submission.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                pending: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            drained: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scoped-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f` with a [`Scope`] handle; returns only after every job
+    /// submitted through the scope has completed. If any job panicked, the
+    /// first payload is re-raised here (after the drain, so scope borrows
+    /// never dangle); a panic in `f` itself likewise waits for the drain
+    /// before propagating.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            _marker: std::marker::PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let job_panic = {
+            let mut inner = scope.pool.shared.inner.lock().unwrap();
+            while inner.pending > 0 {
+                inner = scope.pool.shared.drained.wait(inner).unwrap();
+            }
+            inner.panic.take()
+        };
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = job_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.inner.lock().unwrap().shutdown = true;
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut inner = shared.inner.lock().unwrap();
+            loop {
+                if let Some(job) = inner.queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = shared.ready.wait(inner).unwrap();
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut inner = shared.inner.lock().unwrap();
+        if let Err(payload) = outcome {
+            inner.panic.get_or_insert(payload);
+        }
+        inner.pending -= 1;
+        if inner.pending == 0 {
+            shared.drained.notify_all();
+        }
+    }
+}
+
+/// Job-submission handle passed to the [`Pool::scoped`] closure. Jobs may
+/// borrow anything outliving `'scope`.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues `f` for execution on a pool worker. Returns immediately; the
+    /// enclosing [`Pool::scoped`] call is the completion barrier.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: lifetime erasure only. The job runs before `Pool::scoped`
+        // returns (it waits for `pending == 0`), so every `'scope` borrow
+        // captured by the closure is still live whenever the job executes,
+        // including on panic paths (both unwind arms drain first).
+        let job: Job = unsafe { std::mem::transmute(job) };
+        let mut inner = self.pool.shared.inner.lock().unwrap();
+        inner.pending += 1;
+        inner.queue.push_back(job);
+        drop(inner);
+        self.pool.shared.ready.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowing_jobs_to_completion() {
+        let mut pool = Pool::new(4);
+        let mut out = vec![0u64; 64];
+        pool.scoped(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.execute(move || *slot = (i as u64) * 3);
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn scope_is_a_barrier_and_pool_is_reusable() {
+        let mut pool = Pool::new(2);
+        let counter = AtomicUsize::new(0);
+        for round in 1..=5 {
+            pool.scoped(|scope| {
+                for _ in 0..8 {
+                    scope.execute(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            // Every job of the round observed before scoped() returns.
+            assert_eq!(counter.load(Ordering::SeqCst), round * 8);
+        }
+    }
+
+    #[test]
+    fn disjoint_mut_chunks_are_supported() {
+        let mut pool = Pool::new(3);
+        let mut data = vec![1u32; 90];
+        pool.scoped(|scope| {
+            for chunk in data.chunks_mut(30) {
+                scope.execute(move || {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn job_panic_propagates_after_drain_and_pool_survives() {
+        let mut pool = Pool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("job boom"));
+                for _ in 0..4 {
+                    scope.execute(|| {
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "the job panic must surface");
+        // Sibling jobs of the scope still ran (the barrier drained fully).
+        assert_eq!(finished.load(Ordering::SeqCst), 4);
+        // The pool remains usable: the worker caught the panic.
+        let mut x = 0u32;
+        pool.scoped(|scope| scope.execute(|| x = 7));
+        assert_eq!(x, 7);
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes() {
+        let mut pool = Pool::new(0); // clamped to 1
+        assert_eq!(pool.thread_count(), 1);
+        let mut acc = 0u64;
+        let acc_ref = &mut acc;
+        pool.scoped(|scope| {
+            scope.execute(move || *acc_ref = 41);
+        });
+        assert_eq!(acc, 41);
+    }
+}
