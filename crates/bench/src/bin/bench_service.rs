@@ -2,13 +2,22 @@
 //! tenants on worker threads through the scripted tick-batch protocol
 //! (`tprw_simulator::ServiceBench`) and records sustained ingestion
 //! throughput (accepted orders/sec) plus tail tick latency (p99 µs) to
-//! `BENCH_service.json` (schema `bench_service/v1`).
+//! `BENCH_service.json` (schema `bench_service/v2`).
 //!
 //! Run with: `cargo run --release -p eatp-bench --bin bench_service`
 //!
 //! Knobs: `BENCH_SERVICE_TENANTS` (default 5 — one per planner),
 //! `BENCH_SERVICE_ORDERS` (orders per tenant, default 80),
+//! `BENCH_SERVICE_IDLE_TICKS` (idle-study shutdown tick, default 20 000),
 //! `BENCH_SERVICE_OUT` (default `BENCH_service.json`).
+//!
+//! Since schema v2 the report also carries the **idle-tenant study**: a
+//! small fleet of big-floor tenants whose queues sit empty and whose
+//! floors sit quiescent until a late shutdown, run under the dense and the
+//! event-driven tick strategies (`TickStrategy`). Fingerprints must match
+//! bit for bit; the dense/event ns-per-tick ratio quantifies what the
+//! agenda saves on a quiescent floor (recorded, not gated — the gated
+//! speedup lives in `BENCH_sim.json`'s sparse-floor study).
 //!
 //! Every tenant's workload is fed **live**: the pregenerated item list is
 //! stripped from the instance and resubmitted as `SubmitOrder` commands
@@ -31,9 +40,10 @@ use eatp_core::PLANNER_NAMES;
 use serde::Serialize;
 use tprw_simulator::{
     Command, EngineConfig, OrderSpec, SequencedCommand, ServiceBench, Tenant, TickBatch,
+    TickStrategy,
 };
 use tprw_warehouse::{
-    DisruptionConfig, Instance, LayoutConfig, OrderId, ScenarioSpec, WorkloadConfig,
+    DisruptionConfig, Instance, LayoutConfig, OrderId, ScenarioSpec, Tick, WorkloadConfig,
 };
 
 #[derive(Debug, Serialize)]
@@ -50,6 +60,35 @@ struct TenantCell {
     /// `true` in an emitted artifact; recorded for the paper trail.
     live_matches_pregenerated: bool,
     fingerprint: String,
+}
+
+/// The idle-tenant cost study: tenants whose queues are empty and whose
+/// floors are quiescent for the vast majority of their run, measured under
+/// the dense and the event-driven tick strategies. The shutdown command
+/// lands late, so the engines sit through a long quiescent stretch — the
+/// exact regime the `TickStrategy::EventDriven` agenda collapses to O(1)
+/// per tick (see `docs/event-driven-ticking.md`).
+#[derive(Debug, Serialize)]
+struct IdleTenantStudy {
+    tenants: usize,
+    /// Tick at which each tenant's `Shutdown` lands; nearly all preceding
+    /// ticks are quiescent (the few seed orders complete within the first
+    /// few hundred).
+    shutdown_tick: u64,
+    /// Ticks executed across the fleet under each strategy (identical by
+    /// construction — asserted).
+    total_ticks: u64,
+    /// Fleet wall-clock per executed tick, dense loop.
+    dense_ns_per_tick: f64,
+    /// Fleet wall-clock per executed tick, event-driven agenda.
+    event_ns_per_tick: f64,
+    /// `dense_ns_per_tick / event_ns_per_tick` — recorded, not CI-gated
+    /// (service numbers ride on thread scheduling; the gated speedup lives
+    /// in `BENCH_sim.json`'s sparse-floor study).
+    speedup: f64,
+    /// Every tenant's event-driven fingerprint equals its dense one —
+    /// asserted in-process before the report is written.
+    identical: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -76,6 +115,7 @@ struct BenchReport {
     /// the same cross-host reason).
     p99_tick_latency_ceiling_us: u64,
     mean_tick_latency_us: f64,
+    idle_tenant: IdleTenantStudy,
     tenant_reports: Vec<TenantCell>,
 }
 
@@ -113,11 +153,11 @@ fn tenant_scenario(i: usize, orders: usize) -> (Instance, &'static str, bool) {
 /// horizon quantities (normally read off the instance's item list, which
 /// the live twin has emptied) — pin them.
 fn pinned_config() -> EngineConfig {
-    EngineConfig {
-        max_ticks: 50_000,
-        bottleneck_bucket: 50,
-        ..EngineConfig::default()
-    }
+    EngineConfig::builder()
+        .max_ticks(50_000)
+        .bottleneck_bucket(50)
+        .build()
+        .expect("pinned service config is valid")
 }
 
 /// The command stream equivalent to `inst`'s pregenerated item list, as one
@@ -158,10 +198,11 @@ fn build_tenants(n: usize, orders: usize) -> Vec<(Tenant, Instance)> {
             let mut twin = instance.clone();
             twin.items.clear();
             let script = equivalent_script(&instance);
-            let config = EngineConfig {
-                live: true,
-                ..pinned_config()
-            };
+            let config = pinned_config()
+                .into_builder()
+                .live(true)
+                .build()
+                .expect("live tenant config is valid");
             (
                 Tenant::new(
                     format!("tenant-{i}-{planner}"),
@@ -174,6 +215,118 @@ fn build_tenants(n: usize, orders: usize) -> Vec<(Tenant, Instance)> {
             )
         })
         .collect()
+}
+
+/// An idle-study tenant's floor: a big fleet (the dense loop's per-tick
+/// scan cost is O(fleet), which is exactly what the study measures) with a
+/// handful of seed orders that complete early, leaving the floor quiescent.
+fn idle_scenario(i: usize) -> Instance {
+    ScenarioSpec {
+        name: format!("service-idle-{i}"),
+        layout: LayoutConfig::sized(48, 36),
+        n_racks: 30,
+        n_robots: 40,
+        n_pickers: 6,
+        workload: WorkloadConfig::poisson(4, 1.0),
+        disruptions: None,
+        seed: 7000 + i as u64,
+    }
+    .build()
+    .expect("idle scenario builds")
+}
+
+/// The idle tenant's script: the seed orders land at tick 0 and the
+/// shutdown only at `shutdown_tick`, so the engine sits through a long
+/// empty-queue, quiescent-floor stretch before it may drain and finish.
+fn idle_script(inst: &Instance, shutdown_tick: Tick) -> Vec<TickBatch> {
+    let commands: Vec<SequencedCommand> = inst
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| SequencedCommand {
+            seq: i as u64,
+            command: Command::SubmitOrder {
+                spec: OrderSpec {
+                    order: OrderId::new(i),
+                    rack: item.rack,
+                    processing: item.processing,
+                    arrival: item.arrival,
+                },
+            },
+        })
+        .collect();
+    let shutdown = SequencedCommand {
+        seq: commands.len() as u64,
+        command: Command::Shutdown,
+    };
+    vec![
+        TickBatch { tick: 0, commands },
+        TickBatch {
+            tick: shutdown_tick,
+            commands: vec![shutdown],
+        },
+    ]
+}
+
+/// Builds and runs the idle fleet under `strategy`, returning the bench.
+fn run_idle_fleet(n: usize, shutdown_tick: Tick, strategy: TickStrategy) -> ServiceBench {
+    let tenants: Vec<Tenant> = (0..n)
+        .map(|i| {
+            let instance = idle_scenario(i);
+            let mut twin = instance.clone();
+            twin.items.clear();
+            let script = idle_script(&instance, shutdown_tick);
+            let config = pinned_config()
+                .into_builder()
+                .live(true)
+                .tick_strategy(strategy)
+                .build()
+                .expect("idle tenant config is valid");
+            Tenant::new(
+                format!("idle-{i}-{}", PLANNER_NAMES[i % PLANNER_NAMES.len()]),
+                PLANNER_NAMES[i % PLANNER_NAMES.len()],
+                twin,
+                config,
+                script,
+            )
+        })
+        .collect();
+    ServiceBench::run(&tenants)
+}
+
+/// Measures the idle-tenant cost before (dense) and after (event-driven),
+/// asserting the fingerprints are bit-identical per tenant.
+fn idle_tenant_study(n: usize, shutdown_tick: Tick) -> IdleTenantStudy {
+    eprintln!("== idle-tenant study: {n} quiescent tenants to tick {shutdown_tick} ==");
+    let dense = run_idle_fleet(n, shutdown_tick, TickStrategy::Dense);
+    let event = run_idle_fleet(n, shutdown_tick, TickStrategy::EventDriven);
+    assert_eq!(
+        dense.total_ticks, event.total_ticks,
+        "both strategies must execute the same tick count"
+    );
+    for (d, e) in dense.outcomes.iter().zip(&event.outcomes) {
+        assert_eq!(
+            d.fingerprint, e.fingerprint,
+            "{}: event-driven idle tenant diverged from dense",
+            d.name
+        );
+    }
+    let dense_ns_per_tick = dense.wall_seconds * 1e9 / dense.total_ticks as f64;
+    let event_ns_per_tick = event.wall_seconds * 1e9 / event.total_ticks as f64;
+    let speedup = dense_ns_per_tick / event_ns_per_tick;
+    eprintln!(
+        "  dense {dense_ns_per_tick:.0} ns/tick, event-driven {event_ns_per_tick:.0} ns/tick \
+         -> {speedup:.2}x, fingerprints identical"
+    );
+    IdleTenantStudy {
+        tenants: n,
+        shutdown_tick,
+        total_ticks: dense.total_ticks,
+        dense_ns_per_tick,
+        event_ns_per_tick,
+        speedup,
+        identical: true,
+    }
 }
 
 /// The pregenerated reference fingerprint for a tenant's scenario.
@@ -278,8 +431,15 @@ fn main() {
         });
     }
 
+    let idle_ticks: Tick = std::env::var("BENCH_SERVICE_IDLE_TICKS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20_000);
+    let idle_tenant = idle_tenant_study(3, idle_ticks);
+
     let report = BenchReport {
-        schema: "bench_service/v1",
+        schema: "bench_service/v2",
         tenants: bench.tenants,
         orders_per_tenant: orders,
         total_ticks: bench.total_ticks,
@@ -291,6 +451,7 @@ fn main() {
         p99_tick_latency_us: bench.p99_tick_latency_us,
         p99_tick_latency_ceiling_us: 50_000,
         mean_tick_latency_us: bench.mean_tick_latency_us,
+        idle_tenant,
         tenant_reports,
     };
     eprintln!(

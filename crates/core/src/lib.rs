@@ -82,7 +82,9 @@ pub use ilp::IlpPlanner;
 pub use lef::LeastExpirationFirst;
 pub use ntp::NaiveTaskPlanner;
 pub use outlook::DisruptionOutlook;
-pub use planner::{AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerStats};
+pub use planner::{
+    AssignmentPlan, InjectedFault, LegRequest, Planner, PlannerError, PlannerEvent, PlannerStats,
+};
 pub use world::WorldView;
 
 pub mod atp;

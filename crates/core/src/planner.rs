@@ -203,6 +203,49 @@ pub enum InjectedFault {
     },
 }
 
+/// One engine-to-planner world-change notification, dispatched through
+/// [`Planner::on_event`] — the consolidated seam the event-driven scheduler
+/// wakes planners through. Each variant corresponds to one of the legacy
+/// notification hooks the surface grew by accretion; the default
+/// `on_event` implementation delegates to them, so planners can migrate
+/// hook by hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerEvent<'a> {
+    /// A disruption event mutated the world at tick `t` (legacy hook:
+    /// [`Planner::on_disruption`]).
+    Disruption {
+        /// The applied event.
+        event: &'a DisruptionEvent,
+        /// The tick it landed.
+        t: Tick,
+    },
+    /// The engine cancelled `robot`'s active path at tick `t`; it stands
+    /// still at `pos` (legacy hook: [`Planner::on_path_cancelled`]).
+    PathCancelled {
+        /// The robot whose leg was cancelled.
+        robot: RobotId,
+        /// Where it froze.
+        pos: GridPos,
+        /// When.
+        t: Tick,
+    },
+    /// Advance notice that `pos` is expected to blockade during the
+    /// inclusive `[from, until]` window (legacy hook:
+    /// [`Planner::on_maintenance_notice`]).
+    MaintenanceNotice {
+        /// The cell under scheduled maintenance.
+        pos: GridPos,
+        /// Window start (inclusive).
+        from: Tick,
+        /// Window end (inclusive).
+        until: Tick,
+    },
+    /// The engine degraded the previous tick; derived state must be
+    /// invalidated before resuming as primary (legacy hook:
+    /// [`Planner::recover_degraded`]).
+    RecoverDegraded,
+}
+
 /// A task planner for the TPRW problem.
 pub trait Planner {
     /// Paper-facing name (`"NTP"`, `"LEF"`, `"ILP"`, `"ATP"`, `"EATP"`).
@@ -325,6 +368,31 @@ pub trait Planner {
     /// Notification that `robot` docked at a station and left the grid.
     fn on_dock(&mut self, robot: RobotId);
 
+    /// The consolidated notification entry point: every engine-to-planner
+    /// world-change notification arrives as one [`PlannerEvent`], giving
+    /// the event-driven scheduler a single dispatch seam (see
+    /// `docs/event-driven-ticking.md`).
+    ///
+    /// The default implementation fans out to the four legacy hooks
+    /// ([`Planner::on_disruption`], [`Planner::on_path_cancelled`],
+    /// [`Planner::on_maintenance_notice`], [`Planner::recover_degraded`]),
+    /// so existing planners that override those keep working unchanged.
+    /// New planners should override `on_event` instead; the legacy hooks
+    /// are **deprecated as an implementation surface** and remain only as
+    /// delegating shims for one release. The dispatch is deliberately
+    /// one-directional (`on_event` → legacy, never the reverse): a planner
+    /// overriding neither gets the legacy no-op defaults, not a recursion.
+    fn on_event(&mut self, event: PlannerEvent<'_>) {
+        match event {
+            PlannerEvent::Disruption { event, t } => self.on_disruption(event, t),
+            PlannerEvent::PathCancelled { robot, pos, t } => self.on_path_cancelled(robot, pos, t),
+            PlannerEvent::MaintenanceNotice { pos, from, until } => {
+                self.on_maintenance_notice(pos, from, until)
+            }
+            PlannerEvent::RecoverDegraded => self.recover_degraded(),
+        }
+    }
+
     /// Notification that a disruption event mutated the world at tick `t`.
     /// Planners must bring every grid-derived structure in line with the
     /// mutated floor: for cell blockades / reopenings that means the working
@@ -334,6 +402,11 @@ pub trait Planner {
     /// engine enforces their scheduling consequences through the world view
     /// (broken robots leave the idle pool, closed stations' racks leave the
     /// selectable pool) and through [`Planner::on_path_cancelled`].
+    ///
+    /// **Deprecated as a call surface**: callers should dispatch
+    /// [`PlannerEvent::Disruption`] through [`Planner::on_event`] instead.
+    /// This hook remains as the default implementation target for one
+    /// release so existing planner overrides keep working.
     fn on_disruption(&mut self, _event: &DisruptionEvent, _t: Tick) {}
 
     /// Advance notice of scheduled maintenance: cell `pos` is expected to
@@ -345,6 +418,9 @@ pub trait Planner {
     /// [`crate::config::EatpConfig::maintenance_outlook`] (default off):
     /// with the flag off the default no-op applies and runs are
     /// bit-identical to ones that never received the notice.
+    ///
+    /// **Deprecated as a call surface**: dispatch
+    /// [`PlannerEvent::MaintenanceNotice`] through [`Planner::on_event`].
     fn on_maintenance_notice(&mut self, _pos: GridPos, _from: Tick, _until: Tick) {}
 
     /// The engine cancelled `robot`'s active path at tick `t`: the robot
@@ -352,6 +428,9 @@ pub trait Planner {
     /// `pos`. Release every outstanding timed reservation of the robot and
     /// park it at `pos` from `t` onward, so surviving robots plan around the
     /// obstacle instead of through the robot's abandoned route.
+    ///
+    /// **Deprecated as a call surface**: dispatch
+    /// [`PlannerEvent::PathCancelled`] through [`Planner::on_event`].
     fn on_path_cancelled(&mut self, _robot: RobotId, _pos: GridPos, _t: Tick) {}
 
     /// Arm or apply an [`InjectedFault`] (deterministic fault injection;
@@ -370,6 +449,9 @@ pub trait Planner {
     /// can no longer trust (memoized caches, oracle fields) before
     /// resuming as the primary. Rebuilt-on-demand structures make this
     /// behaviorally free; the default is a no-op for stateless planners.
+    ///
+    /// **Deprecated as a call surface**: dispatch
+    /// [`PlannerEvent::RecoverDegraded`] through [`Planner::on_event`].
     fn recover_degraded(&mut self) {}
 
     /// Periodic maintenance: reservation garbage collection (the paper's

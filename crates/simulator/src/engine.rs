@@ -67,7 +67,7 @@ use crate::faults::{DegradationPolicy, FaultConfig, FaultPlan};
 use crate::metrics::{Checkpoint, MetricsCollector, MetricsSnapshot};
 use crate::report::SimulationReport;
 use crate::validate::{TrajectoryValidator, ValidatorSnapshot};
-use eatp_core::planner::{InjectedFault, LegRequest, Planner};
+use eatp_core::planner::{InjectedFault, LegRequest, Planner, PlannerEvent};
 use eatp_core::world::WorldView;
 use serde::{Deserialize, Serialize};
 use tprw_pathfinding::Path;
@@ -75,6 +75,42 @@ use tprw_warehouse::{
     CellKind, DisruptionEvent, Duration, GridPos, Instance, Item, ItemId, OrderId, Picker,
     QueueEntry, Rack, RackId, Robot, RobotId, RobotPhase, Tick, TimedEvent,
 };
+
+/// How the engine schedules per-tick work (see
+/// `docs/event-driven-ticking.md`).
+///
+/// Both strategies advance the clock one tick at a time and produce
+/// **bit-identical** simulation outputs — fingerprints, ack streams,
+/// checkpoint/bottleneck series, planner counters, `state_hash` — for every
+/// planner across clean, disrupted, chaos, live-order and parallel regimes
+/// (the `event_driven` test suite and `bench_sim` both gate this). The
+/// strategies differ only in how much work a *quiescent* tick costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TickStrategy {
+    /// The original loop: every phase scans every robot, rack and picker
+    /// every tick, whether or not anything can happen.
+    #[default]
+    Dense,
+    /// Agenda-based scheduling: the engine maintains a canonical agenda of
+    /// wake ticks (per-robot leg completions via an arrival heap, per-picker
+    /// processing, replan/delivery/return queues, command drains, disruption
+    /// events and fault-plan cursors) plus dirty-tracking of the planner's
+    /// selection inputs, and each phase early-outs when it can prove the
+    /// dense code would be a no-op. A quiescent floor costs ~O(active)
+    /// instead of O(fleet + racks + pickers) per tick.
+    ///
+    /// The agenda is **derived state**: it is never snapshotted and is
+    /// reconstructed from canonical state on resume (see
+    /// `docs/snapshot-format.md`).
+    EventDriven,
+}
+
+impl TickStrategy {
+    /// `true` for [`TickStrategy::EventDriven`].
+    pub fn is_event_driven(self) -> bool {
+        matches!(self, TickStrategy::EventDriven)
+    }
+}
 
 /// Engine knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -117,6 +153,16 @@ pub struct EngineConfig {
     /// per-leg path never batches; [`EngineConfig::builder`] rejects that
     /// pairing.
     pub workers: usize,
+    /// Per-tick scheduling strategy (see [`TickStrategy`]). Simulation
+    /// outputs are bit-identical for either value — the strategy only
+    /// changes how much work a quiescent tick costs. `serde(default)` keeps
+    /// pre-existing snapshot payloads (which predate the field) decoding:
+    /// they resume with the dense loop, exactly as they ran.
+    /// Meaningless combined with [`EngineConfig::reference_exec`], whose
+    /// point is to reproduce the pre-batching loop byte for byte;
+    /// [`EngineConfig::builder`] rejects that pairing.
+    #[serde(default)]
+    pub tick_strategy: TickStrategy,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +177,7 @@ impl Default for EngineConfig {
             degradation: DegradationPolicy::default(),
             live: false,
             workers: 0,
+            tick_strategy: TickStrategy::default(),
         }
     }
 }
@@ -145,6 +192,12 @@ impl EngineConfig {
             config: EngineConfig::default(),
         }
     }
+
+    /// Re-open an existing config for amendment; the amended knob set is
+    /// re-validated at [`EngineConfigBuilder::build`].
+    pub fn into_builder(self) -> EngineConfigBuilder {
+        EngineConfigBuilder { config: self }
+    }
 }
 
 /// A contradictory [`EngineConfigBuilder`] knob combination.
@@ -157,6 +210,10 @@ pub enum EngineConfigError {
         /// The rejected worker count.
         workers: usize,
     },
+    /// `reference_exec` exists to reproduce the pre-batching loop byte for
+    /// byte; layering the event-driven scheduler over it would measure a
+    /// hybrid nobody ships. The pairing is rejected outright.
+    ReferenceExecIsDense,
 }
 
 impl std::fmt::Display for EngineConfigError {
@@ -166,6 +223,11 @@ impl std::fmt::Display for EngineConfigError {
                 f,
                 "reference_exec replays the serial per-leg path; \
                  {workers} parallel workers would be ignored"
+            ),
+            EngineConfigError::ReferenceExecIsDense => write!(
+                f,
+                "reference_exec replays the pre-batching dense loop; \
+                 the event-driven strategy cannot compose with it"
             ),
         }
     }
@@ -237,12 +299,21 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Per-tick scheduling strategy (see [`TickStrategy`]).
+    pub fn tick_strategy(mut self, strategy: TickStrategy) -> Self {
+        self.config.tick_strategy = strategy;
+        self
+    }
+
     /// Validate the knob combination and produce the config.
     pub fn build(self) -> Result<EngineConfig, EngineConfigError> {
         if self.config.reference_exec && self.config.workers > 1 {
             return Err(EngineConfigError::ReferenceExecIsSerial {
                 workers: self.config.workers,
             });
+        }
+        if self.config.reference_exec && self.config.tick_strategy.is_event_driven() {
+            return Err(EngineConfigError::ReferenceExecIsDense);
         }
         Ok(self.config)
     }
@@ -288,7 +359,7 @@ pub struct EngineState {
     pub finished: bool,
     /// Every disruption event actually applied so far, at its application
     /// tick (deferred events appear when they land, not when scheduled).
-    /// Replayed through [`Planner::on_disruption`] on resume to rebuild the
+    /// Replayed through [`Planner::on_event`] on resume to rebuild the
     /// planner's derived world model (grid overlay, KNN liveness, outlook).
     pub journal: Vec<TimedEvent>,
     pub racks: Vec<Rack>,
@@ -519,6 +590,43 @@ pub struct Engine<'a> {
     acks_out: Vec<Ack>,
     /// Per-tick scratch: the sorted command batch being applied.
     cmd_buf: Vec<SequencedCommand>,
+    /// Event-driven agenda (see `docs/event-driven-ticking.md`): min-heap of
+    /// `(path end tick, robot index)` wake entries, pushed whenever a path
+    /// is installed. **Derived state** — never snapshotted, rebuilt from
+    /// `paths` on resume; entries are re-validated against the canonical
+    /// `paths` on pop (lazy deletion), so stale entries are harmless.
+    /// Only maintained under [`TickStrategy::EventDriven`]; the dense loop
+    /// neither pushes nor pops, keeping the baseline unperturbed.
+    arrival_agenda: std::collections::BinaryHeap<std::cmp::Reverse<(Tick, u32)>>,
+    /// Per-tick scratch: robots woken by the arrival agenda this tick,
+    /// sorted ascending to reproduce the dense loop's robot-index order.
+    arrivals_buf: Vec<usize>,
+    /// Robots in a non-`Idle` phase. Derived; maintained at every
+    /// phase-change site, rebuilt from `robots` on resume.
+    busy_count: usize,
+    /// Robots docked at a station (`Queuing` or `Processing`). Zero implies
+    /// every picker queue is empty and nothing is being served, so the
+    /// picking phase is a provable no-op. Derived, like `busy_count`.
+    docked_count: usize,
+    /// Conservative planning-input dirty flag: *may* some robot be idle and
+    /// assignable? Set on any arrival to `Idle`, any disruption/recovery,
+    /// and on init/resume; cleared only when a planning scan finds the idle
+    /// pool empty. False means the dense planning phase would early-out on
+    /// an empty `idle_buf` (which it does *before* consuming degradation or
+    /// decision-fault cursors — see `step_planning`).
+    maybe_idle: bool,
+    /// Conservative planning-input dirty flag: *may* some rack be
+    /// selectable? Set on item arrivals (pregenerated and live), rack
+    /// returns, and any disruption event; cleared only when a planning scan
+    /// finds the selectable pool empty.
+    maybe_work: bool,
+    /// The last movement scan ran with zero busy robots and pushed zero new
+    /// conflicts and zero new violations — so while `busy_count` stays 0
+    /// and no event/command lands, the next scan is a provable no-op and
+    /// the validator can [`TrajectoryValidator::advance_static`] instead.
+    /// Cleared by anything that can move a robot, change the overlay, or
+    /// change the on-grid set.
+    quiet_scan: bool,
 }
 
 impl<'a> Engine<'a> {
@@ -607,6 +715,13 @@ impl<'a> Engine<'a> {
             total_order_age: 0,
             acks_out: Vec::new(),
             cmd_buf: Vec::new(),
+            arrival_agenda: std::collections::BinaryHeap::new(),
+            arrivals_buf: Vec::new(),
+            busy_count: 0,
+            docked_count: 0,
+            maybe_idle: true,
+            maybe_work: true,
+            quiet_scan: false,
             instance,
             config: config.clone(),
         }
@@ -655,7 +770,7 @@ impl<'a> Engine<'a> {
         // must not survive into this tick's decisions.
         if self.recover_next {
             self.recover_next = false;
-            planner.recover_degraded();
+            planner.on_event(PlannerEvent::RecoverDegraded);
         }
         let t = self.t;
         if !commands.is_empty() {
@@ -679,6 +794,8 @@ impl<'a> Engine<'a> {
         self.step_planning(t, planner);
         self.step_movement(t);
         self.step_bookkeeping(t, planner);
+        #[cfg(debug_assertions)]
+        self.assert_agenda_counters();
 
         if self.is_done() {
             self.completed = true;
@@ -761,6 +878,7 @@ impl<'a> Engine<'a> {
             }
             Command::InjectDisruption { event } => {
                 if self.injection_is_valid(*event) {
+                    self.dirty_all();
                     self.apply_event(*event, t, planner);
                     self.acks_out.push(Ack::Injected { seq, tick: t });
                 } else {
@@ -928,16 +1046,59 @@ impl<'a> Engine<'a> {
         pos.to_index(self.instance.grid.width())
     }
 
+    /// Whether the event-driven scheduler is active. `reference_exec`
+    /// forces the dense loop regardless of the configured strategy — its
+    /// whole point is to reproduce the pre-change loop byte for byte (the
+    /// builder rejects the pairing; a hand-rolled literal degrades to
+    /// dense instead of running an unshipped hybrid).
+    #[inline]
+    fn ed(&self) -> bool {
+        self.config.tick_strategy.is_event_driven() && !self.config.reference_exec
+    }
+
+    /// Conservatively dirty every event-driven skip precondition: the
+    /// planning inputs may have changed, and the next movement scan cannot
+    /// be proven a no-op. Called on any disruption landing (scheduled or
+    /// injected) — events are rare, so over-invalidating costs one dense
+    /// rescan, never correctness.
+    #[inline]
+    fn dirty_all(&mut self) {
+        self.maybe_idle = true;
+        self.maybe_work = true;
+        self.quiet_scan = false;
+    }
+
+    /// Debug-only: recompute the derived agenda counters from canonical
+    /// state and assert they match the incrementally maintained ones.
+    #[cfg(debug_assertions)]
+    fn assert_agenda_counters(&self) {
+        let busy = self.robots.iter().filter(|r| r.phase.is_busy()).count();
+        let docked = self
+            .robots
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.phase,
+                    RobotPhase::Queuing { .. } | RobotPhase::Processing { .. }
+                )
+            })
+            .count();
+        debug_assert_eq!(self.busy_count, busy, "busy_count drifted");
+        debug_assert_eq!(self.docked_count, docked, "docked_count drifted");
+    }
+
     /// Phase 0: replay disruption events due at tick `t` (plus any deferred
     /// blockades whose cell has cleared). See the module docs for the
     /// semantics of each event kind.
     fn step_events(&mut self, t: Tick, planner: &mut dyn Planner) {
-        if self.next_event >= self.instance.disruptions.len()
-            && self.deferred_blockades.is_empty()
-            && self.deferred_removals.is_empty()
-        {
+        let due = self.next_event < self.instance.disruptions.len()
+            && self.instance.disruptions[self.next_event].t <= t;
+        if !due && self.deferred_blockades.is_empty() && self.deferred_removals.is_empty() {
             return;
         }
+        // Anything landing below may change phases, planning inputs or the
+        // blockade overlay — every event-driven skip precondition dirties.
+        self.dirty_all();
         // Deferred blockades and removals land first, in original order.
         if !self.deferred_blockades.is_empty() {
             let deferred = std::mem::take(&mut self.deferred_blockades);
@@ -974,7 +1135,7 @@ impl<'a> Engine<'a> {
                 self.broken[ai] = true;
                 self.events_applied += 1;
                 self.journal.push(TimedEvent { t, event });
-                planner.on_disruption(&event, t);
+                planner.on_event(PlannerEvent::Disruption { event: &event, t });
                 // A robot travelling a live leg freezes mid-route; its
                 // frozen cell may invalidate other planned paths.
                 if self.paths[ai].as_ref().is_some_and(|p| p.end() >= t) {
@@ -991,7 +1152,7 @@ impl<'a> Engine<'a> {
                 self.broken[ai] = false;
                 self.events_applied += 1;
                 self.journal.push(TimedEvent { t, event });
-                planner.on_disruption(&event, t);
+                planner.on_event(PlannerEvent::Disruption { event: &event, t });
                 // Mid-route robots (frozen, no path) resume via replan;
                 // robots waiting at a rack home or in a station bay resume
                 // through their pending lists instead.
@@ -1023,7 +1184,7 @@ impl<'a> Engine<'a> {
                 self.blocked_overlay[idx] = false;
                 self.events_applied += 1;
                 self.journal.push(TimedEvent { t, event });
-                planner.on_disruption(&event, t);
+                planner.on_event(PlannerEvent::Disruption { event: &event, t });
             }
             DisruptionEvent::StationClosed { picker } => {
                 let pi = picker.index();
@@ -1031,7 +1192,7 @@ impl<'a> Engine<'a> {
                     self.closed[pi] = true;
                     self.events_applied += 1;
                     self.journal.push(TimedEvent { t, event });
-                    planner.on_disruption(&event, t);
+                    planner.on_event(PlannerEvent::Disruption { event: &event, t });
                 }
             }
             DisruptionEvent::StationReopened { picker } => {
@@ -1040,7 +1201,7 @@ impl<'a> Engine<'a> {
                     self.closed[pi] = false;
                     self.events_applied += 1;
                     self.journal.push(TimedEvent { t, event });
-                    planner.on_disruption(&event, t);
+                    planner.on_event(PlannerEvent::Disruption { event: &event, t });
                 }
             }
             DisruptionEvent::RackRemoved { rack } => {
@@ -1060,7 +1221,7 @@ impl<'a> Engine<'a> {
                     self.removed[ri] = false;
                     self.events_applied += 1;
                     self.journal.push(TimedEvent { t, event });
-                    planner.on_disruption(&event, t);
+                    planner.on_event(PlannerEvent::Disruption { event: &event, t });
                 }
             }
         }
@@ -1079,7 +1240,7 @@ impl<'a> Engine<'a> {
         self.events_applied += 1;
         let event = DisruptionEvent::RackRemoved { rack };
         self.journal.push(TimedEvent { t, event });
-        planner.on_disruption(&event, t);
+        planner.on_event(PlannerEvent::Disruption { event: &event, t });
         true
     }
 
@@ -1103,7 +1264,7 @@ impl<'a> Engine<'a> {
         self.events_applied += 1;
         let event = DisruptionEvent::CellBlocked { pos };
         self.journal.push(TimedEvent { t, event });
-        planner.on_disruption(&event, t);
+        planner.on_event(PlannerEvent::Disruption { event: &event, t });
         self.freeze_queue.clear();
         self.freeze_queue.push(pos);
         self.run_freeze_cascade(t, planner);
@@ -1122,7 +1283,7 @@ impl<'a> Engine<'a> {
         self.paths[ai] = None;
         let pos = self.robots[ai].pos;
         let id = self.robots[ai].id;
-        planner.on_path_cancelled(id, pos, t);
+        planner.on_event(PlannerEvent::PathCancelled { robot: id, pos, t });
         if !self.broken[ai] && !self.needs_replan.contains(&id) {
             self.needs_replan.push(id);
         }
@@ -1152,6 +1313,8 @@ impl<'a> Engine<'a> {
     /// arrival with dense ids in sorted order, so a live run submitting
     /// the same demand pre-tick-0 lands items in the identical sequence.
     fn step_arrivals(&mut self, t: Tick) {
+        let items_before = self.next_item;
+        let live_before = self.live_item_orders.len();
         while self.next_item < self.instance.items.len() {
             let item = &self.instance.items[self.next_item];
             if item.arrival > t {
@@ -1179,10 +1342,26 @@ impl<'a> Engine<'a> {
             self.live_item_arrivals.push(b.arrival);
             self.total_order_age += t - b.submitted;
         }
+        // A landed item can make its rack selectable again.
+        if self.next_item != items_before || self.live_item_orders.len() != live_before {
+            self.maybe_work = true;
+        }
     }
 
     /// Phase 2: pickers serve their queues one tick.
     fn step_picking(&mut self, _t: Tick, _planner: &mut dyn Planner) {
+        // Event-driven: no docked robot means every queue is empty and
+        // nothing is mid-service (each queue entry and each `serving` slot
+        // holds a robot in `Queuing`/`Processing`), so the dense loop below
+        // would read every picker and mutate none — skip it.
+        if self.ed() && self.docked_count == 0 {
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(self.serving.iter().all(|s| s.is_none()));
+                debug_assert!(self.pickers.iter().all(|p| p.queue.is_empty()));
+            }
+            return;
+        }
         for pi in 0..self.pickers.len() {
             // A closed station pauses mid-rack: no processing, no queue
             // pops, no busy-tick accrual, until it reopens.
@@ -1224,61 +1403,139 @@ impl<'a> Engine<'a> {
     /// Phase 3: robots that completed a leg receive the next one.
     fn step_transitions(&mut self, t: Tick, planner: &mut dyn Planner) {
         // 3a. Pickup arrivals -> join the delivery-pending pool.
-        for ai in 0..self.robots.len() {
-            let arrived = self.paths[ai].as_ref().is_some_and(|p| p.end() <= t);
-            if !arrived {
-                continue;
+        //
+        // Event-driven: instead of scanning the fleet, pop the arrival
+        // agenda's due wake entries. Every path installation pushed
+        // `(end, robot)` onto the heap, so any robot satisfying the dense
+        // loop's `arrived` predicate has a due entry (an already-processed
+        // `ToRack` arrival keeps its ended path, but reprocessing it is the
+        // same no-op the dense loop performs every tick: the position
+        // re-set is idempotent and the pending-pool push is
+        // contains-guarded). Entries are validated against the canonical
+        // `paths` below and processed in ascending robot order — the heap
+        // orders by `(end, robot)`, which differs from the dense loop's
+        // robot order when distinct end ticks are due at once, and arrival
+        // order is observable through picker-queue FIFO order.
+        if self.ed() {
+            self.arrivals_buf.clear();
+            while let Some(&std::cmp::Reverse((end, ai))) = self.arrival_agenda.peek() {
+                if end > t {
+                    break;
+                }
+                self.arrival_agenda.pop();
+                self.arrivals_buf.push(ai as usize);
             }
-            // Transitions run before this tick's movement phase, so sync the
-            // position to the path's final cell — that is where the robot's
-            // reservation says it stands at tick `t` (paths end with
-            // `end() == t` here). Leaving the previous tick's position in
-            // place would desynchronize the physical robot from its parked
-            // reservation by one cell.
-            let arrival_pos = self.paths[ai].as_ref().map(|p| p.last());
-            match self.robots[ai].phase {
-                RobotPhase::ToRack { .. } => {
-                    self.robots[ai].pos = arrival_pos.expect("checked above");
-                    let id = self.robots[ai].id;
-                    if !self.needs_delivery.contains(&id) {
-                        self.needs_delivery.push(id);
-                    }
+            self.arrivals_buf.sort_unstable();
+            self.arrivals_buf.dedup();
+            // Completeness check: every robot the dense scan would act on
+            // must have a due entry. The one legitimate absence is a
+            // `ToRack` robot whose ended path is *stale*: it arrived on an
+            // earlier tick (consuming its entry), was pushed into the
+            // delivery-pending pool, and its delivery leg has not planned
+            // yet — the dense loop reprocesses it every tick as a pure
+            // no-op (idempotent position set, contains-guarded pool push).
+            #[cfg(debug_assertions)]
+            for ai in 0..self.robots.len() {
+                let stale_to_rack = matches!(self.robots[ai].phase, RobotPhase::ToRack { .. })
+                    && self.paths[ai].as_ref().is_some_and(|p| p.end() < t);
+                debug_assert!(
+                    self.paths[ai].as_ref().is_none_or(|p| p.end() > t)
+                        || stale_to_rack
+                        || self.arrivals_buf.contains(&ai),
+                    "arrived robot {ai} missing from the arrival agenda"
+                );
+            }
+            if !self.arrivals_buf.is_empty() {
+                self.quiet_scan = false;
+                let mut due = std::mem::take(&mut self.arrivals_buf);
+                for &ai in &due {
+                    self.transition_arrival(ai, t, planner);
                 }
-                RobotPhase::ToStation { rack } => {
-                    // Dock: leave the grid, enqueue at the picker.
-                    self.robots[ai].pos = arrival_pos.expect("checked above");
-                    let robot_id = self.robots[ai].id;
-                    planner.on_dock(robot_id);
-                    let picker = self.racks[rack.index()].picker;
-                    self.pickers[picker.index()].enqueue(QueueEntry {
-                        rack,
-                        robot: robot_id,
-                        work: self.carried_work[ai],
-                    });
-                    self.carried_work[ai] = 0;
-                    self.robots[ai].phase = RobotPhase::Queuing { rack };
-                    self.paths[ai] = None;
-                }
-                RobotPhase::Returning { rack } => {
-                    // Rack home again: fulfilment cycle complete.
-                    self.robots[ai].pos = arrival_pos.expect("checked above");
-                    self.racks[rack.index()].in_flight = false;
-                    self.robots[ai].phase = RobotPhase::Idle;
-                    self.paths[ai] = None;
-                    self.last_return = self.last_return.max(t);
-                    self.rack_trips += 1;
-                }
-                _ => {}
+                due.clear();
+                self.arrivals_buf = due;
+            }
+        } else {
+            for ai in 0..self.robots.len() {
+                self.transition_arrival(ai, t, planner);
             }
         }
 
         // 3b/3c: delivery and return legs for waiting robots — one batched
         // query+commit leg pass per tick, or the pre-change per-leg
-        // retain-loops when baselining.
+        // retain-loops when baselining. Event-driven: three empty pending
+        // pools mean the dense pass would build zero requests and return
+        // before touching the leg-fault cursor — a provable no-op.
+        if self.ed()
+            && self.needs_replan.is_empty()
+            && self.needs_delivery.is_empty()
+            && self.needs_return.is_empty()
+        {
+            return;
+        }
         if self.config.reference_exec {
             self.step_legs_serial(t, planner);
         } else {
             self.step_legs_batched(t, planner);
+        }
+    }
+
+    /// One robot's leg-completion transition (the body of phase 3a),
+    /// shared by the dense scan and the event-driven agenda pop. Checks
+    /// the `arrived` predicate itself, so a stale agenda entry (the path
+    /// was cancelled, or replaced by one still in flight) is a no-op.
+    fn transition_arrival(&mut self, ai: usize, t: Tick, planner: &mut dyn Planner) {
+        if self.paths[ai].as_ref().is_none_or(|p| p.end() > t) {
+            return;
+        }
+        // Transitions run before this tick's movement phase, so sync the
+        // position to the path's final cell — that is where the robot's
+        // reservation says it stands at tick `t` (paths end with
+        // `end() == t` here). Leaving the previous tick's position in
+        // place would desynchronize the physical robot from its parked
+        // reservation by one cell.
+        let arrival_pos = self.paths[ai]
+            .as_ref()
+            .map(|p| p.last())
+            .expect("checked above");
+        match self.robots[ai].phase {
+            RobotPhase::ToRack { .. } => {
+                self.robots[ai].pos = arrival_pos;
+                let id = self.robots[ai].id;
+                if !self.needs_delivery.contains(&id) {
+                    self.needs_delivery.push(id);
+                }
+            }
+            RobotPhase::ToStation { rack } => {
+                // Dock: leave the grid, enqueue at the picker.
+                self.robots[ai].pos = arrival_pos;
+                let robot_id = self.robots[ai].id;
+                planner.on_dock(robot_id);
+                let picker = self.racks[rack.index()].picker;
+                self.pickers[picker.index()].enqueue(QueueEntry {
+                    rack,
+                    robot: robot_id,
+                    work: self.carried_work[ai],
+                });
+                self.carried_work[ai] = 0;
+                self.robots[ai].phase = RobotPhase::Queuing { rack };
+                self.paths[ai] = None;
+                self.docked_count += 1;
+            }
+            RobotPhase::Returning { rack } => {
+                // Rack home again: fulfilment cycle complete.
+                self.robots[ai].pos = arrival_pos;
+                self.racks[rack.index()].in_flight = false;
+                self.robots[ai].phase = RobotPhase::Idle;
+                self.paths[ai] = None;
+                self.last_return = self.last_return.max(t);
+                self.rack_trips += 1;
+                self.busy_count -= 1;
+                // The robot is assignable and its rack (back home, possibly
+                // with pending items) may be selectable again.
+                self.maybe_idle = true;
+                self.maybe_work = true;
+            }
+            _ => {}
         }
     }
 
@@ -1390,6 +1647,7 @@ impl<'a> Engine<'a> {
         }
         debug_assert_eq!(self.leg_results.len(), self.leg_requests.len());
 
+        let ed = self.ed();
         let mut i = 0;
         self.needs_replan.retain(|&robot_id| {
             let ai = robot_id.index();
@@ -1403,6 +1661,10 @@ impl<'a> Engine<'a> {
                     // The phase is preserved: the robot resumes its
                     // interrupted leg and the arrival transition handles the
                     // rest (dock / delivery hand-off / cycle completion).
+                    if ed {
+                        self.arrival_agenda
+                            .push(std::cmp::Reverse((path.end(), ai as u32)));
+                    }
                     self.paths[ai] = Some(path);
                     false
                 }
@@ -1423,6 +1685,10 @@ impl<'a> Engine<'a> {
                         unreachable!("phase unchanged since collection");
                     };
                     self.robots[ai].phase = RobotPhase::ToStation { rack };
+                    if ed {
+                        self.arrival_agenda
+                            .push(std::cmp::Reverse((path.end(), ai as u32)));
+                    }
                     self.paths[ai] = Some(path);
                     false
                 }
@@ -1446,6 +1712,11 @@ impl<'a> Engine<'a> {
                     };
                     self.robots[ai].phase = RobotPhase::Returning { rack };
                     self.robots[ai].pos = station;
+                    self.docked_count -= 1;
+                    if ed {
+                        self.arrival_agenda
+                            .push(std::cmp::Reverse((path.end(), ai as u32)));
+                    }
                     self.paths[ai] = Some(path);
                     false
                 }
@@ -1530,6 +1801,7 @@ impl<'a> Engine<'a> {
                     used_stations[picker.index()] = true;
                     self.robots[ai].phase = RobotPhase::Returning { rack };
                     self.robots[ai].pos = station;
+                    self.docked_count -= 1;
                     self.paths[ai] = Some(path);
                     false
                 }
@@ -1540,6 +1812,28 @@ impl<'a> Engine<'a> {
 
     /// Phase 4: the planner's per-timestamp selection + assignment.
     fn step_planning(&mut self, t: Tick, planner: &mut dyn Planner) {
+        // Event-driven: the dirty flags conservatively over-approximate the
+        // two offer pools, so both being clear proves the dense scans would
+        // find at least one pool empty and return below — *before* touching
+        // the degradation latch or the decision-fault cursor, which is what
+        // makes this skip bit-identical under chaos regimes too.
+        if self.ed() && !(self.maybe_idle && self.maybe_work) {
+            #[cfg(debug_assertions)]
+            {
+                let any_idle = self
+                    .robots
+                    .iter()
+                    .any(|r| r.is_idle() && !self.broken[r.id.index()]);
+                let any_work = self.racks.iter().any(|r| {
+                    r.selectable() && !self.closed[r.picker.index()] && !self.removed[r.id.index()]
+                });
+                debug_assert!(
+                    (self.maybe_idle || !any_idle) && (self.maybe_work || !any_work),
+                    "planning dirty flag cleared while its pool is populated"
+                );
+            }
+            return;
+        }
         self.idle_buf.clear();
         for r in &self.robots {
             // Broken robots leave the assignment pool until they recover.
@@ -1557,6 +1851,11 @@ impl<'a> Engine<'a> {
             }
         }
         if self.idle_buf.is_empty() || self.selectable_buf.is_empty() {
+            // The scans just computed the pools exactly — downgrade the
+            // conservative flags to what they proved, so a quiescent floor
+            // stops rescanning until something re-dirties them.
+            self.maybe_idle = !self.idle_buf.is_empty();
+            self.maybe_work = !self.selectable_buf.is_empty();
             return;
         }
         // A budget overrun on the previous planning tick degrades this one
@@ -1652,6 +1951,11 @@ impl<'a> Engine<'a> {
             self.record_carried_orders(ai, &items);
             self.robots[ai].phase = RobotPhase::ToRack { rack: plan.rack };
             self.racks[plan.rack.index()].in_flight = true;
+            self.busy_count += 1;
+            if self.ed() {
+                self.arrival_agenda
+                    .push(std::cmp::Reverse((plan.path.end(), ai as u32)));
+            }
             self.paths[ai] = Some(plan.path);
         }
     }
@@ -1726,6 +2030,11 @@ impl<'a> Engine<'a> {
             self.record_carried_orders(ai, &items);
             self.robots[ai].phase = RobotPhase::ToRack { rack: rid };
             self.racks[ri].in_flight = true;
+            self.busy_count += 1;
+            if self.ed() {
+                self.arrival_agenda
+                    .push(std::cmp::Reverse((path.end(), ai as u32)));
+            }
             self.paths[ai] = Some(path);
             used[ai] = true;
             assigned += 1;
@@ -1751,6 +2060,25 @@ impl<'a> Engine<'a> {
 
     /// Phase 5: advance robots along their paths; validate positions.
     fn step_movement(&mut self, t: Tick) {
+        // Event-driven: with zero busy robots nothing moves, accrues busy
+        // ticks, or changes the on-grid set (idle robots carry no path and
+        // their positions only change through busy phases). With validation
+        // off that alone proves the dense loop a no-op; with validation on
+        // we additionally need `quiet_scan` — the last real scan saw this
+        // exact position set and pushed zero conflicts and zero violations
+        // — so the validator can advance its window without rescanning
+        // (see [`TrajectoryValidator::advance_static`]) and the violation
+        // recount provably adds zero.
+        if self.ed() && self.busy_count == 0 && (!self.config.validate || self.quiet_scan) {
+            #[cfg(debug_assertions)]
+            debug_assert!(self.robots.iter().all(|r| r.is_idle()));
+            if self.config.validate {
+                self.validator.advance_static(t);
+            }
+            return;
+        }
+        let conflicts_before = self.validator.conflict_count();
+        let violations_before = self.disruption_violations;
         let grid_width = self.instance.grid.width();
         // The reference path allocates its position buffer per tick, as the
         // pre-change engine did; the default path reuses one.
@@ -1805,6 +2133,12 @@ impl<'a> Engine<'a> {
                 self.validator.check_tick_fast(t, on_grid);
             }
         }
+        // A clean scan over an all-idle fleet certifies the next tick's
+        // skip; any conflict or violation it pushed would be re-pushed by
+        // the dense loop every tick, so those runs must keep scanning.
+        self.quiet_scan = self.busy_count == 0
+            && self.validator.conflict_count() == conflicts_before
+            && self.disruption_violations == violations_before;
     }
 
     /// Phase 6: metrics, checkpoints, reservation GC.
@@ -1812,23 +2146,29 @@ impl<'a> Engine<'a> {
         let mut transport = 0u64;
         let mut queuing = 0u64;
         let mut processing = 0u64;
-        for r in &self.robots {
-            match r.phase {
-                RobotPhase::ToRack { .. }
-                | RobotPhase::ToStation { .. }
-                | RobotPhase::Returning { .. } => transport += 1,
-                RobotPhase::Queuing { .. } => queuing += 1,
-                // A rack paused mid-processing by a station outage is
-                // *waiting*, not processing — the Fig. 13 trace must not
-                // report progress while the picker is away.
-                RobotPhase::Processing { rack } => {
-                    if self.closed[self.racks[rack.index()].picker.index()] {
-                        queuing += 1;
-                    } else {
-                        processing += 1;
+        // Event-driven: every counted phase is a busy phase, so an all-idle
+        // fleet counts (0, 0, 0) without the scan. `record_bottleneck` is
+        // still fed every tick — the zero buckets it creates are part of
+        // the deterministic fingerprint.
+        if !(self.ed() && self.busy_count == 0) {
+            for r in &self.robots {
+                match r.phase {
+                    RobotPhase::ToRack { .. }
+                    | RobotPhase::ToStation { .. }
+                    | RobotPhase::Returning { .. } => transport += 1,
+                    RobotPhase::Queuing { .. } => queuing += 1,
+                    // A rack paused mid-processing by a station outage is
+                    // *waiting*, not processing — the Fig. 13 trace must not
+                    // report progress while the picker is away.
+                    RobotPhase::Processing { rack } => {
+                        if self.closed[self.racks[rack.index()].picker.index()] {
+                            queuing += 1;
+                        } else {
+                            processing += 1;
+                        }
                     }
+                    RobotPhase::Idle => {}
                 }
-                RobotPhase::Idle => {}
             }
         }
         self.metrics
@@ -2020,13 +2360,47 @@ impl<'a> Engine<'a> {
         self.orders_completed = state.orders_completed;
         self.peak_backlog = state.peak_backlog;
         self.total_order_age = state.total_order_age;
+        self.rebuild_agenda();
+    }
+
+    /// Reconstruct the derived event-driven agenda from canonical state
+    /// (see `docs/event-driven-ticking.md`): the arrival heap is exactly
+    /// the set of active paths keyed by their end ticks, the counters are
+    /// phase tallies, and the dirty flags start conservatively pessimistic
+    /// — the first planning scan and movement scan converge them to the
+    /// precise values, identically to a never-snapshotted run (the
+    /// `agenda_reconstruction_matches_fresh` test pins this).
+    fn rebuild_agenda(&mut self) {
+        self.arrival_agenda.clear();
+        if self.ed() {
+            for (ai, path) in self.paths.iter().enumerate() {
+                if let Some(path) = path {
+                    self.arrival_agenda
+                        .push(std::cmp::Reverse((path.end(), ai as u32)));
+                }
+            }
+        }
+        self.busy_count = self.robots.iter().filter(|r| r.phase.is_busy()).count();
+        self.docked_count = self
+            .robots
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.phase,
+                    RobotPhase::Queuing { .. } | RobotPhase::Processing { .. }
+                )
+            })
+            .count();
+        self.maybe_idle = true;
+        self.maybe_work = true;
+        self.quiet_scan = false;
     }
 
     /// Rebuild a mid-run engine + planner pair from an exported state.
     ///
     /// The restore protocol (documented in `docs/snapshot-format.md`):
     /// the planner is freshly `init`-ed on the instance, the applied-event
-    /// journal is replayed through [`Planner::on_disruption`] to rebuild
+    /// journal is replayed through [`Planner::on_event`] to rebuild
     /// its derived world model (grid overlay, distance oracle, KNN
     /// liveness, disruption outlook), and only then is its canonical state
     /// overwritten via [`Planner::import_snapshot`]. Do **not** call
@@ -2041,7 +2415,10 @@ impl<'a> Engine<'a> {
         let mut engine = Engine::new(instance, config);
         planner.init(instance);
         for ev in &state.journal {
-            planner.on_disruption(&ev.event, ev.t);
+            planner.on_event(PlannerEvent::Disruption {
+                event: &ev.event,
+                t: ev.t,
+            });
         }
         planner.import_snapshot(planner_state)?;
         planner.set_parallel_workers(config.workers);
@@ -2177,10 +2554,10 @@ mod tests {
     fn tick_budget_guards_livelock() {
         let inst = small_instance(20, 42);
         let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
-        let config = EngineConfig {
-            max_ticks: 3, // absurdly small
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::builder()
+            .max_ticks(3) // absurdly small
+            .build()
+            .unwrap();
         let report = run_simulation(&inst, &mut planner, &config);
         assert!(!report.completed);
         assert!(report.items_processed < 20);
@@ -2418,10 +2795,7 @@ mod tests {
         });
         starved.validate().unwrap();
         let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
-        let config = EngineConfig {
-            max_ticks: 2_000,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::builder().max_ticks(2_000).build().unwrap();
         let report = run_simulation(&starved, &mut planner, &config);
         assert!(!report.completed, "starved demand cannot complete");
         assert!(report.items_processed < 6);
@@ -2480,14 +2854,14 @@ mod tests {
     }
 
     fn chaos_config(fault_seed: u64) -> EngineConfig {
-        EngineConfig {
-            faults: crate::faults::FaultConfig::chaos(fault_seed, (5, 150)),
-            degradation: crate::faults::DegradationPolicy {
+        EngineConfig::builder()
+            .faults(crate::faults::FaultConfig::chaos(fault_seed, (5, 150)))
+            .degradation(crate::faults::DegradationPolicy {
                 enabled: true,
                 max_expansions_per_tick: 0,
-            },
-            ..EngineConfig::default()
-        }
+            })
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -2527,13 +2901,13 @@ mod tests {
 
         // Arming the degradation policy without faults (and without an
         // expansion budget) must not perturb the run at all.
-        let armed = EngineConfig {
-            degradation: crate::faults::DegradationPolicy {
+        let armed = EngineConfig::builder()
+            .degradation(crate::faults::DegradationPolicy {
                 enabled: true,
                 max_expansions_per_tick: 0,
-            },
-            ..EngineConfig::default()
-        };
+            })
+            .build()
+            .unwrap();
         let mut p2 = NaiveTaskPlanner::new(EatpConfig::default());
         let r2 = run_simulation(&inst, &mut p2, &armed);
         assert_eq!(
@@ -2546,13 +2920,13 @@ mod tests {
     #[test]
     fn expansion_budget_overrun_degrades_next_planning_tick() {
         let inst = small_instance(25, 13);
-        let config = EngineConfig {
-            degradation: crate::faults::DegradationPolicy {
+        let config = EngineConfig::builder()
+            .degradation(crate::faults::DegradationPolicy {
                 enabled: true,
                 max_expansions_per_tick: 1,
-            },
-            ..EngineConfig::default()
-        };
+            })
+            .build()
+            .unwrap();
         let mut planner = NaiveTaskPlanner::new(EatpConfig::default());
         let report = run_simulation(&inst, &mut planner, &config);
         assert!(report.completed, "budget pressure must not wedge the run");

@@ -41,7 +41,10 @@ pub mod snapshot;
 pub mod validate;
 
 pub use commands::{Ack, BacklogOrder, Command, OrderSpec, RejectReason, SequencedCommand};
-pub use engine::{run_simulation, Engine, EngineConfig, EngineState};
+pub use engine::{
+    run_simulation, Engine, EngineConfig, EngineConfigBuilder, EngineConfigError, EngineState,
+    TickStrategy,
+};
 pub use faults::{DegradationPolicy, FaultConfig, FaultPlan, IoFaultKind};
 pub use metrics::{BottleneckSample, Checkpoint};
 pub use report::{DeterministicFingerprint, SimulationReport};

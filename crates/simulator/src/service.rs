@@ -387,12 +387,12 @@ mod tests {
     }
 
     fn live_config() -> EngineConfig {
-        EngineConfig {
-            live: true,
-            max_ticks: 4000,
-            bottleneck_bucket: 50,
-            ..EngineConfig::default()
-        }
+        EngineConfig::builder()
+            .live(true)
+            .max_ticks(4000)
+            .bottleneck_bucket(50)
+            .build()
+            .unwrap()
     }
 
     /// A script submitting `n` orders spread over early ticks, then a
@@ -571,11 +571,11 @@ mod tests {
         // A tenant with an empty script and `live: false` degenerates to
         // the plain pregenerated run.
         let instance = tenant_instance(31);
-        let config = EngineConfig {
-            max_ticks: 4000,
-            bottleneck_bucket: 50,
-            ..EngineConfig::default()
-        };
+        let config = EngineConfig::builder()
+            .max_ticks(4000)
+            .bottleneck_bucket(50)
+            .build()
+            .unwrap();
         let tenant = Tenant::new("plain", "LEF", instance.clone(), config.clone(), Vec::new());
         let bench = ServiceBench::run(std::slice::from_ref(&tenant));
         let mut planner = planner_by_name("LEF", &EatpConfig::default()).unwrap();

@@ -1015,6 +1015,10 @@ impl<P: Planner> Planner for PerturbFromTick<P> {
         self.inner.recover_degraded();
     }
 
+    fn on_event(&mut self, event: eatp_core::planner::PlannerEvent<'_>) {
+        self.inner.on_event(event);
+    }
+
     fn on_dock(&mut self, robot: RobotId) {
         self.inner.on_dock(robot);
     }

@@ -177,6 +177,36 @@ impl TrajectoryValidator {
         self.prev_t = Some(t);
     }
 
+    /// Advance the fast path one tick **without rescanning positions**:
+    /// sets `prev_t = Some(t)` and leaves the generation mark and dense
+    /// previous-position entries untouched.
+    ///
+    /// Callable only when a fresh [`TrajectoryValidator::check_tick_fast`]
+    /// call would be a provable no-op, i.e. all of:
+    ///
+    /// * the on-grid position set is byte-identical to the one passed to
+    ///   the last `check_tick_fast` call (nothing moved, docked or
+    ///   undocked) — so rewriting the entries under a new mark would store
+    ///   the same data, and every edge probe would hit `was == pos`;
+    /// * that last call pushed **zero** vertex conflicts — a vertex
+    ///   conflict between stationary robots would be re-pushed every tick
+    ///   by the dense loop, so skipping would under-count;
+    /// * `prev_t == Some(t - 1)` — the window is contiguous.
+    ///
+    /// Under those preconditions the exported [`ValidatorSnapshot`] after
+    /// this call is identical to the one a real `check_tick_fast` would
+    /// leave (`prev_fast` filters on the *current* mark either way), and
+    /// all future verdicts agree. The event-driven engine uses this to
+    /// keep quiescent ticks O(1); debug builds assert the preconditions.
+    pub fn advance_static(&mut self, t: Tick) {
+        debug_assert_eq!(
+            self.prev_t,
+            Some(t.wrapping_sub(1)),
+            "advance_static requires a contiguous window"
+        );
+        self.prev_t = Some(t);
+    }
+
     /// The previous-tick position of `robot` on the fast path.
     #[inline]
     fn fast_prev(&self, robot: RobotId) -> Option<GridPos> {

@@ -311,13 +311,15 @@ fn main() {
         // fault plan armed (window matched to the disruption wave) and
         // graceful degradation on. Run twice; the fingerprints — degraded
         // ticks and fallback assignments included — must match exactly.
-        let chaos_config = chaos_seed.map(|seed| EngineConfig {
-            faults: FaultConfig::chaos(seed, (80, 420)),
-            degradation: DegradationPolicy {
-                enabled: true,
-                max_expansions_per_tick: 0,
-            },
-            ..EngineConfig::default()
+        let chaos_config = chaos_seed.map(|seed| {
+            EngineConfig::builder()
+                .faults(FaultConfig::chaos(seed, (80, 420)))
+                .degradation(DegradationPolicy {
+                    enabled: true,
+                    max_expansions_per_tick: 0,
+                })
+                .build()
+                .expect("chaos drill config is valid")
         });
         if let Some(config) = &chaos_config {
             let mut p = planner_by_name(name, &EatpConfig::default()).expect("known planner");
@@ -382,15 +384,20 @@ fn main() {
             // a command stream. The horizon quantities normally derived
             // from the item list must be pinned identically on both sides
             // of the comparison (the live twin's list is empty).
-            let pregen_config = EngineConfig {
-                max_ticks: 50_000,
-                bottleneck_bucket: 50,
-                ..chaos_config.clone().unwrap_or_default()
-            };
-            let live_config = EngineConfig {
-                live: true,
-                ..pregen_config.clone()
-            };
+            let pregen_config = chaos_config
+                .clone()
+                .unwrap_or_default()
+                .into_builder()
+                .max_ticks(50_000)
+                .bottleneck_bucket(50)
+                .build()
+                .expect("pregen drill config is valid");
+            let live_config = pregen_config
+                .clone()
+                .into_builder()
+                .live(true)
+                .build()
+                .expect("live drill config is valid");
             let mut twin = disrupted.clone();
             twin.items.clear();
             let stream = equivalent_stream(&disrupted);

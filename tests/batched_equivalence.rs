@@ -52,10 +52,10 @@ fn batched_equals_serial_for_every_planner() {
                         reference_oracle: true,
                         ..EatpConfig::default()
                     };
-                    let serial_engine = EngineConfig {
-                        reference_exec: true,
-                        ..EngineConfig::default()
-                    };
+                    let serial_engine = EngineConfig::builder()
+                        .reference_exec(true)
+                        .build()
+                        .unwrap();
                     let mut p = planner_by_name(name, &serial_config).unwrap();
                     let serial = run_simulation(&inst, &mut *p, &serial_engine);
 

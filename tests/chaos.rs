@@ -80,14 +80,14 @@ fn scenario(kind: usize, seed: u64) -> Instance {
 /// The standard chaos engine config: the preset fault mix inside the
 /// disruption window, with graceful degradation armed.
 fn chaos_config(fault_seed: u64) -> EngineConfig {
-    EngineConfig {
-        faults: FaultConfig::chaos(fault_seed, (5, 150)),
-        degradation: DegradationPolicy {
+    EngineConfig::builder()
+        .faults(FaultConfig::chaos(fault_seed, (5, 150)))
+        .degradation(DegradationPolicy {
             enabled: true,
             max_expansions_per_tick: 0,
-        },
-        ..EngineConfig::default()
-    }
+        })
+        .build()
+        .unwrap()
 }
 
 /// A deterministic live-order stream derived from `order_seed`: `n`
@@ -181,7 +181,7 @@ proptest! {
     ) {
         let name = PLANNER_NAMES[planner_idx];
         let inst = scenario(kind, seed);
-        let config = EngineConfig { live: true, ..chaos_config(fault_seed) };
+        let config = chaos_config(fault_seed).into_builder().live(true).build().unwrap();
         let planner_cfg = EatpConfig::default();
         let stream = live_order_stream(&inst, order_seed, 8);
 

@@ -54,10 +54,10 @@ fn run(spec: &ScenarioSpec, name: &str, reference: bool) -> SimulationReport {
         reference_oracle: reference,
         ..EatpConfig::default()
     };
-    let engine = EngineConfig {
-        reference_exec: reference,
-        ..EngineConfig::default()
-    };
+    let engine = EngineConfig::builder()
+        .reference_exec(reference)
+        .build()
+        .unwrap();
     let mut planner = planner_by_name(name, &config).unwrap();
     run_simulation(&inst, &mut *planner, &engine)
 }

@@ -16,7 +16,7 @@
 //!   a resumed run keeps anticipating and stays fingerprint-identical to
 //!   the uninterrupted one.
 
-use eatp::core::{planner_by_name, EatpConfig, PLANNER_NAMES};
+use eatp::core::{planner_by_name, EatpConfig, PlannerEvent, PLANNER_NAMES};
 use eatp::simulator::{resume_from, Engine, EngineConfig, SimulationReport};
 use eatp::warehouse::{GridPos, LayoutConfig, ScenarioSpec, Tick, WorkloadConfig};
 
@@ -77,7 +77,7 @@ fn run_with_notices(
     let mut engine = Engine::new(&inst, &EngineConfig::default());
     engine.start(&mut *planner);
     for &(pos, from, until) in notices {
-        planner.on_maintenance_notice(pos, from, until);
+        planner.on_event(PlannerEvent::MaintenanceNotice { pos, from, until });
     }
     engine.run_to_completion(&mut *planner);
     engine.report(&mut *planner)
@@ -176,7 +176,7 @@ fn notices_survive_checkpoint_resume() {
         let mut engine = Engine::new(&inst, &EngineConfig::default());
         engine.start(&mut *planner);
         for &(pos, from, until) in &notices {
-            planner.on_maintenance_notice(pos, from, until);
+            planner.on_event(PlannerEvent::MaintenanceNotice { pos, from, until });
         }
         let half = baseline.makespan / 2;
         while !engine.is_finished() && engine.current_tick() < half {

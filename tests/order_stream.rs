@@ -63,11 +63,11 @@ fn scenario(kind: usize, seed: u64) -> Instance {
 /// quantities, which normally come from the instance's item list — the
 /// live side has an empty list, so pin them explicitly.
 fn pinned_config() -> EngineConfig {
-    EngineConfig {
-        max_ticks: 50_000,
-        bottleneck_bucket: 50,
-        ..EngineConfig::default()
-    }
+    EngineConfig::builder()
+        .max_ticks(50_000)
+        .bottleneck_bucket(50)
+        .build()
+        .unwrap()
 }
 
 /// The live twin of `inst`: same world, empty item list. The workload
@@ -146,7 +146,7 @@ proptest! {
         prop_assume!(pregenerated.completed);
 
         let twin = live_twin(&inst);
-        let live_config = EngineConfig { live: true, ..config };
+        let live_config = config.into_builder().live(true).build().unwrap();
         let stream = equivalent_stream(&inst);
         let (live_fp, acks) = run_live(&twin, name, &live_config, &stream);
         prop_assert_eq!(
@@ -169,7 +169,7 @@ proptest! {
         let name = PLANNER_NAMES[planner_idx];
         let inst = scenario(0, seed);
         let twin = live_twin(&inst);
-        let config = EngineConfig { live: true, ..pinned_config() };
+        let config = pinned_config().into_builder().live(true).build().unwrap();
 
         let stream = equivalent_stream(&inst);
         let mut shuffled = stream.clone();
@@ -198,7 +198,7 @@ proptest! {
         let name = PLANNER_NAMES[planner_idx];
         let inst = scenario(kind, seed);
         let twin = live_twin(&inst);
-        let config = EngineConfig { live: true, ..pinned_config() };
+        let config = pinned_config().into_builder().live(true).build().unwrap();
         // Spread the stream over early ticks so the cut lands mid-stream.
         let mut stream = equivalent_stream(&inst);
         for (i, cmd) in stream.iter_mut().enumerate() {
@@ -272,10 +272,7 @@ proptest! {
 fn lifecycle_acks_are_deterministic() {
     let inst = scenario(0, 7);
     let twin = live_twin(&inst);
-    let config = EngineConfig {
-        live: true,
-        ..pinned_config()
-    };
+    let config = pinned_config().into_builder().live(true).build().unwrap();
     let mut planner = planner_by_name("EATP", &EatpConfig::default()).unwrap();
     let mut engine = Engine::new(&twin, &config);
     engine.start(planner.as_mut());

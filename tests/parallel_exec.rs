@@ -72,10 +72,12 @@ fn run_with_workers(
     base: &EngineConfig,
     workers: usize,
 ) -> SimulationReport {
-    let config = EngineConfig {
-        workers,
-        ..base.clone()
-    };
+    let config = base
+        .clone()
+        .into_builder()
+        .workers(workers)
+        .build()
+        .unwrap();
     let mut p = planner_by_name(name, &EatpConfig::default()).unwrap();
     run_simulation(inst, &mut *p, &config)
 }
@@ -191,14 +193,14 @@ proptest! {
     ) {
         let name = PLANNER_NAMES[planner_idx];
         let inst = scenario(kind, seed);
-        let base = EngineConfig {
-            faults: FaultConfig::chaos(fault_seed, (5, 150)),
-            degradation: DegradationPolicy {
+        let base = EngineConfig::builder()
+            .faults(FaultConfig::chaos(fault_seed, (5, 150)))
+            .degradation(DegradationPolicy {
                 enabled: true,
                 max_expansions_per_tick: 0,
-            },
-            ..EngineConfig::default()
-        };
+            })
+            .build()
+            .unwrap();
         let serial = run_with_workers(name, &inst, &base, 0);
         for workers in [2, 4] {
             let parallel = run_with_workers(name, &inst, &base, workers);
@@ -222,11 +224,11 @@ proptest! {
     ) {
         let name = PLANNER_NAMES[planner_idx];
         let inst = scenario(kind, seed);
-        let base = EngineConfig { live: true, ..EngineConfig::default() };
+        let base = EngineConfig::builder().live(true).build().unwrap();
         let stream = live_order_stream(&inst, order_seed, 8);
         let (serial, serial_acks) = drive_live(name, &inst, &base, &stream);
         for workers in [2, 4] {
-            let config = EngineConfig { workers, ..base.clone() };
+            let config = base.clone().into_builder().workers(workers).build().unwrap();
             let (parallel, parallel_acks) = drive_live(name, &inst, &config, &stream);
             prop_assert_eq!(
                 serial.deterministic_fingerprint(),
@@ -291,10 +293,8 @@ fn builder_validates_worker_settings() {
         "error must name the conflict: {msg}"
     );
 
-    // The accreted struct-literal form keeps working for existing callers.
-    let literal = EngineConfig {
-        workers: 2,
-        ..EngineConfig::default()
-    };
-    assert_eq!(literal.workers, 2);
+    // An existing config re-opens for amendment and is re-validated.
+    let amended = built.into_builder().workers(2).build().unwrap();
+    assert_eq!(amended.workers, 2);
+    assert_eq!(amended.max_ticks, 500);
 }

@@ -107,10 +107,7 @@ fn bottleneck_accounts_all_busy_robot_time() {
 fn checkpoint_count_matches_config() {
     let inst = spec(40, 0.6, 8).build().unwrap();
     let mut planner = planner_by_name("NTP", &EatpConfig::default()).unwrap();
-    let config = EngineConfig {
-        checkpoints: 5,
-        ..EngineConfig::default()
-    };
+    let config = EngineConfig::builder().checkpoints(5).build().unwrap();
     let report = run_simulation(&inst, &mut *planner, &config);
     assert!(report.completed);
     assert!(
